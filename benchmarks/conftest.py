@@ -1,0 +1,39 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures on a
+scaled-down workload set (see EXPERIMENTS.md for the scaling notes) and
+prints the same rows/series the paper reports.  Benchmarks are run with
+``pytest benchmarks/ --benchmark-only``; each experiment is executed once
+per benchmark (``benchmark.pedantic`` with a single round), because a
+single figure already aggregates many simulations internally.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.runner import AloneRunCache
+from repro.workloads.suites import representative_subset
+
+#: Per-core instruction count used by the benchmark harness.
+BENCH_INSTRUCTIONS = 25_000
+
+#: Number of non-RNG applications paired with the RNG benchmark.
+BENCH_NUM_APPS = 4
+
+
+@pytest.fixture(scope="session")
+def bench_cache() -> AloneRunCache:
+    """Alone-run cache shared across all benchmarks of one session."""
+    return AloneRunCache()
+
+
+@pytest.fixture(scope="session")
+def bench_apps():
+    """The intensity-diverse application subset used by the benchmarks."""
+    return representative_subset(BENCH_NUM_APPS)
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

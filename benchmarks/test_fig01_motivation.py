@@ -1,0 +1,25 @@
+"""Benchmark: Figure 1 — RNG interference on the RNG-oblivious baseline."""
+
+from repro.experiments import fig01_motivation
+
+from conftest import BENCH_INSTRUCTIONS, run_once
+
+
+def test_fig01_motivation(benchmark, bench_apps, bench_cache):
+    data = run_once(
+        benchmark,
+        fig01_motivation.run,
+        apps=bench_apps,
+        throughputs_mbps=(640.0, 2560.0, 5120.0),
+        instructions=BENCH_INSTRUCTIONS,
+        cache=bench_cache,
+    )
+    print()
+    print(fig01_motivation.format_table(data))
+
+    series = data["series"]
+    # Shape check: interference and unfairness grow with the required RNG
+    # throughput (Figure 1's key observation).
+    assert series[-1]["avg_non_rng_slowdown"] > series[0]["avg_non_rng_slowdown"]
+    assert series[-1]["avg_unfairness"] > 1.0
+    assert series[-1]["avg_non_rng_slowdown"] > 1.2

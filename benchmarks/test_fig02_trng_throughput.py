@@ -1,0 +1,26 @@
+"""Benchmark: Figure 2 — effect of the DRAM TRNG throughput."""
+
+from repro.experiments import fig02_trng_throughput
+
+from conftest import BENCH_INSTRUCTIONS, run_once
+
+
+def test_fig02_trng_throughput(benchmark, bench_apps, bench_cache):
+    data = run_once(
+        benchmark,
+        fig02_trng_throughput.run,
+        apps=bench_apps,
+        trng_throughputs_mbps=(200.0, 800.0, 3200.0, 6400.0),
+        instructions=BENCH_INSTRUCTIONS,
+        cache=bench_cache,
+    )
+    print()
+    print(fig02_trng_throughput.format_table(data))
+
+    series = data["series"]
+    # Shape check: slowdown improves with TRNG throughput and saturates at
+    # the high end (Figure 2's two observations).
+    assert series[0]["avg_slowdown"] >= series[-1]["avg_slowdown"]
+    last_two_delta = series[-2]["avg_slowdown"] - series[-1]["avg_slowdown"]
+    first_two_delta = series[0]["avg_slowdown"] - series[1]["avg_slowdown"]
+    assert last_two_delta <= max(first_two_delta, 0.2)

@@ -1,0 +1,25 @@
+"""Benchmark: Figure 5 — distribution of DRAM idle-period lengths."""
+
+from repro.experiments import fig05_idle_periods
+
+from conftest import BENCH_INSTRUCTIONS, run_once
+
+
+def test_fig05_idle_periods(benchmark, bench_apps):
+    data = run_once(
+        benchmark,
+        fig05_idle_periods.run,
+        apps=bench_apps,
+        instructions=BENCH_INSTRUCTIONS,
+    )
+    print()
+    print(fig05_idle_periods.format_table(data))
+
+    # Shape check: a significant fraction of idle periods is too short to
+    # generate a full 64-bit number, but most are long enough for an 8-bit
+    # batch (the motivation for small-batch generation in Section 5.1).
+    for row in data["series"]:
+        assert row["num_periods"] > 0
+        assert row["fraction_at_least_8bit"] >= row["fraction_at_least_64bit"]
+    memory_intensive = data["series"][-1]
+    assert memory_intensive["fraction_at_least_64bit"] < 0.9

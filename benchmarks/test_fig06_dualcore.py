@@ -1,0 +1,25 @@
+"""Benchmark: Figure 6 — dual-core performance of the three designs."""
+
+from repro.experiments import fig06_dualcore_performance
+
+from conftest import BENCH_INSTRUCTIONS, run_once
+
+
+def test_fig06_dualcore_performance(benchmark, bench_apps, bench_cache):
+    data = run_once(
+        benchmark,
+        fig06_dualcore_performance.run,
+        apps=bench_apps,
+        instructions=BENCH_INSTRUCTIONS,
+        cache=bench_cache,
+    )
+    print()
+    print(fig06_dualcore_performance.format_table(data))
+
+    averages = data["averages"]
+    # Headline claims: DR-STRaNGe improves both application classes over
+    # the RNG-oblivious baseline (paper: 17.9% and 25.1%).
+    assert averages["dr-strange"]["non_rng_slowdown"] < averages["rng-oblivious"]["non_rng_slowdown"]
+    assert averages["dr-strange"]["rng_slowdown"] < averages["rng-oblivious"]["rng_slowdown"]
+    assert data["improvements"]["non_rng_improvement"] > 0.05
+    assert data["improvements"]["rng_improvement"] > 0.10

@@ -1,0 +1,26 @@
+"""Benchmark: Figure 7 — multi-core weighted speedup of non-RNG applications."""
+
+from repro.experiments import fig07_multicore_speedup
+
+from conftest import run_once
+
+
+def test_fig07_multicore_speedup(benchmark, bench_cache):
+    data = run_once(
+        benchmark,
+        fig07_multicore_speedup.run,
+        instructions=20_000,
+        workloads_per_group=2,
+        core_counts=(8,),
+        include_four_core_groups=True,
+        cache=bench_cache,
+    )
+    print()
+    print(fig07_multicore_speedup.format_table(data))
+
+    rows = data["four_core_groups"] + data["multi_core_groups"]
+    assert len(data["four_core_groups"]) == 4
+    # Shape check: DR-STRaNGe improves the weighted speedup of non-RNG
+    # applications over the baseline on average across groups.
+    average_norm = sum(r["normalized_weighted_speedup"]["dr-strange"] for r in rows) / len(rows)
+    assert average_norm > 1.0

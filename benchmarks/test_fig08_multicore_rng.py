@@ -1,0 +1,29 @@
+"""Benchmark: Figure 8 — multi-core slowdown of RNG applications."""
+
+from repro.experiments import fig08_multicore_rng
+
+from conftest import run_once
+
+
+def test_fig08_multicore_rng(benchmark, bench_cache):
+    data = run_once(
+        benchmark,
+        fig08_multicore_rng.run,
+        instructions=20_000,
+        workloads_per_group=2,
+        core_counts=(),
+        include_four_core_groups=True,
+        cache=bench_cache,
+    )
+    print()
+    print(fig08_multicore_rng.format_table(data))
+
+    rows = data["four_core_groups"]
+    assert len(rows) == 4
+    # Shape check: DR-STRaNGe improves RNG applications at least as much as
+    # the Greedy Idle design on average (Section 8.1.2).
+    drs = sum(r["rng_slowdown"]["dr-strange"] for r in rows) / len(rows)
+    greedy = sum(r["rng_slowdown"]["greedy"] for r in rows) / len(rows)
+    baseline = sum(r["rng_slowdown"]["rng-oblivious"] for r in rows) / len(rows)
+    assert drs < baseline
+    assert drs <= greedy * 1.05

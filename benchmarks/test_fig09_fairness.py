@@ -1,0 +1,23 @@
+"""Benchmark: Figure 9 — dual-core system fairness."""
+
+from repro.experiments import fig09_fairness
+
+from conftest import BENCH_INSTRUCTIONS, run_once
+
+
+def test_fig09_fairness(benchmark, bench_apps, bench_cache):
+    data = run_once(
+        benchmark,
+        fig09_fairness.run,
+        apps=bench_apps,
+        instructions=BENCH_INSTRUCTIONS,
+        cache=bench_cache,
+    )
+    print()
+    print(fig09_fairness.format_table(data))
+
+    # Headline claim: DR-STRaNGe improves system fairness over the
+    # RNG-oblivious baseline (paper: 32.1% on average).
+    assert data["fairness_improvement_vs_baseline"] > 0.10
+    averages = data["average_unfairness"]
+    assert averages["dr-strange"] < averages["rng-oblivious"]

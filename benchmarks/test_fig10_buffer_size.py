@@ -1,0 +1,26 @@
+"""Benchmark: Figure 10 — impact of the random number buffer size."""
+
+from repro.experiments import fig10_buffer_size
+
+from conftest import BENCH_INSTRUCTIONS, run_once
+
+
+def test_fig10_buffer_size(benchmark, bench_apps, bench_cache):
+    data = run_once(
+        benchmark,
+        fig10_buffer_size.run,
+        apps=bench_apps,
+        buffer_sizes=(0, 1, 4, 16, 64),
+        instructions=BENCH_INSTRUCTIONS,
+        cache=bench_cache,
+    )
+    print()
+    print(fig10_buffer_size.format_table(data))
+
+    series = {row["buffer_entries"]: row for row in data["series"]}
+    # Shape checks: without a buffer nothing is served from it, and adding
+    # a buffer improves RNG application performance substantially.
+    assert series[0]["avg_buffer_serve_rate"] == 0.0
+    assert series[16]["avg_buffer_serve_rate"] > 0.4
+    assert series[16]["avg_rng_slowdown"] < series[0]["avg_rng_slowdown"]
+    assert series[16]["avg_non_rng_slowdown"] < series[0]["avg_non_rng_slowdown"]

@@ -1,0 +1,25 @@
+"""Benchmark: Figure 11 — memory request scheduler comparison (no buffer)."""
+
+from repro.experiments import fig11_scheduler
+
+from conftest import BENCH_INSTRUCTIONS, run_once
+
+
+def test_fig11_scheduler(benchmark, bench_apps, bench_cache):
+    data = run_once(
+        benchmark,
+        fig11_scheduler.run,
+        apps=bench_apps,
+        instructions=BENCH_INSTRUCTIONS,
+        cache=bench_cache,
+    )
+    print()
+    print(fig11_scheduler.format_table(data))
+
+    averages = data["averages"]
+    # Shape check: the three schedulers are within a plausible range of
+    # each other; BLISS does not beat the RNG-aware scheduler on fairness
+    # by a large margin (the paper finds BLISS degrades fairness).
+    assert set(averages) == {"fr-fcfs+cap", "bliss", "rng-aware"}
+    assert averages["rng-aware"]["non_rng_slowdown"] < averages["fr-fcfs+cap"]["non_rng_slowdown"] * 1.15
+    assert averages["rng-aware"]["unfairness"] < averages["bliss"]["unfairness"] * 1.25

@@ -1,0 +1,26 @@
+"""Benchmark: Figure 12 — priority-based RNG-aware scheduling."""
+
+from repro.experiments import fig12_priority
+
+from conftest import run_once
+
+
+def test_fig12_priority(benchmark, bench_cache):
+    data = run_once(
+        benchmark,
+        fig12_priority.run,
+        core_counts=(4,),
+        workloads_per_core_count=2,
+        instructions=20_000,
+        cache=bench_cache,
+    )
+    print()
+    print(fig12_priority.format_table(data))
+
+    row = data["series"][0]
+    speedups = row["normalized_weighted_speedup"]
+    rng_slowdowns = row["rng_slowdown"]
+    # Shape checks: prioritising a class benefits that class relative to
+    # the RNG-oblivious baseline.
+    assert speedups["dr-strange (non-rng high)"] > 0.95
+    assert rng_slowdowns["dr-strange (rng high)"] < rng_slowdowns["rng-oblivious"]

@@ -1,0 +1,27 @@
+"""Benchmark: Figure 13 — impact of the DRAM idleness predictor."""
+
+from repro.experiments import fig13_predictor
+
+from conftest import BENCH_INSTRUCTIONS, run_once
+
+
+def test_fig13_predictor(benchmark, bench_apps, bench_cache):
+    data = run_once(
+        benchmark,
+        fig13_predictor.run,
+        apps=bench_apps,
+        instructions=BENCH_INSTRUCTIONS,
+        cache=bench_cache,
+    )
+    print()
+    print(fig13_predictor.format_table(data))
+
+    averages = data["averages"]
+    # Shape checks: every DR-STRaNGe variant beats the baseline for RNG
+    # applications, and the RL predictor performs comparably to the simple
+    # predictor (Section 8.6).
+    for label in ("no-predictor", "simple-predictor", "rl-predictor"):
+        assert averages[label]["rng_slowdown"] < averages["rng-oblivious"]["rng_slowdown"]
+    simple = averages["simple-predictor"]["non_rng_slowdown"]
+    rl = averages["rl-predictor"]["non_rng_slowdown"]
+    assert abs(simple - rl) / simple < 0.15

@@ -1,0 +1,27 @@
+"""Benchmark: Figure 14 — DRAM idleness predictor accuracy."""
+
+from repro.experiments import fig14_predictor_accuracy
+
+from conftest import BENCH_INSTRUCTIONS, run_once
+
+
+def test_fig14_predictor_accuracy(benchmark, bench_apps, bench_cache):
+    data = run_once(
+        benchmark,
+        fig14_predictor_accuracy.run,
+        apps=bench_apps,
+        instructions=BENCH_INSTRUCTIONS,
+        core_counts=(2, 4),
+        cache=bench_cache,
+    )
+    print()
+    print(fig14_predictor_accuracy.format_table(data))
+
+    two_core = data["two_core_average"]
+    # Shape check: both predictors classify well over half of the idle
+    # periods correctly on two-core workloads (paper: ~80%).
+    assert two_core["simple"] > 0.55
+    assert two_core["rl"] > 0.5
+    # Multi-core workloads have lower accuracy (more complex interference).
+    if data["multi_core"]:
+        assert data["multi_core"][0]["accuracy"]["simple"] <= two_core["simple"] + 0.1

@@ -1,0 +1,25 @@
+"""Benchmark: Figure 15 — impact of low-utilisation prediction."""
+
+from repro.experiments import fig15_low_utilization
+
+from conftest import BENCH_INSTRUCTIONS, run_once
+
+
+def test_fig15_low_utilization(benchmark, bench_apps, bench_cache):
+    data = run_once(
+        benchmark,
+        fig15_low_utilization.run,
+        apps=bench_apps,
+        instructions=BENCH_INSTRUCTIONS,
+        thresholds=(0, 4),
+        cache=bench_cache,
+    )
+    print()
+    print(fig15_low_utilization.format_table(data))
+
+    averages = data["averages"]
+    # Shape check: enabling low-utilisation prediction (threshold 4) keeps
+    # or improves the RNG application benefit relative to threshold 0, and
+    # both beat the RNG-oblivious baseline.
+    assert averages["threshold-4"]["rng_slowdown"] < averages["rng-oblivious"]["rng_slowdown"]
+    assert averages["threshold-4"]["buffer_serve_rate"] >= averages["threshold-0"]["buffer_serve_rate"] - 0.05

@@ -1,0 +1,23 @@
+"""Benchmark: Figure 16 — DR-STRaNGe with the QUAC-TRNG mechanism."""
+
+from repro.experiments import fig16_quac
+
+from conftest import BENCH_INSTRUCTIONS, run_once
+
+
+def test_fig16_quac(benchmark, bench_apps, bench_cache):
+    data = run_once(
+        benchmark,
+        fig16_quac.run,
+        apps=bench_apps,
+        instructions=BENCH_INSTRUCTIONS,
+        cache=bench_cache,
+    )
+    print()
+    print(fig16_quac.format_table(data))
+
+    averages = data["averages"]
+    # Shape check: the improvements are mechanism-independent (Section 8.7).
+    assert averages["dr-strange"]["non_rng_slowdown"] < averages["rng-oblivious"]["non_rng_slowdown"]
+    assert averages["dr-strange"]["rng_slowdown"] < averages["rng-oblivious"]["rng_slowdown"]
+    assert averages["dr-strange"]["unfairness"] < averages["rng-oblivious"]["unfairness"]

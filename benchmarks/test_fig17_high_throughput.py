@@ -1,0 +1,29 @@
+"""Benchmark: Figure 17 (appendix) — 10 Gb/s RNG applications."""
+
+from repro.experiments import fig06_dualcore_performance, fig17_high_throughput
+
+from conftest import BENCH_INSTRUCTIONS, run_once
+
+
+def test_fig17_high_throughput(benchmark, bench_apps, bench_cache):
+    data = run_once(
+        benchmark,
+        fig17_high_throughput.run,
+        apps=bench_apps,
+        instructions=BENCH_INSTRUCTIONS,
+        cache=bench_cache,
+    )
+    print()
+    print(fig17_high_throughput.format_table(data))
+
+    # Shape check: at 10 Gb/s the baseline interference is larger than at
+    # 5 Gb/s, and DR-STRaNGe's improvements persist (appendix A.1).
+    five_gbps = fig06_dualcore_performance.run(
+        apps=bench_apps, instructions=BENCH_INSTRUCTIONS, cache=bench_cache
+    )
+    assert (
+        data["averages"]["rng-oblivious"]["non_rng_slowdown"]
+        >= five_gbps["averages"]["rng-oblivious"]["non_rng_slowdown"] * 0.95
+    )
+    assert data["improvements"]["non_rng_improvement"] > 0.05
+    assert data["improvements"]["fairness_improvement"] > 0.05

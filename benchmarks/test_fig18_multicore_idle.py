@@ -1,0 +1,26 @@
+"""Benchmark: Figure 18 (appendix) — multi-core idle-period lengths."""
+
+from repro.experiments import fig18_multicore_idle
+
+from conftest import run_once
+
+
+def test_fig18_multicore_idle(benchmark):
+    data = run_once(
+        benchmark,
+        fig18_multicore_idle.run,
+        core_counts=(4, 8),
+        categories=("L", "M", "H"),
+        instructions=15_000,
+    )
+    print()
+    print(fig18_multicore_idle.format_table(data))
+
+    by_group = {row["group"]: row for row in data["series"]}
+    # Shape checks: most idle periods are shorter than a full 64-bit
+    # generation, and idle periods shrink with memory intensity.
+    for row in data["series"]:
+        assert row["num_periods"] > 0
+    assert by_group["H (4)"]["box"]["median"] <= by_group["L (4)"]["box"]["median"]
+    high_intensity = by_group["H (8)"]
+    assert high_intensity["fraction_below_64bit"] > 0.5

@@ -1,0 +1,32 @@
+"""Benchmark: Section 8.8 — low-intensity (640 Mb/s) RNG applications."""
+
+from repro.experiments import fig06_dualcore_performance, sec88_low_intensity
+
+from conftest import BENCH_INSTRUCTIONS, run_once
+
+
+def test_sec88_low_intensity(benchmark, bench_apps, bench_cache):
+    data = run_once(
+        benchmark,
+        sec88_low_intensity.run,
+        apps=bench_apps,
+        instructions=BENCH_INSTRUCTIONS,
+        cache=bench_cache,
+    )
+    print()
+    print(sec88_low_intensity.format_table(data))
+
+    # Shape check: with a low required RNG throughput the baseline
+    # interference is small, so DR-STRaNGe's improvement is small too
+    # (paper: 3-5% instead of ~18-25%).
+    five_gbps = fig06_dualcore_performance.run(
+        apps=bench_apps, instructions=BENCH_INSTRUCTIONS, cache=bench_cache
+    )
+    assert (
+        data["averages"]["rng-oblivious"]["non_rng_slowdown"]
+        < five_gbps["averages"]["rng-oblivious"]["non_rng_slowdown"]
+    )
+    assert (
+        data["improvements"]["non_rng_improvement"]
+        < five_gbps["improvements"]["non_rng_improvement"] + 0.02
+    )

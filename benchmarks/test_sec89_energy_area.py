@@ -1,0 +1,26 @@
+"""Benchmark: Section 8.9 — energy consumption and area overhead."""
+
+from repro.experiments import sec89_energy_area
+
+from conftest import BENCH_INSTRUCTIONS, run_once
+
+
+def test_sec89_energy_area(benchmark, bench_apps, bench_cache):
+    data = run_once(
+        benchmark,
+        sec89_energy_area.run,
+        apps=bench_apps,
+        instructions=BENCH_INSTRUCTIONS,
+        cache=bench_cache,
+    )
+    print()
+    print(sec89_energy_area.format_table(data))
+
+    # Shape checks: DR-STRaNGe reduces energy (paper: 21%) and its area
+    # overhead with the simple predictor is a fraction of a CPU core
+    # (paper: 0.0022 mm^2 = 0.00048%).
+    assert data["avg_energy_reduction"] > 0.05
+    area = data["area"]
+    assert 0.001 <= area["simple_predictor_mm2"] <= 0.005
+    assert area["simple_predictor_fraction_of_core"] < 0.0001
+    assert area["rl_predictor_mm2"] > area["simple_predictor_mm2"]

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""DRAM idleness prediction study.
+
+Shows the two DR-STRaNGe idleness predictors at work:
+
+1. extracts the DRAM idle-period structure of applications with different
+   memory intensities (the Figure 5 analysis),
+2. trains the simple 2-bit-counter predictor and the Q-learning predictor
+   on those idle periods and compares their accuracy, false-positive and
+   false-negative rates,
+3. runs the full system with each predictor and reports the resulting
+   buffer serve rate and application slowdowns (the Figure 13/14 view).
+
+Run with:  python examples/idleness_prediction.py
+"""
+
+from repro.core import DRStrangeConfig, QLearningIdlenessPredictor, SimpleIdlenessPredictor
+from repro.sim import baseline_config, compare_designs, drstrange_config, simulate
+from repro.workloads import (
+    WorkloadMix,
+    application,
+    build_traces,
+    generate_application_trace,
+    standard_rng_benchmark,
+)
+
+INSTRUCTIONS = 40_000
+
+
+def idle_period_structure() -> None:
+    print("--- DRAM idle period structure (single-core, baseline system) ---")
+    print(f"{'application':>12} {'periods':>8} {'median':>8} {'>=40 cycles':>12} {'>=198 cycles':>13}")
+    for name in ("ycsb1", "soplex", "mcf"):
+        trace = generate_application_trace(application(name), INSTRUCTIONS, seed=1)
+        result = simulate([trace], baseline_config())
+        periods = sorted(result.all_idle_periods)
+        if not periods:
+            continue
+        median = periods[len(periods) // 2]
+        long8 = sum(1 for p in periods if p >= 40) / len(periods)
+        long64 = sum(1 for p in periods if p >= 198) / len(periods)
+        print(f"{name:>12} {len(periods):>8} {median:>8} {long8:>12.2f} {long64:>13.2f}")
+
+
+def offline_predictor_training() -> None:
+    print("\n--- offline predictor comparison on one application's idle periods ---")
+    trace = generate_application_trace(application("soplex"), INSTRUCTIONS, seed=1)
+    result = simulate([trace], baseline_config())
+    periods = result.all_idle_periods
+
+    simple = SimpleIdlenessPredictor(period_threshold=40)
+    learner = QLearningIdlenessPredictor(period_threshold=40)
+    address = 0
+    for length in periods:
+        for predictor in (simple, learner):
+            predictor.predict_and_record(address)
+            predictor.observe_idle_period(length, address)
+        address += 64
+
+    for label, predictor in (("simple 2-bit counters", simple), ("Q-learning agent", learner)):
+        stats = predictor.stats
+        print(
+            f"  {label:>22}: accuracy {100 * stats.accuracy:.1f}%  "
+            f"false positives {100 * stats.false_positive_rate:.1f}%  "
+            f"false negatives {100 * stats.false_negative_rate:.1f}%"
+        )
+
+
+def end_to_end_comparison() -> None:
+    print("\n--- end-to-end impact of the predictor choice (two-core workload) ---")
+    mix = WorkloadMix(
+        name="predictor-study",
+        slots=[application("soplex"), standard_rng_benchmark(5120.0)],
+    )
+    configs = {
+        "no predictor (fill on every idle cycle)": drstrange_config(
+            drstrange=DRStrangeConfig(predictor="none")
+        ),
+        "simple idleness predictor": drstrange_config(drstrange=DRStrangeConfig(predictor="simple")),
+        "RL idleness predictor": drstrange_config(drstrange=DRStrangeConfig(predictor="rl")),
+    }
+    results = compare_designs(mix, configs, instructions=INSTRUCTIONS)
+    print(
+        f"{'configuration':>40} {'non-RNG slowdown':>18} {'RNG slowdown':>14} "
+        f"{'serve rate':>12} {'accuracy':>10}"
+    )
+    for label, evaluation in results.items():
+        accuracy = evaluation.predictor_accuracy
+        print(
+            f"{label:>40} {evaluation.non_rng_slowdown:>18.3f} {evaluation.rng_slowdown:>14.3f} "
+            f"{evaluation.buffer_serve_rate:>12.2f} "
+            f"{('%5.0f%%' % (100 * accuracy)) if accuracy is not None else '    n/a':>10}"
+        )
+
+
+def main() -> None:
+    idle_period_structure()
+    offline_predictor_training()
+    end_to_end_comparison()
+
+
+if __name__ == "__main__":
+    main()

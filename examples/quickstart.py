@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: compare DR-STRaNGe against the RNG-oblivious baseline.
+
+Builds a two-core workload (one memory-intensive application plus a
+synthetic RNG benchmark that requires 5 Gb/s of true random numbers),
+simulates it under the RNG-oblivious baseline, the Greedy Idle design and
+DR-STRaNGe, and prints the headline metrics of the paper: slowdown of
+each application class, the unfairness index, the buffer serve rate and
+DRAM energy.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import baseline_config, drstrange_config, greedy_config
+from repro.sim import compare_designs
+from repro.workloads import application, standard_rng_benchmark, WorkloadMix
+
+
+def main() -> None:
+    # One memory-intensive SPEC-like application + the 5 Gb/s RNG benchmark.
+    mix = WorkloadMix(
+        name="quickstart",
+        slots=[application("soplex"), standard_rng_benchmark(5120.0)],
+    )
+
+    configs = {
+        "RNG-oblivious baseline": baseline_config(),
+        "Greedy Idle design": greedy_config(),
+        "DR-STRaNGe": drstrange_config(),
+    }
+
+    print(f"Workload: {mix.slots[0].name} + {mix.slots[1].name} (5 Gb/s RNG requirement)")
+    print("Simulating the three designs (this takes a few seconds)...\n")
+    results = compare_designs(mix, configs, instructions=40_000)
+
+    header = f"{'design':>24} {'non-RNG slowdown':>18} {'RNG slowdown':>14} {'unfairness':>12} {'serve rate':>12} {'energy (uJ)':>12}"
+    print(header)
+    print("-" * len(header))
+    for label, evaluation in results.items():
+        print(
+            f"{label:>24} {evaluation.non_rng_slowdown:>18.3f} {evaluation.rng_slowdown:>14.3f} "
+            f"{evaluation.unfairness:>12.3f} {evaluation.buffer_serve_rate:>12.2f} "
+            f"{evaluation.energy_nj / 1000:>12.1f}"
+        )
+
+    baseline = results["RNG-oblivious baseline"]
+    drstrange = results["DR-STRaNGe"]
+    print()
+    print(
+        "DR-STRaNGe vs baseline: "
+        f"non-RNG {100 * (1 - drstrange.non_rng_slowdown / baseline.non_rng_slowdown):+.1f}%, "
+        f"RNG {100 * (1 - drstrange.rng_slowdown / baseline.rng_slowdown):+.1f}%, "
+        f"fairness {100 * (1 - drstrange.unfairness / baseline.unfairness):+.1f}%, "
+        f"energy {100 * (1 - drstrange.energy_nj / baseline.energy_nj):+.1f}%"
+    )
+    print(
+        f"Idleness predictor accuracy: {100 * (drstrange.predictor_accuracy or 0):.0f}%  |  "
+        f"random numbers served from the buffer: {100 * drstrange.buffer_serve_rate:.0f}%"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Memory scheduler study: FR-FCFS+Cap vs BLISS vs the RNG-aware scheduler.
+
+Reproduces the flavour of the paper's Figures 11 and 12 on a single
+workload mix: it first compares the three memory request schedulers with
+the random number buffer disabled (isolating the scheduling effect), and
+then shows how OS-assigned application priorities steer the RNG-aware
+scheduler (prioritising the RNG application vs. the non-RNG applications).
+
+Run with:  python examples/scheduler_comparison.py
+"""
+
+from repro.core import DRStrangeConfig
+from repro.sim import baseline_config, compare_designs, drstrange_config
+from repro.workloads import application, standard_rng_benchmark, WorkloadMix
+
+INSTRUCTIONS = 40_000
+
+
+def scheduler_study(mix: WorkloadMix) -> None:
+    print("--- scheduler comparison (no random number buffer) ---")
+    configs = {
+        "FR-FCFS+Cap (baseline)": baseline_config(),
+        "BLISS": baseline_config(scheduler="bliss"),
+        "RNG-aware scheduler": drstrange_config(drstrange=DRStrangeConfig(buffer_entries=0)),
+    }
+    results = compare_designs(mix, configs, instructions=INSTRUCTIONS)
+    print(f"{'scheduler':>24} {'non-RNG slowdown':>18} {'RNG slowdown':>14} {'unfairness':>12}")
+    for label, evaluation in results.items():
+        print(
+            f"{label:>24} {evaluation.non_rng_slowdown:>18.3f} "
+            f"{evaluation.rng_slowdown:>14.3f} {evaluation.unfairness:>12.3f}"
+        )
+
+
+def priority_study(mix: WorkloadMix) -> None:
+    print("\n--- priority-based RNG-aware scheduling (full DR-STRaNGe) ---")
+    configs = {
+        "equal priorities": drstrange_config(priority_mode="equal"),
+        "non-RNG apps high priority": drstrange_config(priority_mode="non-rng-high"),
+        "RNG app high priority": drstrange_config(priority_mode="rng-high"),
+    }
+    results = compare_designs(mix, configs, instructions=INSTRUCTIONS)
+    print(f"{'priority assignment':>28} {'non-RNG slowdown':>18} {'RNG slowdown':>14} {'unfairness':>12}")
+    for label, evaluation in results.items():
+        print(
+            f"{label:>28} {evaluation.non_rng_slowdown:>18.3f} "
+            f"{evaluation.rng_slowdown:>14.3f} {evaluation.unfairness:>12.3f}"
+        )
+
+
+def main() -> None:
+    mix = WorkloadMix(
+        name="scheduler-study",
+        slots=[application("mcf"), standard_rng_benchmark(5120.0)],
+    )
+    print(f"Workload: {mix.slots[0].name} (high memory intensity) + 5 Gb/s RNG benchmark\n")
+    scheduler_study(mix)
+    priority_study(mix)
+
+
+if __name__ == "__main__":
+    main()

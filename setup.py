@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so that legacy editable installs (``python setup.py develop`` or
+``pip install -e . --no-build-isolation``) work on machines without the
+``wheel`` package or network access to build isolation environments.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,66 @@
+"""Command-line entry point: regenerate any of the paper's experiments.
+
+Usage::
+
+    python -m repro --list
+    python -m repro fig6
+    python -m repro fig10 --instructions 40000 --full
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate a DR-STRaNGe paper experiment (figure or section).",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help="experiment id, e.g. fig6, fig10, sec8.9 (see --list)",
+    )
+    parser.add_argument("--list", action="store_true", help="list available experiments")
+    parser.add_argument(
+        "--instructions", type=int, default=None, help="per-core instruction count override"
+    )
+    parser.add_argument(
+        "--full", action="store_true", help="use the full 43-application roster (slow)"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiment:
+        print("Available experiments:")
+        for key, module in sorted(EXPERIMENTS.items()):
+            summary = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"  {key:<8} {summary}")
+        return 0
+
+    key = args.experiment.lower()
+    if key not in EXPERIMENTS:
+        print(f"unknown experiment {key!r}; use --list to see the available ids", file=sys.stderr)
+        return 2
+
+    module = EXPERIMENTS[key]
+    kwargs = {}
+    if args.instructions is not None:
+        kwargs["instructions"] = args.instructions
+    if args.full:
+        kwargs["full"] = True
+    try:
+        data = module.run(**kwargs)
+    except TypeError:
+        # Some experiments (multi-core studies) do not take the ``full`` flag.
+        kwargs.pop("full", None)
+        data = module.run(**kwargs)
+    print(module.format_table(data))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

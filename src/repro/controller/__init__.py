@@ -1,0 +1,25 @@
+"""Memory controller substrate: requests, queues and channel controllers."""
+
+from .config import ControllerConfig
+from .memory_controller import (
+    BaselineQueuePolicy,
+    ChannelController,
+    ControllerStats,
+    ExecutionMode,
+)
+from .queues import RequestQueue
+from .request import Request, RequestType, make_read, make_rng, make_write
+
+__all__ = [
+    "BaselineQueuePolicy",
+    "ChannelController",
+    "ControllerConfig",
+    "ControllerStats",
+    "ExecutionMode",
+    "Request",
+    "RequestQueue",
+    "RequestType",
+    "make_read",
+    "make_rng",
+    "make_write",
+]

@@ -1,0 +1,46 @@
+"""Configuration of a channel memory controller."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Tunables of one channel controller.
+
+    The defaults mirror the paper's Table 1 (32-entry read/write queues)
+    plus the modelling constants of this reproduction (issue look-ahead,
+    backend latency, and the RNG mode-switch penalty that models the cost
+    of changing DRAM timing parameters when entering/leaving RNG mode).
+    """
+
+    read_queue_capacity: int = 32
+    write_queue_capacity: int = 32
+    rng_queue_capacity: int = 32
+    #: Write-drain high/low watermarks (forced drain starts/stops here).
+    write_drain_high: int = 16
+    write_drain_low: int = 4
+    #: Only issue a new request when the data bus frees up within this
+    #: many cycles; limits how far ahead the controller locks in ordering.
+    issue_lookahead: int = 8
+    #: Fixed cycles between DRAM data return and the core receiving it
+    #: (interconnect + LLC fill).
+    backend_latency: int = 10
+    #: One-way penalty (cycles) for switching between Regular Execution
+    #: Mode and RNG Mode (timing-parameter reconfiguration).
+    rng_mode_switch_penalty: int = 12
+
+    def __post_init__(self) -> None:
+        if self.read_queue_capacity <= 0 or self.write_queue_capacity <= 0:
+            raise ValueError("queue capacities must be positive")
+        if self.rng_queue_capacity <= 0:
+            raise ValueError("rng_queue_capacity must be positive")
+        if not 0 <= self.write_drain_low < self.write_drain_high:
+            raise ValueError("write drain watermarks must satisfy 0 <= low < high")
+        if self.write_drain_high > self.write_queue_capacity:
+            raise ValueError("write_drain_high cannot exceed the write queue capacity")
+        if self.issue_lookahead < 0 or self.backend_latency < 0:
+            raise ValueError("latencies must be non-negative")
+        if self.rng_mode_switch_penalty < 0:
+            raise ValueError("rng_mode_switch_penalty must be non-negative")

@@ -1,0 +1,462 @@
+"""Per-channel memory controller.
+
+One :class:`ChannelController` manages a single DRAM channel: it owns the
+bounded read/write (and, for RNG-aware designs, RNG) request queues, asks
+its scheduler which request to service next, drives the channel device
+model, and tracks idle periods and execution-mode changes.
+
+The controller has two execution modes, exactly as in the paper
+(Section 5): *Regular Execution Mode*, in which it services ordinary
+read/write requests, and *RNG Mode*, in which the channel is dedicated to
+random number generation with violated timing parameters (either to serve
+an on-demand RNG request, or to fill the random number buffer during idle
+periods).  Switching modes pays a timing-parameter reconfiguration
+penalty.
+
+Design-specific behaviour is injected rather than subclassed:
+
+* ``queue_policy`` decides which queue to serve next (the baseline policy
+  simply runs the configured scheduler on the read queue; DR-STRaNGe's
+  RNG-aware scheduler is a different policy, see
+  :mod:`repro.core.rng_scheduler`).
+* ``fill_policy`` decides when to generate random numbers for the buffer
+  during idle / low-utilisation periods (``None`` for the RNG-oblivious
+  baseline; see :mod:`repro.core.fill_policies`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, List, Optional, Tuple
+
+from ..dram.channel import Channel
+from ..dram.dram_system import DRAMSystem
+from ..sched.base import MemoryScheduler
+from ..sched.frfcfs import FRFCFSCap
+from ..trng.base import DRAMTRNGModel
+from .config import ControllerConfig
+from .queues import RequestQueue
+from .request import Request, RequestType
+
+
+class ExecutionMode(Enum):
+    """Execution mode of the memory controller."""
+
+    REGULAR = "regular"
+    RNG = "rng"
+
+
+@dataclass
+class ControllerStats:
+    """Per-controller counters."""
+
+    served_reads: int = 0
+    served_writes: int = 0
+    served_rng_demand: int = 0
+    rng_chained_demand: int = 0
+    rng_fill_batches: int = 0
+    rng_fill_bits: int = 0
+    idle_cycles: int = 0
+    busy_cycles: int = 0
+    rng_mode_cycles: int = 0
+    mode_switches: int = 0
+    idle_periods: List[int] = field(default_factory=list)
+    low_utilization_fills: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        return self.idle_cycles + self.busy_cycles + self.rng_mode_cycles
+
+    @property
+    def served_regular(self) -> int:
+        return self.served_reads + self.served_writes
+
+
+@dataclass
+class _RNGOperation:
+    """An in-progress RNG-mode operation on this channel."""
+
+    purpose: str  # "demand" or "fill"
+    segment_end: int
+    bits_in_segment: int
+    request: Optional[Request] = None
+
+
+class BaselineQueuePolicy:
+    """Queue selection of the RNG-oblivious baseline.
+
+    RNG demand requests live in the regular read queue and are selected by
+    the underlying scheduler like any other request (they never hit the
+    row buffer, so FR-FCFS services them in arrival order among misses).
+    """
+
+    name = "baseline"
+
+    def select(
+        self, controller: "ChannelController", now: int
+    ) -> Optional[Tuple[RequestQueue, Request]]:
+        request = controller.scheduler.select(controller.read_queue, controller, now)
+        if request is not None:
+            return controller.read_queue, request
+        # If the controller happens to have a dedicated RNG queue but no
+        # RNG-aware policy, still drain it (oldest first) so RNG requests
+        # cannot starve behind an empty read queue.
+        if controller.rng_queue is not None and len(controller.rng_queue) > 0:
+            return controller.rng_queue, controller.rng_queue.oldest()
+        return None
+
+    def notify_rng_application(self, core_id: int) -> None:
+        """The baseline does not distinguish RNG applications."""
+
+    def reset(self) -> None:
+        """No internal state."""
+
+
+class ChannelController:
+    """Memory controller for a single DRAM channel."""
+
+    def __init__(
+        self,
+        channel: Channel,
+        dram: DRAMSystem,
+        scheduler: Optional[MemoryScheduler] = None,
+        config: Optional[ControllerConfig] = None,
+        trng: Optional[DRAMTRNGModel] = None,
+        queue_policy=None,
+        fill_policy=None,
+        separate_rng_queue: bool = False,
+    ) -> None:
+        self.channel = channel
+        self.dram = dram
+        self.organization = dram.organization
+        self.mapping = dram.mapping
+        self.config = config or ControllerConfig()
+        self.scheduler = scheduler or FRFCFSCap()
+        if isinstance(self.scheduler, FRFCFSCap):
+            self.scheduler.bind(self.organization)
+        self.trng = trng
+        self.queue_policy = queue_policy or BaselineQueuePolicy()
+        self.fill_policy = fill_policy
+
+        cfg = self.config
+        self.read_queue = RequestQueue(cfg.read_queue_capacity, name=f"read[{channel.channel_id}]")
+        self.write_queue = RequestQueue(
+            cfg.write_queue_capacity, name=f"write[{channel.channel_id}]"
+        )
+        self.rng_queue: Optional[RequestQueue] = (
+            RequestQueue(cfg.rng_queue_capacity, name=f"rng[{channel.channel_id}]")
+            if separate_rng_queue
+            else None
+        )
+
+        self.mode = ExecutionMode.REGULAR
+        self.stats = ControllerStats()
+        self.idle_streak = 0
+        self.last_accessed_address = 0
+        self._rng_op: Optional[_RNGOperation] = None
+        self._inflight: List[Tuple[int, int, Request]] = []
+        self._inflight_counter = itertools.count()
+        self._write_draining = False
+        self._idle_period_listeners: List[Callable[[int, int, int], None]] = []
+        self._arrival_listeners: List[Callable[[int, Request], None]] = []
+
+    # ------------------------------------------------------------------ properties
+
+    @property
+    def channel_id(self) -> int:
+        return self.channel.channel_id
+
+    @property
+    def in_rng_mode(self) -> bool:
+        return self.mode is ExecutionMode.RNG
+
+    def decode(self, request: Request):
+        """Return (and cache) the decoded DRAM coordinates of a request."""
+        if request.decoded is None:
+            request.decoded = self.mapping.decode(request.address)
+        return request.decoded
+
+    def read_queue_occupancy(self) -> int:
+        """Number of pending regular read requests."""
+        return len(self.read_queue)
+
+    def has_pending_regular_work(self) -> bool:
+        """Whether any regular (non-RNG) request is queued or in flight."""
+        return bool(self.read_queue) or bool(self.write_queue) or bool(self._inflight)
+
+    def is_idle(self, now: int) -> bool:
+        """Idle: no regular work queued/in flight and the data bus is free."""
+        return (
+            not self.read_queue
+            and not self.write_queue
+            and not self._inflight
+            and self.channel.is_bus_free(now)
+            and self.mode is ExecutionMode.REGULAR
+        )
+
+    # ------------------------------------------------------------------ listeners
+
+    def add_idle_period_listener(self, listener: Callable[[int, int, int], None]) -> None:
+        """Register ``listener(channel_id, idle_length, last_address)``.
+
+        Called whenever an idle period ends because a regular request
+        arrived; this is the hook the DRAM idleness predictors train on.
+        """
+        self._idle_period_listeners.append(listener)
+
+    def add_arrival_listener(self, listener: Callable[[int, Request], None]) -> None:
+        """Register ``listener(channel_id, request)`` for request arrivals."""
+        self._arrival_listeners.append(listener)
+
+    # ------------------------------------------------------------------ enqueue
+
+    def enqueue(self, request: Request) -> bool:
+        """Add a request to the appropriate queue; ``False`` if it is full."""
+        if request.type is RequestType.READ:
+            queue = self.read_queue
+        elif request.type is RequestType.WRITE:
+            queue = self.write_queue
+        elif self.rng_queue is not None:
+            queue = self.rng_queue
+        else:
+            queue = self.read_queue
+
+        if request.type is not RequestType.RNG:
+            self.decode(request)
+
+        if not queue.push(request):
+            return False
+
+        if request.type is not RequestType.RNG:
+            self._end_idle_period(request)
+            self.last_accessed_address = request.address
+        for listener in self._arrival_listeners:
+            listener(self.channel_id, request)
+        return True
+
+    def _end_idle_period(self, request: Request) -> None:
+        if self.idle_streak > 0:
+            length = self.idle_streak
+            self.stats.idle_periods.append(length)
+            for listener in self._idle_period_listeners:
+                listener(self.channel_id, length, self.last_accessed_address)
+        self.idle_streak = 0
+
+    # ------------------------------------------------------------------ main loop
+
+    def tick(self, now: int) -> None:
+        """Advance the controller by one bus cycle."""
+        self.scheduler.tick(now)
+        self._complete_finished(now)
+        self._advance_rng_mode(now)
+
+        # Idle periods are defined with respect to *regular* traffic
+        # (Section 5.1): the streak keeps counting while the channel is
+        # generating random numbers, so that the idleness predictors are
+        # trained on the true gap between regular requests.
+        if not self.has_pending_regular_work():
+            self.idle_streak += 1
+
+        if self.mode is ExecutionMode.RNG:
+            self.stats.rng_mode_cycles += 1
+            self.read_queue.sample_occupancy()
+            return
+
+        if self.is_idle(now):
+            self.stats.idle_cycles += 1
+            if self.fill_policy is not None:
+                self.fill_policy.on_idle_cycle(self, now)
+        else:
+            self.stats.busy_cycles += 1
+
+        self.read_queue.sample_occupancy()
+
+        if self.fill_policy is not None and self.fill_policy.should_start_fill(self, now):
+            self._start_fill(now)
+            return
+
+        self._schedule_regular(now)
+
+    # ------------------------------------------------------------------ completion
+
+    def _complete_finished(self, now: int) -> None:
+        while self._inflight and self._inflight[0][0] <= now:
+            completion, _, request = heapq.heappop(self._inflight)
+            request.complete(completion)
+
+    # ------------------------------------------------------------------ RNG mode
+
+    def _advance_rng_mode(self, now: int) -> None:
+        op = self._rng_op
+        if self.mode is not ExecutionMode.RNG or op is None:
+            return
+        if now < op.segment_end:
+            return
+
+        if op.purpose == "demand":
+            self.stats.served_rng_demand += 1
+            if op.request is not None:
+                op.request.complete(now)
+            # Serve further queued RNG requests back-to-back while the
+            # channel is already in RNG mode: batching them avoids paying
+            # the timing-parameter switch penalty per request (Section 1:
+            # "RNG requests are received in bursts and served together").
+            chained = self._chain_demand_rng(now)
+            if not chained:
+                self._exit_rng_mode(now)
+            return
+
+        # Buffer-filling batch completed.
+        self.stats.rng_fill_batches += 1
+        self.stats.rng_fill_bits += op.bits_in_segment
+        if self.fill_policy is not None:
+            self.fill_policy.batch_generated(self, op.bits_in_segment, now)
+        if self.fill_policy is not None and self.fill_policy.should_continue_fill(self, now):
+            bits = self.trng.bits_per_batch(self.organization.banks_per_channel)
+            duration = self.trng.batch_latency_cycles
+            end = self.channel.occupy_for_rng(now, duration, bits)
+            self._rng_op = _RNGOperation("fill", end, bits)
+        else:
+            self._exit_rng_mode(now)
+
+    def _exit_rng_mode(self, now: int) -> None:
+        penalty = self.config.rng_mode_switch_penalty
+        if penalty:
+            self.channel.occupy_for_rng(now, penalty, 0)
+        self.mode = ExecutionMode.REGULAR
+        self._rng_op = None
+        self.stats.mode_switches += 1
+
+    def _enter_rng_mode(self, now: int) -> int:
+        """Pay the entry penalty; return the cycle RNG work can start."""
+        self.mode = ExecutionMode.RNG
+        self.stats.mode_switches += 1
+        penalty = self.config.rng_mode_switch_penalty
+        if penalty:
+            return self.channel.occupy_for_rng(now, penalty, 0)
+        return now
+
+    def _start_demand_rng(self, queue: RequestQueue, request: Request, now: int) -> None:
+        if self.trng is None:
+            raise RuntimeError("controller has no TRNG model but received an RNG request")
+        queue.remove(request)
+        self.scheduler.notify_served(request, now)
+        request.issue_cycle = now
+        start = self._enter_rng_mode(now)
+        duration = self.trng.demand_latency_cycles(
+            request.rng_bits,
+            self.organization.channels,
+            self.organization.banks_per_channel,
+            self.dram.timing.bus_frequency_mhz,
+        )
+        end = self.channel.occupy_for_rng(start, duration, request.rng_bits)
+        self._rng_op = _RNGOperation("demand", end, request.rng_bits, request)
+
+    def _chain_demand_rng(self, now: int) -> bool:
+        """Start the next queued RNG request without leaving RNG mode."""
+        selection = self.queue_policy.select(self, now)
+        if selection is None:
+            return False
+        queue, request = selection
+        if request is None or request.type is not RequestType.RNG:
+            return False
+        queue.remove(request)
+        self.scheduler.notify_served(request, now)
+        request.issue_cycle = now
+        duration = self.trng.demand_latency_cycles(
+            request.rng_bits,
+            self.organization.channels,
+            self.organization.banks_per_channel,
+            self.dram.timing.bus_frequency_mhz,
+        )
+        end = self.channel.occupy_for_rng(now, duration, request.rng_bits)
+        self._rng_op = _RNGOperation("demand", end, request.rng_bits, request)
+        self.stats.rng_chained_demand += 1
+        return True
+
+    def _start_fill(self, now: int) -> None:
+        if self.trng is None:
+            raise RuntimeError("controller has no TRNG model but was asked to fill the buffer")
+        start = self._enter_rng_mode(now)
+        bits = self.trng.bits_per_batch(self.organization.banks_per_channel)
+        duration = self.trng.batch_latency_cycles
+        end = self.channel.occupy_for_rng(start, duration, bits)
+        self._rng_op = _RNGOperation("fill", end, bits)
+        if self.read_queue:
+            self.stats.low_utilization_fills += 1
+
+    # ------------------------------------------------------------------ regular mode
+
+    def _schedule_regular(self, now: int) -> None:
+        if self.channel.bus_free_at - now > self.config.issue_lookahead:
+            return
+
+        if self._should_drain_writes():
+            request = self._select_write(now)
+            if request is not None:
+                self._issue_regular(self.write_queue, request, now)
+            return
+
+        selection = self.queue_policy.select(self, now)
+        if selection is not None:
+            queue, request = selection
+            if request.type is RequestType.RNG:
+                self._start_demand_rng(queue, request, now)
+            else:
+                self._issue_regular(queue, request, now)
+            return
+
+        # Opportunistic write issue when there is nothing else to do.
+        if self.write_queue:
+            request = self._select_write(now)
+            if request is not None:
+                self._issue_regular(self.write_queue, request, now)
+
+    def _should_drain_writes(self) -> bool:
+        if self._write_draining:
+            if len(self.write_queue) <= self.config.write_drain_low:
+                self._write_draining = False
+        elif len(self.write_queue) >= self.config.write_drain_high:
+            self._write_draining = True
+        return self._write_draining
+
+    def _select_write(self, now: int) -> Optional[Request]:
+        # Writes are served oldest-first with a row-hit preference.
+        best = None
+        for request in self.write_queue:
+            decoded = self.decode(request)
+            if self.channel.is_row_hit(decoded.bank_id(self.organization), decoded.row):
+                return request
+            if best is None:
+                best = request
+        return best
+
+    def _issue_regular(self, queue: RequestQueue, request: Request, now: int) -> None:
+        queue.remove(request)
+        request.issue_cycle = now
+        decoded = self.decode(request)
+        finish, _ = self.channel.service_access(
+            decoded.bank_id(self.organization),
+            decoded.row,
+            now,
+            is_write=request.is_write,
+        )
+        self.scheduler.notify_served(request, now)
+        if request.is_write:
+            self.stats.served_writes += 1
+            request.complete(finish)
+        else:
+            self.stats.served_reads += 1
+            completion = finish + self.config.backend_latency
+            heapq.heappush(self._inflight, (completion, next(self._inflight_counter), request))
+
+    # ------------------------------------------------------------------ finalisation
+
+    def flush_idle_period(self) -> None:
+        """Record a trailing idle period at the end of a simulation."""
+        if self.idle_streak > 0:
+            self.stats.idle_periods.append(self.idle_streak)
+            self.idle_streak = 0

@@ -1,0 +1,106 @@
+"""Bounded memory request queues used by the memory controller."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from .request import Request
+
+
+class RequestQueue:
+    """A bounded FIFO of memory requests.
+
+    Requests are kept in arrival order.  Schedulers may remove any entry
+    (out-of-order service), but the queue preserves arrival order for
+    "oldest first" policies.
+    """
+
+    def __init__(self, capacity: int = 32, name: str = "queue") -> None:
+        if capacity <= 0:
+            raise ValueError(f"queue capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self._entries: List[Request] = []
+        # Statistics.
+        self.total_enqueued = 0
+        self.total_dequeued = 0
+        self.rejected = 0
+        self.occupancy_samples = 0
+        self.occupancy_sum = 0
+
+    # -- container protocol -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __contains__(self, request: Request) -> bool:
+        return request in self._entries
+
+    # -- queue operations ---------------------------------------------------------
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    def push(self, request: Request) -> bool:
+        """Append ``request`` if there is space; return ``False`` otherwise."""
+        if self.is_full:
+            self.rejected += 1
+            return False
+        self._entries.append(request)
+        self.total_enqueued += 1
+        return True
+
+    def remove(self, request: Request) -> None:
+        """Remove a specific request (after the scheduler selected it)."""
+        self._entries.remove(request)
+        self.total_dequeued += 1
+
+    def pop_oldest(self) -> Optional[Request]:
+        """Remove and return the oldest request, or ``None`` if empty."""
+        if not self._entries:
+            return None
+        request = self._entries.pop(0)
+        self.total_dequeued += 1
+        return request
+
+    def oldest(self) -> Optional[Request]:
+        """Return (without removing) the oldest request."""
+        return self._entries[0] if self._entries else None
+
+    def requests(self) -> List[Request]:
+        """A snapshot list of queued requests in arrival order."""
+        return list(self._entries)
+
+    def requests_from(self, core_ids: Iterable[int]) -> List[Request]:
+        """Queued requests issued by any of ``core_ids``."""
+        wanted = set(core_ids)
+        return [r for r in self._entries if r.core_id in wanted]
+
+    def has_request_from(self, core_id: int) -> bool:
+        """Whether any queued request belongs to ``core_id``."""
+        return any(r.core_id == core_id for r in self._entries)
+
+    def sample_occupancy(self) -> None:
+        """Record the current occupancy for average-occupancy statistics."""
+        self.occupancy_samples += 1
+        self.occupancy_sum += len(self._entries)
+
+    @property
+    def average_occupancy(self) -> float:
+        if not self.occupancy_samples:
+            return 0.0
+        return self.occupancy_sum / self.occupancy_samples
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"RequestQueue({self.name}, {len(self._entries)}/{self.capacity})"

@@ -1,0 +1,121 @@
+"""Memory request types exchanged between cores and the memory controller."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Optional
+
+from ..dram.address import DecodedAddress
+
+
+class RequestType(Enum):
+    """Kind of memory request."""
+
+    READ = "read"
+    WRITE = "write"
+    RNG = "rng"
+
+
+_request_ids = itertools.count()
+
+
+@dataclass
+class Request:
+    """A single memory request.
+
+    ``READ`` and ``WRITE`` requests carry a physical address.  ``RNG``
+    requests carry the number of random bits this (per-channel) request
+    must produce; the 64-bit application-level random number request is
+    split into one ``RNG`` request per channel by the RNG subsystem.
+    """
+
+    type: RequestType
+    core_id: int
+    address: int = 0
+    rng_bits: int = 0
+    arrival_cycle: int = 0
+    priority: int = 0
+    callback: Optional[Callable[["Request"], None]] = None
+    decoded: Optional[DecodedAddress] = None
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    # Book-keeping filled in by the controller.
+    issue_cycle: Optional[int] = None
+    completion_cycle: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.type is RequestType.RNG and self.rng_bits <= 0:
+            raise ValueError("RNG requests must request a positive number of bits")
+        if self.type is not RequestType.RNG and self.address < 0:
+            raise ValueError("memory requests must have a non-negative address")
+
+    @property
+    def is_rng(self) -> bool:
+        return self.type is RequestType.RNG
+
+    @property
+    def is_read(self) -> bool:
+        return self.type is RequestType.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.type is RequestType.WRITE
+
+    @property
+    def latency(self) -> Optional[int]:
+        """Queueing + service latency, available once the request completed."""
+        if self.completion_cycle is None:
+            return None
+        return self.completion_cycle - self.arrival_cycle
+
+    def complete(self, cycle: int) -> None:
+        """Mark the request as completed at ``cycle`` and fire its callback."""
+        self.completion_cycle = cycle
+        if self.callback is not None:
+            self.callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        if self.is_rng:
+            payload = f"bits={self.rng_bits}"
+        else:
+            payload = f"addr={self.address:#x}"
+        return (
+            f"Request(id={self.request_id}, {self.type.value}, core={self.core_id}, "
+            f"{payload}, t={self.arrival_cycle})"
+        )
+
+
+def make_read(address: int, core_id: int, cycle: int, callback=None, priority: int = 0) -> Request:
+    """Convenience constructor for a read request."""
+    return Request(
+        type=RequestType.READ,
+        core_id=core_id,
+        address=address,
+        arrival_cycle=cycle,
+        callback=callback,
+        priority=priority,
+    )
+
+
+def make_write(address: int, core_id: int, cycle: int, priority: int = 0) -> Request:
+    """Convenience constructor for a write request."""
+    return Request(
+        type=RequestType.WRITE,
+        core_id=core_id,
+        address=address,
+        arrival_cycle=cycle,
+        priority=priority,
+    )
+
+
+def make_rng(bits: int, core_id: int, cycle: int, callback=None, priority: int = 0) -> Request:
+    """Convenience constructor for a per-channel RNG request."""
+    return Request(
+        type=RequestType.RNG,
+        core_id=core_id,
+        rng_bits=bits,
+        arrival_cycle=cycle,
+        callback=callback,
+        priority=priority,
+    )

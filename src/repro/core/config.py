@@ -1,0 +1,69 @@
+"""Configuration of the DR-STRaNGe mechanism (Section 5 / Table 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DRStrangeConfig:
+    """Design knobs of DR-STRaNGe.
+
+    The defaults match the paper's Table 1 configuration: a 16-entry
+    random number buffer, a 256-entry predictor table per channel with a
+    period threshold of 40 cycles and a low-utilisation threshold of 4
+    queued requests, and a 100-cycle starvation-prevention stall limit.
+    """
+
+    #: Random number buffer size in 64-bit entries (0 disables the buffer).
+    buffer_entries: int = 16
+    #: Width of one buffer entry in bits.
+    bits_per_entry: int = 64
+    #: Latency (bus cycles) of serving a random number from the buffer.
+    buffer_serve_latency: int = 2
+    #: Idleness predictor: ``"none"``, ``"simple"`` or ``"rl"``.
+    predictor: str = "simple"
+    #: Idle periods at least this long (cycles) are considered *long*.
+    period_threshold: int = 40
+    #: Read-queue occupancy below which a channel counts as lowly
+    #: utilised (0 disables low-utilisation filling).
+    low_utilization_threshold: int = 4
+    #: Entries in the simple predictor's per-channel saturating counter table.
+    predictor_table_entries: int = 256
+    #: Learning rate of the Q-learning idleness predictor.
+    rl_learning_rate: float = 0.05
+    #: Bits of idle-period history mixed into the RL predictor's state.
+    rl_history_bits: int = 10
+    #: Starvation-prevention stall limit of the RNG-aware scheduler (cycles).
+    stall_limit: int = 100
+
+    def __post_init__(self) -> None:
+        if self.buffer_entries < 0:
+            raise ValueError("buffer_entries must be non-negative")
+        if self.bits_per_entry <= 0:
+            raise ValueError("bits_per_entry must be positive")
+        if self.buffer_serve_latency < 0:
+            raise ValueError("buffer_serve_latency must be non-negative")
+        if self.predictor not in ("none", "simple", "rl"):
+            raise ValueError("predictor must be 'none', 'simple' or 'rl'")
+        if self.period_threshold <= 0:
+            raise ValueError("period_threshold must be positive")
+        if self.low_utilization_threshold < 0:
+            raise ValueError("low_utilization_threshold must be non-negative")
+        if self.predictor_table_entries <= 0:
+            raise ValueError("predictor_table_entries must be positive")
+        if not 0.0 < self.rl_learning_rate <= 1.0:
+            raise ValueError("rl_learning_rate must be in (0, 1]")
+        if self.rl_history_bits <= 0:
+            raise ValueError("rl_history_bits must be positive")
+        if self.stall_limit <= 0:
+            raise ValueError("stall_limit must be positive")
+
+    @property
+    def buffer_capacity_bits(self) -> int:
+        """Total capacity of the random number buffer in bits."""
+        return self.buffer_entries * self.bits_per_entry
+
+    @property
+    def has_buffer(self) -> bool:
+        return self.buffer_entries > 0

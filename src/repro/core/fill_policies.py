@@ -1,0 +1,168 @@
+"""Buffer-filling policies (Section 5.1).
+
+A *fill policy* decides when a channel controller should generate random
+numbers for the random number buffer:
+
+* :class:`DRStrangeFillPolicy` — DR-STRaNGe's policy: during idle periods
+  the DRAM idleness predictor decides whether the period is long enough
+  to generate a batch; with the low-utilisation extension, periods where
+  the read queue holds fewer than ``low_utilization_threshold`` requests
+  are also used.  Without a predictor it degenerates to the *simple
+  buffering mechanism* of Section 5.1.1 (fill on every idle cycle).
+* :class:`GreedyIdleFillPolicy` — the Greedy Idle comparison point of
+  Section 7: whenever an idle period reaches the period threshold, eight
+  random bits appear in the buffer at **zero cost** (no RNG mode, no
+  interference).  It is an idealised upper bound for idle-period-only
+  buffering.
+* :class:`NoFillPolicy` — never fills (used for the buffer-size "No
+  Buffer" ablation point and for scheduler-only studies).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, TYPE_CHECKING
+
+from .idleness_predictor import IdlenessPredictor
+from .rng_buffer import RandomNumberBuffer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..controller.memory_controller import ChannelController
+
+
+class NoFillPolicy:
+    """A fill policy that never generates random numbers ahead of demand."""
+
+    name = "none"
+
+    def on_idle_cycle(self, controller: "ChannelController", now: int) -> None:
+        return None
+
+    def should_start_fill(self, controller: "ChannelController", now: int) -> bool:
+        return False
+
+    def batch_generated(self, controller: "ChannelController", bits: int, now: int) -> None:
+        return None
+
+    def should_continue_fill(self, controller: "ChannelController", now: int) -> bool:
+        return False
+
+
+class DRStrangeFillPolicy:
+    """DR-STRaNGe's predictor-guided buffer-filling policy."""
+
+    name = "dr-strange"
+
+    def __init__(
+        self,
+        buffer: RandomNumberBuffer,
+        predictors: Optional[Dict[int, IdlenessPredictor]] = None,
+        low_utilization_threshold: int = 4,
+    ) -> None:
+        if low_utilization_threshold < 0:
+            raise ValueError("low_utilization_threshold must be non-negative")
+        self.buffer = buffer
+        self.predictors = predictors or {}
+        self.low_utilization_threshold = low_utilization_threshold
+        # Statistics.
+        self.idle_fill_starts = 0
+        self.low_utilization_fill_starts = 0
+
+    def predictor_for(self, controller: "ChannelController") -> Optional[IdlenessPredictor]:
+        return self.predictors.get(controller.channel_id)
+
+    # -- hooks used by the channel controller --------------------------------------
+
+    def on_idle_cycle(self, controller: "ChannelController", now: int) -> None:
+        return None
+
+    def should_start_fill(self, controller: "ChannelController", now: int) -> bool:
+        if self.buffer.capacity_bits == 0 or self.buffer.is_full:
+            return False
+
+        predictor = self.predictor_for(controller)
+
+        if controller.is_idle(now):
+            if predictor is None:
+                # Simple buffering mechanism: use every idle cycle.
+                self.idle_fill_starts += 1
+                return True
+            if predictor.predict_and_record(controller.last_accessed_address):
+                self.idle_fill_starts += 1
+                return True
+            return False
+
+        # Low-utilisation extension: a channel whose read queue holds fewer
+        # than the threshold is also used, guided by the same predictor.
+        if (
+            predictor is not None
+            and self.low_utilization_threshold > 0
+            and 0 < controller.read_queue_occupancy() < self.low_utilization_threshold
+            and controller.channel.is_bus_free(now)
+        ):
+            if predictor.predict(controller.last_accessed_address):
+                self.low_utilization_fill_starts += 1
+                return True
+        return False
+
+    def batch_generated(self, controller: "ChannelController", bits: int, now: int) -> None:
+        self.buffer.add_bits(bits)
+
+    def should_continue_fill(self, controller: "ChannelController", now: int) -> bool:
+        if self.buffer.is_full:
+            return False
+        # Generation stops as soon as a new regular request arrives at the
+        # channel (Section 5.1); RNG demand requests waiting in the RNG
+        # queue also terminate filling so they can be served.
+        if controller.read_queue or controller.write_queue:
+            return False
+        if controller.rng_queue is not None and len(controller.rng_queue) > 0:
+            return False
+        return True
+
+
+class GreedyIdleFillPolicy:
+    """The idealised Greedy Idle buffer-filling design (Section 7).
+
+    Whenever a channel has been idle for ``period_threshold`` consecutive
+    cycles, a batch of random bits is added to the buffer at no cost: the
+    channel is never put into RNG mode, so filling causes no interference
+    at all.  This is the zero-overhead comparison point the paper uses to
+    upper-bound what idle-period-only buffering could achieve.
+    """
+
+    name = "greedy-idle"
+
+    def __init__(
+        self,
+        buffer: RandomNumberBuffer,
+        period_threshold: int = 40,
+        bits_per_batch: int = 8,
+    ) -> None:
+        if period_threshold <= 0:
+            raise ValueError("period_threshold must be positive")
+        if bits_per_batch <= 0:
+            raise ValueError("bits_per_batch must be positive")
+        self.buffer = buffer
+        self.period_threshold = period_threshold
+        self.bits_per_batch = bits_per_batch
+        self.free_batches = 0
+
+    def on_idle_cycle(self, controller: "ChannelController", now: int) -> None:
+        if self.buffer.is_full:
+            return
+        # One free batch per idle period, granted the moment the period
+        # reaches the threshold ("If an idle period reaches the Period
+        # Threshold, we assume we fill the buffer with 8 random bits
+        # without any overhead", Section 7).
+        if controller.idle_streak == self.period_threshold:
+            self.buffer.add_bits(self.bits_per_batch)
+            self.free_batches += 1
+
+    def should_start_fill(self, controller: "ChannelController", now: int) -> bool:
+        return False
+
+    def batch_generated(self, controller: "ChannelController", bits: int, now: int) -> None:
+        self.buffer.add_bits(bits)
+
+    def should_continue_fill(self, controller: "ChannelController", now: int) -> bool:
+        return False

@@ -1,0 +1,171 @@
+"""DRAM idleness predictors (Section 5.1.2).
+
+The buffering mechanism must decide, at the start of an idle (or lowly
+utilised) DRAM period, whether the period will be long enough to generate
+a batch of random bits without delaying regular requests.  Two predictors
+are provided:
+
+* :class:`SimpleIdlenessPredictor` — the paper's lightweight design: a
+  per-channel table of 2-bit saturating counters indexed by a hash of the
+  last accessed memory address.  An idle period is predicted *long* when
+  the counter is 2 or larger; the counter is incremented when the
+  observed period was at least ``period_threshold`` cycles and
+  decremented otherwise.
+* :class:`QLearningIdlenessPredictor` (in :mod:`repro.core.rl_predictor`)
+  — the reinforcement-learning alternative evaluated in Section 8.6.
+
+Both share the :class:`IdlenessPredictor` interface and the accuracy
+accounting used for Figure 14: a prediction made at the start of an idle
+period is scored against the period's observed length when it ends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class PredictorStats:
+    """Prediction-quality counters (Figure 14)."""
+
+    true_positives: int = 0   # predicted long, was long
+    false_positives: int = 0  # predicted long, was short
+    true_negatives: int = 0   # predicted short, was short
+    false_negatives: int = 0  # predicted short, was long
+
+    @property
+    def predictions(self) -> int:
+        return (
+            self.true_positives
+            + self.false_positives
+            + self.true_negatives
+            + self.false_negatives
+        )
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of idle periods whose length class was predicted correctly."""
+        total = self.predictions
+        if not total:
+            return 0.0
+        return (self.true_positives + self.true_negatives) / total
+
+    @property
+    def false_positive_rate(self) -> float:
+        denominator = self.false_positives + self.true_negatives
+        return self.false_positives / denominator if denominator else 0.0
+
+    @property
+    def false_negative_rate(self) -> float:
+        denominator = self.false_negatives + self.true_positives
+        return self.false_negatives / denominator if denominator else 0.0
+
+
+class IdlenessPredictor:
+    """Interface shared by the DRAM idleness predictors."""
+
+    name = "abstract"
+
+    def __init__(self, period_threshold: int = 40) -> None:
+        if period_threshold <= 0:
+            raise ValueError("period_threshold must be positive")
+        self.period_threshold = period_threshold
+        self.stats = PredictorStats()
+        self._pending_prediction: Optional[bool] = None
+
+    # -- prediction ---------------------------------------------------------------
+
+    def predict(self, last_address: int) -> bool:
+        """Predict whether the idle period starting now will be long."""
+        raise NotImplementedError
+
+    def predict_and_record(self, last_address: int) -> bool:
+        """Predict and remember the prediction for accuracy scoring."""
+        prediction = self.predict(last_address)
+        if self._pending_prediction is None:
+            self._pending_prediction = prediction
+        return prediction
+
+    # -- training -----------------------------------------------------------------
+
+    def observe_idle_period(self, length: int, last_address: int) -> None:
+        """Train on a finished idle period of ``length`` cycles."""
+        was_long = length >= self.period_threshold
+        self._score(was_long)
+        self._update(was_long, last_address)
+
+    def _score(self, was_long: bool) -> None:
+        prediction = self._pending_prediction
+        self._pending_prediction = None
+        if prediction is None:
+            return
+        if prediction and was_long:
+            self.stats.true_positives += 1
+        elif prediction and not was_long:
+            self.stats.false_positives += 1
+        elif not prediction and not was_long:
+            self.stats.true_negatives += 1
+        else:
+            self.stats.false_negatives += 1
+
+    def _update(self, was_long: bool, last_address: int) -> None:
+        raise NotImplementedError
+
+    @property
+    def accuracy(self) -> float:
+        return self.stats.accuracy
+
+
+class SimpleIdlenessPredictor(IdlenessPredictor):
+    """The paper's lightweight last-address-indexed idleness predictor.
+
+    Per channel it keeps a ``table_entries``-entry table of 2-bit
+    saturating counters.  The table is indexed with a hash of the last
+    accessed memory address (block granularity).  A counter value of 2 or
+    3 predicts a *long* idle period; the counter saturates at 0 and 3.
+    """
+
+    name = "simple"
+
+    #: 2-bit saturating counter bounds and the "predict long" threshold.
+    COUNTER_MAX = 3
+    PREDICT_LONG_THRESHOLD = 2
+
+    def __init__(
+        self,
+        period_threshold: int = 40,
+        table_entries: int = 256,
+        block_size: int = 64,
+        initial_counter: int = 2,
+    ) -> None:
+        super().__init__(period_threshold)
+        if table_entries <= 0:
+            raise ValueError("table_entries must be positive")
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        if not 0 <= initial_counter <= self.COUNTER_MAX:
+            raise ValueError("initial_counter must be a valid 2-bit counter value")
+        self.table_entries = table_entries
+        self.block_size = block_size
+        self.table = [initial_counter] * table_entries
+
+    def _index(self, address: int) -> int:
+        return (address // self.block_size) % self.table_entries
+
+    def predict(self, last_address: int) -> bool:
+        return self.table[self._index(last_address)] >= self.PREDICT_LONG_THRESHOLD
+
+    def _update(self, was_long: bool, last_address: int) -> None:
+        index = self._index(last_address)
+        counter = self.table[index]
+        if was_long:
+            counter = min(self.COUNTER_MAX, counter + 1)
+        else:
+            counter = max(0, counter - 1)
+        self.table[index] = counter
+
+    @property
+    def storage_bits(self) -> int:
+        """Storage cost of the predictor table (2 bits per entry)."""
+        return 2 * self.table_entries

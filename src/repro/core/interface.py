@@ -1,0 +1,143 @@
+"""The application interface to DR-STRaNGe (Section 5.3).
+
+The paper exposes the DRAM-based TRNG to applications through the
+operating system's existing random number interface (Linux's
+``getrandom()`` system call), backed by the random number buffer and the
+RNG-aware scheduler.  This module provides the analogous library-level
+API for users of this reproduction:
+
+* :class:`TRNGInterface.getrandom` returns cryptographically-styled random
+  bytes (the simulated entropy source post-processed so the bit stream
+  passes the statistical tests in :mod:`repro.trng.quality`),
+* :class:`TRNGInterface.random_int` / :class:`TRNGInterface.random_bits`
+  return integers or raw bit arrays,
+* each call records the latency an application running on the simulated
+  system would observe: the buffer-serve latency when the random number
+  buffer holds enough bits, the full demand-generation latency otherwise.
+
+The interface enforces the security properties of Section 6: served bits
+are removed from the buffer and never handed out twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..trng.base import DRAMTRNGModel
+from .rng_buffer import RandomNumberBuffer
+
+
+@dataclass
+class InterfaceCall:
+    """Record of one ``getrandom``-style call."""
+
+    bits: int
+    served_from_buffer: bool
+    latency_cycles: int
+
+
+@dataclass
+class InterfaceStats:
+    """Aggregate statistics of the application interface."""
+
+    calls: int = 0
+    bits_delivered: int = 0
+    buffer_serves: int = 0
+    latency_sum: int = 0
+    history: List[InterfaceCall] = field(default_factory=list)
+
+    @property
+    def average_latency_cycles(self) -> float:
+        return self.latency_sum / self.calls if self.calls else 0.0
+
+    @property
+    def buffer_serve_rate(self) -> float:
+        return self.buffer_serves / self.calls if self.calls else 0.0
+
+
+class TRNGInterface:
+    """Library-level interface to a DRAM-based TRNG with buffering."""
+
+    def __init__(
+        self,
+        trng: DRAMTRNGModel,
+        buffer: Optional[RandomNumberBuffer] = None,
+        buffer_serve_latency: int = 2,
+        num_channels: int = 4,
+        banks_per_channel: int = 8,
+        keep_history: bool = False,
+    ) -> None:
+        if buffer_serve_latency < 0:
+            raise ValueError("buffer_serve_latency must be non-negative")
+        if num_channels <= 0 or banks_per_channel <= 0:
+            raise ValueError("num_channels and banks_per_channel must be positive")
+        self.trng = trng
+        self.buffer = buffer if buffer is not None else RandomNumberBuffer(entries=16)
+        self.buffer_serve_latency = buffer_serve_latency
+        self.num_channels = num_channels
+        self.banks_per_channel = banks_per_channel
+        self.keep_history = keep_history
+        self.stats = InterfaceStats()
+
+    # -- buffer management ----------------------------------------------------------
+
+    def prefill_buffer(self, bits: Optional[int] = None) -> int:
+        """Fill the buffer (fully, or with ``bits`` bits) ahead of demand.
+
+        In the full system simulation this happens opportunistically
+        during idle DRAM periods; stand-alone users of the interface call
+        this explicitly (e.g. at application start-up).
+        """
+        target = self.buffer.free_bits if bits is None else min(bits, self.buffer.free_bits)
+        return self.buffer.add_bits(target)
+
+    # -- random number access ---------------------------------------------------------
+
+    def random_bits(self, count: int) -> np.ndarray:
+        """Return ``count`` random bits as a numpy array of 0/1 values."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        served_from_buffer = self.buffer.take(count)
+        if served_from_buffer:
+            latency = self.buffer_serve_latency
+        else:
+            latency = self.trng.demand_latency_cycles(
+                count, self.num_channels, self.banks_per_channel
+            )
+        bits = self.trng.generate_bits(count)
+        self._record(count, served_from_buffer, latency)
+        return bits
+
+    def random_int(self, bits: int = 64) -> int:
+        """Return a random unsigned integer of ``bits`` bits."""
+        bit_array = self.random_bits(bits)
+        value = 0
+        for bit in bit_array:
+            value = (value << 1) | int(bit)
+        return value
+
+    def getrandom(self, num_bytes: int) -> bytes:
+        """``getrandom()``-style call: return ``num_bytes`` random bytes."""
+        if num_bytes <= 0:
+            raise ValueError("num_bytes must be positive")
+        bits = self.random_bits(num_bytes * 8)
+        return np.packbits(bits).tobytes()
+
+    def random_uniform(self) -> float:
+        """Return a uniform float in [0, 1) built from 53 random bits."""
+        return self.random_int(53) / float(1 << 53)
+
+    # -- bookkeeping ------------------------------------------------------------------
+
+    def _record(self, bits: int, served_from_buffer: bool, latency: int) -> None:
+        stats = self.stats
+        stats.calls += 1
+        stats.bits_delivered += bits
+        stats.latency_sum += latency
+        if served_from_buffer:
+            stats.buffer_serves += 1
+        if self.keep_history:
+            stats.history.append(InterfaceCall(bits, served_from_buffer, latency))

@@ -1,0 +1,114 @@
+"""Reinforcement-learning DRAM idleness predictor (Section 5.1.2).
+
+The prediction problem is cast as a contextual bandit solved with tabular
+Q-learning: at the start of an idle period the agent observes a state and
+chooses between two actions, *generate* (start filling the random number
+buffer) and *wait*.  When the idle period ends its true length becomes
+known and the agent receives a reward: positive for correct decisions
+(generate in a long period, wait in a short one), negative for
+mispredictions (false positives cause interference, false negatives waste
+RNG opportunities).
+
+Following the paper, the state is the last accessed address's least
+significant bits XOR'ed with a history register of the last ``history_bits``
+idle periods (1 = long, 0 = short), the learning rate defaults to 0.05,
+and — because the next state depends on unknown future memory accesses —
+the update omits the next-state term:
+``Q(s, a) = (1 - alpha) * Q(s, a) + alpha * r``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .idleness_predictor import IdlenessPredictor
+
+
+class QLearningIdlenessPredictor(IdlenessPredictor):
+    """Tabular Q-learning idleness predictor."""
+
+    name = "rl"
+
+    ACTION_WAIT = 0
+    ACTION_GENERATE = 1
+
+    def __init__(
+        self,
+        period_threshold: int = 40,
+        learning_rate: float = 0.05,
+        history_bits: int = 10,
+        block_size: int = 64,
+        reward_true_positive: float = 1.0,
+        reward_true_negative: float = 1.0,
+        penalty_false_positive: float = -1.0,
+        penalty_false_negative: float = -0.5,
+        optimistic_initialization: float = 0.0,
+    ) -> None:
+        super().__init__(period_threshold)
+        if not 0.0 < learning_rate <= 1.0:
+            raise ValueError("learning_rate must be in (0, 1]")
+        if history_bits <= 0 or history_bits > 20:
+            raise ValueError("history_bits must be in [1, 20]")
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        self.learning_rate = learning_rate
+        self.history_bits = history_bits
+        self.block_size = block_size
+        self.reward_true_positive = reward_true_positive
+        self.reward_true_negative = reward_true_negative
+        self.penalty_false_positive = penalty_false_positive
+        self.penalty_false_negative = penalty_false_negative
+
+        self.num_states = 1 << history_bits
+        self.q_table = np.full((self.num_states, 2), optimistic_initialization, dtype=np.float64)
+        # Bias the generate action slightly so the agent explores RNG
+        # opportunities before it has seen rewards.
+        self.q_table[:, self.ACTION_GENERATE] += 1e-6
+        self.history = 0
+        self._last_state: int | None = None
+        self._last_action: int | None = None
+
+    # -- state encoding -----------------------------------------------------------
+
+    def _state(self, last_address: int) -> int:
+        address_bits = (last_address // self.block_size) & (self.num_states - 1)
+        return (address_bits ^ self.history) & (self.num_states - 1)
+
+    # -- prediction ---------------------------------------------------------------
+
+    def predict(self, last_address: int) -> bool:
+        state = self._state(last_address)
+        action = int(np.argmax(self.q_table[state]))
+        self._last_state = state
+        self._last_action = action
+        return action == self.ACTION_GENERATE
+
+    # -- training -----------------------------------------------------------------
+
+    def _update(self, was_long: bool, last_address: int) -> None:
+        state = self._last_state
+        action = self._last_action
+        if state is None or action is None:
+            # The idle period ended without the agent being consulted
+            # (e.g. the buffer was already full); only update the history.
+            state = self._state(last_address)
+            action = int(np.argmax(self.q_table[state]))
+        reward = self._reward(action, was_long)
+        alpha = self.learning_rate
+        self.q_table[state, action] = (1 - alpha) * self.q_table[state, action] + alpha * reward
+
+        self.history = ((self.history << 1) | (1 if was_long else 0)) & (self.num_states - 1)
+        self._last_state = None
+        self._last_action = None
+
+    def _reward(self, action: int, was_long: bool) -> float:
+        if action == self.ACTION_GENERATE:
+            return self.reward_true_positive if was_long else self.penalty_false_positive
+        return self.penalty_false_negative if was_long else self.reward_true_negative
+
+    # -- cost model ---------------------------------------------------------------
+
+    @property
+    def storage_bits(self) -> int:
+        """Storage cost: 4-byte Q-values for every (state, action) pair."""
+        return self.num_states * 2 * 32

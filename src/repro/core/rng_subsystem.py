@@ -1,0 +1,171 @@
+"""Application-level RNG request handling.
+
+The :class:`RNGSubsystem` sits between the cores and the per-channel
+memory controllers.  When an application requests a random number it
+
+1. marks the application as an RNG application (Section 5.2.1),
+2. tries to serve the request from the random number buffer with a small
+   fixed latency (Section 5.1), and otherwise
+3. splits the request into one per-channel RNG request — the memory
+   controller uses all channels in parallel to minimise RNG latency
+   (Section 3) — enqueues them (into the dedicated RNG queues for
+   RNG-aware designs, or into the regular read queues for the
+   RNG-oblivious baseline), and completes the application request when
+   every per-channel share has been generated.
+
+The subsystem also owns the delayed-completion machinery for buffer
+serves and retries enqueues that bounce off full queues.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..controller.memory_controller import ChannelController
+from ..controller.request import Request, RequestType
+from .rng_buffer import RandomNumberBuffer
+from .rng_scheduler import ApplicationRegistry
+
+
+@dataclass
+class RNGSubsystemStats:
+    """Counters of application-level RNG request handling."""
+
+    requests: int = 0
+    buffer_serves: int = 0
+    demand_generations: int = 0
+    bits_requested: int = 0
+    latency_sum: int = 0
+
+    @property
+    def buffer_serve_rate(self) -> float:
+        return self.buffer_serves / self.requests if self.requests else 0.0
+
+    @property
+    def average_latency(self) -> float:
+        return self.latency_sum / self.requests if self.requests else 0.0
+
+
+class _PendingGeneration:
+    """Book-keeping for one in-flight demand generation."""
+
+    __slots__ = ("core_id", "callback", "outstanding", "start_cycle")
+
+    def __init__(self, core_id: int, callback: Callable[[int], None], outstanding: int, start_cycle: int):
+        self.core_id = core_id
+        self.callback = callback
+        self.outstanding = outstanding
+        self.start_cycle = start_cycle
+
+
+class RNGSubsystem:
+    """Routes application random number requests to the memory system."""
+
+    def __init__(
+        self,
+        controllers: Sequence[ChannelController],
+        registry: ApplicationRegistry,
+        buffer: Optional[RandomNumberBuffer] = None,
+        buffer_serve_latency: int = 2,
+    ) -> None:
+        if not controllers:
+            raise ValueError("the RNG subsystem needs at least one channel controller")
+        if buffer_serve_latency < 0:
+            raise ValueError("buffer_serve_latency must be non-negative")
+        self.controllers = list(controllers)
+        self.registry = registry
+        self.buffer = buffer
+        self.buffer_serve_latency = buffer_serve_latency
+        self.stats = RNGSubsystemStats()
+
+        self.now = 0
+        self._deferred: List[tuple[int, int, Callable[[int], None]]] = []
+        self._deferred_counter = itertools.count()
+        self._retry_queue: List[tuple[ChannelController, Request]] = []
+
+    # -- time ----------------------------------------------------------------------
+
+    def tick(self, now: int) -> None:
+        """Advance the subsystem: fire deferred completions, retry enqueues."""
+        self.now = now
+        while self._deferred and self._deferred[0][0] <= now:
+            cycle, _, callback = heapq.heappop(self._deferred)
+            callback(cycle)
+        if self._retry_queue:
+            remaining: List[tuple[ChannelController, Request]] = []
+            for controller, request in self._retry_queue:
+                if not controller.enqueue(request):
+                    remaining.append((controller, request))
+            self._retry_queue = remaining
+
+    def _defer(self, cycle: int, callback: Callable[[int], None]) -> None:
+        heapq.heappush(self._deferred, (cycle, next(self._deferred_counter), callback))
+
+    # -- application interface -------------------------------------------------------
+
+    def request_random(self, bits: int, core_id: int, callback: Callable[[int], None]) -> None:
+        """Handle an application's request for ``bits`` random bits.
+
+        ``callback(completion_cycle)`` is invoked when the bits are ready.
+        """
+        if bits <= 0:
+            raise ValueError("bits must be positive")
+        self.registry.mark_rng_application(core_id)
+        self.stats.requests += 1
+        self.stats.bits_requested += bits
+        start_cycle = self.now
+
+        if self.buffer is not None and self.buffer.take(bits):
+            self.stats.buffer_serves += 1
+            completion = start_cycle + self.buffer_serve_latency
+
+            def _complete(cycle: int, _callback=callback, _start=start_cycle) -> None:
+                self.stats.latency_sum += cycle - _start
+                _callback(cycle)
+
+            self._defer(completion, _complete)
+            return
+
+        self.stats.demand_generations += 1
+        self._generate_on_demand(bits, core_id, callback, start_cycle)
+
+    # -- demand generation -------------------------------------------------------------
+
+    def _generate_on_demand(
+        self, bits: int, core_id: int, callback: Callable[[int], None], start_cycle: int
+    ) -> None:
+        num_channels = len(self.controllers)
+        share = max(1, math.ceil(bits / num_channels))
+        pending = _PendingGeneration(core_id, callback, num_channels, start_cycle)
+
+        for controller in self.controllers:
+            request = Request(
+                type=RequestType.RNG,
+                core_id=core_id,
+                rng_bits=share,
+                arrival_cycle=self.now,
+                priority=self.registry.priority(core_id),
+                callback=self._make_share_callback(pending),
+            )
+            if not controller.enqueue(request):
+                self._retry_queue.append((controller, request))
+
+    def _make_share_callback(self, pending: _PendingGeneration) -> Callable[[Request], None]:
+        def _on_share_complete(request: Request) -> None:
+            pending.outstanding -= 1
+            if pending.outstanding == 0:
+                completion = request.completion_cycle if request.completion_cycle is not None else self.now
+                self.stats.latency_sum += completion - pending.start_cycle
+                pending.callback(completion)
+
+        return _on_share_complete
+
+    # -- convenience -----------------------------------------------------------------
+
+    @property
+    def buffer_serve_rate(self) -> float:
+        return self.stats.buffer_serve_rate

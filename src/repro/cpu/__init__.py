@@ -1,0 +1,15 @@
+"""Trace-driven CPU model: traces, cores and the multi-core processor."""
+
+from .core import Core, CoreConfig, CoreStats
+from .processor import Processor
+from .trace import Trace, TraceEntry, merge_traces
+
+__all__ = [
+    "Core",
+    "CoreConfig",
+    "CoreStats",
+    "Processor",
+    "Trace",
+    "TraceEntry",
+    "merge_traces",
+]

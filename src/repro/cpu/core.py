@@ -1,0 +1,283 @@
+"""Trace-driven core model.
+
+Each core replays an instruction trace through a reorder-buffer-like
+instruction window (128 entries, Table 1).  The simulator ticks at DRAM
+bus-cycle granularity; a core running at 4 GHz with a 3-wide issue width
+may therefore issue and retire up to ``issue_width x clock_ratio``
+instructions per bus cycle.
+
+* Non-memory instructions ("bubbles") complete immediately but still
+  consume issue slots and window entries.
+* LLC-missing reads occupy a window entry until the memory controller
+  returns their data; the window fills up and stalls the core when memory
+  is slow (memory-level parallelism is bounded by the window size).
+* Writebacks are sent fire-and-forget but exert back-pressure when the
+  write queue is full.
+* RNG requests occupy a window entry until the random number is
+  delivered, exactly like memory reads.  Because retirement is in order,
+  a burst of RNG requests followed by dependent computation stalls the
+  instruction window until the random numbers arrive (Section 1: random
+  number generation "can stall the processor's instruction window if
+  later instructions depend on the generated random number").
+
+The core records the cycle at which it retires its target instruction
+count (``finish_cycle``) and freezes its statistics there; it keeps
+executing (wrapping its trace) afterwards so that co-running applications
+continue to observe realistic interference, as in the multi-programmed
+methodology of Section 7.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Optional
+
+from .trace import Trace, TraceEntry
+
+
+@dataclass
+class CoreConfig:
+    """Microarchitectural parameters of a core."""
+
+    issue_width: int = 3
+    window_size: int = 128
+    clock_ratio: int = 5  # CPU cycles per DRAM bus cycle (4 GHz / 800 MHz).
+
+    def __post_init__(self) -> None:
+        if self.issue_width <= 0:
+            raise ValueError("issue_width must be positive")
+        if self.window_size <= 0:
+            raise ValueError("window_size must be positive")
+        if self.clock_ratio <= 0:
+            raise ValueError("clock_ratio must be positive")
+
+    @property
+    def slots_per_bus_cycle(self) -> int:
+        """Maximum instructions issued (and retired) per bus cycle."""
+        return self.issue_width * self.clock_ratio
+
+
+@dataclass
+class CoreStats:
+    """Statistics of one core, frozen when the core finishes."""
+
+    instructions: int = 0
+    cycles: int = 0
+    memory_stall_cycles: int = 0
+    rng_stall_cycles: int = 0
+    reads_issued: int = 0
+    writes_issued: int = 0
+    rng_requests: int = 0
+    read_latency_sum: int = 0
+    rng_latency_sum: int = 0
+
+    @property
+    def mcpi(self) -> float:
+        """Memory stall cycles (bus cycles) per instruction."""
+        if not self.instructions:
+            return 0.0
+        return self.memory_stall_cycles / self.instructions
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per CPU cycle (using the configured clock ratio)."""
+        return 0.0 if not self.cycles else self.instructions / self.cycles
+
+    @property
+    def average_read_latency(self) -> float:
+        if not self.reads_issued:
+            return 0.0
+        return self.read_latency_sum / self.reads_issued
+
+    @property
+    def average_rng_latency(self) -> float:
+        if not self.rng_requests:
+            return 0.0
+        return self.rng_latency_sum / self.rng_requests
+
+    def copy(self) -> "CoreStats":
+        return CoreStats(**self.__dict__)
+
+
+class _WindowSlot:
+    """One instruction-window entry."""
+
+    __slots__ = ("done", "is_rng")
+
+    def __init__(self, done: bool, is_rng: bool = False) -> None:
+        self.done = done
+        self.is_rng = is_rng
+
+
+class Core:
+    """A single trace-driven core."""
+
+    def __init__(
+        self,
+        core_id: int,
+        trace: Trace,
+        send_read: Callable[[int, int, Callable], bool],
+        send_write: Callable[[int, int], bool],
+        send_rng: Callable[[int, int, Callable], None],
+        config: Optional[CoreConfig] = None,
+        target_instructions: Optional[int] = None,
+        priority: int = 0,
+    ) -> None:
+        self.core_id = core_id
+        self.trace = trace
+        self.config = config or CoreConfig()
+        self.priority = priority
+        self._send_read = send_read
+        self._send_write = send_write
+        self._send_rng = send_rng
+
+        if target_instructions is not None and target_instructions <= 0:
+            raise ValueError("target_instructions must be positive")
+        self.target_instructions = (
+            target_instructions if target_instructions is not None else trace.total_instructions
+        )
+
+        # Dynamic execution state.
+        self._window: Deque[_WindowSlot] = deque()
+        self._entry_index = 0
+        self._bubbles_left = 0
+        self._pending_read: Optional[TraceEntry] = None
+        self._pending_write: Optional[int] = None
+        self._pending_rng: Optional[TraceEntry] = None
+        self._load_entry(self.trace.entries[0])
+
+        # Statistics.
+        self.stats = CoreStats()
+        self.finish_cycle: Optional[int] = None
+        self.finished_stats: Optional[CoreStats] = None
+        self.is_rng_application = trace.rng_requests > 0
+
+    # ------------------------------------------------------------------ helpers
+
+    def _load_entry(self, entry: TraceEntry) -> None:
+        self._bubbles_left = entry.bubbles
+        self._pending_read = entry if entry.has_memory_read else None
+        self._pending_write = entry.write_address
+        self._pending_rng = entry if entry.has_rng_request else None
+
+    def _advance_entry(self) -> None:
+        self._entry_index += 1
+        if self._entry_index >= len(self.trace.entries):
+            self._entry_index = 0  # Wrap to keep generating interference.
+        self._load_entry(self.trace.entries[self._entry_index])
+
+    def _entry_exhausted(self) -> bool:
+        return (
+            self._bubbles_left == 0
+            and self._pending_read is None
+            and self._pending_write is None
+            and self._pending_rng is None
+        )
+
+    @property
+    def finished(self) -> bool:
+        """Whether the core has retired its target instruction count."""
+        return self.finish_cycle is not None
+
+    @property
+    def outstanding_window_entries(self) -> int:
+        return len(self._window)
+
+    # ------------------------------------------------------------------ main loop
+
+    def tick(self, now: int) -> None:
+        """Advance the core by one DRAM bus cycle."""
+        self.stats.cycles += 1
+
+        retired = self._retire()
+        issued = self._issue(now)
+
+        if retired == 0 and issued == 0:
+            head_blocked = bool(self._window) and not self._window[0].done
+            if head_blocked or self._pending_write is not None:
+                self.stats.memory_stall_cycles += 1
+                if head_blocked and self._window[0].is_rng:
+                    self.stats.rng_stall_cycles += 1
+
+        if self.finish_cycle is None and self.stats.instructions >= self.target_instructions:
+            self.finish_cycle = now
+            self.finished_stats = self.stats.copy()
+
+    def _retire(self) -> int:
+        retired = 0
+        budget = self.config.slots_per_bus_cycle
+        window = self._window
+        while retired < budget and window and window[0].done:
+            window.popleft()
+            retired += 1
+        # Instructions count as executed when they retire (in order), so
+        # the finish condition reflects completed work, not issued work.
+        self.stats.instructions += retired
+        return retired
+
+    def _issue(self, now: int) -> int:
+        issued = 0
+        budget = self.config.slots_per_bus_cycle
+        window_size = self.config.window_size
+
+        while issued < budget:
+            if self._pending_write is not None:
+                # Back-pressure: the writeback must be accepted before the
+                # core moves on to the next trace entry.
+                if self._send_write(self._pending_write, self.core_id):
+                    self.stats.writes_issued += 1
+                    self._pending_write = None
+                else:
+                    break
+            if len(self._window) >= window_size:
+                break
+
+            if self._bubbles_left > 0:
+                self._bubbles_left -= 1
+                self._window.append(_WindowSlot(done=True))
+                issued += 1
+            elif self._pending_read is not None:
+                entry = self._pending_read
+                slot = _WindowSlot(done=False)
+                if not self._send_read(entry.address, self.core_id, self._make_read_callback(slot, now)):
+                    break  # Read queue full; retry next cycle.
+                self._window.append(slot)
+                self._pending_read = None
+                self.stats.reads_issued += 1
+                issued += 1
+            elif self._pending_rng is not None:
+                entry = self._pending_rng
+                self._pending_rng = None
+                slot = _WindowSlot(done=False, is_rng=True)
+                self._window.append(slot)
+                self.stats.rng_requests += 1
+                issued += 1
+                self._send_rng(entry.rng_bits, self.core_id, self._make_rng_callback(slot, now))
+            elif self._pending_write is None and self._entry_exhausted():
+                self._advance_entry()
+                continue
+            else:
+                break
+        return issued
+
+    def _make_read_callback(self, slot: _WindowSlot, issue_cycle: int) -> Callable:
+        def _on_complete(request) -> None:
+            slot.done = True
+            completion = request.completion_cycle if request.completion_cycle is not None else issue_cycle
+            self.stats.read_latency_sum += max(0, completion - issue_cycle)
+
+        return _on_complete
+
+    def _make_rng_callback(self, slot: _WindowSlot, issue_cycle: int) -> Callable:
+        def _on_rng_complete(completion_cycle: int) -> None:
+            slot.done = True
+            self.stats.rng_latency_sum += max(0, completion_cycle - issue_cycle)
+
+        return _on_rng_complete
+
+    # ------------------------------------------------------------------ results
+
+    def result_stats(self) -> CoreStats:
+        """Statistics at finish time (or current stats if still running)."""
+        return self.finished_stats if self.finished_stats is not None else self.stats

@@ -1,0 +1,180 @@
+"""Instruction traces consumed by the trace-driven core model.
+
+A trace is a sequence of :class:`TraceEntry` records.  Each entry
+represents a small group of instructions, in the same spirit as
+Ramulator's CPU trace format:
+
+* ``bubbles`` non-memory instructions that execute without accessing
+  main memory (they still occupy instruction-window slots and issue
+  bandwidth),
+* optionally one last-level-cache-missing memory **read** at ``address``,
+* optionally one **writeback** to ``write_address`` (dirty eviction
+  triggered by the read),
+* optionally one blocking 64-bit **RNG request** (``rng_bits > 0``).
+
+Traces are either generated synthetically (:mod:`repro.workloads`) or
+loaded from a simple text format (one entry per line:
+``bubbles [R <addr>] [W <addr>] [G <bits>]``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One trace record: bubbles plus at most one read, write and RNG request."""
+
+    bubbles: int = 0
+    address: Optional[int] = None
+    write_address: Optional[int] = None
+    rng_bits: int = 0
+
+    def __post_init__(self) -> None:
+        if self.bubbles < 0:
+            raise ValueError("bubbles must be non-negative")
+        if self.rng_bits < 0:
+            raise ValueError("rng_bits must be non-negative")
+        if self.address is not None and self.address < 0:
+            raise ValueError("address must be non-negative")
+        if self.write_address is not None and self.write_address < 0:
+            raise ValueError("write_address must be non-negative")
+
+    @property
+    def instruction_count(self) -> int:
+        """Number of instructions this entry represents."""
+        count = self.bubbles
+        if self.address is not None:
+            count += 1
+        if self.rng_bits > 0:
+            count += 1
+        return count
+
+    @property
+    def has_memory_read(self) -> bool:
+        return self.address is not None
+
+    @property
+    def has_rng_request(self) -> bool:
+        return self.rng_bits > 0
+
+
+class Trace:
+    """An ordered collection of trace entries with a name and metadata."""
+
+    def __init__(
+        self,
+        entries: Sequence[TraceEntry],
+        name: str = "trace",
+        metadata: Optional[dict] = None,
+    ) -> None:
+        self.entries: List[TraceEntry] = list(entries)
+        if not self.entries:
+            raise ValueError("a trace must contain at least one entry")
+        self.name = name
+        self.metadata = dict(metadata or {})
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self.entries)
+
+    def __getitem__(self, index: int) -> TraceEntry:
+        return self.entries[index]
+
+    @property
+    def total_instructions(self) -> int:
+        """Total number of instructions represented by the trace."""
+        return sum(entry.instruction_count for entry in self.entries)
+
+    @property
+    def memory_reads(self) -> int:
+        """Number of LLC-missing reads in the trace."""
+        return sum(1 for entry in self.entries if entry.has_memory_read)
+
+    @property
+    def memory_writes(self) -> int:
+        """Number of writebacks in the trace."""
+        return sum(1 for entry in self.entries if entry.write_address is not None)
+
+    @property
+    def rng_requests(self) -> int:
+        """Number of RNG requests in the trace."""
+        return sum(1 for entry in self.entries if entry.has_rng_request)
+
+    @property
+    def mpki(self) -> float:
+        """Misses (reads) per kilo-instruction of this trace."""
+        instructions = self.total_instructions
+        if not instructions:
+            return 0.0
+        return 1000.0 * self.memory_reads / instructions
+
+    # -- serialisation ------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write the trace in the simple text format."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            handle.write(f"# trace {self.name}\n")
+            for entry in self.entries:
+                parts = [str(entry.bubbles)]
+                if entry.address is not None:
+                    parts += ["R", str(entry.address)]
+                if entry.write_address is not None:
+                    parts += ["W", str(entry.write_address)]
+                if entry.rng_bits:
+                    parts += ["G", str(entry.rng_bits)]
+                handle.write(" ".join(parts) + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path, name: Optional[str] = None) -> "Trace":
+        """Load a trace previously written by :meth:`save`."""
+        path = Path(path)
+        entries: List[TraceEntry] = []
+        with path.open("r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                entries.append(cls._parse_line(line, path, line_number))
+        return cls(entries, name=name or path.stem)
+
+    @staticmethod
+    def _parse_line(line: str, path: Path, line_number: int) -> TraceEntry:
+        tokens = line.split()
+        try:
+            bubbles = int(tokens[0])
+            address = None
+            write_address = None
+            rng_bits = 0
+            index = 1
+            while index < len(tokens):
+                tag = tokens[index]
+                value = int(tokens[index + 1])
+                if tag == "R":
+                    address = value
+                elif tag == "W":
+                    write_address = value
+                elif tag == "G":
+                    rng_bits = value
+                else:
+                    raise ValueError(f"unknown tag {tag!r}")
+                index += 2
+        except (IndexError, ValueError) as exc:
+            raise ValueError(f"{path}:{line_number}: malformed trace line {line!r}") from exc
+        return TraceEntry(
+            bubbles=bubbles, address=address, write_address=write_address, rng_bits=rng_bits
+        )
+
+
+def merge_traces(traces: Iterable[Trace], name: str = "merged") -> Trace:
+    """Concatenate several traces into one (used to build phase behaviour)."""
+    entries: List[TraceEntry] = []
+    for trace in traces:
+        entries.extend(trace.entries)
+    return Trace(entries, name=name)

@@ -1,0 +1,31 @@
+"""DRAM device substrate: timings, address mapping, banks and channels."""
+
+from .address import AddressMapping, DecodedAddress
+from .bank import AccessCategory, Bank, BankStats
+from .channel import Channel, ChannelStats
+from .dram_system import DRAMSystem
+from .timing import (
+    DRAMOrganization,
+    DRAMTiming,
+    ddr3_1066,
+    ddr3_1600,
+    ddr4_2400,
+    timing_preset,
+)
+
+__all__ = [
+    "AccessCategory",
+    "AddressMapping",
+    "Bank",
+    "BankStats",
+    "Channel",
+    "ChannelStats",
+    "DecodedAddress",
+    "DRAMOrganization",
+    "DRAMSystem",
+    "DRAMTiming",
+    "ddr3_1066",
+    "ddr3_1600",
+    "ddr4_2400",
+    "timing_preset",
+]

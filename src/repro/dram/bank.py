@@ -1,0 +1,137 @@
+"""DRAM bank state machine.
+
+Each bank tracks its currently open row and the earliest cycle at which it
+can accept a new access.  The memory controller uses
+:meth:`Bank.access_category` to classify an access as a row-buffer hit,
+a miss to a closed bank or a row conflict, and :meth:`Bank.access` to
+update the bank state and obtain the data-ready time of the access.
+
+The model is request-level rather than command-level: instead of issuing
+individual ACTIVATE / READ / PRECHARGE commands, a whole access is applied
+atomically with the latency implied by the access category.  This keeps
+the simulator fast while preserving the row-buffer locality and bank-level
+parallelism behaviour that the paper's scheduling study depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from .timing import DRAMTiming
+
+
+class AccessCategory(Enum):
+    """Classification of an access relative to the bank's row buffer."""
+
+    ROW_HIT = "row_hit"
+    ROW_CLOSED = "row_closed"
+    ROW_CONFLICT = "row_conflict"
+
+
+@dataclass
+class BankStats:
+    """Per-bank counters used by the energy model and experiments."""
+
+    activations: int = 0
+    precharges: int = 0
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_closed: int = 0
+    row_conflicts: int = 0
+
+    def merge(self, other: "BankStats") -> None:
+        """Accumulate ``other`` into this stats object."""
+        self.activations += other.activations
+        self.precharges += other.precharges
+        self.reads += other.reads
+        self.writes += other.writes
+        self.row_hits += other.row_hits
+        self.row_closed += other.row_closed
+        self.row_conflicts += other.row_conflicts
+
+
+class Bank:
+    """A single DRAM bank with an open-row policy."""
+
+    def __init__(self, bank_id: int, timing: DRAMTiming) -> None:
+        self.bank_id = bank_id
+        self.timing = timing
+        self.open_row: int | None = None
+        self.ready_at: int = 0
+        self.stats = BankStats()
+
+    # -- queries ------------------------------------------------------------------
+
+    def access_category(self, row: int) -> AccessCategory:
+        """Classify an access to ``row`` against the current bank state."""
+        if self.open_row is None:
+            return AccessCategory.ROW_CLOSED
+        if self.open_row == row:
+            return AccessCategory.ROW_HIT
+        return AccessCategory.ROW_CONFLICT
+
+    def is_ready(self, now: int) -> bool:
+        """Whether the bank can start a new access at cycle ``now``."""
+        return now >= self.ready_at
+
+    def preparation_latency(self, row: int) -> int:
+        """Cycles of row preparation (precharge + activate) for an access."""
+        category = self.access_category(row)
+        timing = self.timing
+        if category is AccessCategory.ROW_HIT:
+            return 0
+        if category is AccessCategory.ROW_CLOSED:
+            return timing.tRCD
+        return timing.tRP + timing.tRCD
+
+    # -- state changes ------------------------------------------------------------
+
+    def access(self, row: int, now: int, is_write: bool = False) -> tuple[int, AccessCategory]:
+        """Perform an access to ``row`` starting no earlier than ``now``.
+
+        Returns the cycle at which the column access (READ/WRITE command)
+        can be issued, i.e. after any required precharge/activate, together
+        with the access category.  The caller is responsible for adding CAS
+        latency and burst time, and for calling :meth:`complete_access`
+        with the final bank-busy time.
+        """
+        category = self.access_category(row)
+        start = max(now, self.ready_at)
+        column_ready = start + self.preparation_latency(row)
+
+        if category is AccessCategory.ROW_HIT:
+            self.stats.row_hits += 1
+        elif category is AccessCategory.ROW_CLOSED:
+            self.stats.row_closed += 1
+            self.stats.activations += 1
+        else:
+            self.stats.row_conflicts += 1
+            self.stats.precharges += 1
+            self.stats.activations += 1
+
+        if is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+
+        self.open_row = row
+        return column_ready, category
+
+    def complete_access(self, busy_until: int) -> None:
+        """Record that the bank stays busy until ``busy_until``."""
+        if busy_until > self.ready_at:
+            self.ready_at = busy_until
+
+    def precharge(self, now: int) -> None:
+        """Explicitly close the open row (used when entering RNG mode)."""
+        if self.open_row is not None:
+            self.stats.precharges += 1
+            self.open_row = None
+            self.ready_at = max(self.ready_at, now + self.timing.tRP)
+
+    def reset(self) -> None:
+        """Reset dynamic state (open row and readiness), keeping stats."""
+        self.open_row = None
+        self.ready_at = 0

@@ -1,0 +1,56 @@
+"""Top-level DRAM device model: the set of channels behind the controller."""
+
+from __future__ import annotations
+
+from .address import AddressMapping, DecodedAddress
+from .channel import Channel, ChannelStats
+from .timing import DRAMOrganization, DRAMTiming
+
+
+class DRAMSystem:
+    """All DRAM channels of the simulated main memory.
+
+    The memory controller owns one :class:`DRAMSystem` and uses it to
+    translate addresses and to reach the per-channel device models.
+    """
+
+    def __init__(
+        self,
+        timing: DRAMTiming | None = None,
+        organization: DRAMOrganization | None = None,
+    ) -> None:
+        self.timing = timing or DRAMTiming()
+        self.organization = organization or DRAMOrganization()
+        self.mapping = AddressMapping(self.organization)
+        self.channels = [
+            Channel(channel_id, self.timing, self.organization)
+            for channel_id in range(self.organization.channels)
+        ]
+
+    @property
+    def num_channels(self) -> int:
+        return len(self.channels)
+
+    def decode(self, address: int) -> DecodedAddress:
+        """Decompose a physical address into DRAM coordinates."""
+        return self.mapping.decode(address)
+
+    def channel_of(self, address: int) -> Channel:
+        """Return the channel device that owns ``address``."""
+        return self.channels[self.mapping.channel_of(address)]
+
+    def total_stats(self) -> ChannelStats:
+        """Aggregate channel statistics across the whole memory system."""
+        total = ChannelStats()
+        for channel in self.channels:
+            stats = channel.stats
+            total.read_accesses += stats.read_accesses
+            total.write_accesses += stats.write_accesses
+            total.row_hits += stats.row_hits
+            total.row_closed += stats.row_closed
+            total.row_conflicts += stats.row_conflicts
+            total.busy_cycles += stats.busy_cycles
+            total.rng_cycles += stats.rng_cycles
+            total.rng_operations += stats.rng_operations
+            total.rng_bits_generated += stats.rng_bits_generated
+        return total

@@ -1,0 +1,202 @@
+"""DRAM timing parameters.
+
+The simulator operates at DRAM *bus* cycle granularity.  All timing
+parameters in :class:`DRAMTiming` are therefore expressed in bus cycles of
+the configured data rate (e.g. 1.25 ns per cycle for DDR3-1600, whose bus
+runs at 800 MHz).
+
+Only the parameters that matter for the request-level model used by the
+memory controller are included: row activation (tRCD), precharge (tRP),
+CAS latency (tCL / tCWL), burst length on the data bus (tBL), the minimum
+row-open time (tRAS), the write recovery time (tWR) and the refresh
+parameters (tRFC / tREFI).  The controller uses them to compute
+row-hit / row-miss / row-conflict service latencies and to serialise data
+transfers on the channel bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DRAMTiming:
+    """Timing parameters of a DRAM device, in bus cycles.
+
+    Attributes
+    ----------
+    name:
+        Human readable name of the speed bin (e.g. ``"DDR3-1600"``).
+    tck_ns:
+        Duration of one bus cycle in nanoseconds.
+    tRCD:
+        ACTIVATE to READ/WRITE delay.
+    tRP:
+        PRECHARGE to ACTIVATE delay.
+    tCL:
+        READ command to first data (CAS latency).
+    tCWL:
+        WRITE command to first data.
+    tBL:
+        Burst length on the data bus (cycles the bus is occupied per access).
+    tRAS:
+        Minimum time a row must remain open after ACTIVATE.
+    tWR:
+        Write recovery time before a PRECHARGE may follow a WRITE.
+    tRFC:
+        Refresh cycle time (duration of one refresh operation).
+    tREFI:
+        Average refresh interval.
+    """
+
+    name: str = "DDR3-1600"
+    tck_ns: float = 1.25
+    tRCD: int = 11
+    tRP: int = 11
+    tCL: int = 11
+    tCWL: int = 8
+    tBL: int = 4
+    tRAS: int = 28
+    tWR: int = 12
+    tRFC: int = 208
+    tREFI: int = 6240
+
+    @property
+    def bus_frequency_mhz(self) -> float:
+        """Bus frequency in MHz implied by :attr:`tck_ns`."""
+        return 1000.0 / self.tck_ns
+
+    @property
+    def row_hit_latency(self) -> int:
+        """Latency of a read that hits in the row buffer (CAS + burst)."""
+        return self.tCL + self.tBL
+
+    @property
+    def row_closed_latency(self) -> int:
+        """Latency of a read to a precharged (closed) bank."""
+        return self.tRCD + self.tCL + self.tBL
+
+    @property
+    def row_conflict_latency(self) -> int:
+        """Latency of a read that conflicts with an open row."""
+        return self.tRP + self.tRCD + self.tCL + self.tBL
+
+    def ns_to_cycles(self, nanoseconds: float) -> int:
+        """Convert a duration in nanoseconds to (rounded up) bus cycles."""
+        cycles = nanoseconds / self.tck_ns
+        whole = int(cycles)
+        return whole if cycles == whole else whole + 1
+
+    def cycles_to_ns(self, cycles: int) -> float:
+        """Convert a number of bus cycles to nanoseconds."""
+        return cycles * self.tck_ns
+
+
+def ddr3_1600() -> DRAMTiming:
+    """Return the DDR3-1600 timing preset used by the paper (Table 1)."""
+    return DRAMTiming()
+
+
+def ddr3_1066() -> DRAMTiming:
+    """Return a slower DDR3-1066 preset (useful for sensitivity studies)."""
+    return DRAMTiming(
+        name="DDR3-1066",
+        tck_ns=1.875,
+        tRCD=7,
+        tRP=7,
+        tCL=7,
+        tCWL=6,
+        tBL=4,
+        tRAS=20,
+        tWR=8,
+        tRFC=139,
+        tREFI=4160,
+    )
+
+
+def ddr4_2400() -> DRAMTiming:
+    """Return a DDR4-2400 preset (useful for sensitivity studies)."""
+    return DRAMTiming(
+        name="DDR4-2400",
+        tck_ns=0.833,
+        tRCD=16,
+        tRP=16,
+        tCL=16,
+        tCWL=12,
+        tBL=4,
+        tRAS=39,
+        tWR=18,
+        tRFC=420,
+        tREFI=9363,
+    )
+
+
+_PRESETS = {
+    "DDR3-1600": ddr3_1600,
+    "DDR3-1066": ddr3_1066,
+    "DDR4-2400": ddr4_2400,
+}
+
+
+def timing_preset(name: str) -> DRAMTiming:
+    """Look up a timing preset by name.
+
+    Raises
+    ------
+    KeyError
+        If ``name`` is not a known preset.
+    """
+    try:
+        return _PRESETS[name]()
+    except KeyError:
+        known = ", ".join(sorted(_PRESETS))
+        raise KeyError(f"unknown DRAM timing preset {name!r}; known presets: {known}")
+
+
+@dataclass(frozen=True)
+class DRAMOrganization:
+    """Physical organisation of the simulated DRAM main memory.
+
+    The defaults mirror Table 1 of the paper: 4 channels, 1 rank per
+    channel, 8 banks per rank and 64K rows per bank.
+    """
+
+    channels: int = 4
+    ranks_per_channel: int = 1
+    banks_per_rank: int = 8
+    rows_per_bank: int = 65536
+    columns_per_row: int = 128
+    bytes_per_column: int = 64
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "channels",
+            "ranks_per_channel",
+            "banks_per_rank",
+            "rows_per_bank",
+            "columns_per_row",
+            "bytes_per_column",
+        ):
+            value = getattr(self, field_name)
+            if value <= 0:
+                raise ValueError(f"{field_name} must be positive, got {value}")
+
+    @property
+    def banks_per_channel(self) -> int:
+        """Total number of banks addressable behind one channel."""
+        return self.ranks_per_channel * self.banks_per_rank
+
+    @property
+    def total_banks(self) -> int:
+        """Total number of banks in the memory system."""
+        return self.channels * self.banks_per_channel
+
+    @property
+    def row_size_bytes(self) -> int:
+        """Size of one DRAM row in bytes."""
+        return self.columns_per_row * self.bytes_per_column
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total capacity of the memory system in bytes."""
+        return self.total_banks * self.rows_per_bank * self.row_size_bytes

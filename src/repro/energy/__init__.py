@@ -1,0 +1,13 @@
+"""Energy (DRAMPower-style) and area (CACTI-style) models."""
+
+from .area import CASCADE_LAKE_CORE_AREA_MM2, AreaBreakdown, AreaModel
+from .drampower import DRAMEnergyModel, EnergyBreakdown, EnergyParameters
+
+__all__ = [
+    "AreaBreakdown",
+    "AreaModel",
+    "CASCADE_LAKE_CORE_AREA_MM2",
+    "DRAMEnergyModel",
+    "EnergyBreakdown",
+    "EnergyParameters",
+]

@@ -1,0 +1,55 @@
+"""Per-figure experiment modules (see DESIGN.md for the experiment index).
+
+Every module exposes ``run(...) -> dict`` and ``format_table(data) -> str``.
+The defaults are scaled down (a handful of applications, short synthetic
+traces); pass ``full=True`` and a larger ``instructions`` count to
+approximate the paper's full workload set.
+"""
+
+from . import (
+    common,
+    fig01_motivation,
+    fig02_trng_throughput,
+    fig05_idle_periods,
+    fig06_dualcore_performance,
+    fig07_multicore_speedup,
+    fig08_multicore_rng,
+    fig09_fairness,
+    fig10_buffer_size,
+    fig11_scheduler,
+    fig12_priority,
+    fig13_predictor,
+    fig14_predictor_accuracy,
+    fig15_low_utilization,
+    fig16_quac,
+    fig17_high_throughput,
+    fig18_multicore_idle,
+    sec88_low_intensity,
+    sec89_energy_area,
+)
+
+#: Experiment registry: figure/section id -> module.
+EXPERIMENTS = {
+    "fig1": fig01_motivation,
+    "fig2": fig02_trng_throughput,
+    "fig5": fig05_idle_periods,
+    "fig6": fig06_dualcore_performance,
+    "fig7": fig07_multicore_speedup,
+    "fig8": fig08_multicore_rng,
+    "fig9": fig09_fairness,
+    "fig10": fig10_buffer_size,
+    "fig11": fig11_scheduler,
+    "fig12": fig12_priority,
+    "fig13": fig13_predictor,
+    "fig14": fig14_predictor_accuracy,
+    "fig15": fig15_low_utilization,
+    "fig16": fig16_quac,
+    "fig17": fig17_high_throughput,
+    "fig18": fig18_multicore_idle,
+    "sec8.8": sec88_low_intensity,
+    "sec8.9": sec89_energy_area,
+}
+
+__all__ = ["EXPERIMENTS", "common"] + sorted(
+    name for name in dir() if name.startswith(("fig", "sec")) and not name.startswith("__")
+)

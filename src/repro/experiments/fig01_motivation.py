@@ -1,0 +1,78 @@
+"""Figure 1: slowdown and unfairness of the RNG-oblivious baseline.
+
+The motivation study runs two-core workloads (one non-RNG application +
+one synthetic RNG benchmark) on the RNG-oblivious baseline and sweeps the
+RNG benchmark's required throughput (640 / 1280 / 2560 / 5120 Mb/s).
+Reported per required throughput:
+
+* average slowdown of the non-RNG applications (Figure 1, top),
+* average slowdown of the RNG applications (Figure 1, middle),
+* average unfairness index (Figure 1, bottom).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..sim.config import baseline_config
+from ..sim.runner import AloneRunCache, run_workload
+from ..workloads.spec import ApplicationSpec, MOTIVATION_RNG_THROUGHPUTS_MBPS
+from ..workloads.mixes import dual_core_mixes
+from .common import DEFAULT_INSTRUCTIONS, average, select_applications
+
+
+def run(
+    apps: Optional[Sequence[ApplicationSpec]] = None,
+    throughputs_mbps: Sequence[float] = MOTIVATION_RNG_THROUGHPUTS_MBPS,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    full: bool = False,
+    cache: Optional[AloneRunCache] = None,
+) -> Dict:
+    """Run the motivation study and return per-throughput averages."""
+    applications = select_applications(apps, full=full)
+    config = baseline_config()
+
+    per_throughput: List[Dict] = []
+    for throughput in throughputs_mbps:
+        per_app: List[Dict] = []
+        for mix in dual_core_mixes(applications, rng_throughput_mbps=throughput):
+            evaluation = run_workload(mix, config, instructions=instructions, cache=cache)
+            per_app.append(
+                {
+                    "workload": mix.name,
+                    "application": mix.slots[0].name,
+                    "non_rng_slowdown": evaluation.non_rng_slowdown,
+                    "rng_slowdown": evaluation.rng_slowdown,
+                    "unfairness": evaluation.unfairness,
+                }
+            )
+        per_throughput.append(
+            {
+                "throughput_mbps": throughput,
+                "workloads": per_app,
+                "avg_non_rng_slowdown": average(w["non_rng_slowdown"] for w in per_app),
+                "avg_rng_slowdown": average(w["rng_slowdown"] for w in per_app),
+                "avg_unfairness": average(w["unfairness"] for w in per_app),
+            }
+        )
+
+    return {
+        "figure": "1",
+        "design": "rng-oblivious",
+        "applications": [app.name for app in applications],
+        "series": per_throughput,
+    }
+
+
+def format_table(data: Dict) -> str:
+    """Render the Figure 1 averages as a text table."""
+    lines = ["Figure 1 - RNG-oblivious baseline (averages across workloads)"]
+    lines.append(f"{'RNG throughput':>16} {'non-RNG slowdown':>18} {'RNG slowdown':>14} {'unfairness':>12}")
+    for row in data["series"]:
+        lines.append(
+            f"{row['throughput_mbps']:>13.0f} Mb/s "
+            f"{row['avg_non_rng_slowdown']:>18.3f} "
+            f"{row['avg_rng_slowdown']:>14.3f} "
+            f"{row['avg_unfairness']:>12.3f}"
+        )
+    return "\n".join(lines)

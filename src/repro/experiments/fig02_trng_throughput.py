@@ -1,0 +1,80 @@
+"""Figure 2: effect of the DRAM TRNG throughput on the baseline system.
+
+Sweeps the TRNG mechanism's sustained throughput from 200 Mb/s to
+6.4 Gb/s (all mechanisms assume D-RaNGe's latency, as in the paper's
+footnote) and reports the distribution of non-RNG application slowdown and
+system unfairness across two-core workloads on the RNG-oblivious
+baseline.  Both metrics should improve with throughput and saturate
+towards the high end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..metrics.stats import box_stats
+from ..sim.config import baseline_config
+from ..sim.runner import AloneRunCache, run_workload
+from ..workloads.mixes import dual_core_mixes
+from ..workloads.spec import ApplicationSpec
+from .common import DEFAULT_INSTRUCTIONS, average, select_applications
+
+#: The TRNG throughputs of Figure 2 (x-axis is labelled in units of 100 Mb/s).
+DEFAULT_THROUGHPUTS_MBPS: Sequence[float] = (200.0, 400.0, 800.0, 1600.0, 3200.0, 6400.0)
+
+
+def run(
+    apps: Optional[Sequence[ApplicationSpec]] = None,
+    trng_throughputs_mbps: Sequence[float] = DEFAULT_THROUGHPUTS_MBPS,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    full: bool = False,
+    cache: Optional[AloneRunCache] = None,
+) -> Dict:
+    """Run the TRNG-throughput sweep and return per-throughput distributions."""
+    applications = select_applications(apps, full=full)
+
+    series: List[Dict] = []
+    for throughput in trng_throughputs_mbps:
+        config = baseline_config(trng_name="parametric", trng_throughput_mbps=throughput)
+        slowdowns: List[float] = []
+        unfairness_values: List[float] = []
+        for mix in dual_core_mixes(applications):
+            evaluation = run_workload(mix, config, instructions=instructions, cache=cache)
+            slowdowns.append(evaluation.non_rng_slowdown)
+            unfairness_values.append(evaluation.unfairness)
+        series.append(
+            {
+                "trng_throughput_mbps": throughput,
+                "slowdowns": slowdowns,
+                "unfairness": unfairness_values,
+                "avg_slowdown": average(slowdowns),
+                "avg_unfairness": average(unfairness_values),
+                "slowdown_box": box_stats(slowdowns).as_dict(),
+                "unfairness_box": box_stats(unfairness_values).as_dict(),
+                "max_slowdown": max(slowdowns),
+                "max_unfairness": max(unfairness_values),
+            }
+        )
+
+    return {
+        "figure": "2",
+        "design": "rng-oblivious",
+        "applications": [app.name for app in applications],
+        "series": series,
+    }
+
+
+def format_table(data: Dict) -> str:
+    """Render the Figure 2 distributions as a text table."""
+    lines = ["Figure 2 - effect of TRNG throughput on the baseline system"]
+    lines.append(
+        f"{'TRNG Mb/s':>10} {'slowdown med':>13} {'slowdown max':>13} "
+        f"{'unfairness med':>15} {'unfairness max':>15}"
+    )
+    for row in data["series"]:
+        lines.append(
+            f"{row['trng_throughput_mbps']:>10.0f} "
+            f"{row['slowdown_box']['median']:>13.3f} {row['max_slowdown']:>13.3f} "
+            f"{row['unfairness_box']['median']:>15.3f} {row['max_unfairness']:>15.3f}"
+        )
+    return "\n".join(lines)

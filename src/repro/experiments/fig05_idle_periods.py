@@ -1,0 +1,81 @@
+"""Figure 5: distribution of DRAM idle-period lengths (single core).
+
+Runs each non-RNG application alone on the baseline system and collects
+the lengths of the idle periods observed on every DRAM channel.  The
+paper's observation is that a significant portion of idle periods are
+shorter than the ~198 cycles needed to generate a 64-bit random number,
+which motivates generating random numbers in small (8-bit) batches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..dram.address import AddressMapping
+from ..metrics.stats import box_stats
+from ..sim.config import baseline_config
+from ..sim.system import System
+from ..workloads.spec import ApplicationSpec
+from ..workloads.synthetic import generate_application_trace
+from .common import DEFAULT_INSTRUCTIONS, select_applications
+
+#: Bus cycles needed to generate one 64-bit random number with D-RaNGe.
+CYCLES_PER_64BIT = 198
+
+#: The period threshold used for 8-bit batches (Section 5.1).
+CYCLES_PER_8BIT = 40
+
+
+def run(
+    apps: Optional[Sequence[ApplicationSpec]] = None,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    full: bool = False,
+    cache=None,
+) -> Dict:
+    """Collect the idle-period length distribution of single-core runs."""
+    applications = select_applications(apps, full=full)
+    config = baseline_config()
+    mapping = AddressMapping(config.organization)
+
+    series: List[Dict] = []
+    for app in applications:
+        trace = generate_application_trace(app, instructions, seed=1, mapping=mapping)
+        result = System([trace], config).run()
+        periods = result.all_idle_periods
+        if not periods:
+            periods = [0]
+        fraction_long_64 = sum(1 for p in periods if p >= CYCLES_PER_64BIT) / len(periods)
+        fraction_long_8 = sum(1 for p in periods if p >= CYCLES_PER_8BIT) / len(periods)
+        series.append(
+            {
+                "application": app.name,
+                "mpki": app.mpki,
+                "num_periods": len(periods),
+                "box": box_stats(periods).as_dict(),
+                "fraction_at_least_64bit": fraction_long_64,
+                "fraction_at_least_8bit": fraction_long_8,
+            }
+        )
+
+    return {
+        "figure": "5",
+        "threshold_64bit_cycles": CYCLES_PER_64BIT,
+        "threshold_8bit_cycles": CYCLES_PER_8BIT,
+        "series": series,
+    }
+
+
+def format_table(data: Dict) -> str:
+    """Render the idle-period distribution summary."""
+    lines = ["Figure 5 - DRAM idle period lengths (single-core, baseline)"]
+    lines.append(
+        f"{'application':>14} {'periods':>8} {'median':>8} {'q3':>8} "
+        f"{'>=198cyc':>9} {'>=40cyc':>8}"
+    )
+    for row in data["series"]:
+        lines.append(
+            f"{row['application']:>14} {row['num_periods']:>8} "
+            f"{row['box']['median']:>8.0f} {row['box']['q3']:>8.0f} "
+            f"{row['fraction_at_least_64bit']:>9.2f} {row['fraction_at_least_8bit']:>8.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Figure 6: dual-core performance of baseline, Greedy Idle and DR-STRaNGe.
+
+Every two-core workload (one non-RNG application + the 5 Gb/s RNG
+benchmark) is simulated under the three designs; reported per design:
+
+* slowdown of the non-RNG application vs. running alone (Figure 6 top),
+* slowdown of the RNG application vs. running alone (Figure 6 bottom),
+* the unfairness index (reused by Figure 9).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..sim.runner import AloneRunCache, compare_designs
+from ..workloads.mixes import dual_core_mixes
+from ..workloads.spec import ApplicationSpec, DEFAULT_RNG_THROUGHPUT_MBPS
+from .common import DEFAULT_INSTRUCTIONS, average, select_applications, standard_design_configs
+
+
+def run(
+    apps: Optional[Sequence[ApplicationSpec]] = None,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    rng_throughput_mbps: float = DEFAULT_RNG_THROUGHPUT_MBPS,
+    full: bool = False,
+    cache: Optional[AloneRunCache] = None,
+    config_overrides: Optional[Dict] = None,
+) -> Dict:
+    """Compare the three designs on dual-core workloads."""
+    applications = select_applications(apps, full=full)
+    configs = standard_design_configs(**(config_overrides or {}))
+
+    workloads: List[Dict] = []
+    for mix in dual_core_mixes(applications, rng_throughput_mbps=rng_throughput_mbps):
+        evaluations = compare_designs(mix, configs, instructions=instructions, cache=cache)
+        row: Dict = {"workload": mix.name, "application": mix.slots[0].name, "designs": {}}
+        for label, evaluation in evaluations.items():
+            row["designs"][label] = {
+                "non_rng_slowdown": evaluation.non_rng_slowdown,
+                "rng_slowdown": evaluation.rng_slowdown,
+                "unfairness": evaluation.unfairness,
+                "buffer_serve_rate": evaluation.buffer_serve_rate,
+                "energy_nj": evaluation.energy_nj,
+                "memory_busy_cycles": evaluation.memory_busy_cycles,
+            }
+        workloads.append(row)
+
+    averages = {}
+    for label in configs:
+        averages[label] = {
+            "non_rng_slowdown": average(w["designs"][label]["non_rng_slowdown"] for w in workloads),
+            "rng_slowdown": average(w["designs"][label]["rng_slowdown"] for w in workloads),
+            "unfairness": average(w["designs"][label]["unfairness"] for w in workloads),
+            "buffer_serve_rate": average(
+                w["designs"][label]["buffer_serve_rate"] for w in workloads
+            ),
+        }
+
+    baseline = averages["rng-oblivious"]
+    drstrange = averages["dr-strange"]
+    improvements = {
+        "non_rng_improvement": 1.0 - drstrange["non_rng_slowdown"] / baseline["non_rng_slowdown"],
+        "rng_improvement": 1.0 - drstrange["rng_slowdown"] / baseline["rng_slowdown"],
+        "fairness_improvement": 1.0 - drstrange["unfairness"] / baseline["unfairness"],
+    }
+
+    return {
+        "figure": "6",
+        "rng_throughput_mbps": rng_throughput_mbps,
+        "applications": [app.name for app in applications],
+        "workloads": workloads,
+        "averages": averages,
+        "improvements": improvements,
+    }
+
+
+def format_table(data: Dict) -> str:
+    """Render the per-design averages and headline improvements."""
+    lines = [f"Figure 6 - dual-core designs at {data['rng_throughput_mbps']:.0f} Mb/s required RNG throughput"]
+    lines.append(f"{'design':>15} {'non-RNG slowdown':>18} {'RNG slowdown':>14} {'unfairness':>12} {'serve rate':>12}")
+    for label, row in data["averages"].items():
+        lines.append(
+            f"{label:>15} {row['non_rng_slowdown']:>18.3f} {row['rng_slowdown']:>14.3f} "
+            f"{row['unfairness']:>12.3f} {row['buffer_serve_rate']:>12.3f}"
+        )
+    imp = data["improvements"]
+    lines.append(
+        "DR-STRaNGe vs baseline: non-RNG %+.1f%%, RNG %+.1f%%, fairness %+.1f%%"
+        % (
+            100 * imp["non_rng_improvement"],
+            100 * imp["rng_improvement"],
+            100 * imp["fairness_improvement"],
+        )
+    )
+    return "\n".join(lines)

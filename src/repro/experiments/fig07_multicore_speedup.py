@@ -1,0 +1,95 @@
+"""Figure 7: weighted speedup of non-RNG applications in multi-core workloads.
+
+Four-core workload groups (LLLS / LLHS / LHHS / HHHS) and 4/8/16-core
+groups of a single memory-intensity category (L/M/H) are simulated under
+the Greedy Idle design and DR-STRaNGe; the reported metric is the
+weighted speedup of the non-RNG applications normalised to the
+RNG-oblivious baseline (higher is better, 1.0 = baseline).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..sim.runner import AloneRunCache, compare_designs
+from ..workloads.mixes import four_core_group_mixes, multi_core_group_mixes
+from ..workloads.spec import WorkloadMix
+from .common import DEFAULT_INSTRUCTIONS, average, standard_design_configs
+
+
+def _evaluate_groups(
+    groups: Dict[str, List[WorkloadMix]],
+    instructions: int,
+    cache: Optional[AloneRunCache],
+    config_overrides: Optional[Dict],
+) -> List[Dict]:
+    configs = standard_design_configs(**(config_overrides or {}))
+    rows: List[Dict] = []
+    for group_name, mixes in groups.items():
+        speedups = {label: [] for label in configs}
+        rng_slowdowns = {label: [] for label in configs}
+        for mix in mixes:
+            evaluations = compare_designs(mix, configs, instructions=instructions, cache=cache)
+            for label, evaluation in evaluations.items():
+                speedups[label].append(evaluation.non_rng_weighted_speedup)
+                rng_slowdowns[label].append(evaluation.rng_slowdown)
+        baseline_speedup = average(speedups["rng-oblivious"])
+        row = {
+            "group": group_name,
+            "num_workloads": len(mixes),
+            "weighted_speedup": {label: average(values) for label, values in speedups.items()},
+            "rng_slowdown": {label: average(values) for label, values in rng_slowdowns.items()},
+            "normalized_weighted_speedup": {
+                label: (average(values) / baseline_speedup if baseline_speedup else 0.0)
+                for label, values in speedups.items()
+            },
+        }
+        rows.append(row)
+    return rows
+
+
+def run(
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    workloads_per_group: int = 2,
+    core_counts: Sequence[int] = (8,),
+    include_four_core_groups: bool = True,
+    cache: Optional[AloneRunCache] = None,
+    config_overrides: Optional[Dict] = None,
+    seed: int = 0,
+) -> Dict:
+    """Run the multi-core weighted-speedup study.
+
+    ``workloads_per_group`` and ``core_counts`` default to a scaled-down
+    configuration; the paper uses 10 workloads per group and 4/8/16 cores.
+    """
+    four_core_rows: List[Dict] = []
+    if include_four_core_groups:
+        groups = four_core_group_mixes(workloads_per_group=workloads_per_group, seed=seed)
+        four_core_rows = _evaluate_groups(groups, instructions, cache, config_overrides)
+
+    multi_core_rows: List[Dict] = []
+    for cores in core_counts:
+        groups = multi_core_group_mixes(
+            cores, workloads_per_group=workloads_per_group, seed=seed
+        )
+        rows = _evaluate_groups(groups, instructions, cache, config_overrides)
+        for row in rows:
+            row["cores"] = cores
+            row["group"] = f"{row['group']} ({cores})"
+        multi_core_rows.extend(rows)
+
+    return {
+        "figure": "7",
+        "four_core_groups": four_core_rows,
+        "multi_core_groups": multi_core_rows,
+    }
+
+
+def format_table(data: Dict) -> str:
+    """Render normalised weighted speedups per workload group."""
+    lines = ["Figure 7 - normalised weighted speedup of non-RNG applications"]
+    lines.append(f"{'group':>12} {'greedy':>10} {'dr-strange':>12}")
+    for row in data["four_core_groups"] + data["multi_core_groups"]:
+        norm = row["normalized_weighted_speedup"]
+        lines.append(f"{row['group']:>12} {norm['greedy']:>10.3f} {norm['dr-strange']:>12.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Figure 8: slowdown of RNG applications in multi-core workloads.
+
+Same workload groups as Figure 7; the reported metric is the slowdown of
+the RNG application relative to running alone on the single-core
+baseline, under the RNG-oblivious baseline, the Greedy Idle design and
+DR-STRaNGe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..sim.runner import AloneRunCache
+from .common import DEFAULT_INSTRUCTIONS
+from . import fig07_multicore_speedup
+
+
+def run(
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    workloads_per_group: int = 2,
+    core_counts: Sequence[int] = (8,),
+    include_four_core_groups: bool = True,
+    cache: Optional[AloneRunCache] = None,
+    config_overrides: Optional[Dict] = None,
+    seed: int = 0,
+) -> Dict:
+    """Run the multi-core RNG-slowdown study (shares runs with Figure 7)."""
+    data = fig07_multicore_speedup.run(
+        instructions=instructions,
+        workloads_per_group=workloads_per_group,
+        core_counts=core_counts,
+        include_four_core_groups=include_four_core_groups,
+        cache=cache,
+        config_overrides=config_overrides,
+        seed=seed,
+    )
+    return {
+        "figure": "8",
+        "four_core_groups": [
+            {"group": row["group"], "rng_slowdown": row["rng_slowdown"]}
+            for row in data["four_core_groups"]
+        ],
+        "multi_core_groups": [
+            {"group": row["group"], "rng_slowdown": row["rng_slowdown"]}
+            for row in data["multi_core_groups"]
+        ],
+    }
+
+
+def format_table(data: Dict) -> str:
+    """Render RNG application slowdowns per workload group and design."""
+    lines = ["Figure 8 - RNG application slowdown in multi-core workloads"]
+    lines.append(f"{'group':>12} {'rng-oblivious':>14} {'greedy':>10} {'dr-strange':>12}")
+    for row in data["four_core_groups"] + data["multi_core_groups"]:
+        slowdown = row["rng_slowdown"]
+        lines.append(
+            f"{row['group']:>12} {slowdown['rng-oblivious']:>14.3f} "
+            f"{slowdown['greedy']:>10.3f} {slowdown['dr-strange']:>12.3f}"
+        )
+    return "\n".join(lines)

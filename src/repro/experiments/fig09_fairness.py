@@ -1,0 +1,64 @@
+"""Figure 9: system fairness of the three designs on dual-core workloads.
+
+Reuses the Figure 6 runs and reports the unfairness index per workload
+and the average fairness improvement of DR-STRaNGe over the baseline and
+over the Greedy Idle design.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..sim.runner import AloneRunCache
+from ..workloads.spec import ApplicationSpec, DEFAULT_RNG_THROUGHPUT_MBPS
+from .common import DEFAULT_INSTRUCTIONS
+from . import fig06_dualcore_performance
+
+
+def run(
+    apps: Optional[Sequence[ApplicationSpec]] = None,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    rng_throughput_mbps: float = DEFAULT_RNG_THROUGHPUT_MBPS,
+    full: bool = False,
+    cache: Optional[AloneRunCache] = None,
+) -> Dict:
+    """Run the fairness comparison (shares runs with Figure 6)."""
+    data = fig06_dualcore_performance.run(
+        apps=apps,
+        instructions=instructions,
+        rng_throughput_mbps=rng_throughput_mbps,
+        full=full,
+        cache=cache,
+    )
+    averages = data["averages"]
+    baseline_unfairness = averages["rng-oblivious"]["unfairness"]
+    greedy_unfairness = averages["greedy"]["unfairness"]
+    drstrange_unfairness = averages["dr-strange"]["unfairness"]
+    return {
+        "figure": "9",
+        "workloads": [
+            {
+                "workload": row["workload"],
+                "unfairness": {label: d["unfairness"] for label, d in row["designs"].items()},
+            }
+            for row in data["workloads"]
+        ],
+        "average_unfairness": {label: row["unfairness"] for label, row in averages.items()},
+        "fairness_improvement_vs_baseline": 1.0 - drstrange_unfairness / baseline_unfairness,
+        "fairness_improvement_vs_greedy": 1.0 - drstrange_unfairness / greedy_unfairness,
+    }
+
+
+def format_table(data: Dict) -> str:
+    """Render the per-design average unfairness."""
+    lines = ["Figure 9 - system fairness (dual-core)"]
+    for label, unfairness in data["average_unfairness"].items():
+        lines.append(f"{label:>15}: average unfairness {unfairness:.3f}")
+    lines.append(
+        "DR-STRaNGe improves fairness by %.1f%% vs baseline and %.1f%% vs greedy"
+        % (
+            100 * data["fairness_improvement_vs_baseline"],
+            100 * data["fairness_improvement_vs_greedy"],
+        )
+    )
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Figure 10: impact of the random number buffer size.
+
+Sweeps the random number buffer size (no buffer, 1, 4, 16, 64 entries)
+with the *simple buffering mechanism* (no idleness predictor, Section
+5.1.1) and reports, per buffer size, the average non-RNG and RNG
+application slowdowns and the buffer serve rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence
+
+from ..core.config import DRStrangeConfig
+from ..sim.config import drstrange_config
+from ..sim.runner import AloneRunCache, run_workload
+from ..workloads.mixes import dual_core_mixes
+from ..workloads.spec import ApplicationSpec
+from .common import DEFAULT_INSTRUCTIONS, average, select_applications
+
+#: Buffer sizes of Figure 10 (in 64-bit entries; 0 = no buffer).
+DEFAULT_BUFFER_SIZES: Sequence[int] = (0, 1, 4, 16, 64)
+
+
+def run(
+    apps: Optional[Sequence[ApplicationSpec]] = None,
+    buffer_sizes: Sequence[int] = DEFAULT_BUFFER_SIZES,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    full: bool = False,
+    cache: Optional[AloneRunCache] = None,
+) -> Dict:
+    """Run the buffer-size sweep with the simple buffering mechanism."""
+    applications = select_applications(apps, full=full)
+    mixes = dual_core_mixes(applications)
+
+    series: List[Dict] = []
+    for entries in buffer_sizes:
+        drs = DRStrangeConfig(buffer_entries=entries, predictor="none")
+        config = drstrange_config(drstrange=drs)
+        per_workload: List[Dict] = []
+        for mix in mixes:
+            evaluation = run_workload(mix, config, instructions=instructions, cache=cache)
+            per_workload.append(
+                {
+                    "workload": mix.name,
+                    "non_rng_slowdown": evaluation.non_rng_slowdown,
+                    "rng_slowdown": evaluation.rng_slowdown,
+                    "buffer_serve_rate": evaluation.buffer_serve_rate,
+                }
+            )
+        series.append(
+            {
+                "buffer_entries": entries,
+                "workloads": per_workload,
+                "avg_non_rng_slowdown": average(w["non_rng_slowdown"] for w in per_workload),
+                "avg_rng_slowdown": average(w["rng_slowdown"] for w in per_workload),
+                "avg_buffer_serve_rate": average(w["buffer_serve_rate"] for w in per_workload),
+            }
+        )
+
+    return {
+        "figure": "10",
+        "applications": [app.name for app in applications],
+        "series": series,
+    }
+
+
+def format_table(data: Dict) -> str:
+    """Render the buffer-size sweep averages."""
+    lines = ["Figure 10 - impact of the random number buffer size (simple buffering)"]
+    lines.append(f"{'entries':>8} {'non-RNG slowdown':>18} {'RNG slowdown':>14} {'serve rate':>12}")
+    for row in data["series"]:
+        lines.append(
+            f"{row['buffer_entries']:>8} {row['avg_non_rng_slowdown']:>18.3f} "
+            f"{row['avg_rng_slowdown']:>14.3f} {row['avg_buffer_serve_rate']:>12.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Figure 11: impact of the memory request scheduler (no buffer).
+
+Compares three schedulers on dual-core workloads with the random number
+buffer disabled, isolating the scheduling effect:
+
+* FR-FCFS with a column cap of 16 (the RNG-oblivious baseline),
+* BLISS (blacklisting threshold 4, clearing interval 10 000 cycles),
+* the RNG-aware scheduler (DR-STRaNGe with a 0-entry buffer).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.config import DRStrangeConfig
+from ..sim.config import baseline_config, drstrange_config
+from ..sim.runner import AloneRunCache, compare_designs
+from ..workloads.mixes import dual_core_mixes
+from ..workloads.spec import ApplicationSpec
+from .common import DEFAULT_INSTRUCTIONS, average, select_applications
+
+
+def run(
+    apps: Optional[Sequence[ApplicationSpec]] = None,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    full: bool = False,
+    cache: Optional[AloneRunCache] = None,
+) -> Dict:
+    """Compare FR-FCFS+Cap, BLISS and the RNG-aware scheduler (no buffer)."""
+    applications = select_applications(apps, full=full)
+    configs = {
+        "fr-fcfs+cap": baseline_config(),
+        "bliss": baseline_config(scheduler="bliss"),
+        "rng-aware": drstrange_config(drstrange=DRStrangeConfig(buffer_entries=0)),
+    }
+
+    workloads: List[Dict] = []
+    for mix in dual_core_mixes(applications):
+        evaluations = compare_designs(mix, configs, instructions=instructions, cache=cache)
+        row: Dict = {"workload": mix.name, "schedulers": {}}
+        for label, evaluation in evaluations.items():
+            row["schedulers"][label] = {
+                "non_rng_slowdown": evaluation.non_rng_slowdown,
+                "rng_slowdown": evaluation.rng_slowdown,
+                "unfairness": evaluation.unfairness,
+            }
+        workloads.append(row)
+
+    averages = {
+        label: {
+            "non_rng_slowdown": average(w["schedulers"][label]["non_rng_slowdown"] for w in workloads),
+            "rng_slowdown": average(w["schedulers"][label]["rng_slowdown"] for w in workloads),
+            "unfairness": average(w["schedulers"][label]["unfairness"] for w in workloads),
+        }
+        for label in configs
+    }
+
+    return {
+        "figure": "11",
+        "applications": [app.name for app in applications],
+        "workloads": workloads,
+        "averages": averages,
+    }
+
+
+def format_table(data: Dict) -> str:
+    """Render per-scheduler averages."""
+    lines = ["Figure 11 - scheduler comparison (no random number buffer)"]
+    lines.append(f"{'scheduler':>13} {'non-RNG slowdown':>18} {'RNG slowdown':>14} {'unfairness':>12}")
+    for label, row in data["averages"].items():
+        lines.append(
+            f"{label:>13} {row['non_rng_slowdown']:>18.3f} {row['rng_slowdown']:>14.3f} "
+            f"{row['unfairness']:>12.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Figure 12: impact of priority-based RNG-aware scheduling.
+
+Multi-core workloads are simulated under the RNG-oblivious baseline and
+under DR-STRaNGe with (a) the non-RNG applications given high priority
+and (b) the RNG application given high priority.  Reported per core
+count: the normalised weighted speedup of the non-RNG applications and
+the slowdown of the RNG application.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..sim.config import baseline_config, drstrange_config, PRIORITY_NON_RNG_HIGH, PRIORITY_RNG_HIGH
+from ..sim.runner import AloneRunCache, compare_designs
+from ..workloads.mixes import multi_core_group_mixes
+from .common import DEFAULT_INSTRUCTIONS, average
+
+
+def run(
+    core_counts: Sequence[int] = (4, 8),
+    workloads_per_core_count: int = 2,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    cache: Optional[AloneRunCache] = None,
+    seed: int = 0,
+) -> Dict:
+    """Evaluate priority-based scheduling across core counts."""
+    configs = {
+        "rng-oblivious": baseline_config(),
+        "dr-strange (non-rng high)": drstrange_config(priority_mode=PRIORITY_NON_RNG_HIGH),
+        "dr-strange (rng high)": drstrange_config(priority_mode=PRIORITY_RNG_HIGH),
+    }
+
+    rows: List[Dict] = []
+    for cores in core_counts:
+        groups = multi_core_group_mixes(cores, workloads_per_group=1, seed=seed)
+        mixes = [mix for group in groups.values() for mix in group][:workloads_per_core_count]
+        speedups = {label: [] for label in configs}
+        rng_slowdowns = {label: [] for label in configs}
+        for mix in mixes:
+            evaluations = compare_designs(mix, configs, instructions=instructions, cache=cache)
+            for label, evaluation in evaluations.items():
+                speedups[label].append(evaluation.non_rng_weighted_speedup)
+                rng_slowdowns[label].append(evaluation.rng_slowdown)
+        baseline_speedup = average(speedups["rng-oblivious"])
+        rows.append(
+            {
+                "cores": cores,
+                "num_workloads": len(mixes),
+                "normalized_weighted_speedup": {
+                    label: (average(values) / baseline_speedup if baseline_speedup else 0.0)
+                    for label, values in speedups.items()
+                },
+                "rng_slowdown": {label: average(values) for label, values in rng_slowdowns.items()},
+            }
+        )
+
+    return {"figure": "12", "series": rows}
+
+
+def format_table(data: Dict) -> str:
+    """Render the priority-scheduling results."""
+    lines = ["Figure 12 - priority-based RNG-aware scheduling"]
+    for row in data["series"]:
+        lines.append(f"{row['cores']}-core:")
+        for label, value in row["normalized_weighted_speedup"].items():
+            rng = row["rng_slowdown"][label]
+            lines.append(f"    {label:>28}: norm. weighted speedup {value:.3f}, RNG slowdown {rng:.3f}")
+    return "\n".join(lines)

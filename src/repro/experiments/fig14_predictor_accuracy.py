@@ -1,0 +1,83 @@
+"""Figure 14: accuracy of the DRAM idleness predictors.
+
+Reports, per workload, the prediction accuracy of the simple predictor
+and the RL predictor (fraction of idle periods whose long/short class was
+predicted correctly), for 2-core and larger workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.config import DRStrangeConfig
+from ..sim.config import drstrange_config
+from ..sim.runner import AloneRunCache, run_workload
+from ..workloads.mixes import dual_core_mixes, multi_core_group_mixes
+from ..workloads.spec import ApplicationSpec
+from .common import DEFAULT_INSTRUCTIONS, average, select_applications
+
+
+def run(
+    apps: Optional[Sequence[ApplicationSpec]] = None,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    core_counts: Sequence[int] = (2, 4),
+    full: bool = False,
+    cache: Optional[AloneRunCache] = None,
+    seed: int = 0,
+) -> Dict:
+    """Measure predictor accuracy for two-core and multi-core workloads."""
+    applications = select_applications(apps, full=full)
+    configs = {
+        "simple": drstrange_config(drstrange=DRStrangeConfig(predictor="simple")),
+        "rl": drstrange_config(drstrange=DRStrangeConfig(predictor="rl")),
+    }
+
+    two_core: List[Dict] = []
+    if 2 in core_counts:
+        for mix in dual_core_mixes(applications):
+            row: Dict = {"workload": mix.name, "accuracy": {}}
+            for label, config in configs.items():
+                evaluation = run_workload(mix, config, instructions=instructions, cache=cache)
+                row["accuracy"][label] = evaluation.predictor_accuracy or 0.0
+            two_core.append(row)
+
+    multi_core: List[Dict] = []
+    for cores in core_counts:
+        if cores == 2:
+            continue
+        groups = multi_core_group_mixes(cores, workloads_per_group=1, seed=seed)
+        mixes = [mix for group in groups.values() for mix in group]
+        accuracies = {label: [] for label in configs}
+        for mix in mixes:
+            for label, config in configs.items():
+                evaluation = run_workload(mix, config, instructions=instructions, cache=cache)
+                accuracies[label].append(evaluation.predictor_accuracy or 0.0)
+        multi_core.append(
+            {
+                "cores": cores,
+                "accuracy": {label: average(values) for label, values in accuracies.items()},
+            }
+        )
+
+    return {
+        "figure": "14",
+        "two_core": two_core,
+        "two_core_average": {
+            label: average(row["accuracy"][label] for row in two_core) if two_core else 0.0
+            for label in configs
+        },
+        "multi_core": multi_core,
+    }
+
+
+def format_table(data: Dict) -> str:
+    """Render predictor accuracies."""
+    lines = ["Figure 14 - DRAM idleness predictor accuracy"]
+    avg = data["two_core_average"]
+    lines.append(f"2-core average: simple {avg.get('simple', 0):.2f}, rl {avg.get('rl', 0):.2f}")
+    for row in data["multi_core"]:
+        lines.append(
+            f"{row['cores']}-core average: simple {row['accuracy']['simple']:.2f}, "
+            f"rl {row['accuracy']['rl']:.2f}"
+        )
+    return "\n".join(lines)

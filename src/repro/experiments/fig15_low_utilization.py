@@ -1,0 +1,74 @@
+"""Figure 15: impact of low-utilisation prediction.
+
+Compares DR-STRaNGe with the simple idleness predictor when the
+low-utilisation threshold is 0 (disabled: the buffer is only filled
+during fully idle periods) and 4 (the paper's default: periods where the
+read queue holds fewer than four requests are also used).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.config import DRStrangeConfig
+from ..sim.config import baseline_config, drstrange_config
+from ..sim.runner import AloneRunCache, compare_designs
+from ..workloads.mixes import dual_core_mixes
+from ..workloads.spec import ApplicationSpec
+from .common import DEFAULT_INSTRUCTIONS, average, select_applications
+
+
+def run(
+    apps: Optional[Sequence[ApplicationSpec]] = None,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    thresholds: Sequence[int] = (0, 4),
+    full: bool = False,
+    cache: Optional[AloneRunCache] = None,
+) -> Dict:
+    """Run the low-utilisation prediction ablation."""
+    applications = select_applications(apps, full=full)
+    configs = {"rng-oblivious": baseline_config()}
+    for threshold in thresholds:
+        configs[f"threshold-{threshold}"] = drstrange_config(
+            drstrange=DRStrangeConfig(low_utilization_threshold=threshold)
+        )
+
+    workloads: List[Dict] = []
+    for mix in dual_core_mixes(applications):
+        evaluations = compare_designs(mix, configs, instructions=instructions, cache=cache)
+        row: Dict = {"workload": mix.name, "designs": {}}
+        for label, evaluation in evaluations.items():
+            row["designs"][label] = {
+                "non_rng_slowdown": evaluation.non_rng_slowdown,
+                "rng_slowdown": evaluation.rng_slowdown,
+                "buffer_serve_rate": evaluation.buffer_serve_rate,
+            }
+        workloads.append(row)
+
+    averages = {
+        label: {
+            "non_rng_slowdown": average(w["designs"][label]["non_rng_slowdown"] for w in workloads),
+            "rng_slowdown": average(w["designs"][label]["rng_slowdown"] for w in workloads),
+            "buffer_serve_rate": average(w["designs"][label]["buffer_serve_rate"] for w in workloads),
+        }
+        for label in configs
+    }
+
+    return {
+        "figure": "15",
+        "applications": [app.name for app in applications],
+        "workloads": workloads,
+        "averages": averages,
+    }
+
+
+def format_table(data: Dict) -> str:
+    """Render the low-utilisation ablation averages."""
+    lines = ["Figure 15 - impact of low-utilisation prediction"]
+    lines.append(f"{'design':>15} {'non-RNG slowdown':>18} {'RNG slowdown':>14} {'serve rate':>12}")
+    for label, row in data["averages"].items():
+        lines.append(
+            f"{label:>15} {row['non_rng_slowdown']:>18.3f} {row['rng_slowdown']:>14.3f} "
+            f"{row['buffer_serve_rate']:>12.3f}"
+        )
+    return "\n".join(lines)

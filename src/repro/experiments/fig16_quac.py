@@ -1,0 +1,42 @@
+"""Figure 16: DR-STRaNGe with QUAC-TRNG.
+
+Repeats the dual-core three-design comparison of Figures 6 and 9 with the
+QUAC-TRNG mechanism model (higher throughput, higher 64-bit latency than
+D-RaNGe), showing that DR-STRaNGe's benefits are mechanism-independent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..sim.runner import AloneRunCache
+from ..workloads.spec import ApplicationSpec, DEFAULT_RNG_THROUGHPUT_MBPS
+from .common import DEFAULT_INSTRUCTIONS
+from . import fig06_dualcore_performance
+
+
+def run(
+    apps: Optional[Sequence[ApplicationSpec]] = None,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    rng_throughput_mbps: float = DEFAULT_RNG_THROUGHPUT_MBPS,
+    full: bool = False,
+    cache: Optional[AloneRunCache] = None,
+) -> Dict:
+    """Run the dual-core design comparison with QUAC-TRNG."""
+    data = fig06_dualcore_performance.run(
+        apps=apps,
+        instructions=instructions,
+        rng_throughput_mbps=rng_throughput_mbps,
+        full=full,
+        cache=cache,
+        config_overrides={"trng_name": "quac-trng"},
+    )
+    data["figure"] = "16"
+    data["trng"] = "quac-trng"
+    return data
+
+
+def format_table(data: Dict) -> str:
+    """Render the QUAC-TRNG comparison."""
+    table = fig06_dualcore_performance.format_table(data)
+    return table.replace("Figure 6", "Figure 16 (QUAC-TRNG)")

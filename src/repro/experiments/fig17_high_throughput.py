@@ -1,0 +1,42 @@
+"""Figure 17 (appendix): RNG applications with a 10 Gb/s requirement.
+
+Repeats the dual-core three-design comparison with an RNG benchmark that
+requires 10 Gb/s of random number throughput; DR-STRaNGe's benefits grow
+because the baseline interference is even larger.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..sim.runner import AloneRunCache
+from ..workloads.spec import ApplicationSpec
+from .common import DEFAULT_INSTRUCTIONS
+from . import fig06_dualcore_performance
+
+#: 10 Gb/s in Mb/s.
+HIGH_THROUGHPUT_MBPS = 10_240.0
+
+
+def run(
+    apps: Optional[Sequence[ApplicationSpec]] = None,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    full: bool = False,
+    cache: Optional[AloneRunCache] = None,
+) -> Dict:
+    """Run the dual-core design comparison at 10 Gb/s required throughput."""
+    data = fig06_dualcore_performance.run(
+        apps=apps,
+        instructions=instructions,
+        rng_throughput_mbps=HIGH_THROUGHPUT_MBPS,
+        full=full,
+        cache=cache,
+    )
+    data["figure"] = "17"
+    return data
+
+
+def format_table(data: Dict) -> str:
+    """Render the 10 Gb/s comparison."""
+    table = fig06_dualcore_performance.format_table(data)
+    return table.replace("Figure 6", "Figure 17 (10 Gb/s RNG applications)")

@@ -1,0 +1,79 @@
+"""Figure 18 (appendix): idle-period lengths of multi-core workloads.
+
+Collects the DRAM idle-period length distribution of 4-, 8- and 16-core
+workloads of non-RNG applications grouped by memory intensity.  Idle
+periods shrink as the number of applications and their memory intensity
+grow, so even fewer periods are long enough to generate a 64-bit random
+number in one go.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..dram.address import AddressMapping
+from ..metrics.stats import box_stats
+from ..sim.config import baseline_config
+from ..sim.system import System
+from ..workloads.mixes import ROW_OFFSET_STRIDE
+from ..workloads.suites import applications_by_category
+from ..workloads.synthetic import generate_application_trace
+from .common import DEFAULT_INSTRUCTIONS
+from .fig05_idle_periods import CYCLES_PER_64BIT
+
+
+def run(
+    core_counts: Sequence[int] = (4, 8),
+    categories: Sequence[str] = ("L", "M", "H"),
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    cache=None,
+    seed: int = 0,
+) -> Dict:
+    """Collect idle-period distributions for multi-core non-RNG workloads."""
+    config = baseline_config()
+    mapping = AddressMapping(config.organization)
+    pools = applications_by_category()
+
+    series: List[Dict] = []
+    for cores in core_counts:
+        for category in categories:
+            pool = pools[category]
+            traces = []
+            for slot in range(cores):
+                app = pool[(seed + slot) % len(pool)]
+                traces.append(
+                    generate_application_trace(
+                        app,
+                        instructions,
+                        seed=seed * 131 + slot,
+                        mapping=mapping,
+                        row_offset=slot * ROW_OFFSET_STRIDE,
+                    )
+                )
+            result = System(traces, config).run()
+            periods = result.all_idle_periods or [0]
+            series.append(
+                {
+                    "group": f"{category} ({cores})",
+                    "cores": cores,
+                    "category": category,
+                    "num_periods": len(periods),
+                    "box": box_stats(periods).as_dict(),
+                    "fraction_below_64bit": sum(1 for p in periods if p < CYCLES_PER_64BIT)
+                    / len(periods),
+                }
+            )
+
+    return {"figure": "18", "threshold_64bit_cycles": CYCLES_PER_64BIT, "series": series}
+
+
+def format_table(data: Dict) -> str:
+    """Render the multi-core idle-period distribution summary."""
+    lines = ["Figure 18 - DRAM idle period lengths (multi-core, non-RNG workloads)"]
+    lines.append(f"{'group':>10} {'periods':>8} {'median':>8} {'q3':>8} {'<198cyc':>8}")
+    for row in data["series"]:
+        lines.append(
+            f"{row['group']:>10} {row['num_periods']:>8} {row['box']['median']:>8.0f} "
+            f"{row['box']['q3']:>8.0f} {row['fraction_below_64bit']:>8.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Section 8.8: workloads with a low-intensity (640 Mb/s) RNG application.
+
+With a low required RNG throughput the RNG interference is small, so
+DR-STRaNGe's improvements shrink accordingly (the paper reports 3.2% /
+4.6% average improvements and no significant fairness change).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..sim.runner import AloneRunCache
+from ..workloads.spec import ApplicationSpec
+from .common import DEFAULT_INSTRUCTIONS
+from . import fig06_dualcore_performance
+
+#: Low-intensity RNG benchmark throughput (Mb/s).
+LOW_THROUGHPUT_MBPS = 640.0
+
+
+def run(
+    apps: Optional[Sequence[ApplicationSpec]] = None,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    full: bool = False,
+    cache: Optional[AloneRunCache] = None,
+) -> Dict:
+    """Run the dual-core design comparison at 640 Mb/s required throughput."""
+    data = fig06_dualcore_performance.run(
+        apps=apps,
+        instructions=instructions,
+        rng_throughput_mbps=LOW_THROUGHPUT_MBPS,
+        full=full,
+        cache=cache,
+    )
+    data["figure"] = "sec8.8"
+    return data
+
+
+def format_table(data: Dict) -> str:
+    """Render the low-intensity comparison."""
+    table = fig06_dualcore_performance.format_table(data)
+    return table.replace("Figure 6", "Section 8.8 (640 Mb/s RNG applications)")

@@ -1,0 +1,33 @@
+"""Performance, fairness and statistics metrics."""
+
+from .fairness import (
+    execution_slowdown,
+    fairness_improvement,
+    memory_slowdown,
+    unfairness_index,
+)
+from .speedup import harmonic_speedup, normalized_weighted_speedup, weighted_speedup
+from .stats import (
+    BoxStats,
+    arithmetic_mean,
+    box_stats,
+    geometric_mean,
+    percentile,
+    relative_improvement,
+)
+
+__all__ = [
+    "BoxStats",
+    "arithmetic_mean",
+    "box_stats",
+    "execution_slowdown",
+    "fairness_improvement",
+    "geometric_mean",
+    "harmonic_speedup",
+    "memory_slowdown",
+    "normalized_weighted_speedup",
+    "percentile",
+    "relative_improvement",
+    "unfairness_index",
+    "weighted_speedup",
+]

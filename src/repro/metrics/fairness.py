@@ -1,0 +1,56 @@
+"""Fairness and slowdown metrics (Section 7).
+
+The paper measures per-application *memory slowdown* as the memory stall
+cycles per instruction (MCPI) when the memory system is shared, divided by
+the MCPI when the application runs alone.  The workload-level *unfairness
+index* is the ratio of the maximum to the minimum memory slowdown across
+the applications of the workload: 1 means every application suffers the
+same relative slowdown, larger values mean the memory scheduler favours
+some applications over others.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def memory_slowdown(mcpi_shared: float, mcpi_alone: float, epsilon: float = 1e-9) -> float:
+    """Memory-related slowdown of one application.
+
+    ``epsilon`` guards against applications with (near-)zero stall time
+    when running alone: such applications are assigned the shared MCPI
+    scaled by the guard, which keeps the metric finite while still
+    reflecting that any added stall time is pure interference.
+    """
+    if mcpi_shared < 0 or mcpi_alone < 0:
+        raise ValueError("MCPI values must be non-negative")
+    return (mcpi_shared + epsilon) / (mcpi_alone + epsilon)
+
+
+def unfairness_index(slowdowns: Sequence[float]) -> float:
+    """Unfairness index: max memory slowdown / min memory slowdown."""
+    if not slowdowns:
+        raise ValueError("slowdowns must be non-empty")
+    if any(s <= 0 for s in slowdowns):
+        raise ValueError("slowdowns must be positive")
+    return max(slowdowns) / min(slowdowns)
+
+
+def execution_slowdown(cycles_shared: float, cycles_alone: float) -> float:
+    """Execution-time slowdown (shared / alone) for the same instruction count."""
+    if cycles_shared <= 0 or cycles_alone <= 0:
+        raise ValueError("cycle counts must be positive")
+    return cycles_shared / cycles_alone
+
+
+def fairness_improvement(unfairness_baseline: float, unfairness_new: float) -> float:
+    """Relative fairness improvement of a design over a baseline.
+
+    Both inputs are unfairness indices (>= 1); the improvement is the
+    relative reduction of the excess unfairness is *not* used by the
+    paper — the paper reports the plain relative reduction of the index,
+    which is what this function returns.
+    """
+    if unfairness_baseline <= 0 or unfairness_new <= 0:
+        raise ValueError("unfairness indices must be positive")
+    return (unfairness_baseline - unfairness_new) / unfairness_baseline

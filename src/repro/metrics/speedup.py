@@ -1,0 +1,38 @@
+"""Multi-programmed performance metrics (weighted / harmonic speedup)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def weighted_speedup(ipc_shared: Sequence[float], ipc_alone: Sequence[float]) -> float:
+    """Weighted speedup: sum of per-application IPC_shared / IPC_alone.
+
+    The standard system-throughput metric for multi-programmed workloads
+    (Snavely & Tullsen), used by the paper for multi-core non-RNG results.
+    """
+    _validate(ipc_shared, ipc_alone)
+    return sum(s / a for s, a in zip(ipc_shared, ipc_alone))
+
+
+def normalized_weighted_speedup(
+    ipc_shared: Sequence[float], ipc_alone: Sequence[float]
+) -> float:
+    """Weighted speedup divided by the number of applications (in [0, 1])."""
+    _validate(ipc_shared, ipc_alone)
+    return weighted_speedup(ipc_shared, ipc_alone) / len(ipc_shared)
+
+
+def harmonic_speedup(ipc_shared: Sequence[float], ipc_alone: Sequence[float]) -> float:
+    """Harmonic mean of speedups: balances throughput and fairness."""
+    _validate(ipc_shared, ipc_alone)
+    return len(ipc_shared) / sum(a / s for s, a in zip(ipc_shared, ipc_alone))
+
+
+def _validate(ipc_shared: Sequence[float], ipc_alone: Sequence[float]) -> None:
+    if not ipc_shared or not ipc_alone:
+        raise ValueError("IPC sequences must be non-empty")
+    if len(ipc_shared) != len(ipc_alone):
+        raise ValueError("IPC sequences must have the same length")
+    if any(value <= 0 for value in ipc_shared) or any(value <= 0 for value in ipc_alone):
+        raise ValueError("IPC values must be positive")

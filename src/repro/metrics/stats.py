@@ -1,0 +1,90 @@
+"""Small statistics helpers used by experiments and result reporting."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of strictly positive values."""
+    if not values:
+        raise ValueError("values must be non-empty")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    """Arithmetic mean."""
+    if not values:
+        raise ValueError("values must be non-empty")
+    return sum(values) / len(values)
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile (``fraction`` in [0, 1])."""
+    if not values:
+        raise ValueError("values must be non-empty")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return ordered[low]
+    weight = position - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Five-number summary used for the paper's box-and-whisker figures."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+
+    @property
+    def interquartile_range(self) -> float:
+        return self.q3 - self.q1
+
+    @property
+    def upper_whisker(self) -> float:
+        """Largest value within 1.5 IQR above Q3 (outlier threshold)."""
+        return self.q3 + 1.5 * self.interquartile_range
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "min": self.minimum,
+            "q1": self.q1,
+            "median": self.median,
+            "q3": self.q3,
+            "max": self.maximum,
+        }
+
+
+def box_stats(values: Sequence[float]) -> BoxStats:
+    """Compute the five-number summary of ``values``."""
+    if not values:
+        raise ValueError("values must be non-empty")
+    return BoxStats(
+        minimum=min(values),
+        q1=percentile(values, 0.25),
+        median=percentile(values, 0.5),
+        q3=percentile(values, 0.75),
+        maximum=max(values),
+    )
+
+
+def relative_improvement(baseline: float, new: float) -> float:
+    """Relative improvement of ``new`` over ``baseline`` for lower-is-better metrics."""
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return (baseline - new) / baseline

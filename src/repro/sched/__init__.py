@@ -1,0 +1,26 @@
+"""Baseline memory request schedulers (FR-FCFS, FR-FCFS+Cap, BLISS)."""
+
+from .base import MemoryScheduler
+from .bliss import BLISS
+from .frfcfs import FRFCFS, FRFCFSCap
+
+
+def make_scheduler(name: str, **kwargs) -> MemoryScheduler:
+    """Construct a baseline scheduler by name.
+
+    Recognised names: ``"fr-fcfs"``, ``"fr-fcfs+cap"``, ``"bliss"``.
+    Keyword arguments are forwarded to the scheduler constructor.
+    """
+    normalized = name.lower().replace("_", "-")
+    if normalized in ("fr-fcfs", "frfcfs"):
+        return FRFCFS(**kwargs)
+    if normalized in ("fr-fcfs+cap", "frfcfs+cap", "frfcfs-cap", "fr-fcfs-cap"):
+        return FRFCFSCap(**kwargs)
+    if normalized == "bliss":
+        return BLISS(**kwargs)
+    raise ValueError(
+        f"unknown scheduler {name!r}; expected one of 'fr-fcfs', 'fr-fcfs+cap', 'bliss'"
+    )
+
+
+__all__ = ["MemoryScheduler", "FRFCFS", "FRFCFSCap", "BLISS", "make_scheduler"]

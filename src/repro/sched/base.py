@@ -1,0 +1,45 @@
+"""Scheduler interface shared by all memory request schedulers."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Optional
+
+from ..controller.queues import RequestQueue
+from ..controller.request import Request
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..controller.memory_controller import ChannelController
+
+
+class MemoryScheduler(ABC):
+    """Selects which queued request a channel controller services next.
+
+    A scheduler only chooses among *regular* (read/write) requests of a
+    single queue.  Designs with separate RNG queues (DR-STRaNGe, the
+    Greedy Idle design) wrap a regular scheduler and add queue-selection
+    logic on top (see :class:`repro.core.rng_scheduler.RNGAwareScheduler`).
+    """
+
+    name = "abstract"
+
+    @abstractmethod
+    def select(
+        self,
+        queue: RequestQueue,
+        controller: "ChannelController",
+        now: int,
+    ) -> Optional[Request]:
+        """Return the request to service next, or ``None`` to idle."""
+
+    def notify_served(self, request: Request, now: int) -> None:
+        """Hook invoked after ``request`` has been issued to the devices."""
+
+    def tick(self, now: int) -> None:
+        """Per-cycle hook (e.g. for interval-based bookkeeping)."""
+
+    def reset(self) -> None:
+        """Reset any scheduling state (between simulations)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}()"

@@ -1,0 +1,104 @@
+"""The Blacklisting memory scheduler (BLISS).
+
+BLISS (Subramanian et al., ICCD 2014 / TPDS 2016) observes that ranking
+schedulers are complex and instead separates applications into just two
+groups: *blacklisted* (recently served many consecutive requests, i.e.
+likely interference-causing) and *non-blacklisted*.  The scheduling order
+is:
+
+1. non-blacklisted applications' requests first,
+2. then row-buffer hits,
+3. then the oldest request.
+
+An application is blacklisted when ``blacklisting_threshold`` of its
+requests are served back-to-back; the blacklist is cleared every
+``clearing_interval`` cycles.  The paper evaluates BLISS with a threshold
+of 4 and a clearing interval of 10 000 cycles (Section 8.4, footnote 3).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Set
+
+from ..controller.queues import RequestQueue
+from ..controller.request import Request, RequestType
+from .base import MemoryScheduler
+from .frfcfs import FRFCFS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..controller.memory_controller import ChannelController
+
+
+class BLISS(MemoryScheduler):
+    """Blacklisting memory scheduler."""
+
+    name = "bliss"
+
+    def __init__(self, blacklisting_threshold: int = 4, clearing_interval: int = 10_000) -> None:
+        if blacklisting_threshold <= 0:
+            raise ValueError("blacklisting_threshold must be positive")
+        if clearing_interval <= 0:
+            raise ValueError("clearing_interval must be positive")
+        self.blacklisting_threshold = blacklisting_threshold
+        self.clearing_interval = clearing_interval
+        self.blacklist: Set[int] = set()
+        self._last_served_core: Optional[int] = None
+        self._consecutive_served = 0
+        self._last_clear_cycle = 0
+        # Statistics.
+        self.blacklist_events = 0
+        self.clear_events = 0
+
+    # -- scheduling ---------------------------------------------------------------
+
+    def select(
+        self,
+        queue: RequestQueue,
+        controller: "ChannelController",
+        now: int,
+    ) -> Optional[Request]:
+        best: Optional[Request] = None
+        best_key = None
+        for request in queue:
+            key = (
+                0 if request.core_id not in self.blacklist else 1,
+                0 if self._is_row_hit(request, controller) else 1,
+                request.arrival_cycle,
+                request.request_id,
+            )
+            if best_key is None or key < best_key:
+                best, best_key = request, key
+        return best
+
+    @staticmethod
+    def _is_row_hit(request: Request, controller: "ChannelController") -> bool:
+        if request.type is RequestType.RNG:
+            return False
+        decoded = controller.decode(request)
+        return controller.channel.is_row_hit(decoded.bank_id(controller.organization), decoded.row)
+
+    # -- bookkeeping --------------------------------------------------------------
+
+    def notify_served(self, request: Request, now: int) -> None:
+        core = request.core_id
+        if core == self._last_served_core:
+            self._consecutive_served += 1
+        else:
+            self._last_served_core = core
+            self._consecutive_served = 1
+        if self._consecutive_served >= self.blacklisting_threshold and core not in self.blacklist:
+            self.blacklist.add(core)
+            self.blacklist_events += 1
+
+    def tick(self, now: int) -> None:
+        if now - self._last_clear_cycle >= self.clearing_interval:
+            if self.blacklist:
+                self.clear_events += 1
+            self.blacklist.clear()
+            self._last_clear_cycle = now
+
+    def reset(self) -> None:
+        self.blacklist.clear()
+        self._last_served_core = None
+        self._consecutive_served = 0
+        self._last_clear_cycle = 0

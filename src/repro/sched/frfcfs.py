@@ -1,0 +1,116 @@
+"""First-Ready First-Come-First-Serve schedulers.
+
+``FRFCFS`` is the classic policy: row-buffer hits first, then the oldest
+request.  ``FRFCFSCap`` additionally caps the number of *consecutive* row
+hits that may be served from the same row (a "column cap" of 16 in the
+paper's baseline, following Mutlu & Moscibroda's STFM paper), which bounds
+how long a high-row-locality application can monopolise a bank.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from ..controller.queues import RequestQueue
+from ..controller.request import Request, RequestType
+from .base import MemoryScheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..controller.memory_controller import ChannelController
+
+
+class FRFCFS(MemoryScheduler):
+    """First-ready (row hit) first, then first-come-first-serve."""
+
+    name = "fr-fcfs"
+
+    def select(
+        self,
+        queue: RequestQueue,
+        controller: "ChannelController",
+        now: int,
+    ) -> Optional[Request]:
+        oldest_hit: Optional[Request] = None
+        oldest: Optional[Request] = None
+        for request in queue:
+            if oldest is None:
+                oldest = request
+            if self._is_row_hit(request, controller) and oldest_hit is None:
+                oldest_hit = request
+        return oldest_hit if oldest_hit is not None else oldest
+
+    @staticmethod
+    def _is_row_hit(request: Request, controller: "ChannelController") -> bool:
+        if request.type is RequestType.RNG:
+            return False
+        decoded = controller.decode(request)
+        return controller.channel.is_row_hit(decoded.bank_id(controller.organization), decoded.row)
+
+
+class FRFCFSCap(FRFCFS):
+    """FR-FCFS with a cap on consecutive row hits from the same row.
+
+    The cap prevents the unfair prioritisation of applications with very
+    high row-buffer locality: after ``cap`` row hits have been served from
+    the same open row without interruption, the scheduler falls back to the
+    oldest request even if further hits are pending.
+    """
+
+    name = "fr-fcfs+cap"
+
+    def __init__(self, cap: int = 16) -> None:
+        if cap <= 0:
+            raise ValueError(f"column cap must be positive, got {cap}")
+        self.cap = cap
+        # (bank_id, row) of the current hit streak and its length.
+        self._streak_key: Optional[Tuple[int, int]] = None
+        self._streak_length = 0
+
+    def select(
+        self,
+        queue: RequestQueue,
+        controller: "ChannelController",
+        now: int,
+    ) -> Optional[Request]:
+        oldest_hit: Optional[Request] = None
+        oldest: Optional[Request] = None
+        for request in queue:
+            if oldest is None:
+                oldest = request
+            if oldest_hit is None and self._is_row_hit(request, controller):
+                key = self._row_key(request, controller)
+                if not (key == self._streak_key and self._streak_length >= self.cap):
+                    oldest_hit = request
+        return oldest_hit if oldest_hit is not None else oldest
+
+    def notify_served(self, request: Request, now: int) -> None:
+        if request.type is RequestType.RNG:
+            self._streak_key = None
+            self._streak_length = 0
+            return
+        key = (request.decoded.bank_id(self._org), request.decoded.row) if request.decoded else None
+        if key is not None and key == self._streak_key:
+            self._streak_length += 1
+        else:
+            self._streak_key = key
+            self._streak_length = 1
+
+    def select_and_track(self, queue, controller, now):  # pragma: no cover - legacy alias
+        return self.select(queue, controller, now)
+
+    # ``notify_served`` needs the organization to compute flat bank ids; the
+    # controller injects it once at construction time via ``bind``.
+    _org = None
+
+    def bind(self, organization) -> None:
+        """Associate the DRAM organization (called by the controller)."""
+        self._org = organization
+
+    @staticmethod
+    def _row_key(request: Request, controller: "ChannelController") -> Tuple[int, int]:
+        decoded = controller.decode(request)
+        return (decoded.bank_id(controller.organization), decoded.row)
+
+    def reset(self) -> None:
+        self._streak_key = None
+        self._streak_length = 0

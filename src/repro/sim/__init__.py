@@ -1,0 +1,54 @@
+"""System assembly, simulation loop and the experiment runner."""
+
+from .config import (
+    DESIGN_DRSTRANGE,
+    DESIGN_GREEDY_IDLE,
+    DESIGN_RNG_OBLIVIOUS,
+    DESIGNS,
+    PRIORITY_EQUAL,
+    PRIORITY_MODES,
+    PRIORITY_NON_RNG_HIGH,
+    PRIORITY_RNG_HIGH,
+    SimulationConfig,
+    baseline_config,
+    drstrange_config,
+    greedy_config,
+)
+from .results import ChannelResult, CoreResult, SimulationResult
+from .runner import (
+    GLOBAL_ALONE_CACHE,
+    AloneRunCache,
+    SlotEvaluation,
+    WorkloadEvaluation,
+    compare_designs,
+    run_single_application,
+    run_workload,
+)
+from .system import System, simulate
+
+__all__ = [
+    "AloneRunCache",
+    "ChannelResult",
+    "CoreResult",
+    "DESIGNS",
+    "DESIGN_DRSTRANGE",
+    "DESIGN_GREEDY_IDLE",
+    "DESIGN_RNG_OBLIVIOUS",
+    "GLOBAL_ALONE_CACHE",
+    "PRIORITY_EQUAL",
+    "PRIORITY_MODES",
+    "PRIORITY_NON_RNG_HIGH",
+    "PRIORITY_RNG_HIGH",
+    "SimulationConfig",
+    "SimulationResult",
+    "SlotEvaluation",
+    "System",
+    "WorkloadEvaluation",
+    "baseline_config",
+    "compare_designs",
+    "drstrange_config",
+    "greedy_config",
+    "run_single_application",
+    "run_workload",
+    "simulate",
+]

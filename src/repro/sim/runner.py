@@ -1,0 +1,231 @@
+"""Experiment runner: shared vs. alone runs, slowdowns, fairness.
+
+The paper's methodology (Section 7) reports every per-application metric
+relative to the application running *alone* on a single-core baseline
+system.  The runner materialises a workload mix into traces, simulates it
+under a given design, simulates every application alone (cached across
+experiments, since alone runs are design-independent), and assembles the
+derived metrics: execution slowdown, memory slowdown, unfairness index and
+weighted speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cpu.trace import Trace
+from ..dram.address import AddressMapping
+from ..metrics.fairness import memory_slowdown, unfairness_index
+from ..metrics.speedup import normalized_weighted_speedup, weighted_speedup
+from ..workloads.mixes import ROW_OFFSET_STRIDE, build_traces
+from ..workloads.spec import WorkloadMix
+from .config import SimulationConfig
+from .results import CoreResult, SimulationResult
+from .system import System
+
+
+@dataclass(frozen=True)
+class SlotEvaluation:
+    """Shared-vs-alone comparison for one core of a workload."""
+
+    name: str
+    is_rng: bool
+    slowdown: float
+    memory_slowdown: float
+    ipc_shared: float
+    ipc_alone: float
+    shared: CoreResult
+    alone: CoreResult
+
+
+@dataclass
+class WorkloadEvaluation:
+    """Full evaluation of one workload mix under one design."""
+
+    mix_name: str
+    design: str
+    slots: List[SlotEvaluation]
+    unfairness: float
+    result: SimulationResult
+
+    @property
+    def rng_slots(self) -> List[SlotEvaluation]:
+        return [slot for slot in self.slots if slot.is_rng]
+
+    @property
+    def non_rng_slots(self) -> List[SlotEvaluation]:
+        return [slot for slot in self.slots if not slot.is_rng]
+
+    @property
+    def rng_slowdown(self) -> float:
+        """Average slowdown of the RNG applications in the workload."""
+        slots = self.rng_slots
+        if not slots:
+            return 1.0
+        return sum(slot.slowdown for slot in slots) / len(slots)
+
+    @property
+    def non_rng_slowdown(self) -> float:
+        """Average slowdown of the non-RNG applications in the workload."""
+        slots = self.non_rng_slots
+        if not slots:
+            return 1.0
+        return sum(slot.slowdown for slot in slots) / len(slots)
+
+    @property
+    def non_rng_weighted_speedup(self) -> float:
+        """Weighted speedup of the non-RNG applications (Figure 7)."""
+        slots = self.non_rng_slots
+        if not slots:
+            return 0.0
+        return weighted_speedup(
+            [slot.ipc_shared for slot in slots], [slot.ipc_alone for slot in slots]
+        )
+
+    @property
+    def non_rng_normalized_weighted_speedup(self) -> float:
+        slots = self.non_rng_slots
+        if not slots:
+            return 0.0
+        return normalized_weighted_speedup(
+            [slot.ipc_shared for slot in slots], [slot.ipc_alone for slot in slots]
+        )
+
+    @property
+    def buffer_serve_rate(self) -> float:
+        return self.result.buffer_serve_rate
+
+    @property
+    def predictor_accuracy(self) -> Optional[float]:
+        return self.result.predictor_accuracy
+
+    @property
+    def energy_nj(self) -> float:
+        return self.result.energy.total_nj
+
+    @property
+    def memory_busy_cycles(self) -> int:
+        return self.result.memory_busy_cycles
+
+
+class AloneRunCache:
+    """Cache of single-application "alone" runs keyed by trace + config."""
+
+    def __init__(self) -> None:
+        self._cache: Dict[tuple, Tuple[CoreResult, SimulationResult]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(
+        self, trace: Trace, config: SimulationConfig
+    ) -> Tuple[CoreResult, SimulationResult]:
+        alone_config = config.alone_run_config()
+        key = (
+            trace.name,
+            trace.metadata.get("seed"),
+            trace.metadata.get("row_offset"),
+            trace.metadata.get("throughput_mbps"),
+            trace.total_instructions,
+            alone_config.cache_key(),
+        )
+        if key in self._cache:
+            self.hits += 1
+            return self._cache[key]
+        self.misses += 1
+        result = System([trace], alone_config).run()
+        entry = (result.cores[0], result)
+        self._cache[key] = entry
+        return entry
+
+    def clear(self) -> None:
+        self._cache.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+
+#: Module-level cache shared by all experiments of one process.
+GLOBAL_ALONE_CACHE = AloneRunCache()
+
+
+def run_workload(
+    mix: WorkloadMix,
+    config: SimulationConfig,
+    instructions: int = 20_000,
+    seed: int = 0,
+    cache: Optional[AloneRunCache] = None,
+    traces: Optional[Sequence[Trace]] = None,
+) -> WorkloadEvaluation:
+    """Simulate ``mix`` under ``config`` and compare against alone runs."""
+    cache = cache if cache is not None else GLOBAL_ALONE_CACHE
+    mapping = AddressMapping(config.organization)
+    if traces is None:
+        traces = build_traces(mix, instructions, seed=seed, mapping=mapping)
+    shared_result = System(traces, config).run()
+
+    slots: List[SlotEvaluation] = []
+    slowdown_values: List[float] = []
+    for core_id, trace in enumerate(traces):
+        alone_core, _ = cache.get(trace, config)
+        shared_core = shared_result.cores[core_id]
+        execution_slowdown = shared_core.cycles / max(1, alone_core.cycles)
+        mem_slowdown = memory_slowdown(shared_core.mcpi, alone_core.mcpi)
+        slots.append(
+            SlotEvaluation(
+                name=trace.name,
+                is_rng=shared_core.is_rng,
+                slowdown=execution_slowdown,
+                memory_slowdown=mem_slowdown,
+                ipc_shared=max(shared_core.ipc, 1e-12),
+                ipc_alone=max(alone_core.ipc, 1e-12),
+                shared=shared_core,
+                alone=alone_core,
+            )
+        )
+        # For the unfairness index an application that runs *faster* than
+        # alone (e.g. an RNG application whose requests are absorbed by
+        # the random number buffer) is not "unfairly favoured" beyond
+        # parity, so its memory slowdown is floored at 1.0.
+        slowdown_values.append(max(1.0, mem_slowdown))
+
+    unfairness = unfairness_index(slowdown_values) if len(slowdown_values) > 1 else 1.0
+    return WorkloadEvaluation(
+        mix_name=mix.name,
+        design=config.design,
+        slots=slots,
+        unfairness=unfairness,
+        result=shared_result,
+    )
+
+
+def run_single_application(
+    trace: Trace,
+    config: SimulationConfig,
+    cache: Optional[AloneRunCache] = None,
+) -> Tuple[CoreResult, SimulationResult]:
+    """Run one application alone on the baseline system (cached)."""
+    cache = cache if cache is not None else GLOBAL_ALONE_CACHE
+    return cache.get(trace, config)
+
+
+def compare_designs(
+    mix: WorkloadMix,
+    configs: Dict[str, SimulationConfig],
+    instructions: int = 20_000,
+    seed: int = 0,
+    cache: Optional[AloneRunCache] = None,
+) -> Dict[str, WorkloadEvaluation]:
+    """Evaluate the same workload (same traces) under several designs."""
+    cache = cache if cache is not None else GLOBAL_ALONE_CACHE
+    results: Dict[str, WorkloadEvaluation] = {}
+    base_config = next(iter(configs.values()))
+    mapping = AddressMapping(base_config.organization)
+    traces = build_traces(mix, instructions, seed=seed, mapping=mapping)
+    for label, config in configs.items():
+        results[label] = run_workload(
+            mix, config, instructions=instructions, seed=seed, cache=cache, traces=traces
+        )
+    return results

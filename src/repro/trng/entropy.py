@@ -1,0 +1,153 @@
+"""Simulated DRAM entropy source.
+
+DRAM-based TRNGs extract randomness from cells whose behaviour under
+violated timing parameters is metastable: reading such a cell with a
+reduced tRCD (D-RaNGe) or issuing carefully crafted quadruple activations
+(QUAC-TRNG) makes the sensed value flip randomly, with a per-cell
+probability determined by manufacturing process variation.
+
+This module provides a synthetic substitute for real DRAM chips: a
+:class:`ProcessVariationModel` assigns every RNG cell a Bernoulli
+probability drawn from a Beta distribution centred at 0.5 (most cells are
+nearly unbiased, a few are skewed), and :class:`EntropySource` samples raw
+bits from these cells and optionally applies von Neumann debiasing so the
+final bit stream passes basic randomness tests, mirroring the
+post-processing D-RaNGe and QUAC-TRNG apply (bit selection / SHA-256).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ProcessVariationModel:
+    """Statistical model of per-cell flip probabilities.
+
+    Attributes
+    ----------
+    alpha, beta:
+        Parameters of the Beta distribution the per-cell probabilities are
+        drawn from.  The default (8, 8) gives probabilities concentrated
+        around 0.5 with a realistic spread.
+    rng_cell_fraction:
+        Fraction of cells in a reserved row that behave as usable RNG
+        cells (the rest are too deterministic to contribute entropy).
+    """
+
+    alpha: float = 8.0
+    beta: float = 8.0
+    rng_cell_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0 or self.beta <= 0:
+            raise ValueError("alpha and beta must be positive")
+        if not 0 < self.rng_cell_fraction <= 1:
+            raise ValueError("rng_cell_fraction must be in (0, 1]")
+
+    def sample_cell_probabilities(self, num_cells: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw flip probabilities for ``num_cells`` RNG cells."""
+        if num_cells <= 0:
+            raise ValueError("num_cells must be positive")
+        return rng.beta(self.alpha, self.beta, size=num_cells)
+
+
+class EntropySource:
+    """Produces random bits from a simulated population of DRAM RNG cells."""
+
+    def __init__(
+        self,
+        num_cells: int = 4096,
+        model: ProcessVariationModel | None = None,
+        seed: int | None = 0,
+        debias: bool = True,
+    ) -> None:
+        if num_cells <= 0:
+            raise ValueError("num_cells must be positive")
+        self.model = model or ProcessVariationModel()
+        self.debias = debias
+        self._rng = np.random.default_rng(seed)
+        self.cell_probabilities = self.model.sample_cell_probabilities(num_cells, self._rng)
+        self._next_cell = 0
+        # Statistics.
+        self.raw_bits_drawn = 0
+        self.output_bits_produced = 0
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.cell_probabilities)
+
+    # -- raw sampling -------------------------------------------------------------
+
+    def sample_raw_bits(self, count: int) -> np.ndarray:
+        """Sample ``count`` raw (possibly biased) bits from the RNG cells."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return np.zeros(0, dtype=np.uint8)
+        indices = (self._next_cell + np.arange(count)) % self.num_cells
+        self._next_cell = int((self._next_cell + count) % self.num_cells)
+        probabilities = self.cell_probabilities[indices]
+        bits = (self._rng.random(count) < probabilities).astype(np.uint8)
+        self.raw_bits_drawn += count
+        return bits
+
+    # -- post-processing ----------------------------------------------------------
+
+    @staticmethod
+    def von_neumann(bits: np.ndarray) -> np.ndarray:
+        """Von Neumann debiasing: 01 -> 0, 10 -> 1, 00/11 -> discarded."""
+        if len(bits) < 2:
+            return np.zeros(0, dtype=np.uint8)
+        pairs = bits[: len(bits) // 2 * 2].reshape(-1, 2)
+        keep = pairs[:, 0] != pairs[:, 1]
+        return pairs[keep, 0].astype(np.uint8)
+
+    def generate_bits(self, count: int) -> np.ndarray:
+        """Generate ``count`` output bits (after optional debiasing)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return np.zeros(0, dtype=np.uint8)
+        output: list[np.ndarray] = []
+        produced = 0
+        while produced < count:
+            # Draw enough raw bits that one round usually suffices: von
+            # Neumann keeps ~p(1-p)*2 of the input, ~0.5 for p near 0.5.
+            raw = self.sample_raw_bits(max(64, (count - produced) * 3))
+            chunk = self.von_neumann(raw) if self.debias else raw
+            if len(chunk) == 0:
+                continue
+            output.append(chunk)
+            produced += len(chunk)
+        bits = np.concatenate(output)[:count]
+        self.output_bits_produced += len(bits)
+        return bits
+
+    def generate_integer(self, bits: int = 64) -> int:
+        """Generate an unsigned integer assembled from ``bits`` random bits."""
+        if bits <= 0:
+            raise ValueError("bits must be positive")
+        bit_array = self.generate_bits(bits)
+        value = 0
+        for bit in bit_array:
+            value = (value << 1) | int(bit)
+        return value
+
+    def generate_bytes(self, count: int) -> bytes:
+        """Generate ``count`` random bytes."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        bits = self.generate_bits(count * 8)
+        if count == 0:
+            return b""
+        return np.packbits(bits).tobytes()
+
+    @property
+    def debias_efficiency(self) -> float:
+        """Fraction of raw bits surviving post-processing so far."""
+        if not self.raw_bits_drawn:
+            return 0.0
+        return self.output_bits_produced / self.raw_bits_drawn

@@ -1,0 +1,187 @@
+"""Randomness quality tests.
+
+A small, dependency-free subset of the NIST SP 800-22 statistical test
+suite, used by the example applications and the test suite to check that
+the simulated entropy source (after post-processing) produces bit streams
+that look random.  Each test returns a :class:`TestResult` with a p-value
+(or score) and a pass/fail verdict at the conventional 0.01 significance
+level.
+
+These tests validate the *entropy substrate substitution* documented in
+DESIGN.md; they are not part of the paper's evaluation (the paper relies
+on D-RaNGe's and QUAC-TRNG's published NIST results).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TestResult:
+    """Outcome of one statistical test."""
+
+    name: str
+    p_value: float
+    passed: bool
+    statistic: float = 0.0
+
+    def __str__(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        return f"{self.name}: p={self.p_value:.4f} [{verdict}]"
+
+
+SIGNIFICANCE_LEVEL = 0.01
+
+
+def _as_bit_array(bits: Sequence[int] | np.ndarray) -> np.ndarray:
+    array = np.asarray(bits, dtype=np.int64)
+    if array.ndim != 1:
+        raise ValueError("bits must be a one-dimensional sequence")
+    if array.size == 0:
+        raise ValueError("bits must be non-empty")
+    if not np.isin(array, (0, 1)).all():
+        raise ValueError("bits must contain only 0 and 1")
+    return array
+
+
+def monobit_test(bits: Sequence[int] | np.ndarray) -> TestResult:
+    """NIST frequency (monobit) test: are ones and zeros balanced?"""
+    array = _as_bit_array(bits)
+    n = array.size
+    s = np.abs(2 * array.sum() - n)
+    statistic = s / math.sqrt(n)
+    p_value = math.erfc(statistic / math.sqrt(2))
+    return TestResult("monobit", p_value, p_value >= SIGNIFICANCE_LEVEL, statistic)
+
+
+def block_frequency_test(bits: Sequence[int] | np.ndarray, block_size: int = 128) -> TestResult:
+    """NIST block-frequency test: are ones balanced within each block?"""
+    array = _as_bit_array(bits)
+    if block_size <= 0:
+        raise ValueError("block_size must be positive")
+    num_blocks = array.size // block_size
+    if num_blocks == 0:
+        raise ValueError("bit stream shorter than one block")
+    blocks = array[: num_blocks * block_size].reshape(num_blocks, block_size)
+    proportions = blocks.mean(axis=1)
+    chi_squared = 4.0 * block_size * float(np.sum((proportions - 0.5) ** 2))
+    p_value = _igamc(num_blocks / 2.0, chi_squared / 2.0)
+    return TestResult("block_frequency", p_value, p_value >= SIGNIFICANCE_LEVEL, chi_squared)
+
+
+def runs_test(bits: Sequence[int] | np.ndarray) -> TestResult:
+    """NIST runs test: is the number of runs consistent with randomness?"""
+    array = _as_bit_array(bits)
+    n = array.size
+    pi = array.mean()
+    if abs(pi - 0.5) >= 2.0 / math.sqrt(n):
+        # Prerequisite (monobit) failed; the runs test is defined to fail.
+        return TestResult("runs", 0.0, False, float("inf"))
+    runs = 1 + int(np.count_nonzero(array[1:] != array[:-1]))
+    expected = 2.0 * n * pi * (1 - pi)
+    statistic = abs(runs - expected) / (2.0 * math.sqrt(2.0 * n) * pi * (1 - pi))
+    p_value = math.erfc(statistic)
+    return TestResult("runs", p_value, p_value >= SIGNIFICANCE_LEVEL, statistic)
+
+
+def serial_twobit_test(bits: Sequence[int] | np.ndarray) -> TestResult:
+    """Two-bit serial test: are the four 2-bit patterns equally likely?"""
+    array = _as_bit_array(bits)
+    n = array.size
+    if n < 4:
+        raise ValueError("bit stream too short for the serial test")
+    pairs = array[:-1] * 2 + array[1:]
+    counts = np.bincount(pairs, minlength=4).astype(float)
+    expected = (n - 1) / 4.0
+    chi_squared = float(np.sum((counts - expected) ** 2) / expected)
+    p_value = _igamc(3 / 2.0, chi_squared / 2.0)
+    return TestResult("serial_twobit", p_value, p_value >= SIGNIFICANCE_LEVEL, chi_squared)
+
+
+def shannon_entropy(bits: Sequence[int] | np.ndarray, block_size: int = 8) -> float:
+    """Empirical Shannon entropy per bit measured over ``block_size``-bit symbols."""
+    array = _as_bit_array(bits)
+    num_blocks = array.size // block_size
+    if num_blocks == 0:
+        raise ValueError("bit stream shorter than one block")
+    weights = 1 << np.arange(block_size - 1, -1, -1)
+    symbols = array[: num_blocks * block_size].reshape(num_blocks, block_size) @ weights
+    counts = np.bincount(symbols, minlength=1 << block_size)
+    probabilities = counts[counts > 0] / num_blocks
+    entropy_bits = float(-(probabilities * np.log2(probabilities)).sum())
+    return entropy_bits / block_size
+
+
+def run_all_tests(bits: Sequence[int] | np.ndarray) -> list[TestResult]:
+    """Run every implemented test on ``bits`` and return all results."""
+    return [
+        monobit_test(bits),
+        block_frequency_test(bits),
+        runs_test(bits),
+        serial_twobit_test(bits),
+    ]
+
+
+def all_tests_pass(bits: Sequence[int] | np.ndarray) -> bool:
+    """Whether ``bits`` pass every implemented randomness test."""
+    return all(result.passed for result in run_all_tests(bits))
+
+
+# -- incomplete gamma helper ------------------------------------------------------
+
+
+def _igamc(a: float, x: float) -> float:
+    """Upper regularised incomplete gamma function Q(a, x).
+
+    Implemented with the series / continued-fraction split used by
+    Cephes (and NIST's reference implementation), adequate for the test
+    statistics produced here.
+    """
+    if x <= 0 or a <= 0:
+        return 1.0
+    if x < a + 1.0:
+        return 1.0 - _igam_series(a, x)
+    return _igamc_continued_fraction(a, x)
+
+
+def _igam_series(a: float, x: float) -> float:
+    """Lower regularised incomplete gamma P(a, x) via its power series."""
+    term = 1.0 / a
+    total = term
+    n = a
+    for _ in range(500):
+        n += 1.0
+        term *= x / n
+        total += term
+        if term < total * 1e-15:
+            break
+    return total * math.exp(-x + a * math.log(x) - math.lgamma(a))
+
+
+def _igamc_continued_fraction(a: float, x: float) -> float:
+    """Upper regularised incomplete gamma Q(a, x) via continued fraction."""
+    tiny = 1e-300
+    b = x + 1.0 - a
+    c = 1.0 / tiny
+    d = 1.0 / b
+    h = d
+    for i in range(1, 500):
+        an = -i * (i - a)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < tiny:
+            d = tiny
+        c = b + an / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-15:
+            break
+    return h * math.exp(-x + a * math.log(x) - math.lgamma(a))

@@ -1,0 +1,52 @@
+"""Workload specifications, synthetic trace generators and workload mixes."""
+
+from .mixes import (
+    ROW_OFFSET_STRIDE,
+    build_traces,
+    dual_core_mixes,
+    four_core_group_mixes,
+    motivation_mixes,
+    multi_core_group_mixes,
+)
+from .rng_benchmark import generate_rng_trace
+from .spec import (
+    DEFAULT_RNG_THROUGHPUT_MBPS,
+    MOTIVATION_RNG_THROUGHPUTS_MBPS,
+    ApplicationSpec,
+    RNGBenchmarkSpec,
+    WorkloadMix,
+    standard_rng_benchmark,
+)
+from .suites import (
+    ALL_APPLICATIONS,
+    APPLICATIONS_BY_NAME,
+    PAPER_FIGURE_APPS,
+    application,
+    applications_by_category,
+    representative_subset,
+)
+from .synthetic import generate_application_trace, generate_streaming_trace
+
+__all__ = [
+    "ALL_APPLICATIONS",
+    "APPLICATIONS_BY_NAME",
+    "ApplicationSpec",
+    "DEFAULT_RNG_THROUGHPUT_MBPS",
+    "MOTIVATION_RNG_THROUGHPUTS_MBPS",
+    "PAPER_FIGURE_APPS",
+    "ROW_OFFSET_STRIDE",
+    "RNGBenchmarkSpec",
+    "WorkloadMix",
+    "application",
+    "applications_by_category",
+    "build_traces",
+    "dual_core_mixes",
+    "four_core_group_mixes",
+    "generate_application_trace",
+    "generate_rng_trace",
+    "generate_streaming_trace",
+    "motivation_mixes",
+    "multi_core_group_mixes",
+    "representative_subset",
+    "standard_rng_benchmark",
+]

@@ -1,0 +1,166 @@
+"""Multi-programmed workload mixes (Tables 2 and 3 of the paper).
+
+* 2-core motivation mixes: every non-RNG application paired with RNG
+  benchmarks of 640/1280/2560/5120 Mb/s required throughput (Table 2,
+  172 workloads with the full roster).
+* 2-core evaluation mixes: every non-RNG application paired with the
+  5 Gb/s RNG benchmark (43 workloads).
+* 4-core groups LLLS / LLHS / LHHS / HHHS: three non-RNG applications of
+  the indicated memory-intensity categories plus one RNG benchmark, ten
+  workloads per group.
+* 8- and 16-core groups L / M / H: seven or fifteen non-RNG applications
+  of one category plus one RNG benchmark, ten workloads per group.
+
+Mixes can be materialised into per-core traces with :func:`build_traces`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..cpu.trace import Trace
+from ..dram.address import AddressMapping
+from .rng_benchmark import generate_rng_trace
+from .spec import (
+    ApplicationSpec,
+    DEFAULT_RNG_THROUGHPUT_MBPS,
+    MOTIVATION_RNG_THROUGHPUTS_MBPS,
+    RNGBenchmarkSpec,
+    WorkloadMix,
+    standard_rng_benchmark,
+)
+from .suites import ALL_APPLICATIONS, PAPER_FIGURE_APPS, applications_by_category
+from .synthetic import generate_application_trace
+
+#: Row offset separation between cores so that co-running applications
+#: touch disjoint rows (but share channels and banks).
+ROW_OFFSET_STRIDE = 4096
+
+
+def dual_core_mixes(
+    applications: Optional[Sequence[ApplicationSpec]] = None,
+    rng_throughput_mbps: float = DEFAULT_RNG_THROUGHPUT_MBPS,
+) -> List[WorkloadMix]:
+    """One 2-core mix per application: (non-RNG app, RNG benchmark)."""
+    applications = list(applications) if applications is not None else list(PAPER_FIGURE_APPS)
+    rng_spec = standard_rng_benchmark(rng_throughput_mbps)
+    return [
+        WorkloadMix(name=f"{app.name}+{rng_spec.name}", slots=[app, rng_spec])
+        for app in applications
+    ]
+
+
+def motivation_mixes(
+    applications: Optional[Sequence[ApplicationSpec]] = None,
+    throughputs_mbps: Sequence[float] = MOTIVATION_RNG_THROUGHPUTS_MBPS,
+) -> List[WorkloadMix]:
+    """The Table 2 motivation workloads: every app x every RNG throughput."""
+    applications = list(applications) if applications is not None else list(ALL_APPLICATIONS)
+    mixes: List[WorkloadMix] = []
+    for throughput in throughputs_mbps:
+        mixes.extend(dual_core_mixes(applications, throughput))
+    return mixes
+
+
+def four_core_group_mixes(
+    workloads_per_group: int = 10,
+    rng_throughput_mbps: float = DEFAULT_RNG_THROUGHPUT_MBPS,
+    seed: int = 0,
+) -> Dict[str, List[WorkloadMix]]:
+    """The 4-core LLLS / LLHS / LHHS / HHHS workload groups (Table 3)."""
+    return _grouped_mixes(
+        group_signatures=("LLL", "LLH", "LHH", "HHH"),
+        workloads_per_group=workloads_per_group,
+        rng_throughput_mbps=rng_throughput_mbps,
+        seed=seed,
+    )
+
+
+def multi_core_group_mixes(
+    num_cores: int,
+    workloads_per_group: int = 10,
+    rng_throughput_mbps: float = DEFAULT_RNG_THROUGHPUT_MBPS,
+    seed: int = 0,
+) -> Dict[str, List[WorkloadMix]]:
+    """The 8- or 16-core L / M / H workload groups (Table 3).
+
+    Each workload has ``num_cores - 1`` non-RNG applications of a single
+    memory-intensity category plus one RNG benchmark.
+    """
+    if num_cores < 2:
+        raise ValueError("num_cores must be at least 2")
+    signatures = tuple(category * (num_cores - 1) for category in ("L", "M", "H"))
+    return _grouped_mixes(
+        group_signatures=signatures,
+        workloads_per_group=workloads_per_group,
+        rng_throughput_mbps=rng_throughput_mbps,
+        seed=seed,
+        group_labels=("L", "M", "H"),
+    )
+
+
+def _grouped_mixes(
+    group_signatures: Sequence[str],
+    workloads_per_group: int,
+    rng_throughput_mbps: float,
+    seed: int,
+    group_labels: Optional[Sequence[str]] = None,
+) -> Dict[str, List[WorkloadMix]]:
+    if workloads_per_group <= 0:
+        raise ValueError("workloads_per_group must be positive")
+    categories = applications_by_category()
+    rng_generator = np.random.default_rng(seed)
+    labels = group_labels or [signature + "S" for signature in group_signatures]
+
+    groups: Dict[str, List[WorkloadMix]] = {}
+    for label, signature in zip(labels, group_signatures):
+        mixes: List[WorkloadMix] = []
+        for workload_index in range(workloads_per_group):
+            slots: List = []
+            for category in signature:
+                pool = categories[category]
+                slots.append(pool[int(rng_generator.integers(len(pool)))])
+            slots.append(standard_rng_benchmark(rng_throughput_mbps))
+            mixes.append(WorkloadMix(name=f"{label}-{workload_index}", slots=slots))
+        groups[label] = mixes
+    return groups
+
+
+def build_traces(
+    mix: WorkloadMix,
+    num_instructions: int,
+    seed: int = 0,
+    mapping: Optional[AddressMapping] = None,
+) -> List[Trace]:
+    """Materialise a workload mix into one trace per core.
+
+    Every core receives a distinct row offset (multiples of
+    ``ROW_OFFSET_STRIDE``) and a distinct derived seed, so different
+    slots of the same application are decorrelated.
+    """
+    if num_instructions <= 0:
+        raise ValueError("num_instructions must be positive")
+    traces: List[Trace] = []
+    for slot_index, spec in enumerate(mix.slots):
+        slot_seed = seed * 1009 + slot_index
+        row_offset = slot_index * ROW_OFFSET_STRIDE
+        if isinstance(spec, RNGBenchmarkSpec):
+            trace = generate_rng_trace(
+                spec,
+                num_instructions,
+                seed=slot_seed,
+                mapping=mapping,
+                row_offset=row_offset,
+            )
+        else:
+            trace = generate_application_trace(
+                spec,
+                num_instructions,
+                seed=slot_seed,
+                mapping=mapping,
+                row_offset=row_offset,
+            )
+        traces.append(trace)
+    return traces

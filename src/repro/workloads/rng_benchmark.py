@@ -1,0 +1,89 @@
+"""Synthetic RNG benchmark traces.
+
+The paper evaluates synthetic RNG applications whose required RNG
+throughput is controlled by the number of instructions between two 64-bit
+random number requests (Section 7).  The benchmarks are not memory
+intensive in terms of regular requests but their RNG requests read from
+all banks across all channels.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..cpu.trace import Trace, TraceEntry
+from ..dram.address import AddressMapping
+from ..dram.timing import DRAMOrganization
+from .spec import RNGBenchmarkSpec
+
+
+def generate_rng_trace(
+    spec: RNGBenchmarkSpec,
+    num_instructions: int,
+    seed: int = 0,
+    mapping: Optional[AddressMapping] = None,
+    row_offset: int = 0,
+) -> Trace:
+    """Generate the trace of a synthetic RNG benchmark.
+
+    The trace issues bursts of ``spec.burst_length`` back-to-back 64-bit
+    RNG requests, separated by compute phases sized so that the average
+    required RNG throughput matches ``spec.throughput_mbps``; a light
+    stream of regular memory reads (``spec.mpki``) is sprinkled into the
+    compute phases.
+    """
+    if num_instructions <= 0:
+        raise ValueError("num_instructions must be positive")
+    mapping = mapping or AddressMapping(DRAMOrganization())
+    organization = mapping.organization
+    rng = np.random.default_rng(seed)
+
+    burst = spec.burst_length
+    gap = spec.instructions_between_requests * burst
+    reads_per_gap = spec.mpki * gap / 1000.0
+
+    entries: list[TraceEntry] = []
+    instructions = 0
+    read_accumulator = 0.0
+    max_row = organization.rows_per_bank
+
+    while instructions < num_instructions:
+        # Compute phase between two bursts, with occasional regular reads
+        # sprinkled in proportionally to the benchmark's MPKI.
+        remaining = gap
+        read_accumulator += reads_per_gap
+        reads_this_gap = int(read_accumulator)
+        read_accumulator -= reads_this_gap
+
+        if reads_this_gap > 0:
+            per_read_gap = max(0, remaining // (reads_this_gap + 1) - 1)
+            for _ in range(reads_this_gap):
+                address = mapping.encode(
+                    channel=int(rng.integers(organization.channels)),
+                    bank=int(rng.integers(organization.banks_per_rank)),
+                    row=(row_offset + int(rng.integers(64))) % max_row,
+                    column=int(rng.integers(organization.columns_per_row)),
+                )
+                entries.append(TraceEntry(bubbles=per_read_gap, address=address))
+                instructions += per_read_gap + 1
+                remaining -= per_read_gap + 1
+
+        bubbles = max(0, remaining - burst)
+        entries.append(TraceEntry(bubbles=bubbles, rng_bits=spec.bits_per_request))
+        instructions += bubbles + 1
+        for _ in range(burst - 1):
+            entries.append(TraceEntry(bubbles=0, rng_bits=spec.bits_per_request))
+            instructions += 1
+
+    return Trace(
+        entries,
+        name=spec.name,
+        metadata={
+            "spec": spec.name,
+            "throughput_mbps": spec.throughput_mbps,
+            "instructions_between_requests": gap,
+            "seed": seed,
+        },
+    )

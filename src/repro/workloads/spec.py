@@ -1,0 +1,182 @@
+"""Workload specifications.
+
+A *specification* describes an application abstractly (its memory
+intensity, locality, or required RNG throughput); the synthetic trace
+generators in :mod:`repro.workloads.synthetic` and
+:mod:`repro.workloads.rng_benchmark` turn a specification into a concrete
+instruction trace.  A :class:`WorkloadMix` is an ordered set of
+specifications, one per core, mirroring the paper's multi-programmed
+workloads (Tables 2 and 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Union
+
+
+#: Memory-intensity category boundaries (misses per kilo-instruction),
+#: matching Section 7: L < 1, 1 <= M < 10, H >= 10.
+LOW_MPKI_BOUND = 1.0
+HIGH_MPKI_BOUND = 10.0
+
+
+@dataclass(frozen=True)
+class ApplicationSpec:
+    """A non-RNG application characterised by its memory behaviour.
+
+    Attributes
+    ----------
+    name:
+        Benchmark name (e.g. ``"mcf"``).
+    mpki:
+        Last-level-cache misses per kilo-instruction.
+    row_locality:
+        Probability that a miss targets the currently open row of the
+        previously accessed bank (row-buffer locality).
+    write_fraction:
+        Fraction of misses that also produce a dirty writeback.
+    footprint_rows:
+        Number of distinct DRAM rows per bank the application touches.
+    """
+
+    name: str
+    mpki: float
+    row_locality: float = 0.5
+    write_fraction: float = 0.25
+    footprint_rows: int = 64
+
+    def __post_init__(self) -> None:
+        if self.mpki < 0:
+            raise ValueError("mpki must be non-negative")
+        if not 0.0 <= self.row_locality <= 1.0:
+            raise ValueError("row_locality must be in [0, 1]")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+        if self.footprint_rows <= 0:
+            raise ValueError("footprint_rows must be positive")
+
+    @property
+    def category(self) -> str:
+        """Memory intensity category: ``"L"``, ``"M"`` or ``"H"``."""
+        if self.mpki < LOW_MPKI_BOUND:
+            return "L"
+        if self.mpki < HIGH_MPKI_BOUND:
+            return "M"
+        return "H"
+
+    @property
+    def is_rng(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class RNGBenchmarkSpec:
+    """A synthetic RNG application with a required RNG throughput.
+
+    The required throughput controls how many instructions separate two
+    64-bit random number requests (Section 7): the higher the required
+    throughput, the shorter the gap.  ``gap_calibration`` (in units of
+    instructions x Mb/s) converts the required throughput into that gap;
+    its default is calibrated so that the 5 Gb/s benchmark spends roughly
+    60% of its execution time in random number generation on the
+    RNG-oblivious baseline system, matching the behaviour reported in
+    Section 3 ("up to 58.8% of their execution time").
+
+    RNG applications request random numbers in *bursts* (Section 1: "RNG
+    requests are received in bursts and served together"): every
+    ``burst_length * instructions_between_requests`` instructions the
+    benchmark issues ``burst_length`` back-to-back 64-bit requests, so
+    the average required throughput is unchanged but requests arrive
+    clustered, as they do in real security applications that fill key or
+    nonce buffers.
+    """
+
+    name: str
+    throughput_mbps: float
+    bits_per_request: int = 64
+    burst_length: int = 4
+    mpki: float = 0.5
+    row_locality: float = 0.2
+    gap_calibration: float = 12_800_000.0
+
+    def __post_init__(self) -> None:
+        if self.throughput_mbps <= 0:
+            raise ValueError("throughput_mbps must be positive")
+        if self.bits_per_request <= 0:
+            raise ValueError("bits_per_request must be positive")
+        if self.burst_length <= 0:
+            raise ValueError("burst_length must be positive")
+        if self.mpki < 0:
+            raise ValueError("mpki must be non-negative")
+        if not 0.0 <= self.row_locality <= 1.0:
+            raise ValueError("row_locality must be in [0, 1]")
+        if self.gap_calibration <= 0:
+            raise ValueError("gap_calibration must be positive")
+
+    @property
+    def instructions_between_requests(self) -> int:
+        """Instructions between two RNG requests implied by the throughput."""
+        gap = int(round(self.gap_calibration / self.throughput_mbps))
+        return max(1, gap)
+
+    @property
+    def category(self) -> str:
+        """RNG benchmarks are reported in their own category ``"S"``."""
+        return "S"
+
+    @property
+    def is_rng(self) -> bool:
+        return True
+
+
+WorkloadSpec = Union[ApplicationSpec, RNGBenchmarkSpec]
+
+
+@dataclass
+class WorkloadMix:
+    """A multi-programmed workload: one specification per core."""
+
+    name: str
+    slots: List[WorkloadSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.slots:
+            raise ValueError("a workload mix needs at least one slot")
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    def __iter__(self):
+        return iter(self.slots)
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.slots)
+
+    @property
+    def rng_slots(self) -> List[int]:
+        """Core indices occupied by RNG benchmarks."""
+        return [index for index, spec in enumerate(self.slots) if spec.is_rng]
+
+    @property
+    def non_rng_slots(self) -> List[int]:
+        """Core indices occupied by regular applications."""
+        return [index for index, spec in enumerate(self.slots) if not spec.is_rng]
+
+    @property
+    def category_signature(self) -> str:
+        """Concatenated category letters, e.g. ``"LLHS"`` for Table 3 groups."""
+        return "".join(spec.category for spec in self.slots)
+
+
+def standard_rng_benchmark(throughput_mbps: float) -> RNGBenchmarkSpec:
+    """The synthetic RNG benchmark used throughout the evaluation."""
+    return RNGBenchmarkSpec(name=f"rng{int(throughput_mbps)}", throughput_mbps=throughput_mbps)
+
+
+#: The four RNG throughput requirements of the motivation study (Table 2).
+MOTIVATION_RNG_THROUGHPUTS_MBPS: Sequence[float] = (640.0, 1280.0, 2560.0, 5120.0)
+
+#: The default (most intensive) RNG benchmark throughput (Section 7).
+DEFAULT_RNG_THROUGHPUT_MBPS = 5120.0

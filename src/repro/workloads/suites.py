@@ -1,0 +1,121 @@
+"""The 43 single-core applications of the paper's evaluation.
+
+Section 7 evaluates 43 applications drawn from SPEC CPU2006, TPC, STREAM,
+MediaBench and YCSB, grouped into low (MPKI < 1), medium (1 <= MPKI < 10)
+and high (MPKI >= 10) memory intensity.  The original SimPoint traces are
+not redistributable; this module defines synthetic stand-ins whose MPKI,
+row-buffer locality and write fraction approximate the published
+behaviour of each benchmark, ordered so that the per-application figures
+(Figures 1, 6, 9, 10, 11, 13, 15, 16) show the same left-to-right
+intensity trend as the paper.
+
+``PAPER_FIGURE_APPS`` lists the 22 applications that appear on the x-axis
+of the paper's per-application plots; ``ALL_APPLICATIONS`` contains the
+full 43-entry roster used for averages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .spec import ApplicationSpec
+
+# ---------------------------------------------------------------------------
+# Applications shown on the per-application x-axes of the paper's figures,
+# in the paper's order (roughly increasing memory intensity).
+# ---------------------------------------------------------------------------
+
+_FIGURE_APPS: Sequence[ApplicationSpec] = (
+    ApplicationSpec("ycsb3", mpki=0.4, row_locality=0.30, write_fraction=0.30, footprint_rows=256),
+    ApplicationSpec("ycsb4", mpki=0.5, row_locality=0.30, write_fraction=0.35, footprint_rows=256),
+    ApplicationSpec("ycsb2", mpki=0.6, row_locality=0.30, write_fraction=0.30, footprint_rows=256),
+    ApplicationSpec("ycsb1", mpki=0.8, row_locality=0.30, write_fraction=0.30, footprint_rows=256),
+    ApplicationSpec("sphinx3", mpki=1.8, row_locality=0.55, write_fraction=0.15, footprint_rows=128),
+    ApplicationSpec("ycsb0", mpki=1.2, row_locality=0.30, write_fraction=0.30, footprint_rows=256),
+    ApplicationSpec("jp2d", mpki=2.4, row_locality=0.65, write_fraction=0.30, footprint_rows=96),
+    ApplicationSpec("tpcc64", mpki=3.0, row_locality=0.35, write_fraction=0.40, footprint_rows=512),
+    ApplicationSpec("jp2e", mpki=4.2, row_locality=0.65, write_fraction=0.35, footprint_rows=96),
+    ApplicationSpec("wcount0", mpki=5.0, row_locality=0.45, write_fraction=0.30, footprint_rows=256),
+    ApplicationSpec("cactus", mpki=5.6, row_locality=0.50, write_fraction=0.25, footprint_rows=128),
+    ApplicationSpec("astar", mpki=6.4, row_locality=0.40, write_fraction=0.25, footprint_rows=256),
+    ApplicationSpec("tpch17", mpki=7.2, row_locality=0.45, write_fraction=0.30, footprint_rows=512),
+    ApplicationSpec("soplex", mpki=8.2, row_locality=0.55, write_fraction=0.25, footprint_rows=128),
+    ApplicationSpec("milc", mpki=9.2, row_locality=0.60, write_fraction=0.30, footprint_rows=128),
+    ApplicationSpec("gems", mpki=10.5, row_locality=0.60, write_fraction=0.30, footprint_rows=128),
+    ApplicationSpec("leslie3d", mpki=11.5, row_locality=0.70, write_fraction=0.30, footprint_rows=128),
+    ApplicationSpec("tpch2", mpki=12.5, row_locality=0.45, write_fraction=0.30, footprint_rows=512),
+    ApplicationSpec("zeusmp", mpki=14.0, row_locality=0.60, write_fraction=0.30, footprint_rows=128),
+    ApplicationSpec("lbm", mpki=20.0, row_locality=0.80, write_fraction=0.45, footprint_rows=96),
+    ApplicationSpec("mcf", mpki=25.0, row_locality=0.20, write_fraction=0.30, footprint_rows=1024),
+    ApplicationSpec("libq", mpki=27.0, row_locality=0.90, write_fraction=0.10, footprint_rows=64),
+    ApplicationSpec("h264d", mpki=16.0, row_locality=0.55, write_fraction=0.25, footprint_rows=128),
+)
+
+# ---------------------------------------------------------------------------
+# The remaining applications of the 43-entry roster (low/medium intensity
+# SPEC CPU2006, STREAM and TPC stand-ins).
+# ---------------------------------------------------------------------------
+
+_EXTRA_APPS: Sequence[ApplicationSpec] = (
+    ApplicationSpec("povray", mpki=0.05, row_locality=0.50, write_fraction=0.10, footprint_rows=32),
+    ApplicationSpec("gamess", mpki=0.08, row_locality=0.50, write_fraction=0.10, footprint_rows=32),
+    ApplicationSpec("namd", mpki=0.20, row_locality=0.55, write_fraction=0.15, footprint_rows=64),
+    ApplicationSpec("perlbench", mpki=0.30, row_locality=0.45, write_fraction=0.20, footprint_rows=64),
+    ApplicationSpec("tonto", mpki=0.35, row_locality=0.50, write_fraction=0.15, footprint_rows=64),
+    ApplicationSpec("sjeng", mpki=0.40, row_locality=0.35, write_fraction=0.20, footprint_rows=128),
+    ApplicationSpec("h264ref", mpki=0.50, row_locality=0.60, write_fraction=0.20, footprint_rows=64),
+    ApplicationSpec("gobmk", mpki=0.60, row_locality=0.40, write_fraction=0.20, footprint_rows=128),
+    ApplicationSpec("gcc", mpki=0.70, row_locality=0.45, write_fraction=0.25, footprint_rows=128),
+    ApplicationSpec("gromacs", mpki=0.75, row_locality=0.55, write_fraction=0.20, footprint_rows=64),
+    ApplicationSpec("hmmer", mpki=0.90, row_locality=0.60, write_fraction=0.20, footprint_rows=64),
+    ApplicationSpec("bzip2", mpki=1.2, row_locality=0.55, write_fraction=0.30, footprint_rows=128),
+    ApplicationSpec("dealII", mpki=1.4, row_locality=0.55, write_fraction=0.25, footprint_rows=128),
+    ApplicationSpec("calculix", mpki=1.6, row_locality=0.60, write_fraction=0.20, footprint_rows=96),
+    ApplicationSpec("xalancbmk", mpki=2.5, row_locality=0.40, write_fraction=0.30, footprint_rows=256),
+    ApplicationSpec("wrf", mpki=6.0, row_locality=0.65, write_fraction=0.30, footprint_rows=128),
+    ApplicationSpec("omnetpp", mpki=8.0, row_locality=0.30, write_fraction=0.35, footprint_rows=512),
+    ApplicationSpec("bwaves", mpki=12.0, row_locality=0.75, write_fraction=0.30, footprint_rows=96),
+    ApplicationSpec("stream_copy", mpki=22.0, row_locality=0.90, write_fraction=0.50, footprint_rows=64),
+    ApplicationSpec("stream_triad", mpki=24.0, row_locality=0.90, write_fraction=0.35, footprint_rows=64),
+)
+
+#: Applications appearing on the paper's per-application figure x-axes.
+PAPER_FIGURE_APPS: List[ApplicationSpec] = list(_FIGURE_APPS)
+
+#: The complete 43-application roster.
+ALL_APPLICATIONS: List[ApplicationSpec] = list(_FIGURE_APPS) + list(_EXTRA_APPS)
+
+#: Name-indexed lookup table of every application.
+APPLICATIONS_BY_NAME: Dict[str, ApplicationSpec] = {app.name: app for app in ALL_APPLICATIONS}
+
+
+def application(name: str) -> ApplicationSpec:
+    """Look up an application specification by benchmark name."""
+    try:
+        return APPLICATIONS_BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown application {name!r}; see repro.workloads.ALL_APPLICATIONS"
+        ) from None
+
+
+def applications_by_category() -> Dict[str, List[ApplicationSpec]]:
+    """Group the full roster by memory-intensity category (L/M/H)."""
+    groups: Dict[str, List[ApplicationSpec]] = {"L": [], "M": [], "H": []}
+    for app in ALL_APPLICATIONS:
+        groups[app.category].append(app)
+    return groups
+
+
+def representative_subset(count: int = 8) -> List[ApplicationSpec]:
+    """A small, intensity-diverse subset used by fast experiments and tests.
+
+    Picks applications evenly spaced across the figure roster so that low,
+    medium and high memory-intensity behaviour are all represented.
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    if count >= len(PAPER_FIGURE_APPS):
+        return list(PAPER_FIGURE_APPS)
+    step = len(PAPER_FIGURE_APPS) / count
+    return [PAPER_FIGURE_APPS[int(i * step)] for i in range(count)]

@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram.address import AddressMapping
+from repro.dram.timing import DRAMOrganization, DRAMTiming
+from repro.sim.runner import AloneRunCache
+from repro.workloads.spec import ApplicationSpec, RNGBenchmarkSpec, WorkloadMix
+
+
+@pytest.fixture
+def timing() -> DRAMTiming:
+    return DRAMTiming()
+
+
+@pytest.fixture
+def organization() -> DRAMOrganization:
+    return DRAMOrganization()
+
+
+@pytest.fixture
+def mapping(organization) -> AddressMapping:
+    return AddressMapping(organization)
+
+
+@pytest.fixture
+def medium_app() -> ApplicationSpec:
+    return ApplicationSpec("test-medium", mpki=6.0, row_locality=0.5, write_fraction=0.25)
+
+
+@pytest.fixture
+def heavy_app() -> ApplicationSpec:
+    return ApplicationSpec("test-heavy", mpki=20.0, row_locality=0.6, write_fraction=0.3)
+
+
+@pytest.fixture
+def light_app() -> ApplicationSpec:
+    return ApplicationSpec("test-light", mpki=0.5, row_locality=0.4, write_fraction=0.2)
+
+
+@pytest.fixture
+def rng_benchmark() -> RNGBenchmarkSpec:
+    return RNGBenchmarkSpec("test-rng", throughput_mbps=5120.0)
+
+
+@pytest.fixture
+def dual_core_mix(medium_app, rng_benchmark) -> WorkloadMix:
+    return WorkloadMix(name="test-mix", slots=[medium_app, rng_benchmark])
+
+
+@pytest.fixture
+def alone_cache() -> AloneRunCache:
+    return AloneRunCache()
+
+
+@pytest.fixture(scope="session")
+def session_cache() -> AloneRunCache:
+    """A session-scoped alone-run cache shared by the slower integration tests."""
+    return AloneRunCache()

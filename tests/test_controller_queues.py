@@ -1,0 +1,111 @@
+"""Tests for the bounded request queues, including FIFO-order properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.controller.queues import RequestQueue
+from repro.controller.request import RequestType, make_read
+
+
+def _read(address, core=0, cycle=0):
+    return make_read(address, core, cycle)
+
+
+class TestRequestQueue:
+    def test_push_and_len(self):
+        queue = RequestQueue(capacity=4)
+        assert queue.is_empty
+        assert queue.push(_read(0))
+        assert len(queue) == 1
+        assert not queue.is_empty
+
+    def test_capacity_enforced(self):
+        queue = RequestQueue(capacity=2)
+        assert queue.push(_read(0))
+        assert queue.push(_read(64))
+        assert queue.is_full
+        assert not queue.push(_read(128))
+        assert queue.rejected == 1
+
+    def test_oldest_preserves_arrival_order(self):
+        queue = RequestQueue(capacity=4)
+        first = _read(0, cycle=1)
+        second = _read(64, cycle=2)
+        queue.push(first)
+        queue.push(second)
+        assert queue.oldest() is first
+        queue.remove(first)
+        assert queue.oldest() is second
+
+    def test_pop_oldest(self):
+        queue = RequestQueue(capacity=4)
+        first, second = _read(0), _read(64)
+        queue.push(first)
+        queue.push(second)
+        assert queue.pop_oldest() is first
+        assert queue.pop_oldest() is second
+        assert queue.pop_oldest() is None
+
+    def test_remove_specific_request(self):
+        queue = RequestQueue(capacity=4)
+        a, b, c = _read(0), _read(64), _read(128)
+        for request in (a, b, c):
+            queue.push(request)
+        queue.remove(b)
+        assert list(queue) == [a, c]
+        assert queue.total_dequeued == 1
+
+    def test_requests_from_core(self):
+        queue = RequestQueue(capacity=4)
+        queue.push(_read(0, core=0))
+        queue.push(_read(64, core=1))
+        queue.push(_read(128, core=1))
+        assert len(queue.requests_from([1])) == 2
+        assert queue.has_request_from(0)
+        assert not queue.has_request_from(7)
+
+    def test_occupancy_sampling(self):
+        queue = RequestQueue(capacity=4)
+        queue.sample_occupancy()
+        queue.push(_read(0))
+        queue.push(_read(64))
+        queue.sample_occupancy()
+        assert queue.average_occupancy == pytest.approx(1.0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            RequestQueue(capacity=0)
+
+    def test_contains(self):
+        queue = RequestQueue(capacity=4)
+        request = _read(0)
+        queue.push(request)
+        assert request in queue
+        assert _read(64) not in queue
+
+
+@settings(max_examples=100, deadline=None)
+@given(addresses=st.lists(st.integers(min_value=0, max_value=2**20), min_size=1, max_size=32))
+def test_fifo_order_property(addresses):
+    """Popping oldest repeatedly returns requests in arrival order."""
+    queue = RequestQueue(capacity=len(addresses))
+    requests = [_read(addr * 64, cycle=i) for i, addr in enumerate(addresses)]
+    for request in requests:
+        assert queue.push(request)
+    drained = []
+    while not queue.is_empty:
+        drained.append(queue.pop_oldest())
+    assert drained == requests
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    capacity=st.integers(min_value=1, max_value=16),
+    pushes=st.integers(min_value=0, max_value=40),
+)
+def test_occupancy_never_exceeds_capacity(capacity, pushes):
+    queue = RequestQueue(capacity=capacity)
+    accepted = sum(1 for i in range(pushes) if queue.push(_read(i * 64)))
+    assert len(queue) == accepted <= capacity
+    assert queue.rejected == pushes - accepted

@@ -1,0 +1,54 @@
+"""Tests for memory request records."""
+
+import pytest
+
+from repro.controller.request import Request, RequestType, make_read, make_rng, make_write
+
+
+class TestRequestConstruction:
+    def test_make_read(self):
+        request = make_read(0x1000, core_id=2, cycle=5)
+        assert request.type is RequestType.READ
+        assert request.is_read and not request.is_write and not request.is_rng
+        assert request.core_id == 2
+        assert request.arrival_cycle == 5
+
+    def test_make_write(self):
+        request = make_write(0x2000, core_id=1, cycle=7)
+        assert request.is_write
+
+    def test_make_rng(self):
+        request = make_rng(16, core_id=0, cycle=3)
+        assert request.is_rng
+        assert request.rng_bits == 16
+
+    def test_rng_requires_positive_bits(self):
+        with pytest.raises(ValueError):
+            Request(type=RequestType.RNG, core_id=0, rng_bits=0)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            Request(type=RequestType.READ, core_id=0, address=-4)
+
+    def test_request_ids_unique(self):
+        a, b = make_read(0, 0, 0), make_read(0, 0, 0)
+        assert a.request_id != b.request_id
+
+
+class TestRequestLifecycle:
+    def test_latency_unknown_before_completion(self):
+        request = make_read(0, 0, cycle=10)
+        assert request.latency is None
+
+    def test_complete_sets_latency_and_calls_callback(self):
+        observed = []
+        request = make_read(0, 0, cycle=10, callback=observed.append)
+        request.complete(35)
+        assert request.completion_cycle == 35
+        assert request.latency == 25
+        assert observed == [request]
+
+    def test_complete_without_callback(self):
+        request = make_write(0, 0, cycle=0)
+        request.complete(10)
+        assert request.latency == 10

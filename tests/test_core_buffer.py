@@ -1,0 +1,115 @@
+"""Tests for the random number buffer, including invariant property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rng_buffer import RandomNumberBuffer
+
+
+class TestBasicOperation:
+    def test_starts_empty(self):
+        buffer = RandomNumberBuffer(entries=16)
+        assert buffer.is_empty
+        assert buffer.available_bits == 0
+        assert buffer.capacity_bits == 1024
+
+    def test_add_and_take(self):
+        buffer = RandomNumberBuffer(entries=2)
+        assert buffer.add_bits(64) == 64
+        assert buffer.take(64)
+        assert buffer.is_empty
+
+    def test_take_fails_when_insufficient(self):
+        buffer = RandomNumberBuffer(entries=1)
+        buffer.add_bits(32)
+        assert not buffer.take(64)
+        assert buffer.available_bits == 32
+        assert buffer.stats.misses == 1
+
+    def test_overfill_is_dropped(self):
+        buffer = RandomNumberBuffer(entries=1)
+        stored = buffer.add_bits(100)
+        assert stored == 64
+        assert buffer.is_full
+        assert buffer.stats.bits_dropped == 36
+
+    def test_zero_capacity_buffer(self):
+        buffer = RandomNumberBuffer(entries=0)
+        assert buffer.capacity_bits == 0
+        assert buffer.add_bits(8) == 0
+        assert not buffer.take(8)
+        assert buffer.occupancy == 0.0
+
+    def test_served_bits_are_discarded(self):
+        buffer = RandomNumberBuffer(entries=2)
+        buffer.add_bits(128)
+        assert buffer.take(64)
+        assert buffer.available_bits == 64
+        assert buffer.take(64)
+        assert not buffer.take(64)
+
+    def test_drain(self):
+        buffer = RandomNumberBuffer(entries=2)
+        buffer.add_bits(100)
+        assert buffer.drain() == 100
+        assert buffer.is_empty
+
+    def test_serve_rate(self):
+        buffer = RandomNumberBuffer(entries=1)
+        buffer.add_bits(64)
+        buffer.take(64)
+        buffer.take(64)
+        assert buffer.stats.serve_rate == pytest.approx(0.5)
+
+    def test_occupancy(self):
+        buffer = RandomNumberBuffer(entries=2)
+        buffer.add_bits(64)
+        assert buffer.occupancy == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomNumberBuffer(entries=-1)
+        with pytest.raises(ValueError):
+            RandomNumberBuffer(entries=1, bits_per_entry=0)
+        buffer = RandomNumberBuffer(entries=1)
+        with pytest.raises(ValueError):
+            buffer.add_bits(-1)
+        with pytest.raises(ValueError):
+            buffer.take(0)
+        with pytest.raises(ValueError):
+            buffer.has(-1)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    entries=st.integers(min_value=0, max_value=32),
+    operations=st.lists(
+        st.tuples(st.sampled_from(["add", "take"]), st.integers(min_value=1, max_value=200)),
+        max_size=60,
+    ),
+)
+def test_buffer_invariants_property(entries, operations):
+    """Occupancy stays within capacity and the bit ledger balances."""
+    buffer = RandomNumberBuffer(entries=entries)
+    for op, amount in operations:
+        if op == "add":
+            buffer.add_bits(amount)
+        else:
+            buffer.take(amount)
+        assert 0 <= buffer.available_bits <= buffer.capacity_bits
+    ledger = buffer.stats.bits_added - buffer.stats.bits_served
+    assert ledger == buffer.available_bits
+
+
+@settings(max_examples=100, deadline=None)
+@given(amounts=st.lists(st.integers(min_value=1, max_value=64), min_size=1, max_size=40))
+def test_take_never_succeeds_beyond_added(amounts):
+    buffer = RandomNumberBuffer(entries=64)
+    added = 0
+    for amount in amounts:
+        added += buffer.add_bits(amount)
+    taken = 0
+    while buffer.take(8):
+        taken += 8
+    assert taken <= added

@@ -1,0 +1,184 @@
+"""Tests for the buffer fill policies and the RNG subsystem."""
+
+import pytest
+
+from repro.controller.config import ControllerConfig
+from repro.controller.memory_controller import ChannelController
+from repro.controller.request import make_read
+from repro.core.fill_policies import DRStrangeFillPolicy, GreedyIdleFillPolicy, NoFillPolicy
+from repro.core.idleness_predictor import SimpleIdlenessPredictor
+from repro.core.rng_buffer import RandomNumberBuffer
+from repro.core.rng_scheduler import ApplicationRegistry
+from repro.core.rng_subsystem import RNGSubsystem
+from repro.dram.dram_system import DRAMSystem
+from repro.trng.drange import DRaNGe
+
+
+def build_controller(fill_policy=None, separate_rng_queue=True):
+    dram = DRAMSystem()
+    controller = ChannelController(
+        channel=dram.channels[0],
+        dram=dram,
+        config=ControllerConfig(),
+        trng=DRaNGe(),
+        fill_policy=fill_policy,
+        separate_rng_queue=separate_rng_queue,
+    )
+    return dram, controller
+
+
+class TestNoFillPolicy:
+    def test_never_fills(self):
+        dram, controller = build_controller(NoFillPolicy())
+        for cycle in range(200):
+            controller.tick(cycle)
+        assert controller.stats.rng_fill_batches == 0
+
+
+class TestDRStrangeFillPolicy:
+    def test_fills_during_idle_without_predictor(self):
+        buffer = RandomNumberBuffer(entries=16)
+        policy = DRStrangeFillPolicy(buffer)
+        dram, controller = build_controller(policy)
+        for cycle in range(500):
+            controller.tick(cycle)
+        assert buffer.available_bits > 0
+        assert controller.stats.rng_fill_batches > 0
+
+    def test_stops_when_buffer_full(self):
+        buffer = RandomNumberBuffer(entries=1)
+        policy = DRStrangeFillPolicy(buffer)
+        dram, controller = build_controller(policy)
+        for cycle in range(2000):
+            controller.tick(cycle)
+        assert buffer.is_full
+        assert buffer.stats.bits_dropped <= 8  # at most one overshooting batch
+
+    def test_predictor_gates_filling(self):
+        buffer = RandomNumberBuffer(entries=16)
+        predictor = SimpleIdlenessPredictor(initial_counter=0)  # always predicts short
+        policy = DRStrangeFillPolicy(buffer, predictors={0: predictor})
+        dram, controller = build_controller(policy)
+        for cycle in range(500):
+            controller.tick(cycle)
+        assert buffer.available_bits == 0
+
+    def test_fill_interrupted_by_regular_request(self):
+        buffer = RandomNumberBuffer(entries=64)
+        policy = DRStrangeFillPolicy(buffer)
+        dram, controller = build_controller(policy)
+        for cycle in range(100):
+            controller.tick(cycle)
+        controller.enqueue(make_read(dram.mapping.encode(channel=0, bank=0, row=0, column=0), 0, 100))
+        bits_at_interrupt = buffer.available_bits
+        for cycle in range(100, 400):
+            controller.tick(cycle)
+        # The pending read was eventually served despite buffer filling.
+        assert controller.stats.served_reads == 1
+
+    def test_low_utilization_threshold_validation(self):
+        with pytest.raises(ValueError):
+            DRStrangeFillPolicy(RandomNumberBuffer(16), low_utilization_threshold=-1)
+
+
+class TestGreedyIdleFillPolicy:
+    def test_adds_one_batch_per_long_idle_period(self):
+        buffer = RandomNumberBuffer(entries=64)
+        policy = GreedyIdleFillPolicy(buffer, period_threshold=40, bits_per_batch=8)
+        dram, controller = build_controller(policy)
+        for cycle in range(200):
+            controller.tick(cycle)
+        # One idle period of 200 cycles -> exactly one free batch.
+        assert buffer.available_bits == 8
+        assert policy.free_batches == 1
+        assert controller.stats.rng_fill_batches == 0  # never enters RNG mode
+
+    def test_no_batch_for_short_idle_periods(self):
+        buffer = RandomNumberBuffer(entries=64)
+        policy = GreedyIdleFillPolicy(buffer, period_threshold=40)
+        dram, controller = build_controller(policy)
+        address = dram.mapping.encode(channel=0, bank=0, row=0, column=0)
+        for cycle in range(0, 300, 20):
+            controller.enqueue(make_read(address, 0, cycle))
+            for inner in range(cycle, cycle + 20):
+                controller.tick(inner)
+        assert buffer.available_bits == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GreedyIdleFillPolicy(RandomNumberBuffer(16), period_threshold=0)
+        with pytest.raises(ValueError):
+            GreedyIdleFillPolicy(RandomNumberBuffer(16), bits_per_batch=0)
+
+
+class TestRNGSubsystem:
+    def _build(self, buffer=None):
+        dram = DRAMSystem()
+        registry = ApplicationRegistry()
+        controllers = [
+            ChannelController(
+                channel=channel,
+                dram=dram,
+                config=ControllerConfig(),
+                trng=DRaNGe(),
+                separate_rng_queue=True,
+            )
+            for channel in dram.channels
+        ]
+        subsystem = RNGSubsystem(controllers, registry, buffer=buffer, buffer_serve_latency=2)
+        return dram, registry, controllers, subsystem
+
+    def _run(self, controllers, subsystem, start, cycles):
+        for cycle in range(start, start + cycles):
+            for controller in controllers:
+                controller.tick(cycle)
+            subsystem.tick(cycle)
+        return start + cycles
+
+    def test_request_marks_rng_application(self):
+        dram, registry, controllers, subsystem = self._build()
+        subsystem.request_random(64, core_id=3, callback=lambda cycle: None)
+        assert registry.is_rng_application(3)
+
+    def test_buffer_hit_served_with_low_latency(self):
+        buffer = RandomNumberBuffer(entries=16)
+        buffer.add_bits(1024)
+        dram, registry, controllers, subsystem = self._build(buffer)
+        completions = []
+        subsystem.tick(10)
+        subsystem.request_random(64, core_id=0, callback=completions.append)
+        self._run(controllers, subsystem, 11, 20)
+        assert completions and completions[0] <= 13
+        assert subsystem.stats.buffer_serves == 1
+        assert subsystem.buffer_serve_rate == 1.0
+
+    def test_buffer_miss_falls_back_to_demand_generation(self):
+        buffer = RandomNumberBuffer(entries=16)  # empty
+        dram, registry, controllers, subsystem = self._build(buffer)
+        completions = []
+        subsystem.request_random(64, core_id=0, callback=completions.append)
+        self._run(controllers, subsystem, 0, 800)
+        assert completions, "demand generation should eventually complete"
+        assert subsystem.stats.demand_generations == 1
+        assert completions[0] >= DRaNGe().demand_latency_cycles(16, 4)
+
+    def test_demand_generation_splits_across_all_channels(self):
+        dram, registry, controllers, subsystem = self._build()
+        subsystem.request_random(64, core_id=0, callback=lambda cycle: None)
+        assert all(len(controller.rng_queue) == 1 for controller in controllers)
+        assert controllers[0].rng_queue.oldest().rng_bits == 16
+
+    def test_no_buffer_always_generates(self):
+        dram, registry, controllers, subsystem = self._build(buffer=None)
+        completions = []
+        subsystem.request_random(64, core_id=0, callback=completions.append)
+        self._run(controllers, subsystem, 0, 800)
+        assert completions
+        assert subsystem.stats.buffer_serves == 0
+
+    def test_validation(self):
+        dram, registry, controllers, subsystem = self._build()
+        with pytest.raises(ValueError):
+            subsystem.request_random(0, core_id=0, callback=lambda c: None)
+        with pytest.raises(ValueError):
+            RNGSubsystem([], ApplicationRegistry())

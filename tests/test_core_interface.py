@@ -1,0 +1,82 @@
+"""Tests for the application-facing TRNG interface."""
+
+import pytest
+
+from repro.core.interface import TRNGInterface
+from repro.core.rng_buffer import RandomNumberBuffer
+from repro.trng.drange import DRaNGe
+from repro.trng.quality import all_tests_pass
+
+
+@pytest.fixture
+def interface():
+    return TRNGInterface(DRaNGe(), buffer=RandomNumberBuffer(entries=16), keep_history=True)
+
+
+class TestRandomAccess:
+    def test_random_bits_count_and_values(self, interface):
+        bits = interface.random_bits(256)
+        assert len(bits) == 256
+        assert set(bits.tolist()) <= {0, 1}
+
+    def test_random_int_range(self, interface):
+        for width in (1, 8, 64):
+            value = interface.random_int(width)
+            assert 0 <= value < (1 << width)
+
+    def test_getrandom_bytes(self, interface):
+        data = interface.getrandom(32)
+        assert isinstance(data, bytes)
+        assert len(data) == 32
+
+    def test_random_uniform_in_unit_interval(self, interface):
+        for _ in range(20):
+            assert 0.0 <= interface.random_uniform() < 1.0
+
+    def test_output_passes_quality_tests(self, interface):
+        bits = interface.random_bits(20_000)
+        assert all_tests_pass(bits)
+
+    def test_invalid_arguments(self, interface):
+        with pytest.raises(ValueError):
+            interface.random_bits(0)
+        with pytest.raises(ValueError):
+            interface.getrandom(0)
+
+
+class TestBufferBehaviour:
+    def test_prefill_then_low_latency_serve(self, interface):
+        interface.prefill_buffer()
+        interface.random_bits(64)
+        assert interface.stats.buffer_serves == 1
+        assert interface.stats.history[0].latency_cycles == interface.buffer_serve_latency
+
+    def test_empty_buffer_pays_demand_latency(self, interface):
+        interface.random_bits(64)
+        call = interface.stats.history[0]
+        assert not call.served_from_buffer
+        assert call.latency_cycles >= DRaNGe().demand_base_latency_cycles
+
+    def test_served_bits_are_consumed(self, interface):
+        interface.prefill_buffer(bits=64)
+        interface.random_bits(64)
+        interface.random_bits(64)
+        assert interface.stats.buffer_serves == 1
+        assert interface.buffer.available_bits == 0
+
+    def test_buffer_serve_rate(self, interface):
+        interface.prefill_buffer(bits=128)
+        interface.random_bits(64)
+        interface.random_bits(64)
+        interface.random_bits(64)
+        assert interface.stats.buffer_serve_rate == pytest.approx(2 / 3)
+
+    def test_average_latency_reported(self, interface):
+        interface.prefill_buffer()
+        interface.random_bits(64)
+        assert interface.stats.average_latency_cycles > 0
+
+    def test_unique_numbers_security_property(self, interface):
+        interface.prefill_buffer()
+        values = {interface.random_int(64) for _ in range(16)}
+        assert len(values) == 16

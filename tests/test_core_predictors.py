@@ -1,0 +1,148 @@
+"""Tests for the DRAM idleness predictors (simple and RL)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.idleness_predictor import PredictorStats, SimpleIdlenessPredictor
+from repro.core.rl_predictor import QLearningIdlenessPredictor
+
+
+ADDRESS = 0x1000
+
+
+class TestSimplePredictor:
+    def test_counter_trains_towards_long(self):
+        predictor = SimpleIdlenessPredictor(period_threshold=40, initial_counter=0)
+        assert not predictor.predict(ADDRESS)
+        for _ in range(3):
+            predictor.observe_idle_period(100, ADDRESS)
+        assert predictor.predict(ADDRESS)
+
+    def test_counter_trains_towards_short(self):
+        predictor = SimpleIdlenessPredictor(period_threshold=40, initial_counter=3)
+        assert predictor.predict(ADDRESS)
+        for _ in range(4):
+            predictor.observe_idle_period(5, ADDRESS)
+        assert not predictor.predict(ADDRESS)
+
+    def test_counters_saturate(self):
+        predictor = SimpleIdlenessPredictor(initial_counter=3)
+        for _ in range(10):
+            predictor.observe_idle_period(100, ADDRESS)
+        assert predictor.table[predictor._index(ADDRESS)] == 3
+        for _ in range(10):
+            predictor.observe_idle_period(1, ADDRESS)
+        assert predictor.table[predictor._index(ADDRESS)] == 0
+
+    def test_different_addresses_use_different_entries(self):
+        predictor = SimpleIdlenessPredictor(table_entries=256, initial_counter=1)
+        predictor.observe_idle_period(100, 0)
+        predictor.observe_idle_period(100, 64)
+        assert predictor.table[predictor._index(0)] == 2
+        assert predictor.table[predictor._index(64)] == 2
+        assert predictor.table[predictor._index(128)] == 1
+
+    def test_accuracy_accounting(self):
+        predictor = SimpleIdlenessPredictor(period_threshold=40, initial_counter=3)
+        predictor.predict_and_record(ADDRESS)        # predicts long
+        predictor.observe_idle_period(100, ADDRESS)  # was long -> TP
+        predictor.predict_and_record(ADDRESS)        # predicts long
+        predictor.observe_idle_period(5, ADDRESS)    # was short -> FP
+        stats = predictor.stats
+        assert stats.true_positives == 1
+        assert stats.false_positives == 1
+        assert stats.accuracy == pytest.approx(0.5)
+
+    def test_unconsulted_periods_do_not_count_towards_accuracy(self):
+        predictor = SimpleIdlenessPredictor()
+        predictor.observe_idle_period(100, ADDRESS)
+        assert predictor.stats.predictions == 0
+
+    def test_storage_cost(self):
+        assert SimpleIdlenessPredictor(table_entries=256).storage_bits == 512
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimpleIdlenessPredictor(period_threshold=0)
+        with pytest.raises(ValueError):
+            SimpleIdlenessPredictor(table_entries=0)
+        with pytest.raises(ValueError):
+            SimpleIdlenessPredictor(initial_counter=7)
+
+
+class TestRLPredictor:
+    def test_learns_to_generate_in_long_periods(self):
+        predictor = QLearningIdlenessPredictor(learning_rate=0.3, history_bits=4)
+        for _ in range(50):
+            predictor.predict(ADDRESS)
+            predictor.observe_idle_period(200, ADDRESS)
+        assert predictor.predict(ADDRESS)
+
+    def test_learns_to_wait_in_short_periods(self):
+        predictor = QLearningIdlenessPredictor(learning_rate=0.3, history_bits=4)
+        for _ in range(80):
+            predictor.predict(ADDRESS)
+            predictor.observe_idle_period(3, ADDRESS)
+        assert not predictor.predict(ADDRESS)
+
+    def test_history_register_updates(self):
+        predictor = QLearningIdlenessPredictor(history_bits=4)
+        predictor.observe_idle_period(200, ADDRESS)
+        assert predictor.history & 1 == 1
+        predictor.observe_idle_period(2, ADDRESS)
+        assert predictor.history & 1 == 0
+
+    def test_q_update_moves_towards_reward(self):
+        predictor = QLearningIdlenessPredictor(learning_rate=0.5, history_bits=4)
+        predictor.predict(ADDRESS)
+        state, action = predictor._last_state, predictor._last_action
+        before = predictor.q_table[state, action]
+        predictor.observe_idle_period(200, ADDRESS)
+        after = predictor.q_table[state, action]
+        assert after != before
+
+    def test_accuracy_accounting(self):
+        predictor = QLearningIdlenessPredictor()
+        predictor.predict_and_record(ADDRESS)
+        predictor.observe_idle_period(200, ADDRESS)
+        assert predictor.stats.predictions == 1
+
+    def test_storage_cost_matches_paper_order(self):
+        predictor = QLearningIdlenessPredictor(history_bits=10)
+        assert predictor.storage_bits == 1024 * 2 * 32  # 8 KB
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QLearningIdlenessPredictor(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            QLearningIdlenessPredictor(history_bits=0)
+
+
+class TestPredictorStats:
+    def test_rates(self):
+        stats = PredictorStats(true_positives=6, false_positives=2, true_negatives=1, false_negatives=1)
+        assert stats.predictions == 10
+        assert stats.accuracy == pytest.approx(0.7)
+        assert stats.false_positive_rate == pytest.approx(2 / 3)
+        assert stats.false_negative_rate == pytest.approx(1 / 7)
+
+    def test_empty(self):
+        stats = PredictorStats()
+        assert stats.accuracy == 0.0
+        assert stats.false_positive_rate == 0.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    periods=st.lists(st.integers(min_value=1, max_value=500), min_size=1, max_size=100),
+    addresses=st.lists(st.integers(min_value=0, max_value=2**16), min_size=1, max_size=100),
+)
+def test_simple_predictor_counters_stay_in_range(periods, addresses):
+    predictor = SimpleIdlenessPredictor()
+    for period, address in zip(periods, addresses):
+        predictor.predict_and_record(address * 64)
+        predictor.observe_idle_period(period, address * 64)
+    assert all(0 <= counter <= 3 for counter in predictor.table)
+    stats = predictor.stats
+    assert stats.predictions == min(len(periods), len(addresses))

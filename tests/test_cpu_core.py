@@ -1,0 +1,201 @@
+"""Tests for the trace-driven core model."""
+
+import pytest
+
+from repro.cpu.core import Core, CoreConfig
+from repro.cpu.trace import Trace, TraceEntry
+
+
+class MemoryStub:
+    """Configurable memory backend for driving a core in isolation."""
+
+    def __init__(self, read_latency=20, rng_latency=100, accept_reads=True, accept_writes=True):
+        self.read_latency = read_latency
+        self.rng_latency = rng_latency
+        self.accept_reads = accept_reads
+        self.accept_writes = accept_writes
+        self.pending = []  # (completion_cycle, kind, callback)
+        self.now = 0
+        self.reads = 0
+        self.writes = 0
+        self.rng_requests = 0
+
+    def send_read(self, address, core_id, callback):
+        if not self.accept_reads:
+            return False
+        self.reads += 1
+        self.pending.append((self.now + self.read_latency, "read", callback))
+        return True
+
+    def send_write(self, address, core_id):
+        if not self.accept_writes:
+            return False
+        self.writes += 1
+        return True
+
+    def send_rng(self, bits, core_id, callback):
+        self.rng_requests += 1
+        self.pending.append((self.now + self.rng_latency, "rng", callback))
+
+    def tick(self, now):
+        self.now = now
+        ready = [entry for entry in self.pending if entry[0] <= now]
+        self.pending = [entry for entry in self.pending if entry[0] > now]
+        for completion, kind, callback in ready:
+            if kind == "read":
+                callback(_FakeRequest(completion))
+            else:
+                callback(completion)
+
+
+class _FakeRequest:
+    def __init__(self, completion_cycle):
+        self.completion_cycle = completion_cycle
+
+
+def run_core(trace, memory=None, max_cycles=10_000, config=None):
+    memory = memory or MemoryStub()
+    core = Core(
+        core_id=0,
+        trace=trace,
+        send_read=memory.send_read,
+        send_write=memory.send_write,
+        send_rng=memory.send_rng,
+        config=config or CoreConfig(),
+    )
+    cycle = 0
+    while not core.finished and cycle < max_cycles:
+        memory.tick(cycle)
+        core.tick(cycle)
+        cycle += 1
+    return core, memory
+
+
+class TestComputeOnly:
+    def test_pure_bubbles_finish_at_peak_issue_rate(self):
+        trace = Trace([TraceEntry(bubbles=1500)])
+        core, _ = run_core(trace)
+        assert core.finished
+        expected_minimum = 1500 // CoreConfig().slots_per_bus_cycle
+        assert core.finish_cycle >= expected_minimum - 1
+        assert core.finish_cycle <= expected_minimum + 5
+        assert core.result_stats().memory_stall_cycles == 0
+
+    def test_instruction_count_matches_target(self):
+        trace = Trace([TraceEntry(bubbles=100)])
+        core, _ = run_core(trace)
+        assert core.result_stats().instructions >= 100
+
+
+class TestMemoryBehaviour:
+    def test_reads_are_sent_and_counted(self):
+        trace = Trace([TraceEntry(bubbles=10, address=64 * i) for i in range(5)])
+        core, memory = run_core(trace)
+        # The core wraps its trace while draining the window, so at least
+        # (possibly more than) the trace's five reads are issued.
+        assert memory.reads >= 5
+        assert core.result_stats().reads_issued >= 5
+
+    def test_memory_latency_slows_execution(self):
+        entries = [TraceEntry(bubbles=2, address=64 * i) for i in range(20)]
+        fast_core, _ = run_core(Trace(entries), MemoryStub(read_latency=5))
+        slow_core, _ = run_core(Trace(entries), MemoryStub(read_latency=400))
+        assert slow_core.finish_cycle > fast_core.finish_cycle
+        assert slow_core.result_stats().memory_stall_cycles > 0
+
+    def test_window_limits_outstanding_reads(self):
+        config = CoreConfig(window_size=4)
+        entries = [TraceEntry(bubbles=0, address=64 * i) for i in range(50)]
+        core, memory = run_core(Trace(entries), MemoryStub(read_latency=10_000), config=config)
+        # Core cannot finish: the window is full of incomplete reads.
+        assert not core.finished
+        assert core.outstanding_window_entries <= 4
+
+    def test_writes_are_fire_and_forget(self):
+        trace = Trace([TraceEntry(bubbles=5, address=64, write_address=128)])
+        core, memory = run_core(trace)
+        assert memory.writes >= 1
+        assert core.result_stats().writes_issued >= 1
+        assert core.finished  # the write never blocks retirement
+
+    def test_write_backpressure_blocks_issue(self):
+        trace = Trace([TraceEntry(bubbles=5, address=64, write_address=128), TraceEntry(bubbles=50)])
+        core, memory = run_core(trace, MemoryStub(accept_writes=False), max_cycles=200)
+        assert not core.finished
+
+    def test_read_latency_recorded(self):
+        trace = Trace([TraceEntry(bubbles=1, address=64), TraceEntry(bubbles=3000)])
+        core, _ = run_core(trace, MemoryStub(read_latency=37))
+        # The first read's completion latency is accumulated in the stats.
+        assert core.stats.read_latency_sum >= 37
+
+
+class TestRNGBehaviour:
+    def test_rng_requests_sent(self):
+        trace = Trace([TraceEntry(bubbles=10, rng_bits=64) for _ in range(3)])
+        core, memory = run_core(trace)
+        assert memory.rng_requests >= 3
+        assert core.result_stats().rng_requests >= 3
+
+    def test_rng_latency_stalls_core(self):
+        entries = [TraceEntry(bubbles=0, rng_bits=64), TraceEntry(bubbles=300)]
+        fast, _ = run_core(Trace(entries), MemoryStub(rng_latency=5))
+        slow, _ = run_core(Trace(entries), MemoryStub(rng_latency=500))
+        assert slow.finish_cycle > fast.finish_cycle
+        assert slow.result_stats().rng_stall_cycles > 0
+
+    def test_rng_marked_application(self):
+        rng_trace = Trace([TraceEntry(bubbles=1, rng_bits=64)])
+        plain_trace = Trace([TraceEntry(bubbles=1)])
+        memory = MemoryStub()
+        rng_core = Core(0, rng_trace, memory.send_read, memory.send_write, memory.send_rng)
+        plain_core = Core(1, plain_trace, memory.send_read, memory.send_write, memory.send_rng)
+        assert rng_core.is_rng_application
+        assert not plain_core.is_rng_application
+
+    def test_burst_issues_multiple_outstanding_rng_requests(self):
+        entries = [TraceEntry(bubbles=0, rng_bits=64) for _ in range(4)]
+        entries.append(TraceEntry(bubbles=1000))
+        core, memory = run_core(Trace(entries), MemoryStub(rng_latency=10_000), max_cycles=50)
+        # All four requests should have been issued without waiting for the
+        # first to complete (non-blocking issue within the window).
+        assert memory.rng_requests == 4
+
+
+class TestFinishSemantics:
+    def test_stats_frozen_at_finish(self):
+        trace = Trace([TraceEntry(bubbles=50, address=64)])
+        core, memory = run_core(trace)
+        frozen = core.result_stats().instructions
+        for cycle in range(core.finish_cycle + 1, core.finish_cycle + 200):
+            memory.tick(cycle)
+            core.tick(cycle)
+        assert core.result_stats().instructions == frozen
+
+    def test_core_wraps_trace_after_finish(self):
+        trace = Trace([TraceEntry(bubbles=2, address=64)])
+        core, memory = run_core(trace)
+        reads_at_finish = memory.reads
+        for cycle in range(core.finish_cycle + 1, core.finish_cycle + 500):
+            memory.tick(cycle)
+            core.tick(cycle)
+        assert memory.reads > reads_at_finish
+
+    def test_invalid_target(self):
+        trace = Trace([TraceEntry(bubbles=5)])
+        memory = MemoryStub()
+        with pytest.raises(ValueError):
+            Core(0, trace, memory.send_read, memory.send_write, memory.send_rng, target_instructions=0)
+
+
+class TestCoreConfig:
+    def test_slots_per_bus_cycle(self):
+        assert CoreConfig(issue_width=3, clock_ratio=5).slots_per_bus_cycle == 15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoreConfig(issue_width=0)
+        with pytest.raises(ValueError):
+            CoreConfig(window_size=0)
+        with pytest.raises(ValueError):
+            CoreConfig(clock_ratio=0)

@@ -1,0 +1,102 @@
+"""Tests for physical address mapping, including a round-trip property test."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.address import AddressMapping
+from repro.dram.timing import DRAMOrganization
+
+
+@pytest.fixture
+def mapping():
+    return AddressMapping(DRAMOrganization())
+
+
+class TestAddressMapping:
+    def test_encode_decode_identity(self, mapping):
+        address = mapping.encode(channel=2, bank=5, row=1234, column=17)
+        decoded = mapping.decode(address)
+        assert decoded.channel == 2
+        assert decoded.bank == 5
+        assert decoded.row == 1234
+        assert decoded.column == 17
+
+    def test_block_alignment(self, mapping):
+        address = mapping.encode(channel=1, bank=1, row=1, column=1)
+        assert address % mapping.block_size == 0
+
+    def test_consecutive_blocks_interleave_channels(self, mapping):
+        org = mapping.organization
+        base = mapping.encode(channel=0, bank=0, row=0, column=0)
+        channels = [mapping.decode(base + i * mapping.block_size).channel for i in range(org.channels)]
+        assert sorted(channels) == list(range(org.channels))
+
+    def test_channel_of_matches_decode(self, mapping):
+        for address in (0, 64, 4096, 123456 * 64):
+            assert mapping.channel_of(address) == mapping.decode(address).channel
+
+    def test_same_row_accesses_stay_in_bank(self, mapping):
+        a = mapping.encode(channel=0, bank=3, row=42, column=0)
+        b = mapping.encode(channel=0, bank=3, row=42, column=5)
+        da, db = mapping.decode(a), mapping.decode(b)
+        assert (da.channel, da.bank, da.row) == (db.channel, db.bank, db.row)
+        assert da.column != db.column
+
+    def test_negative_address_rejected(self, mapping):
+        with pytest.raises(ValueError):
+            mapping.decode(-1)
+
+    def test_out_of_range_coordinates_rejected(self, mapping):
+        org = mapping.organization
+        with pytest.raises(ValueError):
+            mapping.encode(channel=org.channels, bank=0, row=0, column=0)
+        with pytest.raises(ValueError):
+            mapping.encode(channel=0, bank=org.banks_per_rank, row=0, column=0)
+        with pytest.raises(ValueError):
+            mapping.encode(channel=0, bank=0, row=org.rows_per_bank, column=0)
+        with pytest.raises(ValueError):
+            mapping.encode(channel=0, bank=0, row=0, column=org.columns_per_row)
+
+    def test_bank_id_flattens_rank_and_bank(self, mapping):
+        decoded = mapping.decode(mapping.encode(channel=0, bank=6, row=0, column=0))
+        assert decoded.bank_id(mapping.organization) == 6
+
+    def test_block_index(self, mapping):
+        assert mapping.block_index(0) == 0
+        assert mapping.block_index(64) == 1
+        assert mapping.block_index(130) == 2
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    channel=st.integers(min_value=0, max_value=3),
+    bank=st.integers(min_value=0, max_value=7),
+    row=st.integers(min_value=0, max_value=65535),
+    column=st.integers(min_value=0, max_value=127),
+)
+def test_encode_decode_roundtrip_property(channel, bank, row, column):
+    mapping = AddressMapping(DRAMOrganization())
+    decoded = mapping.decode(mapping.encode(channel=channel, bank=bank, row=row, column=column))
+    assert (decoded.channel, decoded.bank, decoded.row, decoded.column) == (
+        channel,
+        bank,
+        row,
+        column,
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(block=st.integers(min_value=0, max_value=2**26))
+def test_decode_encode_roundtrip_property(block):
+    mapping = AddressMapping(DRAMOrganization())
+    address = block * mapping.block_size
+    decoded = mapping.decode(address)
+    rebuilt = mapping.encode(
+        channel=decoded.channel,
+        bank=decoded.bank,
+        row=decoded.row,
+        column=decoded.column,
+        rank=decoded.rank,
+    )
+    assert rebuilt == address

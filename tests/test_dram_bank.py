@@ -1,0 +1,103 @@
+"""Tests for the DRAM bank state machine."""
+
+import pytest
+
+from repro.dram.bank import AccessCategory, Bank, BankStats
+from repro.dram.timing import DRAMTiming
+
+
+@pytest.fixture
+def bank():
+    return Bank(0, DRAMTiming())
+
+
+class TestAccessCategories:
+    def test_first_access_is_closed(self, bank):
+        assert bank.access_category(10) is AccessCategory.ROW_CLOSED
+
+    def test_same_row_is_hit(self, bank):
+        bank.access(10, now=0)
+        assert bank.access_category(10) is AccessCategory.ROW_HIT
+
+    def test_different_row_is_conflict(self, bank):
+        bank.access(10, now=0)
+        assert bank.access_category(11) is AccessCategory.ROW_CONFLICT
+
+
+class TestPreparationLatency:
+    def test_hit_has_zero_preparation(self, bank):
+        bank.access(5, now=0)
+        assert bank.preparation_latency(5) == 0
+
+    def test_closed_pays_rcd(self, bank):
+        assert bank.preparation_latency(5) == bank.timing.tRCD
+
+    def test_conflict_pays_rp_plus_rcd(self, bank):
+        bank.access(5, now=0)
+        assert bank.preparation_latency(6) == bank.timing.tRP + bank.timing.tRCD
+
+
+class TestAccessTiming:
+    def test_access_respects_ready_time(self, bank):
+        bank.access(1, now=0)
+        bank.complete_access(100)
+        column_ready, _ = bank.access(1, now=10)
+        assert column_ready >= 100
+
+    def test_access_updates_open_row(self, bank):
+        bank.access(7, now=0)
+        assert bank.open_row == 7
+        bank.access(9, now=50)
+        assert bank.open_row == 9
+
+    def test_complete_access_is_monotonic(self, bank):
+        bank.complete_access(100)
+        bank.complete_access(50)
+        assert bank.ready_at == 100
+
+    def test_precharge_closes_row(self, bank):
+        bank.access(3, now=0)
+        bank.precharge(now=10)
+        assert bank.open_row is None
+        assert bank.ready_at >= 10 + bank.timing.tRP
+
+    def test_is_ready(self, bank):
+        assert bank.is_ready(0)
+        bank.complete_access(20)
+        assert not bank.is_ready(10)
+        assert bank.is_ready(20)
+
+    def test_reset_keeps_stats(self, bank):
+        bank.access(3, now=0)
+        bank.reset()
+        assert bank.open_row is None
+        assert bank.ready_at == 0
+        assert bank.stats.reads == 1
+
+
+class TestBankStats:
+    def test_read_write_counting(self, bank):
+        bank.access(1, now=0, is_write=False)
+        bank.access(1, now=100, is_write=True)
+        assert bank.stats.reads == 1
+        assert bank.stats.writes == 1
+
+    def test_category_counting(self, bank):
+        bank.access(1, now=0)      # closed
+        bank.access(1, now=100)    # hit
+        bank.access(2, now=200)    # conflict
+        stats = bank.stats
+        assert stats.row_closed == 1
+        assert stats.row_hits == 1
+        assert stats.row_conflicts == 1
+        assert stats.activations == 2
+        assert stats.precharges == 1
+
+    def test_merge(self):
+        a = BankStats(activations=1, reads=2)
+        b = BankStats(activations=3, writes=4, row_hits=5)
+        a.merge(b)
+        assert a.activations == 4
+        assert a.reads == 2
+        assert a.writes == 4
+        assert a.row_hits == 5

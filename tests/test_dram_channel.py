@@ -1,0 +1,111 @@
+"""Tests for the DRAM channel device model."""
+
+import pytest
+
+from repro.dram.bank import AccessCategory
+from repro.dram.channel import Channel
+from repro.dram.dram_system import DRAMSystem
+from repro.dram.timing import DRAMOrganization, DRAMTiming
+
+
+@pytest.fixture
+def channel():
+    return Channel(0, DRAMTiming(), DRAMOrganization())
+
+
+class TestServiceAccess:
+    def test_row_hit_faster_than_miss(self, channel):
+        timing = channel.timing
+        end_miss, cat_miss = channel.service_access(0, 10, now=0)
+        assert cat_miss is AccessCategory.ROW_CLOSED
+        start2 = end_miss + 100
+        end_hit, cat_hit = channel.service_access(0, 10, now=start2)
+        assert cat_hit is AccessCategory.ROW_HIT
+        assert (end_hit - start2) < (end_miss - 0)
+        assert end_hit - start2 >= timing.row_hit_latency
+
+    def test_bus_serialises_transfers(self, channel):
+        end_a, _ = channel.service_access(0, 1, now=0)
+        end_b, _ = channel.service_access(1, 1, now=0)
+        # Different banks prepare in parallel but their bursts cannot overlap.
+        assert end_b >= end_a + channel.timing.tBL
+
+    def test_bank_conflict_penalty(self, channel):
+        channel.service_access(0, 1, now=0)
+        end_conflict, category = channel.service_access(0, 2, now=1000)
+        assert category is AccessCategory.ROW_CONFLICT
+        assert end_conflict - 1000 >= channel.timing.row_conflict_latency
+
+    def test_invalid_bank_rejected(self, channel):
+        with pytest.raises(ValueError):
+            channel.service_access(99, 0, now=0)
+
+    def test_stats_accumulate(self, channel):
+        channel.service_access(0, 1, now=0)
+        channel.service_access(0, 1, now=100, is_write=True)
+        assert channel.stats.read_accesses == 1
+        assert channel.stats.write_accesses == 1
+        assert channel.stats.total_accesses == 2
+        assert 0.0 <= channel.stats.row_hit_rate <= 1.0
+
+
+class TestRNGOccupancy:
+    def test_occupy_blocks_all_banks(self, channel):
+        channel.service_access(0, 1, now=0)
+        end = channel.occupy_for_rng(now=100, duration=50, bits=8)
+        assert end >= 150
+        for bank in channel.banks:
+            assert bank.open_row is None
+            assert bank.ready_at >= end
+        assert channel.bus_free_at == end
+
+    def test_occupy_counts_stats(self, channel):
+        channel.occupy_for_rng(now=0, duration=40, bits=8)
+        channel.occupy_for_rng(now=40, duration=40, bits=8)
+        assert channel.stats.rng_operations == 2
+        assert channel.stats.rng_cycles == 80
+        assert channel.stats.rng_bits_generated == 16
+
+    def test_negative_duration_rejected(self, channel):
+        with pytest.raises(ValueError):
+            channel.occupy_for_rng(now=0, duration=-1, bits=0)
+
+
+class TestQueries:
+    def test_is_row_hit(self, channel):
+        assert not channel.is_row_hit(0, 5)
+        channel.service_access(0, 5, now=0)
+        assert channel.is_row_hit(0, 5)
+        assert not channel.is_row_hit(0, 6)
+
+    def test_is_bus_free(self, channel):
+        assert channel.is_bus_free(0)
+        end, _ = channel.service_access(0, 1, now=0)
+        assert not channel.is_bus_free(end - 1)
+        assert channel.is_bus_free(end)
+
+    def test_reset_dynamic_state(self, channel):
+        channel.service_access(0, 1, now=0)
+        channel.reset_dynamic_state()
+        assert channel.bus_free_at == 0
+        assert channel.open_row(0) is None
+        assert channel.stats.read_accesses == 1  # stats preserved
+
+
+class TestDRAMSystem:
+    def test_channel_count(self):
+        dram = DRAMSystem()
+        assert dram.num_channels == 4
+        assert len(dram.channels) == 4
+
+    def test_channel_of_routes_by_address(self):
+        dram = DRAMSystem()
+        address = dram.mapping.encode(channel=3, bank=0, row=0, column=0)
+        assert dram.channel_of(address).channel_id == 3
+
+    def test_total_stats_aggregates(self):
+        dram = DRAMSystem()
+        dram.channels[0].service_access(0, 1, now=0)
+        dram.channels[2].service_access(0, 1, now=0)
+        total = dram.total_stats()
+        assert total.read_accesses == 2

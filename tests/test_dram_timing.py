@@ -1,0 +1,82 @@
+"""Tests for DRAM timing parameters and organization."""
+
+import pytest
+
+from repro.dram.timing import (
+    DRAMOrganization,
+    DRAMTiming,
+    ddr3_1066,
+    ddr3_1600,
+    ddr4_2400,
+    timing_preset,
+)
+
+
+class TestDRAMTiming:
+    def test_default_is_ddr3_1600(self):
+        timing = DRAMTiming()
+        assert timing.name == "DDR3-1600"
+        assert timing.tck_ns == pytest.approx(1.25)
+
+    def test_bus_frequency(self):
+        assert DRAMTiming().bus_frequency_mhz == pytest.approx(800.0)
+        assert ddr3_1066().bus_frequency_mhz == pytest.approx(533.33, rel=1e-3)
+
+    def test_latency_orderings(self):
+        timing = DRAMTiming()
+        assert timing.row_hit_latency < timing.row_closed_latency < timing.row_conflict_latency
+
+    def test_row_hit_latency_components(self):
+        timing = DRAMTiming()
+        assert timing.row_hit_latency == timing.tCL + timing.tBL
+        assert timing.row_conflict_latency == timing.tRP + timing.tRCD + timing.tCL + timing.tBL
+
+    def test_ns_to_cycles_rounds_up(self):
+        timing = DRAMTiming()
+        assert timing.ns_to_cycles(1.25) == 1
+        assert timing.ns_to_cycles(1.26) == 2
+        assert timing.ns_to_cycles(0.0) == 0
+
+    def test_cycles_to_ns_roundtrip(self):
+        timing = DRAMTiming()
+        assert timing.cycles_to_ns(timing.ns_to_cycles(100.0)) >= 100.0
+
+    def test_presets(self):
+        assert timing_preset("DDR3-1600").name == "DDR3-1600"
+        assert timing_preset("DDR3-1066").name == "DDR3-1066"
+        assert timing_preset("DDR4-2400").name == "DDR4-2400"
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(KeyError):
+            timing_preset("DDR5-9999")
+
+    def test_ddr4_is_faster_clock(self):
+        assert ddr4_2400().tck_ns < ddr3_1600().tck_ns
+
+
+class TestDRAMOrganization:
+    def test_defaults_match_table1(self):
+        org = DRAMOrganization()
+        assert org.channels == 4
+        assert org.ranks_per_channel == 1
+        assert org.banks_per_rank == 8
+        assert org.rows_per_bank == 65536
+
+    def test_derived_counts(self):
+        org = DRAMOrganization()
+        assert org.banks_per_channel == 8
+        assert org.total_banks == 32
+        assert org.row_size_bytes == 128 * 64
+
+    def test_capacity(self):
+        org = DRAMOrganization()
+        expected = 32 * 65536 * 128 * 64
+        assert org.capacity_bytes == expected
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            DRAMOrganization(channels=0)
+        with pytest.raises(ValueError):
+            DRAMOrganization(banks_per_rank=-1)
+        with pytest.raises(ValueError):
+            DRAMOrganization(rows_per_bank=0)

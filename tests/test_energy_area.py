@@ -1,0 +1,103 @@
+"""Tests for the energy and area models."""
+
+import pytest
+
+from repro.core.config import DRStrangeConfig
+from repro.dram.bank import BankStats
+from repro.dram.channel import ChannelStats
+from repro.energy.area import AreaModel, CASCADE_LAKE_CORE_AREA_MM2
+from repro.energy.drampower import DRAMEnergyModel, EnergyParameters
+
+
+class TestEnergyModel:
+    def _stats(self, activations=100, reads=200, writes=50, rng_cycles=1000):
+        bank = BankStats(activations=activations)
+        channel = ChannelStats(read_accesses=reads, write_accesses=writes, rng_cycles=rng_cycles)
+        return bank, channel
+
+    def test_energy_components_positive(self):
+        model = DRAMEnergyModel()
+        bank, channel = self._stats()
+        energy = model.energy(bank, channel, total_cycles=10_000)
+        assert energy.activation_nj > 0
+        assert energy.read_nj > 0
+        assert energy.write_nj > 0
+        assert energy.rng_nj > 0
+        assert energy.background_nj > 0
+        assert energy.total_nj == pytest.approx(energy.dynamic_nj + energy.background_nj)
+
+    def test_longer_runtime_costs_more_background_energy(self):
+        model = DRAMEnergyModel()
+        bank, channel = self._stats()
+        short = model.energy(bank, channel, total_cycles=10_000)
+        long = model.energy(bank, channel, total_cycles=20_000)
+        assert long.total_nj > short.total_nj
+        assert long.dynamic_nj == pytest.approx(short.dynamic_nj)
+
+    def test_more_rng_cycles_cost_more(self):
+        model = DRAMEnergyModel()
+        bank, low = self._stats(rng_cycles=100)
+        _, high = self._stats(rng_cycles=10_000)
+        assert model.energy(bank, high, 10_000).rng_nj > model.energy(bank, low, 10_000).rng_nj
+
+    def test_total_mj_conversion(self):
+        model = DRAMEnergyModel()
+        bank, channel = self._stats()
+        energy = model.energy(bank, channel, 1000)
+        assert energy.total_mj == pytest.approx(energy.total_nj * 1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyParameters(read_nj=-1)
+        with pytest.raises(ValueError):
+            DRAMEnergyModel(num_channels=0)
+        model = DRAMEnergyModel()
+        bank, channel = self._stats()
+        with pytest.raises(ValueError):
+            model.energy(bank, channel, total_cycles=-1)
+
+
+class TestAreaModel:
+    def test_default_config_matches_paper_area(self):
+        area = AreaModel().total_area_mm2(DRStrangeConfig())
+        assert 0.0015 <= area <= 0.0030  # paper: 0.0022 mm^2
+
+    def test_fraction_of_core_matches_paper(self):
+        breakdown = AreaModel().breakdown(DRStrangeConfig())
+        fraction = breakdown.fraction_of_core()
+        assert 0.0000030 <= fraction <= 0.0000070  # paper: 0.00048%
+
+    def test_rl_predictor_costs_more(self):
+        model = AreaModel()
+        simple = model.total_area_mm2(DRStrangeConfig(predictor="simple"))
+        rl = model.total_area_mm2(DRStrangeConfig(predictor="rl"))
+        assert rl > simple
+
+    def test_no_predictor_is_smallest(self):
+        model = AreaModel()
+        none = model.total_area_mm2(DRStrangeConfig(predictor="none"))
+        simple = model.total_area_mm2(DRStrangeConfig(predictor="simple"))
+        assert none < simple
+
+    def test_bigger_buffer_costs_more(self):
+        model = AreaModel()
+        small = model.total_area_mm2(DRStrangeConfig(buffer_entries=1))
+        big = model.total_area_mm2(DRStrangeConfig(buffer_entries=64))
+        assert big > small
+
+    def test_breakdown_sums(self):
+        breakdown = AreaModel().breakdown(DRStrangeConfig())
+        assert breakdown.total_mm2 == pytest.approx(
+            breakdown.random_number_buffer_mm2
+            + breakdown.rng_request_queue_mm2
+            + breakdown.predictor_mm2
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AreaModel(mm2_per_bit=0)
+        with pytest.raises(ValueError):
+            AreaModel().breakdown(DRStrangeConfig()).fraction_of_core(core_area_mm2=0)
+
+    def test_core_area_reference(self):
+        assert CASCADE_LAKE_CORE_AREA_MM2 > 0

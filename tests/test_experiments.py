@@ -1,0 +1,168 @@
+"""Smoke tests for every experiment module (tiny workloads, fast settings)."""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    fig01_motivation,
+    fig02_trng_throughput,
+    fig05_idle_periods,
+    fig06_dualcore_performance,
+    fig07_multicore_speedup,
+    fig08_multicore_rng,
+    fig09_fairness,
+    fig10_buffer_size,
+    fig11_scheduler,
+    fig12_priority,
+    fig13_predictor,
+    fig14_predictor_accuracy,
+    fig15_low_utilization,
+    fig16_quac,
+    fig17_high_throughput,
+    fig18_multicore_idle,
+    sec88_low_intensity,
+    sec89_energy_area,
+)
+from repro.workloads.spec import ApplicationSpec
+
+#: One medium-intensity application keeps the smoke tests fast.
+TINY_APPS = [ApplicationSpec("exp-test", mpki=8.0, row_locality=0.5)]
+TINY_INSTRUCTIONS = 12_000
+
+
+@pytest.fixture(scope="module")
+def cache(session_cache):
+    return session_cache
+
+
+class TestRegistry:
+    def test_registry_covers_all_evaluation_figures(self):
+        expected = {
+            "fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+            "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+            "sec8.8", "sec8.9",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_every_module_has_run_and_format(self):
+        for module in EXPERIMENTS.values():
+            assert callable(module.run)
+            assert callable(module.format_table)
+
+
+class TestDualCoreExperiments:
+    def test_fig01(self, cache):
+        data = fig01_motivation.run(
+            apps=TINY_APPS, throughputs_mbps=(640.0, 5120.0), instructions=TINY_INSTRUCTIONS, cache=cache
+        )
+        assert len(data["series"]) == 2
+        assert fig01_motivation.format_table(data)
+
+    def test_fig02(self, cache):
+        data = fig02_trng_throughput.run(
+            apps=TINY_APPS, trng_throughputs_mbps=(400.0, 3200.0), instructions=TINY_INSTRUCTIONS, cache=cache
+        )
+        assert len(data["series"]) == 2
+        assert all("slowdown_box" in row for row in data["series"])
+        assert fig02_trng_throughput.format_table(data)
+
+    def test_fig05(self):
+        data = fig05_idle_periods.run(apps=TINY_APPS, instructions=TINY_INSTRUCTIONS)
+        assert data["series"][0]["num_periods"] > 0
+        assert fig05_idle_periods.format_table(data)
+
+    def test_fig06_and_fig09(self, cache):
+        data = fig06_dualcore_performance.run(
+            apps=TINY_APPS, instructions=TINY_INSTRUCTIONS, cache=cache
+        )
+        assert set(data["averages"]) == {"rng-oblivious", "greedy", "dr-strange"}
+        assert fig06_dualcore_performance.format_table(data)
+        fairness = fig09_fairness.run(apps=TINY_APPS, instructions=TINY_INSTRUCTIONS, cache=cache)
+        assert "average_unfairness" in fairness
+        assert fig09_fairness.format_table(fairness)
+
+    def test_fig10(self, cache):
+        data = fig10_buffer_size.run(
+            apps=TINY_APPS, buffer_sizes=(0, 16), instructions=TINY_INSTRUCTIONS, cache=cache
+        )
+        assert [row["buffer_entries"] for row in data["series"]] == [0, 16]
+        assert data["series"][0]["avg_buffer_serve_rate"] == 0.0
+        assert fig10_buffer_size.format_table(data)
+
+    def test_fig11(self, cache):
+        data = fig11_scheduler.run(apps=TINY_APPS, instructions=TINY_INSTRUCTIONS, cache=cache)
+        assert set(data["averages"]) == {"fr-fcfs+cap", "bliss", "rng-aware"}
+        assert fig11_scheduler.format_table(data)
+
+    def test_fig13(self, cache):
+        data = fig13_predictor.run(apps=TINY_APPS, instructions=TINY_INSTRUCTIONS, cache=cache)
+        assert set(data["averages"]) == {
+            "rng-oblivious", "no-predictor", "simple-predictor", "rl-predictor"
+        }
+        assert fig13_predictor.format_table(data)
+
+    def test_fig14(self, cache):
+        data = fig14_predictor_accuracy.run(
+            apps=TINY_APPS, instructions=TINY_INSTRUCTIONS, core_counts=(2,), cache=cache
+        )
+        assert data["two_core"]
+        assert 0.0 <= data["two_core_average"]["simple"] <= 1.0
+        assert fig14_predictor_accuracy.format_table(data)
+
+    def test_fig15(self, cache):
+        data = fig15_low_utilization.run(apps=TINY_APPS, instructions=TINY_INSTRUCTIONS, cache=cache)
+        assert "threshold-0" in data["averages"] and "threshold-4" in data["averages"]
+        assert fig15_low_utilization.format_table(data)
+
+    def test_fig16(self, cache):
+        data = fig16_quac.run(apps=TINY_APPS, instructions=TINY_INSTRUCTIONS, cache=cache)
+        assert data["figure"] == "16"
+        assert "QUAC" in fig16_quac.format_table(data)
+
+    def test_fig17(self, cache):
+        data = fig17_high_throughput.run(apps=TINY_APPS, instructions=TINY_INSTRUCTIONS, cache=cache)
+        assert data["rng_throughput_mbps"] == pytest.approx(10_240.0)
+
+    def test_sec88(self, cache):
+        data = sec88_low_intensity.run(apps=TINY_APPS, instructions=TINY_INSTRUCTIONS, cache=cache)
+        assert data["rng_throughput_mbps"] == pytest.approx(640.0)
+
+    def test_sec89(self, cache):
+        data = sec89_energy_area.run(apps=TINY_APPS, instructions=TINY_INSTRUCTIONS, cache=cache)
+        assert "avg_energy_reduction" in data
+        assert data["area"]["simple_predictor_mm2"] > 0
+        assert sec89_energy_area.format_table(data)
+
+
+class TestMultiCoreExperiments:
+    def test_fig07_and_fig08(self, cache):
+        data = fig07_multicore_speedup.run(
+            instructions=TINY_INSTRUCTIONS,
+            workloads_per_group=1,
+            core_counts=(),
+            include_four_core_groups=True,
+            cache=cache,
+        )
+        assert len(data["four_core_groups"]) == 4
+        assert fig07_multicore_speedup.format_table(data)
+        rng_data = fig08_multicore_rng.run(
+            instructions=TINY_INSTRUCTIONS,
+            workloads_per_group=1,
+            core_counts=(),
+            include_four_core_groups=True,
+            cache=cache,
+        )
+        assert len(rng_data["four_core_groups"]) == 4
+        assert fig08_multicore_rng.format_table(rng_data)
+
+    def test_fig12(self, cache):
+        data = fig12_priority.run(
+            core_counts=(4,), workloads_per_core_count=1, instructions=TINY_INSTRUCTIONS, cache=cache
+        )
+        assert data["series"][0]["cores"] == 4
+        assert fig12_priority.format_table(data)
+
+    def test_fig18(self):
+        data = fig18_multicore_idle.run(core_counts=(4,), categories=("M",), instructions=8_000)
+        assert data["series"][0]["num_periods"] > 0
+        assert fig18_multicore_idle.format_table(data)

@@ -1,0 +1,135 @@
+"""End-to-end design comparisons (the headline claims of the paper).
+
+These tests run the full simulator on a small but realistic two-core
+workload (a medium/high intensity application plus the 5 Gb/s RNG
+benchmark) and check the *direction* of the paper's headline results:
+
+* DR-STRaNGe improves non-RNG performance over the RNG-oblivious baseline,
+* DR-STRaNGe improves RNG application performance over the baseline,
+* DR-STRaNGe improves system fairness over the baseline,
+* DR-STRaNGe outperforms the Greedy Idle design for RNG applications,
+* the benefits hold with the QUAC-TRNG mechanism as well.
+
+They are slower than unit tests (a few seconds each) but are the core
+regression guard for the reproduction.
+"""
+
+import pytest
+
+from repro.core.config import DRStrangeConfig
+from repro.sim.config import baseline_config, drstrange_config, greedy_config
+from repro.sim.runner import compare_designs
+from repro.workloads.spec import ApplicationSpec, RNGBenchmarkSpec, WorkloadMix
+
+INSTRUCTIONS = 30_000
+
+
+def make_mix(name="integration", mpki=9.0, throughput=5120.0):
+    app = ApplicationSpec(f"{name}-app", mpki=mpki, row_locality=0.55, write_fraction=0.25)
+    rng = RNGBenchmarkSpec(f"{name}-rng", throughput_mbps=throughput)
+    return WorkloadMix(name=name, slots=[app, rng])
+
+
+@pytest.fixture(scope="module")
+def design_results(session_cache):
+    configs = {
+        "baseline": baseline_config(),
+        "greedy": greedy_config(),
+        "drstrange": drstrange_config(),
+    }
+    return compare_designs(
+        make_mix(), configs, instructions=INSTRUCTIONS, cache=session_cache
+    )
+
+
+class TestHeadlineClaims:
+    def test_baseline_shows_rng_interference(self, design_results):
+        baseline = design_results["baseline"]
+        assert baseline.non_rng_slowdown > 1.15
+        assert baseline.unfairness > 1.2
+
+    def test_drstrange_improves_non_rng_performance(self, design_results):
+        assert (
+            design_results["drstrange"].non_rng_slowdown
+            < design_results["baseline"].non_rng_slowdown
+        )
+
+    def test_drstrange_improves_rng_performance(self, design_results):
+        assert (
+            design_results["drstrange"].rng_slowdown
+            < design_results["baseline"].rng_slowdown
+        )
+
+    def test_drstrange_improves_fairness(self, design_results):
+        assert design_results["drstrange"].unfairness < design_results["baseline"].unfairness
+
+    def test_drstrange_beats_greedy_for_rng_apps(self, design_results):
+        assert (
+            design_results["drstrange"].rng_slowdown <= design_results["greedy"].rng_slowdown
+        )
+
+    def test_greedy_improves_over_baseline(self, design_results):
+        assert (
+            design_results["greedy"].non_rng_slowdown
+            < design_results["baseline"].non_rng_slowdown
+        )
+
+    def test_buffer_serve_rate_significant(self, design_results):
+        assert design_results["drstrange"].buffer_serve_rate > 0.4
+        assert design_results["baseline"].buffer_serve_rate == 0.0
+
+    def test_predictor_accuracy_reasonable(self, design_results):
+        accuracy = design_results["drstrange"].predictor_accuracy
+        assert accuracy is not None and accuracy > 0.5
+
+    def test_drstrange_reduces_energy(self, design_results):
+        assert (
+            design_results["drstrange"].energy_nj < design_results["baseline"].energy_nj
+        )
+
+
+class TestBufferAblation:
+    def test_buffer_is_the_main_rng_latency_lever(self, session_cache):
+        mix = make_mix("buffer-ablation")
+        configs = {
+            "no-buffer": drstrange_config(drstrange=DRStrangeConfig(buffer_entries=0)),
+            "with-buffer": drstrange_config(),
+        }
+        results = compare_designs(mix, configs, instructions=INSTRUCTIONS, cache=session_cache)
+        assert results["with-buffer"].rng_slowdown < results["no-buffer"].rng_slowdown
+
+
+class TestQUACTRNG:
+    def test_benefits_hold_with_quac(self, session_cache):
+        mix = make_mix("quac")
+        configs = {
+            "baseline": baseline_config(trng_name="quac-trng"),
+            "drstrange": drstrange_config(trng_name="quac-trng"),
+        }
+        results = compare_designs(mix, configs, instructions=INSTRUCTIONS, cache=session_cache)
+        assert results["drstrange"].non_rng_slowdown < results["baseline"].non_rng_slowdown
+        assert results["drstrange"].rng_slowdown < results["baseline"].rng_slowdown
+
+
+class TestLowIntensityRNG:
+    def test_improvements_shrink_at_low_rng_throughput(self, session_cache):
+        high_mix = make_mix("hi", throughput=5120.0)
+        low_mix = make_mix("lo", throughput=640.0)
+        configs = {"baseline": baseline_config(), "drstrange": drstrange_config()}
+        high = compare_designs(high_mix, configs, instructions=INSTRUCTIONS, cache=session_cache)
+        low = compare_designs(low_mix, configs, instructions=INSTRUCTIONS, cache=session_cache)
+        gain_high = high["baseline"].non_rng_slowdown - high["drstrange"].non_rng_slowdown
+        gain_low = low["baseline"].non_rng_slowdown - low["drstrange"].non_rng_slowdown
+        assert gain_low < gain_high
+        assert low["baseline"].non_rng_slowdown < high["baseline"].non_rng_slowdown
+
+
+class TestPriorityModes:
+    def test_prioritised_class_benefits(self, session_cache):
+        mix = make_mix("prio")
+        configs = {
+            "rng-high": drstrange_config(priority_mode="rng-high"),
+            "non-rng-high": drstrange_config(priority_mode="non-rng-high"),
+        }
+        results = compare_designs(mix, configs, instructions=INSTRUCTIONS, cache=session_cache)
+        assert results["rng-high"].rng_slowdown <= results["non-rng-high"].rng_slowdown * 1.05

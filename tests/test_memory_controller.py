@@ -1,0 +1,191 @@
+"""Tests for the channel memory controller."""
+
+import pytest
+
+from repro.controller.config import ControllerConfig
+from repro.controller.memory_controller import ChannelController, ExecutionMode
+from repro.controller.request import make_read, make_rng, make_write
+from repro.dram.dram_system import DRAMSystem
+from repro.trng.drange import DRaNGe
+
+
+def make_controller(separate_rng_queue=False, config=None, channel_id=0):
+    dram = DRAMSystem()
+    controller = ChannelController(
+        channel=dram.channels[channel_id],
+        dram=dram,
+        config=config or ControllerConfig(),
+        trng=DRaNGe(),
+        separate_rng_queue=separate_rng_queue,
+    )
+    return dram, controller
+
+
+def run_cycles(controller, start, count):
+    for cycle in range(start, start + count):
+        controller.tick(cycle)
+    return start + count
+
+
+def address_for(dram, channel_id, bank=0, row=0, column=0):
+    return dram.mapping.encode(channel=channel_id, bank=bank, row=row, column=column)
+
+
+class TestEnqueueAndRouting:
+    def test_read_goes_to_read_queue(self):
+        dram, controller = make_controller()
+        assert controller.enqueue(make_read(address_for(dram, 0), 0, 0))
+        assert len(controller.read_queue) == 1
+        assert len(controller.write_queue) == 0
+
+    def test_write_goes_to_write_queue(self):
+        dram, controller = make_controller()
+        assert controller.enqueue(make_write(address_for(dram, 0), 0, 0))
+        assert len(controller.write_queue) == 1
+
+    def test_rng_goes_to_read_queue_without_separate_queue(self):
+        dram, controller = make_controller(separate_rng_queue=False)
+        assert controller.enqueue(make_rng(16, 0, 0))
+        assert len(controller.read_queue) == 1
+        assert controller.rng_queue is None
+
+    def test_rng_goes_to_rng_queue_when_enabled(self):
+        dram, controller = make_controller(separate_rng_queue=True)
+        assert controller.enqueue(make_rng(16, 0, 0))
+        assert len(controller.rng_queue) == 1
+        assert len(controller.read_queue) == 0
+
+    def test_full_queue_rejects(self):
+        config = ControllerConfig(
+            read_queue_capacity=2, write_queue_capacity=2, write_drain_high=2, write_drain_low=1
+        )
+        dram, controller = make_controller(config=config)
+        assert controller.enqueue(make_read(address_for(dram, 0), 0, 0))
+        assert controller.enqueue(make_read(address_for(dram, 0, row=1), 0, 0))
+        assert not controller.enqueue(make_read(address_for(dram, 0, row=2), 0, 0))
+
+
+class TestReadService:
+    def test_read_completes_with_callback(self):
+        dram, controller = make_controller()
+        completed = []
+        request = make_read(address_for(dram, 0), 0, 0, callback=completed.append)
+        controller.enqueue(request)
+        run_cycles(controller, 0, 200)
+        assert completed == [request]
+        assert request.completion_cycle is not None
+        assert controller.stats.served_reads == 1
+
+    def test_row_hit_served_faster_than_conflict(self):
+        dram, controller = make_controller()
+        latencies = {}
+        first = make_read(address_for(dram, 0, bank=0, row=1), 0, 0)
+        controller.enqueue(first)
+        run_cycles(controller, 0, 200)
+
+        hit = make_read(address_for(dram, 0, bank=0, row=1, column=4), 0, 200)
+        controller.enqueue(hit)
+        run_cycles(controller, 200, 200)
+        latencies["hit"] = hit.completion_cycle - hit.arrival_cycle
+
+        conflict = make_read(address_for(dram, 0, bank=0, row=2), 0, 400)
+        controller.enqueue(conflict)
+        run_cycles(controller, 400, 200)
+        latencies["conflict"] = conflict.completion_cycle - conflict.arrival_cycle
+        assert latencies["hit"] < latencies["conflict"]
+
+    def test_multiple_reads_all_complete(self):
+        dram, controller = make_controller()
+        requests = [make_read(address_for(dram, 0, bank=b, row=b), 0, 0) for b in range(8)]
+        for request in requests:
+            controller.enqueue(request)
+        run_cycles(controller, 0, 600)
+        assert all(r.completion_cycle is not None for r in requests)
+        assert controller.stats.served_reads == 8
+
+
+class TestWriteDrain:
+    def test_writes_drain_when_queue_fills(self):
+        config = ControllerConfig(write_drain_high=4, write_drain_low=1)
+        dram, controller = make_controller(config=config)
+        for i in range(4):
+            controller.enqueue(make_write(address_for(dram, 0, bank=i % 8, row=i), 0, 0))
+        run_cycles(controller, 0, 400)
+        assert controller.stats.served_writes >= 3
+
+    def test_writes_served_opportunistically_when_no_reads(self):
+        dram, controller = make_controller()
+        controller.enqueue(make_write(address_for(dram, 0), 0, 0))
+        run_cycles(controller, 0, 200)
+        assert controller.stats.served_writes == 1
+
+
+class TestRNGDemand:
+    def test_rng_request_served_in_rng_mode(self):
+        dram, controller = make_controller()
+        completed = []
+        request = make_rng(16, 0, 0, callback=completed.append)
+        controller.enqueue(request)
+        run_cycles(controller, 0, 500)
+        assert completed == [request]
+        assert controller.stats.served_rng_demand == 1
+        assert controller.stats.rng_mode_cycles > 0
+        assert controller.mode is ExecutionMode.REGULAR
+
+    def test_rng_latency_at_least_demand_latency(self):
+        dram, controller = make_controller()
+        request = make_rng(16, 0, 0)
+        controller.enqueue(request)
+        run_cycles(controller, 0, 600)
+        expected = controller.trng.demand_latency_cycles(16, 4, 8, 800.0)
+        assert request.completion_cycle - request.arrival_cycle >= expected
+
+    def test_rng_blocks_concurrent_regular_read(self):
+        dram, controller = make_controller()
+        rng = make_rng(16, 0, 0)
+        controller.enqueue(rng)
+        run_cycles(controller, 0, 5)
+        read = make_read(address_for(dram, 0), 1, 5)
+        controller.enqueue(read)
+        run_cycles(controller, 5, 600)
+        assert read.completion_cycle > rng.completion_cycle
+
+    def test_back_to_back_rng_requests_chain(self):
+        dram, controller = make_controller()
+        first, second = make_rng(16, 0, 0), make_rng(16, 0, 0)
+        controller.enqueue(first)
+        controller.enqueue(second)
+        run_cycles(controller, 0, 1000)
+        assert controller.stats.served_rng_demand == 2
+        assert controller.stats.rng_chained_demand >= 1
+
+
+class TestIdleTracking:
+    def test_idle_period_recorded_on_request_arrival(self):
+        dram, controller = make_controller()
+        run_cycles(controller, 0, 100)
+        controller.enqueue(make_read(address_for(dram, 0), 0, 100))
+        assert controller.stats.idle_periods
+        assert controller.stats.idle_periods[0] >= 90
+
+    def test_idle_listener_invoked(self):
+        dram, controller = make_controller()
+        observed = []
+        controller.add_idle_period_listener(lambda ch, length, addr: observed.append((ch, length)))
+        run_cycles(controller, 0, 50)
+        controller.enqueue(make_read(address_for(dram, 0), 0, 50))
+        assert observed and observed[0][0] == controller.channel_id
+
+    def test_flush_idle_period(self):
+        dram, controller = make_controller()
+        run_cycles(controller, 0, 30)
+        controller.flush_idle_period()
+        assert controller.stats.idle_periods == [30]
+        assert controller.idle_streak == 0
+
+    def test_busy_and_idle_cycles_partition_time(self):
+        dram, controller = make_controller()
+        controller.enqueue(make_read(address_for(dram, 0), 0, 0))
+        run_cycles(controller, 0, 100)
+        stats = controller.stats
+        assert stats.idle_cycles + stats.busy_cycles + stats.rng_mode_cycles == 100

@@ -1,0 +1,124 @@
+"""Tests for fairness, speedup and statistics metrics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    arithmetic_mean,
+    box_stats,
+    execution_slowdown,
+    fairness_improvement,
+    geometric_mean,
+    harmonic_speedup,
+    memory_slowdown,
+    normalized_weighted_speedup,
+    percentile,
+    relative_improvement,
+    unfairness_index,
+    weighted_speedup,
+)
+
+
+class TestFairnessMetrics:
+    def test_memory_slowdown_ratio(self):
+        assert memory_slowdown(2.0, 1.0) == pytest.approx(2.0, rel=1e-6)
+
+    def test_memory_slowdown_handles_zero_alone(self):
+        assert memory_slowdown(1.0, 0.0) > 1.0
+
+    def test_memory_slowdown_rejects_negative(self):
+        with pytest.raises(ValueError):
+            memory_slowdown(-1.0, 1.0)
+
+    def test_unfairness_index(self):
+        assert unfairness_index([2.0, 1.0]) == pytest.approx(2.0)
+        assert unfairness_index([1.5, 1.5, 1.5]) == pytest.approx(1.0)
+
+    def test_unfairness_validation(self):
+        with pytest.raises(ValueError):
+            unfairness_index([])
+        with pytest.raises(ValueError):
+            unfairness_index([1.0, 0.0])
+
+    def test_execution_slowdown(self):
+        assert execution_slowdown(200, 100) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            execution_slowdown(0, 100)
+
+    def test_fairness_improvement(self):
+        assert fairness_improvement(2.0, 1.5) == pytest.approx(0.25)
+
+
+class TestSpeedupMetrics:
+    def test_weighted_speedup(self):
+        assert weighted_speedup([1.0, 2.0], [2.0, 2.0]) == pytest.approx(1.5)
+
+    def test_normalized_weighted_speedup(self):
+        assert normalized_weighted_speedup([1.0, 1.0], [1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_harmonic_speedup_leq_arithmetic(self):
+        shared, alone = [1.0, 3.0], [2.0, 3.0]
+        assert harmonic_speedup(shared, alone) <= weighted_speedup(shared, alone) / 2 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([], [])
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            weighted_speedup([0.0], [1.0])
+
+
+class TestStats:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_percentile(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 4.0
+        assert percentile(values, 0.5) == pytest.approx(2.5)
+
+    def test_box_stats(self):
+        box = box_stats([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert box.minimum == 1.0
+        assert box.maximum == 100.0
+        assert box.q1 <= box.median <= box.q3
+        assert box.upper_whisker == pytest.approx(box.q3 + 1.5 * box.interquartile_range)
+
+    def test_relative_improvement(self):
+        assert relative_improvement(2.0, 1.5) == pytest.approx(0.25)
+        with pytest.raises(ValueError):
+            relative_improvement(0.0, 1.0)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=30))
+def test_unfairness_at_least_one_property(slowdowns):
+    assert unfairness_index(slowdowns) >= 1.0
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=30))
+def test_box_stats_ordering_property(values):
+    box = box_stats(values)
+    assert box.minimum <= box.q1 <= box.median <= box.q3 <= box.maximum
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=1, max_size=10),
+    st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=1, max_size=10),
+)
+def test_weighted_speedup_bounds_property(shared, alone):
+    n = min(len(shared), len(alone))
+    shared, alone = shared[:n], alone[:n]
+    value = weighted_speedup(shared, alone)
+    assert 0 < value
+    assert normalized_weighted_speedup(shared, alone) == pytest.approx(value / n)

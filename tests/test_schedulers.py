@@ -1,0 +1,143 @@
+"""Tests for the baseline memory request schedulers."""
+
+import pytest
+
+from repro.controller.config import ControllerConfig
+from repro.controller.memory_controller import ChannelController
+from repro.controller.request import make_read, make_rng
+from repro.dram.dram_system import DRAMSystem
+from repro.sched import BLISS, FRFCFS, FRFCFSCap, make_scheduler
+
+
+def build(scheduler):
+    dram = DRAMSystem()
+    controller = ChannelController(
+        channel=dram.channels[0],
+        dram=dram,
+        scheduler=scheduler,
+        config=ControllerConfig(),
+    )
+    return dram, controller
+
+
+def addr(dram, bank=0, row=0, column=0):
+    return dram.mapping.encode(channel=0, bank=bank, row=row, column=column)
+
+
+class TestFRFCFS:
+    def test_prefers_row_hit_over_older_request(self):
+        scheduler = FRFCFS()
+        dram, controller = build(scheduler)
+        controller.channel.service_access(0, 5, now=0)  # open row 5 in bank 0
+        older_miss = make_read(addr(dram, bank=1, row=9), 0, cycle=1)
+        newer_hit = make_read(addr(dram, bank=0, row=5, column=3), 0, cycle=2)
+        controller.read_queue.push(older_miss)
+        controller.read_queue.push(newer_hit)
+        assert scheduler.select(controller.read_queue, controller, 10) is newer_hit
+
+    def test_falls_back_to_oldest(self):
+        scheduler = FRFCFS()
+        dram, controller = build(scheduler)
+        first = make_read(addr(dram, bank=1, row=9), 0, cycle=1)
+        second = make_read(addr(dram, bank=2, row=3), 0, cycle=2)
+        controller.read_queue.push(first)
+        controller.read_queue.push(second)
+        assert scheduler.select(controller.read_queue, controller, 10) is first
+
+    def test_empty_queue_returns_none(self):
+        scheduler = FRFCFS()
+        dram, controller = build(scheduler)
+        assert scheduler.select(controller.read_queue, controller, 0) is None
+
+    def test_rng_request_is_never_a_row_hit(self):
+        scheduler = FRFCFS()
+        dram, controller = build(scheduler)
+        rng = make_rng(16, 0, cycle=1)
+        controller.read_queue.push(rng)
+        assert scheduler.select(controller.read_queue, controller, 5) is rng
+
+
+class TestFRFCFSCap:
+    def test_cap_limits_consecutive_hits(self):
+        scheduler = FRFCFSCap(cap=2)
+        dram, controller = build(scheduler)
+        scheduler.bind(dram.organization)
+        controller.channel.service_access(0, 5, now=0)
+        hits = [make_read(addr(dram, bank=0, row=5, column=c), 0, cycle=c) for c in range(3)]
+        miss = make_read(addr(dram, bank=1, row=9), 1, cycle=0)
+        controller.read_queue.push(miss)
+        for hit in hits:
+            controller.read_queue.push(hit)
+
+        # Serve two hits, then the cap forces the older miss to be chosen.
+        for expected in (hits[0], hits[1]):
+            selected = scheduler.select(controller.read_queue, controller, 10)
+            assert selected is expected
+            controller.read_queue.remove(selected)
+            selected.decoded = controller.decode(selected)
+            scheduler.notify_served(selected, 10)
+        third = scheduler.select(controller.read_queue, controller, 20)
+        assert third is miss
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            FRFCFSCap(cap=0)
+
+    def test_reset_clears_streak(self):
+        scheduler = FRFCFSCap(cap=1)
+        scheduler._streak_length = 5
+        scheduler.reset()
+        assert scheduler._streak_length == 0
+
+
+class TestBLISS:
+    def test_blacklists_after_consecutive_serves(self):
+        scheduler = BLISS(blacklisting_threshold=3, clearing_interval=1000)
+        dram, controller = build(scheduler)
+        for i in range(3):
+            scheduler.notify_served(make_read(addr(dram, row=i), core_id=7, cycle=i), now=i)
+        assert 7 in scheduler.blacklist
+        assert scheduler.blacklist_events == 1
+
+    def test_prefers_non_blacklisted_application(self):
+        scheduler = BLISS(blacklisting_threshold=2, clearing_interval=10_000)
+        dram, controller = build(scheduler)
+        for i in range(2):
+            scheduler.notify_served(make_read(addr(dram, row=i), core_id=0, cycle=i), now=i)
+        blacklisted = make_read(addr(dram, bank=1, row=1), core_id=0, cycle=0)
+        other = make_read(addr(dram, bank=2, row=2), core_id=1, cycle=5)
+        controller.read_queue.push(blacklisted)
+        controller.read_queue.push(other)
+        assert scheduler.select(controller.read_queue, controller, 10) is other
+
+    def test_blacklist_cleared_after_interval(self):
+        scheduler = BLISS(blacklisting_threshold=1, clearing_interval=100)
+        dram, controller = build(scheduler)
+        scheduler.notify_served(make_read(addr(dram), core_id=3, cycle=0), now=0)
+        assert 3 in scheduler.blacklist
+        scheduler.tick(150)
+        assert not scheduler.blacklist
+        assert scheduler.clear_events == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BLISS(blacklisting_threshold=0)
+        with pytest.raises(ValueError):
+            BLISS(clearing_interval=0)
+
+    def test_reset(self):
+        scheduler = BLISS()
+        scheduler.blacklist.add(1)
+        scheduler.reset()
+        assert not scheduler.blacklist
+
+
+class TestFactory:
+    def test_make_scheduler_names(self):
+        assert isinstance(make_scheduler("fr-fcfs"), FRFCFS)
+        assert isinstance(make_scheduler("fr-fcfs+cap", cap=8), FRFCFSCap)
+        assert isinstance(make_scheduler("bliss"), BLISS)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_scheduler("random-scheduler")

@@ -1,0 +1,84 @@
+"""Tests for the experiment runner (alone-run cache, workload evaluation)."""
+
+import pytest
+
+from repro.sim.config import baseline_config, drstrange_config
+from repro.sim.runner import AloneRunCache, compare_designs, run_single_application, run_workload
+from repro.workloads.mixes import build_traces, dual_core_mixes
+from repro.workloads.spec import ApplicationSpec, RNGBenchmarkSpec, WorkloadMix
+
+
+@pytest.fixture(scope="module")
+def mix():
+    app = ApplicationSpec("runner-app", mpki=8.0, row_locality=0.5)
+    rng = RNGBenchmarkSpec("runner-rng", throughput_mbps=5120.0)
+    return WorkloadMix(name="runner-mix", slots=[app, rng])
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return AloneRunCache()
+
+
+INSTRUCTIONS = 10_000
+
+
+class TestAloneRunCache:
+    def test_cache_hits_on_repeated_lookup(self, mix, cache):
+        traces = build_traces(mix, INSTRUCTIONS, seed=0)
+        config = baseline_config()
+        first, _ = cache.get(traces[0], config)
+        misses = cache.misses
+        second, _ = cache.get(traces[0], config)
+        assert cache.misses == misses
+        assert cache.hits >= 1
+        assert first is second
+
+    def test_different_trace_misses(self, mix, cache):
+        traces = build_traces(mix, INSTRUCTIONS, seed=0)
+        config = baseline_config()
+        cache.get(traces[0], config)
+        misses = cache.misses
+        cache.get(traces[1], config)
+        assert cache.misses == misses + 1
+
+    def test_clear(self):
+        cache = AloneRunCache()
+        assert len(cache) == 0
+        cache.clear()
+        assert cache.hits == 0
+
+
+class TestRunWorkload:
+    def test_evaluation_structure(self, mix, cache):
+        evaluation = run_workload(mix, baseline_config(), instructions=INSTRUCTIONS, cache=cache)
+        assert len(evaluation.slots) == 2
+        assert evaluation.non_rng_slots[0].name == "runner-app"
+        assert evaluation.rng_slots[0].name == "runner-rng"
+        assert evaluation.unfairness >= 1.0
+        assert evaluation.non_rng_slowdown > 0
+        assert evaluation.rng_slowdown > 0
+
+    def test_sharing_causes_slowdown_on_baseline(self, mix, cache):
+        evaluation = run_workload(mix, baseline_config(), instructions=INSTRUCTIONS, cache=cache)
+        assert evaluation.non_rng_slowdown > 1.0
+
+    def test_weighted_speedup_bounds(self, mix, cache):
+        evaluation = run_workload(mix, baseline_config(), instructions=INSTRUCTIONS, cache=cache)
+        assert 0.0 < evaluation.non_rng_normalized_weighted_speedup <= 1.5
+
+    def test_compare_designs_uses_same_traces(self, mix, cache):
+        results = compare_designs(
+            mix,
+            {"base": baseline_config(), "drs": drstrange_config()},
+            instructions=INSTRUCTIONS,
+            cache=cache,
+        )
+        assert set(results) == {"base", "drs"}
+        assert results["base"].result.rng_requests > 0
+
+    def test_run_single_application(self, mix, cache):
+        traces = build_traces(mix, INSTRUCTIONS, seed=0)
+        core, result = run_single_application(traces[0], baseline_config(), cache=cache)
+        assert core.instructions >= INSTRUCTIONS
+        assert result.total_cycles >= core.cycles

@@ -1,0 +1,136 @@
+"""Integration tests for system assembly and single simulations."""
+
+import pytest
+
+from repro.core.config import DRStrangeConfig
+from repro.cpu.trace import Trace, TraceEntry
+from repro.dram.address import AddressMapping
+from repro.sim.config import baseline_config, drstrange_config, greedy_config
+from repro.sim.system import System, simulate
+from repro.workloads.mixes import build_traces, dual_core_mixes
+from repro.workloads.spec import ApplicationSpec
+from repro.workloads.synthetic import generate_application_trace
+
+
+@pytest.fixture(scope="module")
+def small_app_trace():
+    spec = ApplicationSpec("sys-test-app", mpki=8.0, row_locality=0.5)
+    return generate_application_trace(spec, 4_000, seed=0)
+
+
+class TestSystemAssembly:
+    def test_baseline_has_no_buffer_or_predictors(self, small_app_trace):
+        system = System([small_app_trace], baseline_config())
+        assert system.buffer is None
+        assert not system.predictors
+        assert all(controller.rng_queue is None for controller in system.controllers)
+
+    def test_drstrange_has_buffer_predictors_and_rng_queues(self, small_app_trace):
+        system = System([small_app_trace], drstrange_config())
+        assert system.buffer is not None
+        assert len(system.predictors) == 4
+        assert all(controller.rng_queue is not None for controller in system.controllers)
+
+    def test_greedy_has_buffer_but_no_predictors(self, small_app_trace):
+        system = System([small_app_trace], greedy_config())
+        assert system.buffer is not None
+        assert not system.predictors
+
+    def test_rl_predictor_selected(self, small_app_trace):
+        config = drstrange_config(drstrange=DRStrangeConfig(predictor="rl"))
+        system = System([small_app_trace], config)
+        from repro.core.rl_predictor import QLearningIdlenessPredictor
+
+        assert all(isinstance(p, QLearningIdlenessPredictor) for p in system.predictors.values())
+
+    def test_priorities_derived_from_mode(self):
+        mix = dual_core_mixes()[0]
+        traces = build_traces(mix, 2_000, seed=0)
+        system = System(traces, drstrange_config(priority_mode="rng-high"))
+        assert system.registry.priority(1) > system.registry.priority(0)
+        system = System(traces, drstrange_config(priority_mode="non-rng-high"))
+        assert system.registry.priority(0) > system.registry.priority(1)
+
+    def test_empty_traces_rejected(self):
+        with pytest.raises(ValueError):
+            System([], baseline_config())
+
+
+class TestSingleCoreRuns:
+    def test_compute_only_trace_has_no_memory_stalls(self):
+        trace = Trace([TraceEntry(bubbles=3_000)], name="compute")
+        result = simulate([trace], baseline_config())
+        core = result.cores[0]
+        assert core.memory_stall_cycles == 0
+        assert core.instructions >= 3_000
+
+    def test_memory_trace_completes_all_reads(self, small_app_trace):
+        result = simulate([small_app_trace], baseline_config())
+        core = result.cores[0]
+        assert core.reads > 0
+        assert core.cycles > 0
+        assert result.total_cycles >= core.cycles
+
+    def test_higher_mpki_runs_longer(self):
+        light = generate_application_trace(ApplicationSpec("l", mpki=1.0), 4_000, seed=0)
+        heavy = generate_application_trace(ApplicationSpec("h", mpki=25.0), 4_000, seed=0)
+        light_result = simulate([light], baseline_config())
+        heavy_result = simulate([heavy], baseline_config())
+        assert heavy_result.cores[0].cycles > light_result.cores[0].cycles
+
+    def test_cycle_limit_guard(self, small_app_trace):
+        config = baseline_config(max_cycles=50)
+        system = System([small_app_trace], config)
+        system.run()
+        assert system.hit_cycle_limit
+
+    def test_energy_reported(self, small_app_trace):
+        result = simulate([small_app_trace], baseline_config())
+        assert result.energy.total_nj > 0
+
+    def test_channel_cycle_accounting(self, small_app_trace):
+        result = simulate([small_app_trace], baseline_config())
+        for channel in result.channels:
+            assert channel.total_cycles == result.total_cycles
+            assert 0.0 <= channel.utilization <= 1.0
+
+
+class TestRNGWorkloadRuns:
+    @pytest.fixture(scope="class")
+    def mix_traces(self):
+        mix = dual_core_mixes()[2]
+        return build_traces(mix, 12_000, seed=0)
+
+    def test_baseline_serves_rng_demand(self, mix_traces):
+        result = simulate(mix_traces, baseline_config())
+        assert result.rng_requests > 0
+        assert result.buffer_serves == 0
+        assert sum(c.served_rng_demand for c in result.channels) > 0
+
+    def test_drstrange_uses_buffer(self, mix_traces):
+        result = simulate(mix_traces, drstrange_config())
+        assert result.buffer_serves > 0
+        assert 0.0 < result.buffer_serve_rate <= 1.0
+        assert result.predictor_accuracy is not None
+        assert sum(c.rng_fill_bits for c in result.channels) > 0
+
+    def test_greedy_never_enters_rng_fill_mode(self, mix_traces):
+        result = simulate(mix_traces, greedy_config())
+        assert sum(c.rng_fill_batches for c in result.channels) == 0
+        assert result.buffer_serves > 0
+
+    def test_rng_core_flagged(self, mix_traces):
+        result = simulate(mix_traces, drstrange_config())
+        assert not result.cores[0].is_rng
+        assert result.cores[1].is_rng
+        assert result.rng_cores and result.non_rng_cores
+
+    def test_scheduler_stats_present_for_rng_aware_designs(self, mix_traces):
+        result = simulate(mix_traces, drstrange_config())
+        assert "rng_queue_choices" in result.scheduler_stats
+
+    def test_deterministic_given_same_inputs(self, mix_traces):
+        a = simulate(mix_traces, drstrange_config())
+        b = simulate(mix_traces, drstrange_config())
+        assert a.total_cycles == b.total_cycles
+        assert [c.cycles for c in a.cores] == [c.cycles for c in b.cores]

@@ -1,0 +1,101 @@
+"""Tests for the simulated entropy source."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trng.entropy import EntropySource, ProcessVariationModel
+
+
+class TestProcessVariationModel:
+    def test_probabilities_in_unit_interval(self):
+        model = ProcessVariationModel()
+        probabilities = model.sample_cell_probabilities(1000, np.random.default_rng(0))
+        assert np.all((probabilities >= 0) & (probabilities <= 1))
+
+    def test_probabilities_centred_near_half(self):
+        model = ProcessVariationModel()
+        probabilities = model.sample_cell_probabilities(5000, np.random.default_rng(0))
+        assert abs(float(probabilities.mean()) - 0.5) < 0.05
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ProcessVariationModel(alpha=0)
+        with pytest.raises(ValueError):
+            ProcessVariationModel(rng_cell_fraction=0)
+        with pytest.raises(ValueError):
+            ProcessVariationModel().sample_cell_probabilities(0, np.random.default_rng(0))
+
+
+class TestEntropySource:
+    def test_deterministic_with_seed(self):
+        a = EntropySource(seed=42).generate_bits(512)
+        b = EntropySource(seed=42).generate_bits(512)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = EntropySource(seed=1).generate_bits(512)
+        b = EntropySource(seed=2).generate_bits(512)
+        assert not np.array_equal(a, b)
+
+    def test_generate_exact_count(self):
+        source = EntropySource(seed=0)
+        for count in (1, 7, 64, 1000):
+            assert len(source.generate_bits(count)) == count
+
+    def test_zero_count(self):
+        assert len(EntropySource(seed=0).generate_bits(0)) == 0
+
+    def test_debiased_stream_is_balanced(self):
+        bits = EntropySource(seed=3).generate_bits(20_000)
+        assert abs(float(bits.mean()) - 0.5) < 0.02
+
+    def test_generate_bytes(self):
+        data = EntropySource(seed=0).generate_bytes(32)
+        assert isinstance(data, bytes)
+        assert len(data) == 32
+
+    def test_generate_integer_width(self):
+        source = EntropySource(seed=0)
+        for bits in (1, 8, 64, 128):
+            assert 0 <= source.generate_integer(bits) < (1 << bits)
+
+    def test_debias_efficiency_reported(self):
+        source = EntropySource(seed=0)
+        source.generate_bits(1000)
+        assert 0.0 < source.debias_efficiency <= 1.0
+
+    def test_invalid_arguments(self):
+        source = EntropySource(seed=0)
+        with pytest.raises(ValueError):
+            source.generate_bits(-1)
+        with pytest.raises(ValueError):
+            source.generate_integer(0)
+        with pytest.raises(ValueError):
+            EntropySource(num_cells=0)
+
+
+class TestVonNeumann:
+    def test_known_pairs(self):
+        bits = np.array([0, 1, 1, 0, 0, 0, 1, 1], dtype=np.uint8)
+        out = EntropySource.von_neumann(bits)
+        assert out.tolist() == [0, 1]
+
+    def test_empty_and_single(self):
+        assert len(EntropySource.von_neumann(np.array([], dtype=np.uint8))) == 0
+        assert len(EntropySource.von_neumann(np.array([1], dtype=np.uint8))) == 0
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=0, max_size=400))
+    def test_output_never_longer_than_half_input(self, bits):
+        array = np.array(bits, dtype=np.uint8)
+        out = EntropySource.von_neumann(array)
+        assert len(out) <= len(array) // 2
+        assert set(out.tolist()) <= {0, 1}
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=1), st.integers(min_value=1, max_value=100))
+    def test_constant_input_yields_nothing(self, value, length):
+        array = np.full(length, value, dtype=np.uint8)
+        assert len(EntropySource.von_neumann(array)) == 0

@@ -1,0 +1,90 @@
+"""Tests for the randomness-quality test suite."""
+
+import numpy as np
+import pytest
+
+from repro.trng.entropy import EntropySource
+from repro.trng.quality import (
+    all_tests_pass,
+    block_frequency_test,
+    monobit_test,
+    run_all_tests,
+    runs_test,
+    serial_twobit_test,
+    shannon_entropy,
+)
+
+
+@pytest.fixture(scope="module")
+def good_bits():
+    return np.random.default_rng(7).integers(0, 2, size=20_000)
+
+
+@pytest.fixture(scope="module")
+def entropy_bits():
+    return EntropySource(seed=11).generate_bits(20_000)
+
+
+class TestOnGoodRandomness:
+    def test_monobit_passes(self, good_bits):
+        assert monobit_test(good_bits).passed
+
+    def test_block_frequency_passes(self, good_bits):
+        assert block_frequency_test(good_bits).passed
+
+    def test_runs_passes(self, good_bits):
+        assert runs_test(good_bits).passed
+
+    def test_serial_passes(self, good_bits):
+        assert serial_twobit_test(good_bits).passed
+
+    def test_entropy_near_one(self, good_bits):
+        assert shannon_entropy(good_bits) > 0.95
+
+    def test_all_tests_pass_on_entropy_source_output(self, entropy_bits):
+        assert all_tests_pass(entropy_bits)
+
+    def test_run_all_returns_every_test(self, good_bits):
+        results = run_all_tests(good_bits)
+        assert {r.name for r in results} == {"monobit", "block_frequency", "runs", "serial_twobit"}
+
+
+class TestOnBadRandomness:
+    def test_all_zeros_fails_monobit(self):
+        assert not monobit_test([0] * 5000).passed
+
+    def test_alternating_fails_runs(self):
+        bits = [0, 1] * 2500
+        assert not runs_test(bits).passed
+
+    def test_biased_stream_fails(self):
+        rng = np.random.default_rng(0)
+        biased = (rng.random(20_000) < 0.7).astype(int)
+        assert not monobit_test(biased).passed
+
+    def test_repeating_pattern_fails_serial(self):
+        bits = [0, 0, 1] * 5000
+        assert not serial_twobit_test(bits).passed
+
+    def test_constant_has_zero_entropy(self):
+        assert shannon_entropy([1] * 4096) == pytest.approx(0.0)
+
+
+class TestInputValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            monobit_test([])
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            monobit_test([0, 1, 2])
+
+    def test_block_size_validation(self):
+        with pytest.raises(ValueError):
+            block_frequency_test([0, 1] * 10, block_size=0)
+        with pytest.raises(ValueError):
+            block_frequency_test([0, 1], block_size=128)
+
+    def test_result_string_contains_verdict(self):
+        result = monobit_test(np.random.default_rng(1).integers(0, 2, 4096))
+        assert "PASS" in str(result) or "FAIL" in str(result)
