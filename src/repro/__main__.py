@@ -5,25 +5,51 @@ Usage::
     python -m repro --list
     python -m repro fig6
     python -m repro fig10 --instructions 40000 --full
+    python -m repro fig7 --jobs 8                  # parallel simulation
+    python -m repro sweep fig6 fig11 --jobs 4      # several figures, one batch
+    python -m repro fig8 --json fig8.json          # export raw data
+
+Every invocation routes through :mod:`repro.orchestration`: simulation
+points are cached on disk (``--cache-dir``, default ``.repro-cache`` or
+``$REPRO_CACHE_DIR``), so re-running a figure — or any figure sharing
+simulations with it — is served from the cache.  ``--jobs N`` fans the
+uncached points of the run across ``N`` worker processes; the printed
+tables are bit-identical to a serial run.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .experiments import EXPERIMENTS
+from .orchestration import (
+    SweepStats,
+    dump_json,
+    format_experiment,
+    format_stats,
+    format_sweep,
+    open_store,
+    sweep_experiments,
+)
+
+DEFAULT_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
 
 
-def main(argv: list[str] | None = None) -> int:
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Regenerate a DR-STRaNGe paper experiment (figure or section).",
+        description="Regenerate DR-STRaNGe paper experiments (figures or sections).",
     )
     parser.add_argument(
-        "experiment",
-        nargs="?",
-        help="experiment id, e.g. fig6, fig10, sec8.9 (see --list)",
+        "experiments",
+        nargs="*",
+        metavar="experiment",
+        help=(
+            "experiment id, e.g. fig6, fig10, sec8.9 (see --list); "
+            "or 'sweep' followed by several ids to regenerate them as one batch"
+        ),
     )
     parser.add_argument("--list", action="store_true", help="list available experiments")
     parser.add_argument(
@@ -32,33 +58,99 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--full", action="store_true", help="use the full 43-application roster (slow)"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="simulate independent points on N worker processes (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"persistent result cache directory (default: {DEFAULT_CACHE_DIR!r})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not persist simulation results to disk for this run",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="OUT",
+        help="also dump the raw experiment data as JSON to OUT ('-' for stdout)",
+    )
+    return parser
+
+
+def _print_experiment_list() -> None:
+    print("Available experiments:")
+    for key, module in sorted(EXPERIMENTS.items()):
+        summary = (module.__doc__ or "").strip().splitlines()[0]
+        print(f"  {key:<8} {summary}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
     args = parser.parse_args(argv)
 
-    if args.list or not args.experiment:
-        print("Available experiments:")
-        for key, module in sorted(EXPERIMENTS.items()):
-            summary = (module.__doc__ or "").strip().splitlines()[0]
-            print(f"  {key:<8} {summary}")
+    if args.list or not args.experiments:
+        _print_experiment_list()
         return 0
 
-    key = args.experiment.lower()
-    if key not in EXPERIMENTS:
-        print(f"unknown experiment {key!r}; use --list to see the available ids", file=sys.stderr)
+    tokens = [token.lower() for token in args.experiments]
+    sweep_mode = tokens[0] == "sweep"
+    keys = tokens[1:] if sweep_mode else tokens
+    if sweep_mode and not keys:
+        print("sweep needs at least one experiment id, e.g. `sweep fig6 fig11`", file=sys.stderr)
+        return 2
+    if not sweep_mode and len(keys) > 1:
+        print(
+            "several experiment ids given; did you mean `repro sweep "
+            + " ".join(keys)
+            + "`?",
+            file=sys.stderr,
+        )
+        return 2
+    unknown = [key for key in keys if key not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment(s) {', '.join(map(repr, unknown))}; "
+            "use --list to see the available ids",
+            file=sys.stderr,
+        )
         return 2
 
-    module = EXPERIMENTS[key]
+    # Only forward the knobs each experiment's run() actually supports;
+    # repro.orchestration filters per-module via inspect.signature.
     kwargs = {}
     if args.instructions is not None:
         kwargs["instructions"] = args.instructions
     if args.full:
         kwargs["full"] = True
-    try:
-        data = module.run(**kwargs)
-    except TypeError:
-        # Some experiments (multi-core studies) do not take the ``full`` flag.
-        kwargs.pop("full", None)
-        data = module.run(**kwargs)
-    print(module.format_table(data))
+
+    if args.jobs < 1:
+        print("--jobs must be at least 1", file=sys.stderr)
+        return 2
+
+    store = None if args.no_cache else open_store(args.cache_dir)
+    stats = SweepStats()
+    results = sweep_experiments(keys, jobs=args.jobs, store=store, stats=stats, **kwargs)
+
+    # With `--json -` the JSON document owns stdout; tables move to stderr
+    # so the output stays pipeable into jq & co.
+    tables = sys.stderr if args.json == "-" else sys.stdout
+    if sweep_mode:
+        print(format_sweep(results), file=tables)
+    else:
+        key, data = next(iter(results.items()))
+        print(format_experiment(key, data), file=tables)
+    print(format_stats(stats), file=sys.stderr)
+
+    if args.json is not None:
+        dump_json(results, args.json)
     return 0
 
 

@@ -76,3 +76,16 @@ def fresh_cache() -> AloneRunCache:
 def shared_cache() -> AloneRunCache:
     """The process-wide alone-run cache."""
     return GLOBAL_ALONE_CACHE
+
+
+def persistent_cache(cache_dir) -> AloneRunCache:
+    """An alone-run cache backed by the on-disk result store at ``cache_dir``.
+
+    Unlike :func:`shared_cache`, entries survive across processes, CLI
+    invocations and benchmark sessions (see :mod:`repro.orchestration`).
+    The import is deferred because :mod:`repro.orchestration` imports the
+    experiment registry.
+    """
+    from ..orchestration import persistent_alone_cache
+
+    return persistent_alone_cache(cache_dir)

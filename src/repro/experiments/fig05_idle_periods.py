@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Sequence
 from ..dram.address import AddressMapping
 from ..metrics.stats import box_stats
 from ..sim.config import baseline_config
-from ..sim.system import System
+from ..sim.runner import simulate_traces
 from ..workloads.spec import ApplicationSpec
 from ..workloads.synthetic import generate_application_trace
 from .common import DEFAULT_INSTRUCTIONS, select_applications
@@ -40,7 +40,7 @@ def run(
     series: List[Dict] = []
     for app in applications:
         trace = generate_application_trace(app, instructions, seed=1, mapping=mapping)
-        result = System([trace], config).run()
+        result = simulate_traces([trace], config)
         periods = result.all_idle_periods
         if not periods:
             periods = [0]

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Sequence
 from ..dram.address import AddressMapping
 from ..metrics.stats import box_stats
 from ..sim.config import baseline_config
-from ..sim.system import System
+from ..sim.runner import simulate_traces
 from ..workloads.mixes import ROW_OFFSET_STRIDE
 from ..workloads.suites import applications_by_category
 from ..workloads.synthetic import generate_application_trace
@@ -50,7 +50,7 @@ def run(
                         row_offset=slot * ROW_OFFSET_STRIDE,
                     )
                 )
-            result = System(traces, config).run()
+            result = simulate_traces(traces, config)
             periods = result.all_idle_periods or [0]
             series.append(
                 {

@@ -1,0 +1,66 @@
+"""Parallel experiment orchestration with a persistent result cache.
+
+Public surface:
+
+* :func:`~repro.orchestration.sweep.run_experiment` /
+  :func:`~repro.orchestration.sweep.sweep_experiments` — run figures
+  through the plan → execute (multiprocessing) → replay pipeline with
+  results served from a content-addressed store.  Parallel output is
+  bit-identical to a serial run by construction.
+* :class:`~repro.orchestration.cache.ResultCache` — the persistent
+  content-addressed store (one JSON file per simulation point).
+* :class:`~repro.orchestration.cache.PersistentAloneRunCache` — a
+  drop-in :class:`~repro.sim.runner.AloneRunCache` that survives across
+  processes, CLI invocations and benchmark sessions.
+* :func:`~repro.orchestration.keys.point_key` — the stable content hash
+  of one ``(traces, config)`` simulation point.
+"""
+
+from .cache import PersistentAloneRunCache, ResultCache, result_from_dict, result_to_dict
+from .keys import SCHEMA_VERSION, point_key
+from .report import dump_json, format_experiment, format_stats, format_sweep
+from .sweep import (
+    CacheServingBackend,
+    InMemoryResultStore,
+    PlanningBackend,
+    SimulationUnit,
+    SweepStats,
+    execute_units,
+    filter_run_kwargs,
+    installed_backend,
+    open_store,
+    persistent_alone_cache,
+    plan_experiment,
+    resolve_experiment,
+    run_experiment,
+    supported_run_kwargs,
+    sweep_experiments,
+)
+
+__all__ = [
+    "CacheServingBackend",
+    "InMemoryResultStore",
+    "PersistentAloneRunCache",
+    "PlanningBackend",
+    "ResultCache",
+    "SCHEMA_VERSION",
+    "SimulationUnit",
+    "SweepStats",
+    "dump_json",
+    "execute_units",
+    "filter_run_kwargs",
+    "format_experiment",
+    "format_stats",
+    "format_sweep",
+    "installed_backend",
+    "open_store",
+    "persistent_alone_cache",
+    "plan_experiment",
+    "point_key",
+    "resolve_experiment",
+    "result_from_dict",
+    "result_to_dict",
+    "run_experiment",
+    "supported_run_kwargs",
+    "sweep_experiments",
+]

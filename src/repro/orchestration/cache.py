@@ -1,0 +1,178 @@
+"""Persistent, content-addressed result cache.
+
+Simulation results are stored one JSON file per simulation point under
+``<cache_dir>/<key[:2]>/<key>.json`` (a git-object-style fan-out so no
+single directory grows unboundedly).  Keys come from
+:mod:`repro.orchestration.keys`; values are complete
+:class:`~repro.sim.results.SimulationResult` records.
+
+JSON round-trips Python floats exactly (``json`` serialises the shortest
+repr that parses back to the same IEEE-754 double), so a result read
+back from the cache is bit-identical to the freshly simulated one —
+the property the serial-vs-parallel equivalence guarantee rests on.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent CLI
+invocations sharing one cache directory can never observe a torn entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from ..cpu.trace import Trace
+from ..energy.drampower import EnergyBreakdown
+from ..sim.config import SimulationConfig
+from ..sim.results import ChannelResult, CoreResult, SimulationResult
+from ..sim.runner import AloneRunCache
+from .keys import SCHEMA_VERSION, point_key
+
+# ----------------------------------------------------------------- serialisation
+
+
+def result_to_dict(result: SimulationResult) -> Dict:
+    """Serialise a :class:`SimulationResult` to JSON-compatible data."""
+    return {
+        "design": result.design,
+        "total_cycles": result.total_cycles,
+        "cores": [dataclasses.asdict(core) for core in result.cores],
+        "channels": [dataclasses.asdict(channel) for channel in result.channels],
+        "buffer_serve_rate": result.buffer_serve_rate,
+        "buffer_serves": result.buffer_serves,
+        "rng_requests": result.rng_requests,
+        "predictor_accuracy": result.predictor_accuracy,
+        "predictor_predictions": result.predictor_predictions,
+        "energy": dataclasses.asdict(result.energy),
+        "memory_busy_cycles": result.memory_busy_cycles,
+        "scheduler_stats": dict(result.scheduler_stats),
+    }
+
+
+def result_from_dict(payload: Dict) -> SimulationResult:
+    """Reconstruct a :class:`SimulationResult` from :func:`result_to_dict`."""
+    return SimulationResult(
+        design=payload["design"],
+        total_cycles=payload["total_cycles"],
+        cores=[CoreResult(**core) for core in payload["cores"]],
+        channels=[ChannelResult(**channel) for channel in payload["channels"]],
+        buffer_serve_rate=payload["buffer_serve_rate"],
+        buffer_serves=payload["buffer_serves"],
+        rng_requests=payload["rng_requests"],
+        predictor_accuracy=payload["predictor_accuracy"],
+        predictor_predictions=payload["predictor_predictions"],
+        energy=EnergyBreakdown(**payload["energy"]),
+        memory_busy_cycles=payload["memory_busy_cycles"],
+        scheduler_stats=dict(payload["scheduler_stats"]),
+    )
+
+
+# ----------------------------------------------------------------- disk store
+
+
+class ResultCache:
+    """Content-addressed on-disk store of simulation results.
+
+    A small in-memory memo layer sits in front of the disk so a result
+    is deserialised at most once per process.
+    """
+
+    def __init__(self, cache_dir: str | os.PathLike) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.hits = 0
+        self.misses = 0
+        self._memo: Dict[str, SimulationResult] = {}
+
+    def _path(self, key: str) -> Path:
+        return self.cache_dir / key[:2] / f"{key}.json"
+
+    def contains(self, key: str) -> bool:
+        return key in self._memo or self._path(key).is_file()
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        """The cached result for ``key``, or ``None`` on a miss."""
+        memoized = self._memo.get(key)
+        if memoized is not None:
+            self.hits += 1
+            return memoized
+        path = self._path(key)
+        # Any unreadable or structurally invalid entry (torn restore from
+        # a CI cache, hand edit, schema drift) is a plain miss: the point
+        # is recomputed and the entry overwritten.
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload.get("schema") != SCHEMA_VERSION:
+                self.misses += 1
+                return None
+            result = result_from_dict(payload["result"])
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self._memo[key] = result
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        """Store ``result`` under ``key`` (atomic, last writer wins)."""
+        self._memo[key] = result
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"schema": SCHEMA_VERSION, "key": key, "result": result_to_dict(result)}
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        if not self.cache_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.cache_dir.glob("??/*.json"))
+
+    def clear(self) -> None:
+        """Remove every cached entry (leaves the directory in place)."""
+        self._memo.clear()
+        self.hits = 0
+        self.misses = 0
+        if self.cache_dir.is_dir():
+            for entry in self.cache_dir.glob("??/*.json"):
+                try:
+                    entry.unlink()
+                except OSError:
+                    pass
+
+
+# ----------------------------------------------------------------- alone runs
+
+
+class PersistentAloneRunCache(AloneRunCache):
+    """An alone-run cache backed by a persistent :class:`ResultCache`.
+
+    Alone runs are design-independent (always the RNG-oblivious
+    single-core baseline), so they are the highest-value entries to keep
+    across processes: every figure, benchmark session and CLI invocation
+    re-uses them.
+    """
+
+    def __init__(self, store: ResultCache) -> None:
+        super().__init__()
+        self.store = store
+
+    def _load(self, trace: Trace, alone_config: SimulationConfig) -> Optional[Tuple[CoreResult, SimulationResult]]:
+        result = self.store.get(point_key([trace], alone_config))
+        if result is None:
+            return None
+        return result.cores[0], result
+
+    def _persist(self, trace: Trace, alone_config: SimulationConfig, result: SimulationResult) -> None:
+        self.store.put(point_key([trace], alone_config), result)

@@ -1,0 +1,74 @@
+"""Stable content-addressed keys for simulation points.
+
+A *simulation point* is fully determined by the traces it executes and
+the :class:`~repro.sim.config.SimulationConfig` it executes them under;
+everything else (metrics, tables, figures) is derived arithmetic.  The
+key of a point is the SHA-256 digest of a canonical JSON encoding of
+
+* a schema version (bumped whenever the meaning of cached results
+  changes, which invalidates every old cache entry at once),
+* every field of the simulation configuration (including the nested
+  controller/core/DRAM/DR-STRaNGe dataclasses), and
+* the full content of every trace (name, metadata and the complete
+  entry list — not just the generator parameters), so a change anywhere
+  in trace generation changes the key.
+
+Python's built-in ``hash`` is unsuitable because it is salted per
+process; these keys must be stable across processes, CLI invocations
+and machines.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Dict, Sequence
+
+from ..cpu.trace import Trace
+from ..sim.config import SimulationConfig
+
+#: Bump to invalidate all previously cached results (e.g. after a change
+#: to the simulator that alters results without changing configs/traces).
+SCHEMA_VERSION = 1
+
+
+def canonical_json(payload) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def config_fingerprint(config: SimulationConfig) -> Dict:
+    """Every configuration field as a plain JSON-compatible dict."""
+    return dataclasses.asdict(config)
+
+
+def trace_fingerprint(trace: Trace) -> Dict:
+    """Content digest of one trace (name, metadata, full entry list)."""
+    hasher = hashlib.sha256()
+    for entry in trace.entries:
+        hasher.update(
+            b"%d,%d,%d,%d;"
+            % (
+                entry.bubbles,
+                -1 if entry.address is None else entry.address,
+                -1 if entry.write_address is None else entry.write_address,
+                entry.rng_bits,
+            )
+        )
+    return {
+        "name": trace.name,
+        "metadata": {str(k): trace.metadata[k] for k in sorted(trace.metadata, key=str)},
+        "entries": hasher.hexdigest(),
+        "num_entries": len(trace.entries),
+    }
+
+
+def point_key(traces: Sequence[Trace], config: SimulationConfig) -> str:
+    """Content-addressed key of one simulation point."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "config": config_fingerprint(config),
+        "traces": [trace_fingerprint(trace) for trace in traces],
+    }
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()

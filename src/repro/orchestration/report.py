@@ -1,0 +1,62 @@
+"""Rendering and export of orchestrated experiment results.
+
+The per-figure modules already know how to render their own tables
+(``format_table``); this module stitches those tables into a sweep
+report, adds orchestration bookkeeping (points simulated vs. reused
+from cache), and exports the raw data dicts as JSON for downstream
+tooling (plotting, regression tracking, dashboards).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Optional
+
+from .sweep import SweepStats, resolve_experiment
+
+
+def format_experiment(label: str, data: Dict) -> str:
+    """Render one experiment's table using its own formatter."""
+    module = resolve_experiment(label)
+    return module.format_table(data)
+
+
+def format_sweep(results: Dict[str, Dict], stats: Optional[SweepStats] = None) -> str:
+    """Render a multi-experiment sweep as one report."""
+    sections = []
+    for label, data in results.items():
+        sections.append(f"=== {label} ===")
+        sections.append(format_experiment(label, data))
+        sections.append("")
+    if stats is not None:
+        sections.append(format_stats(stats))
+    return "\n".join(sections).rstrip("\n")
+
+
+def format_stats(stats: SweepStats) -> str:
+    """One-line orchestration summary."""
+    return (
+        f"[orchestration] simulation points: {stats.planned} "
+        f"(executed {stats.executed}, cache-reused {stats.reused})"
+    )
+
+
+def _json_default(value):
+    """Fallback encoder for the rare non-JSON value inside a data dict."""
+    if isinstance(value, (set, frozenset, tuple)):
+        return sorted(value) if isinstance(value, (set, frozenset)) else list(value)
+    return str(value)
+
+
+def dump_json(results: Dict[str, Dict], destination: str | Path) -> None:
+    """Write the raw experiment data dicts as JSON (``-`` for stdout)."""
+    text = json.dumps(results, indent=2, sort_keys=True, default=_json_default)
+    if str(destination) == "-":
+        sys.stdout.write(text + "\n")
+        return
+    path = Path(destination)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text + "\n", encoding="utf-8")

@@ -1,0 +1,360 @@
+"""Parallel experiment orchestration.
+
+An experiment (one paper figure/section) is a pure function of a set of
+*simulation points* — independent ``(traces, config)`` pairs — plus
+deterministic arithmetic that merges their results into tables.  The
+orchestrator exploits that structure in three phases:
+
+1. **Plan.**  Run the experiment once with a :class:`PlanningBackend`
+   installed: every simulation the experiment would execute is recorded
+   (keyed by content hash) and answered with a cheap structurally-valid
+   stub.  Experiments' control flow never depends on simulated values
+   (sweeps are static), so planning enumerates exactly the points the
+   real run needs, at trace-generation cost only.
+2. **Execute.**  Simulate the points that are not already in the result
+   store on a ``multiprocessing`` pool.  Workers are pure: one point in,
+   one :class:`~repro.sim.results.SimulationResult` out.  Completion
+   order does not matter because results land in a content-addressed
+   store.
+3. **Replay.**  Run the experiment again with a
+   :class:`CacheServingBackend` installed, so every simulation is a
+   cache hit.  Because the replay *is* the serial code path, merging is
+   deterministic and the output is bit-identical to a serial run.
+
+With ``jobs=1`` the plan phase is skipped and the experiment simply runs
+through the cache-serving backend, populating the store as it goes.
+"""
+
+from __future__ import annotations
+
+import inspect
+import multiprocessing
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..cpu.trace import Trace
+from ..energy.drampower import EnergyBreakdown
+from ..sim import runner as sim_runner
+from ..sim.config import SimulationConfig
+from ..sim.results import ChannelResult, CoreResult, SimulationResult
+from ..sim.runner import AloneRunCache
+from ..sim.system import System
+from .cache import PersistentAloneRunCache, ResultCache
+from .keys import point_key
+
+
+@dataclass
+class SimulationUnit:
+    """One independent simulation point of an experiment."""
+
+    key: str
+    traces: List[Trace]
+    config: SimulationConfig
+
+
+class InMemoryResultStore:
+    """Ephemeral result store with the :class:`ResultCache` interface."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self._data: Dict[str, SimulationResult] = {}
+
+    def contains(self, key: str) -> bool:
+        return key in self._data
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        result = self._data.get(key)
+        if result is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        self._data[key] = result
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+# ----------------------------------------------------------------- backends
+
+
+def stub_result(traces: Sequence[Trace], config: SimulationConfig) -> SimulationResult:
+    """A structurally valid placeholder result used during planning.
+
+    Stub values are chosen so downstream arithmetic (slowdown ratios,
+    averages, percentiles) stays well-defined; the numbers themselves are
+    discarded with the whole planning pass.
+    """
+    cores = [
+        CoreResult(
+            core_id=core_id,
+            name=trace.name,
+            is_rng=trace.rng_requests > 0,
+            instructions=trace.total_instructions,
+            cycles=max(1, trace.total_instructions),
+            memory_stall_cycles=0,
+            rng_stall_cycles=0,
+            reads=trace.memory_reads,
+            writes=trace.memory_writes,
+            rng_requests=trace.rng_requests,
+            average_read_latency=1.0,
+            average_rng_latency=1.0,
+        )
+        for core_id, trace in enumerate(traces)
+    ]
+    channels = [
+        ChannelResult(
+            channel_id=channel_id,
+            busy_cycles=1,
+            idle_cycles=1,
+            rng_mode_cycles=0,
+            served_reads=0,
+            served_writes=0,
+            served_rng_demand=0,
+            rng_fill_batches=0,
+            rng_fill_bits=0,
+            mode_switches=0,
+            idle_periods=[1],
+        )
+        for channel_id in range(config.organization.channels)
+    ]
+    energy = EnergyBreakdown(
+        activation_nj=0.0, read_nj=0.0, write_nj=0.0, rng_nj=0.0, background_nj=1.0
+    )
+    return SimulationResult(
+        design=config.design,
+        total_cycles=1,
+        cores=cores,
+        channels=channels,
+        buffer_serve_rate=0.0,
+        buffer_serves=0,
+        rng_requests=0,
+        predictor_accuracy=0.5,
+        predictor_predictions=1,
+        energy=energy,
+        memory_busy_cycles=1,
+        scheduler_stats={},
+    )
+
+
+class PlanningBackend:
+    """Records every simulation point instead of executing it."""
+
+    #: Stub results must never be cached by :class:`AloneRunCache` etc.
+    provides_real_results = False
+
+    def __init__(self) -> None:
+        self.units: Dict[str, SimulationUnit] = {}
+
+    def __call__(self, traces: Sequence[Trace], config: SimulationConfig) -> SimulationResult:
+        traces = list(traces)
+        key = point_key(traces, config)
+        if key not in self.units:
+            self.units[key] = SimulationUnit(key=key, traces=traces, config=config)
+        return stub_result(traces, config)
+
+
+class CacheServingBackend:
+    """Serves simulations from a result store, computing (and storing) misses."""
+
+    provides_real_results = True
+
+    def __init__(self, store) -> None:
+        self.store = store
+        self.served = 0
+        self.computed = 0
+
+    def __call__(self, traces: Sequence[Trace], config: SimulationConfig) -> SimulationResult:
+        traces = list(traces)
+        key = point_key(traces, config)
+        result = self.store.get(key)
+        if result is None:
+            result = System(traces, config).run()
+            self.store.put(key, result)
+            self.computed += 1
+        else:
+            self.served += 1
+        return result
+
+
+@contextmanager
+def installed_backend(backend):
+    """Temporarily route :func:`repro.sim.runner.simulate_traces` to ``backend``."""
+    previous = sim_runner.set_simulation_backend(backend)
+    try:
+        yield backend
+    finally:
+        sim_runner.set_simulation_backend(previous)
+
+
+# ----------------------------------------------------------------- experiments
+
+
+def resolve_experiment(experiment):
+    """Accept an experiment id (``"fig6"``), a module basename
+    (``"fig06_dualcore_performance"``, the label :func:`sweep_experiments`
+    assigns when given a module) or an experiment module, and return the
+    module."""
+    if isinstance(experiment, str):
+        from ..experiments import EXPERIMENTS
+
+        key = experiment.lower()
+        if key in EXPERIMENTS:
+            return EXPERIMENTS[key]
+        for module in EXPERIMENTS.values():
+            if module.__name__.rsplit(".", 1)[-1] == key:
+                return module
+        raise KeyError(
+            f"unknown experiment {experiment!r}; known: {', '.join(sorted(EXPERIMENTS))}"
+        )
+    return experiment
+
+
+def supported_run_kwargs(module) -> frozenset:
+    """Names of the keyword arguments ``module.run`` accepts."""
+    return frozenset(inspect.signature(module.run).parameters)
+
+
+def filter_run_kwargs(module, kwargs: Dict) -> Dict:
+    """Drop the entries of ``kwargs`` that ``module.run`` does not accept."""
+    supported = supported_run_kwargs(module)
+    return {name: value for name, value in kwargs.items() if name in supported}
+
+
+def plan_experiment(experiment, **kwargs) -> List[SimulationUnit]:
+    """Enumerate the simulation points ``experiment`` needs, without simulating."""
+    module = resolve_experiment(experiment)
+    call_kwargs = filter_run_kwargs(module, kwargs)
+    # A fresh alone-run cache forces every alone run to reach the backend
+    # (a shared cache would hide points it already holds in memory).
+    call_kwargs["cache"] = AloneRunCache()
+    backend = PlanningBackend()
+    with installed_backend(backend):
+        module.run(**call_kwargs)
+    return list(backend.units.values())
+
+
+# ----------------------------------------------------------------- execution
+
+
+def _execute_unit(payload: Tuple[str, List[Trace], SimulationConfig]):
+    """Pool worker: simulate one point (must stay module-level for pickling)."""
+    key, traces, config = payload
+    return key, System(traces, config).run()
+
+
+def execute_units(units: Iterable[SimulationUnit], store, jobs: int = 1) -> int:
+    """Simulate every unit missing from ``store``; returns how many ran.
+
+    Pending-ness is decided with ``get`` rather than ``contains`` so an
+    unreadable/corrupt cache entry counts as missing and is recomputed
+    here (in parallel), not silently during the serial replay.  The
+    deserialised results stay memoized, so the replay pays nothing extra.
+    """
+    pending = [unit for unit in units if store.get(unit.key) is None]
+    if not pending:
+        return 0
+    jobs = max(1, int(jobs))
+    if jobs > 1 and len(pending) > 1:
+        payloads = [(unit.key, unit.traces, unit.config) for unit in pending]
+        with multiprocessing.get_context().Pool(processes=min(jobs, len(pending))) as pool:
+            for key, result in pool.imap_unordered(_execute_unit, payloads):
+                store.put(key, result)
+    else:
+        for unit in pending:
+            store.put(unit.key, System(unit.traces, unit.config).run())
+    return len(pending)
+
+
+# ----------------------------------------------------------------- entry points
+
+
+@dataclass
+class SweepStats:
+    """Bookkeeping of one orchestrated run (for reporting)."""
+
+    planned: int = 0
+    executed: int = 0
+    reused: int = 0
+
+
+def run_experiment(
+    experiment,
+    jobs: int = 1,
+    store=None,
+    cache: Optional[AloneRunCache] = None,
+    stats: Optional[SweepStats] = None,
+    **kwargs,
+) -> Dict:
+    """Run one experiment through the orchestrator and return its data dict.
+
+    ``store`` is a result store (:class:`ResultCache` for persistence,
+    :class:`InMemoryResultStore` or ``None`` for process-local reuse);
+    ``cache`` optionally overrides the alone-run cache used by the replay.
+    The returned data is bit-identical to calling ``module.run`` serially.
+    """
+    results = sweep_experiments(
+        [experiment], jobs=jobs, store=store, cache=cache, stats=stats, **kwargs
+    )
+    return next(iter(results.values()))
+
+
+def sweep_experiments(
+    experiments: Sequence,
+    jobs: int = 1,
+    store=None,
+    cache: Optional[AloneRunCache] = None,
+    stats: Optional[SweepStats] = None,
+    **kwargs,
+) -> Dict[str, Dict]:
+    """Run several experiments as one batch with shared planning and caching.
+
+    Points shared between figures (e.g. alone runs, or fig9 reusing
+    fig6's simulations) are deduplicated by content key and simulated at
+    most once across the whole batch.
+    """
+    store = store if store is not None else InMemoryResultStore()
+    stats = stats if stats is not None else SweepStats()
+
+    labeled = []
+    for experiment in experiments:
+        module = resolve_experiment(experiment)
+        label = experiment if isinstance(experiment, str) else module.__name__.rsplit(".", 1)[-1]
+        labeled.append((label, module))
+
+    if jobs > 1:
+        units: Dict[str, SimulationUnit] = {}
+        for _, module in labeled:
+            for unit in plan_experiment(module, **kwargs):
+                units.setdefault(unit.key, unit)
+        stats.planned = len(units)
+        stats.executed = execute_units(units.values(), store, jobs=jobs)
+        stats.reused = stats.planned - stats.executed
+
+    backend = CacheServingBackend(store)
+    results: Dict[str, Dict] = {}
+    with installed_backend(backend):
+        for label, module in labeled:
+            call_kwargs = filter_run_kwargs(module, kwargs)
+            if "cache" in supported_run_kwargs(module):
+                call_kwargs["cache"] = cache if cache is not None else AloneRunCache()
+            results[label] = module.run(**call_kwargs)
+    if jobs <= 1:
+        stats.planned = backend.served + backend.computed
+        stats.executed = backend.computed
+        stats.reused = backend.served
+    return results
+
+
+def open_store(cache_dir) -> ResultCache:
+    """A persistent result store rooted at ``cache_dir``."""
+    return ResultCache(cache_dir)
+
+
+def persistent_alone_cache(cache_dir) -> PersistentAloneRunCache:
+    """An alone-run cache that survives across processes and sessions."""
+    return PersistentAloneRunCache(ResultCache(cache_dir))

@@ -12,7 +12,7 @@ weighted speedup.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..cpu.trace import Trace
 from ..dram.address import AddressMapping
@@ -23,6 +23,37 @@ from ..workloads.spec import WorkloadMix
 from .config import SimulationConfig
 from .results import CoreResult, SimulationResult
 from .system import System
+
+
+#: Pluggable execution backend (see :mod:`repro.orchestration.sweep`).
+#: ``None`` means "build a :class:`System` and run it in-process"; the
+#: orchestrator temporarily installs planning/cache-serving backends here
+#: so every simulation in the repository routes through one choke point.
+_SIMULATION_BACKEND: Optional[Callable[[Sequence[Trace], SimulationConfig], SimulationResult]] = None
+
+
+def simulate_traces(traces: Sequence[Trace], config: SimulationConfig) -> SimulationResult:
+    """Run one simulation through the currently installed backend."""
+    backend = _SIMULATION_BACKEND
+    if backend is None:
+        return System(list(traces), config).run()
+    return backend(traces, config)
+
+
+def set_simulation_backend(
+    backend: Optional[Callable[[Sequence[Trace], SimulationConfig], SimulationResult]],
+) -> Optional[Callable[[Sequence[Trace], SimulationConfig], SimulationResult]]:
+    """Install ``backend`` (or ``None`` for direct execution); returns the old one."""
+    global _SIMULATION_BACKEND
+    previous = _SIMULATION_BACKEND
+    _SIMULATION_BACKEND = backend
+    return previous
+
+
+def backend_provides_real_results() -> bool:
+    """Whether backend results may be cached (planning backends return stubs)."""
+    backend = _SIMULATION_BACKEND
+    return backend is None or getattr(backend, "provides_real_results", True)
 
 
 @dataclass(frozen=True)
@@ -132,11 +163,29 @@ class AloneRunCache:
         if key in self._cache:
             self.hits += 1
             return self._cache[key]
+        entry = self._load(trace, alone_config)
+        if entry is not None:
+            self.hits += 1
+            self._cache[key] = entry
+            return entry
         self.misses += 1
-        result = System([trace], alone_config).run()
+        result = simulate_traces([trace], alone_config)
         entry = (result.cores[0], result)
-        self._cache[key] = entry
+        if backend_provides_real_results():
+            self._cache[key] = entry
+            self._persist(trace, alone_config, result)
         return entry
+
+    def _load(
+        self, trace: Trace, alone_config: SimulationConfig
+    ) -> Optional[Tuple[CoreResult, SimulationResult]]:
+        """Hook for persistent subclasses: fetch an entry from backing storage."""
+        return None
+
+    def _persist(
+        self, trace: Trace, alone_config: SimulationConfig, result: SimulationResult
+    ) -> None:
+        """Hook for persistent subclasses: store a freshly computed entry."""
 
     def clear(self) -> None:
         self._cache.clear()
@@ -164,7 +213,7 @@ def run_workload(
     mapping = AddressMapping(config.organization)
     if traces is None:
         traces = build_traces(mix, instructions, seed=seed, mapping=mapping)
-    shared_result = System(traces, config).run()
+    shared_result = simulate_traces(traces, config)
 
     slots: List[SlotEvaluation] = []
     slowdown_values: List[float] = []

@@ -1,0 +1,210 @@
+"""Tests for the orchestration subsystem: keys, cache, planning, parallel sweep."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.cpu.trace import Trace, TraceEntry
+from repro.experiments import fig06_dualcore_performance as fig6
+from repro.orchestration import (
+    InMemoryResultStore,
+    PersistentAloneRunCache,
+    ResultCache,
+    filter_run_kwargs,
+    plan_experiment,
+    point_key,
+    result_from_dict,
+    result_to_dict,
+    run_experiment,
+)
+from repro.sim import runner as sim_runner
+from repro.sim.config import SimulationConfig, baseline_config
+from repro.sim.runner import AloneRunCache
+from repro.sim.system import System
+from repro.workloads.suites import representative_subset
+
+
+def make_trace(name: str = "t", rng: bool = False, seed: int = 0) -> Trace:
+    entries = []
+    for index in range(64):
+        entries.append(
+            TraceEntry(
+                bubbles=3 + (index + seed) % 5,
+                address=(index * 4096 + seed * 64) % (1 << 20),
+                rng_bits=64 if rng and index % 16 == 0 else 0,
+            )
+        )
+    return Trace(entries, name=name, metadata={"seed": seed})
+
+
+class TestPointKeys:
+    def test_key_is_stable_across_reconstruction(self):
+        config = baseline_config()
+        assert point_key([make_trace()], config) == point_key(
+            [make_trace()], baseline_config()
+        )
+
+    def test_key_changes_with_config(self):
+        trace = make_trace()
+        base = point_key([trace], baseline_config())
+        assert point_key([trace], baseline_config(scheduler_cap=8)) != base
+        assert point_key([trace], baseline_config(entropy_seed=7)) != base
+
+    def test_key_changes_with_trace_content(self):
+        config = baseline_config()
+        base = point_key([make_trace()], config)
+        assert point_key([make_trace(seed=1)], config) != base
+        assert point_key([make_trace(name="other")], config) != base
+
+    def test_key_depends_on_trace_order(self):
+        config = baseline_config()
+        a, b = make_trace("a"), make_trace("b", rng=True)
+        assert point_key([a, b], config) != point_key([b, a], config)
+
+
+class TestResultCache:
+    @pytest.fixture(scope="class")
+    def simulated(self):
+        trace = make_trace(rng=True)
+        config = baseline_config()
+        return trace, config, System([trace], config).run()
+
+    def test_round_trip_is_exact(self, simulated):
+        _, _, result = simulated
+        restored = result_from_dict(json.loads(json.dumps(result_to_dict(result))))
+        assert restored == result
+
+    def test_disk_round_trip(self, tmp_path, simulated):
+        trace, config, result = simulated
+        key = point_key([trace], config)
+        ResultCache(tmp_path).put(key, result)
+        # A fresh instance simulates a new process reading the same directory.
+        fresh = ResultCache(tmp_path)
+        assert fresh.contains(key)
+        assert fresh.get(key) == result
+        assert fresh.hits == 1
+
+    def test_miss_and_corrupted_entry(self, tmp_path, simulated):
+        trace, config, result = simulated
+        key = point_key([trace], config)
+        cache = ResultCache(tmp_path)
+        assert cache.get(key) is None
+        cache.put(key, result)
+        path = tmp_path / key[:2] / f"{key}.json"
+        path.write_text("{not json", encoding="utf-8")
+        assert ResultCache(tmp_path).get(key) is None
+
+    def test_config_change_invalidates(self, tmp_path, simulated):
+        trace, config, result = simulated
+        cache = ResultCache(tmp_path)
+        cache.put(point_key([trace], config), result)
+        changed = dataclasses.replace(config, scheduler_cap=4)
+        assert cache.get(point_key([trace], changed)) is None
+
+
+class TestPersistentAloneRunCache:
+    def test_alone_runs_survive_processes(self, tmp_path):
+        trace = make_trace()
+        config = baseline_config()
+        first = PersistentAloneRunCache(ResultCache(tmp_path))
+        core, result = first.get(trace, config)
+        assert first.misses == 1
+        # A new cache over the same directory (fresh "process") hits disk.
+        second = PersistentAloneRunCache(ResultCache(tmp_path))
+        core2, result2 = second.get(trace, config)
+        assert second.misses == 0
+        assert second.hits == 1
+        assert (core2, result2) == (core, result)
+
+
+class TestPlanning:
+    def test_plan_enumerates_without_polluting_caches(self):
+        before = len(sim_runner.GLOBAL_ALONE_CACHE)
+        units = plan_experiment(
+            "fig6", apps=representative_subset(2), instructions=2_000
+        )
+        # 2 mixes x 3 designs shared runs + 3 alone runs (2 apps + rng).
+        assert len(units) == 9
+        assert len({unit.key for unit in units}) == len(units)
+        assert len(sim_runner.GLOBAL_ALONE_CACHE) == before
+        assert sim_runner.set_simulation_backend(None) is None
+
+    def test_filter_run_kwargs(self):
+        kwargs = {"instructions": 10, "full": True, "bogus": 1}
+        filtered = filter_run_kwargs(fig6, kwargs)
+        assert filtered == {"instructions": 10, "full": True}
+
+    def test_resolve_accepts_id_module_and_module_basename(self):
+        from repro.orchestration import resolve_experiment
+
+        assert resolve_experiment("fig6") is fig6
+        assert resolve_experiment(fig6) is fig6
+        # sweep_experiments labels module inputs by basename; rendering
+        # helpers must resolve those labels too.
+        assert resolve_experiment("fig06_dualcore_performance") is fig6
+        with pytest.raises(KeyError):
+            resolve_experiment("fig99")
+
+
+class TestSerialParallelEquivalence:
+    def test_fig6_parallel_matches_serial_exactly(self, tmp_path):
+        apps = representative_subset(2)
+        kwargs = dict(apps=apps, instructions=4_000)
+        serial = fig6.run(cache=AloneRunCache(), **kwargs)
+
+        store = ResultCache(tmp_path)
+        parallel = run_experiment("fig6", jobs=2, store=store, **kwargs)
+        assert json.dumps(parallel, sort_keys=True) == json.dumps(serial, sort_keys=True)
+
+        # Warm replay from the populated store: nothing recomputed.
+        warm = run_experiment("fig6", jobs=2, store=store, **kwargs)
+        assert json.dumps(warm, sort_keys=True) == json.dumps(serial, sort_keys=True)
+
+    def test_in_memory_store_serial_path(self):
+        kwargs = dict(apps=representative_subset(2), instructions=2_000)
+        store = InMemoryResultStore()
+        first = run_experiment("fig6", jobs=1, store=store, **kwargs)
+        second = run_experiment("fig6", jobs=1, store=store, **kwargs)
+        assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+        assert store.hits > 0
+
+
+class TestCLI:
+    def test_single_figure_with_json_export(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "fig5.json"
+        code = main(
+            ["fig5", "--instructions", "2000", "--cache-dir", str(tmp_path / "cache"), "--json", str(out)]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "Figure 5" in captured.out
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["fig5"]["figure"] == "5"
+
+    def test_sweep_requires_ids_and_rejects_unknown(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["sweep"]) == 2
+        assert main(["nope", "--no-cache"]) == 2
+        assert main(["fig5", "fig6", "--no-cache"]) == 2
+
+    def test_jobs_validation(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["fig5", "--jobs", "0", "--no-cache"]) == 2
+
+    def test_json_to_stdout_is_pipeable(self, capsys):
+        from repro.__main__ import main
+
+        code = main(["fig5", "--instructions", "2000", "--no-cache", "--json", "-"])
+        assert code == 0
+        captured = capsys.readouterr()
+        # stdout must hold nothing but the JSON document (tables go to stderr).
+        payload = json.loads(captured.out)
+        assert payload["fig5"]["figure"] == "5"
+        assert "Figure 5" in captured.err
