@@ -1,0 +1,111 @@
+"""Benchmarks of the simulation hot path itself (engine-level, no cache).
+
+Unlike the per-figure benchmarks, these construct a :class:`System`
+directly so the measurement is pure simulation — no result cache, no
+alone-run reuse, no trace generation inside the timed region.  The event
+engine benchmark is the **regression gate**: CI compares its mean
+against ``benchmarks/baseline.json`` (``--benchmark-compare``) and fails
+on a >25% regression.
+
+``test_engine_speedup_on_idle_heavy_figures`` demonstrates the
+cycle-skipping engine's cold-run speedup on the idle-heavy figures the
+paper's design exploits (Figures 5, 15, 18).  The assertions are
+deliberately conservative floors (CI machines vary); the measured
+ratios are printed for the record.  Representative numbers on a quiet
+machine: fig05 ~4x, fig15 ~4.5x, fig18 ~2.4x (its 8-core
+high-intensity groups have little idleness to skip), combined ~3x.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+
+import pytest
+
+from repro.dram.address import AddressMapping
+from repro.dram.timing import DRAMOrganization
+from repro.experiments import fig05_idle_periods, fig15_low_utilization, fig18_multicore_idle
+from repro.sim.config import ENGINE_EVENT, ENGINE_TICK, drstrange_config
+from repro.sim.runner import GLOBAL_ALONE_CACHE, set_engine_override
+from repro.sim.system import System
+from repro.workloads.mixes import build_traces, four_core_group_mixes
+
+from conftest import BENCH_INSTRUCTIONS
+
+#: Scaled-down workload for the gated engine benchmark: one 4-core
+#: DR-STRaNGe simulation exercises the scheduler, buffer, predictor and
+#: RNG-mode paths together.
+HOTPATH_INSTRUCTIONS = 15_000
+
+
+def _hotpath_traces():
+    mix = four_core_group_mixes(workloads_per_group=1)["LLHS"][0]
+    mapping = AddressMapping(DRAMOrganization())
+    return build_traces(mix, HOTPATH_INSTRUCTIONS, seed=0, mapping=mapping)
+
+
+def _run(traces, engine: str):
+    config = dataclasses.replace(drstrange_config(), engine=engine)
+    return System(list(traces), config).run()
+
+
+def test_engine_hotpath_event(benchmark):
+    """The regression-gated hot path: one simulation on the event engine."""
+    traces = _hotpath_traces()
+    result = benchmark.pedantic(_run, args=(traces, ENGINE_EVENT), rounds=3, iterations=1)
+    assert result.total_cycles > 0
+
+
+def test_engine_hotpath_tick(benchmark):
+    """Reference engine on the same workload (for the speedup record)."""
+    traces = _hotpath_traces()
+    result = benchmark.pedantic(_run, args=(traces, ENGINE_TICK), rounds=3, iterations=1)
+    assert result.total_cycles > 0
+
+
+def _cold_figure_seconds(engine: str, run, reps: int = 2, **kwargs) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        GLOBAL_ALONE_CACHE.clear()
+        previous = set_engine_override(engine)
+        try:
+            start = time.perf_counter()
+            run(**kwargs)
+            best = min(best, time.perf_counter() - start)
+        finally:
+            set_engine_override(previous)
+    return best
+
+
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_ENGINE_SPEEDUP_GATE"),
+    reason="wall-clock ratio assertions are too noisy for the correctness matrix; "
+    "set REPRO_ENGINE_SPEEDUP_GATE=1 (done by CI's benchmark-gate job) to run",
+)
+def test_engine_speedup_on_idle_heavy_figures(bench_apps):
+    """Cold-run tick-vs-event comparison over fig05/fig15/fig18."""
+    figures = (
+        ("fig05", fig05_idle_periods.run, {"apps": bench_apps, "instructions": BENCH_INSTRUCTIONS}),
+        ("fig15", fig15_low_utilization.run, {"apps": bench_apps, "instructions": BENCH_INSTRUCTIONS}),
+        ("fig18", fig18_multicore_idle.run, {"instructions": BENCH_INSTRUCTIONS}),
+    )
+    total_tick = total_event = 0.0
+    lines = []
+    for name, run, kwargs in figures:
+        tick_s = _cold_figure_seconds(ENGINE_TICK, run, **kwargs)
+        event_s = _cold_figure_seconds(ENGINE_EVENT, run, **kwargs)
+        total_tick += tick_s
+        total_event += event_s
+        speedup = tick_s / event_s
+        lines.append(f"{name}: tick={tick_s:.3f}s event={event_s:.3f}s speedup={speedup:.2f}x")
+        # Per-figure floors, set well under the measured ratios so noisy
+        # CI machines do not flake: the point is catching an engine that
+        # stopped skipping, not enforcing the exact constant.
+        assert speedup > (1.3 if name == "fig18" else 2.0), lines[-1]
+    combined = total_tick / total_event
+    lines.append(f"combined: tick={total_tick:.3f}s event={total_event:.3f}s speedup={combined:.2f}x")
+    print()
+    print("\n".join(lines))
+    assert combined > 2.0, lines[-1]

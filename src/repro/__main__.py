@@ -33,6 +33,8 @@ from .orchestration import (
     open_store,
     sweep_experiments,
 )
+from .sim.config import ENGINES
+from .sim.runner import set_engine_override
 
 DEFAULT_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
 
@@ -81,6 +83,15 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="OUT",
         help="also dump the raw experiment data as JSON to OUT ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help=(
+            "simulation engine: 'event' (cycle-skipping, default) or 'tick' "
+            "(cycle-by-cycle reference); results are bit-identical either way"
+        ),
     )
     return parser
 
@@ -134,6 +145,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.jobs < 1:
         print("--jobs must be at least 1", file=sys.stderr)
         return 2
+
+    if args.engine is not None:
+        # Applied at the simulate_traces choke point so every simulation
+        # of this run (including orchestration workers) uses the engine.
+        set_engine_override(args.engine)
 
     store = None if args.no_cache else open_store(args.cache_dir)
     stats = SweepStats()

@@ -140,6 +140,14 @@ class ChannelController:
         self.trng = trng
         self.queue_policy = queue_policy or BaselineQueuePolicy()
         self.fill_policy = fill_policy
+        # Schedulers that keep the base class no-op tick never produce
+        # events; resolving that once keeps the per-iteration event-bound
+        # probe of the cycle-skipping engine allocation- and call-free.
+        self._scheduler_event_probe = (
+            self.scheduler.next_event_cycle
+            if type(self.scheduler).next_event_cycle is not MemoryScheduler.next_event_cycle
+            else None
+        )
 
         cfg = self.config
         self.read_queue = RequestQueue(cfg.read_queue_capacity, name=f"read[{channel.channel_id}]")
@@ -162,6 +170,24 @@ class ChannelController:
         self._write_draining = False
         self._idle_period_listeners: List[Callable[[int, int, int], None]] = []
         self._arrival_listeners: List[Callable[[int, Request], None]] = []
+
+        # Cycle-skipping state (see next_event_cycle / skip_cycles).  The
+        # event-bound cache holds the last quiet bound: every constituent
+        # (inflight head, RNG segment end, bus release, blacklist clear,
+        # fill-policy threshold crossing) is an absolute cycle frozen
+        # while the controller is quiet, so it stays valid until the next
+        # tick or enqueue — or until the shared random number buffer
+        # (which the fill decision may consult) changes under us.
+        self._bound_cache: Optional[int] = None
+        self._bound_cache_valid = False
+        self._fill_buffer = getattr(fill_policy, "buffer", None)
+        self._fill_buffer_version = -1
+        # Deferred quiet bookkeeping: while consecutive skipped cycles
+        # share one classification, only the segment start is recorded;
+        # the counters are applied in one batch when the segment closes.
+        self._skip_kind: Optional[str] = None
+        self._skip_from = 0
+        self._skip_streak = False
 
     # ------------------------------------------------------------------ properties
 
@@ -215,6 +241,16 @@ class ChannelController:
 
     def enqueue(self, request: Request) -> bool:
         """Add a request to the appropriate queue; ``False`` if it is full."""
+        # Arriving work ends any deferred quiet segment (the idle streak
+        # and predictor bookkeeping must be current before the arrival
+        # listeners observe them) and invalidates the cached event bound.
+        # Requests arrive after this cycle's controller phase, whose quiet
+        # slot was already granted, so the segment closes *through* the
+        # current cycle — exactly like the tick that would have preceded
+        # the arrival in the reference engine.
+        if self._skip_kind is not None:
+            self.catch_up(self.dram.now + 1)
+        self._bound_cache_valid = False
         if request.type is RequestType.READ:
             queue = self.read_queue
         elif request.type is RequestType.WRITE:
@@ -249,6 +285,9 @@ class ChannelController:
 
     def tick(self, now: int) -> None:
         """Advance the controller by one bus cycle."""
+        if self._skip_kind is not None:
+            self.catch_up(now)
+        self._bound_cache_valid = False
         self.scheduler.tick(now)
         self._complete_finished(now)
         self._advance_rng_mode(now)
@@ -279,6 +318,150 @@ class ChannelController:
             return
 
         self._schedule_regular(now)
+
+    # ------------------------------------------------------------------ cycle skipping
+
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """Lower bound on the next cycle at which :meth:`tick` changes state.
+
+        Returns ``now`` when the controller cannot bound its next event
+        (the engine must tick it normally), a future cycle when every
+        tick before that cycle is *quiet* (only linear counters advance,
+        which :meth:`skip_cycles` applies in bulk), or ``None`` when the
+        controller generates no events at all until new work arrives —
+        arrivals come from cores and the RNG subsystem, whose own bounds
+        cover them.
+        """
+        if self._bound_cache_valid:
+            buffer = self._fill_buffer
+            if buffer is None or buffer.version == self._fill_buffer_version:
+                return self._bound_cache
+            self._bound_cache_valid = False
+        # Recomputing must see current state: close any deferred quiet
+        # segment first (e.g. the idle streak a fill-policy threshold is
+        # measured against — a buffer change elsewhere can invalidate the
+        # cache mid-deferral).
+        if self._skip_kind is not None:
+            self.catch_up(now)
+        bound = self._compute_event_bound(now)
+        if bound is None or bound > now:
+            # Quiet bounds are cacheable: everything they derive from is
+            # frozen until the next tick or enqueue invalidates them.
+            self._bound_cache = bound
+            self._bound_cache_valid = True
+            buffer = self._fill_buffer
+            if buffer is not None:
+                self._fill_buffer_version = buffer.version
+        return bound
+
+    def _compute_event_bound(self, now: int) -> Optional[int]:
+        bound: Optional[int] = None
+        if self._scheduler_event_probe is not None:
+            scheduler_event = self._scheduler_event_probe(now)
+            if scheduler_event is not None:
+                if scheduler_event <= now:
+                    return now
+                bound = scheduler_event
+        if self._inflight:
+            completion = self._inflight[0][0]
+            if completion <= now:
+                return now
+            if bound is None or completion < bound:
+                bound = completion
+
+        if self.mode is ExecutionMode.RNG:
+            op = self._rng_op
+            if op is None or op.segment_end <= now:
+                return now
+            if bound is None or op.segment_end < bound:
+                bound = op.segment_end
+            return bound
+
+        if self.read_queue or self.write_queue or (self.rng_queue is not None and self.rng_queue):
+            # Work is queued: the controller issues every cycle unless the
+            # issue lookahead blocks it while the data bus drains.
+            resume = self.channel.bus_free_at - self.config.issue_lookahead
+            if resume <= now:
+                return now
+            if bound is None or resume < bound:
+                bound = resume
+            return bound
+
+        if not self.channel.is_bus_free(now):
+            # No queued work, but the bus is still draining: busy cycles
+            # until it frees, at which point the idle period (and the fill
+            # policy) starts.
+            free = self.channel.earliest_free_cycle(now)
+            if bound is None or free < bound:
+                bound = free
+            return bound
+
+        if self._inflight:
+            # Queues empty and bus free, but reads are in flight: the
+            # controller stays busy (never idle) until the completion
+            # already folded into ``bound`` above.
+            return bound
+
+        if self.fill_policy is not None:
+            fill_event = self.fill_policy.idle_event_cycle(self, now)
+            if fill_event is not None:
+                if fill_event <= now:
+                    return now
+                if bound is None or fill_event < bound:
+                    bound = fill_event
+        return bound
+
+    def skip_cycles(self, now: int, target: int) -> None:
+        """Note the quiet ticks for cycles ``[now, target)``.
+
+        Only valid when :meth:`next_event_cycle` returned at least
+        ``target``: every skipped tick then increments counters whose
+        per-cycle deltas are constant across the range.  The counters are
+        not applied eagerly — consecutive quiet ranges with the same
+        classification (idle / busy / RNG mode) collapse into a single
+        deferred segment that :meth:`catch_up` closes before the next
+        state change (a tick, an arriving request, or the end of the
+        simulation).
+        """
+        pending = self.read_queue._entries or self.write_queue._entries or self._inflight
+        if self.mode is ExecutionMode.RNG:
+            kind = "rng"
+        elif not pending and now >= self.channel.bus_free_at:
+            kind = "idle"
+        else:
+            kind = "busy"
+        if kind == self._skip_kind:
+            return
+        if self._skip_kind is not None:
+            self._apply_skip(now)
+        self._skip_kind = kind
+        self._skip_from = now
+        self._skip_streak = not pending
+
+    def catch_up(self, now: int) -> None:
+        """Close the deferred quiet segment before state changes at ``now``."""
+        if self._skip_kind is not None:
+            self._apply_skip(now)
+            self._skip_kind = None
+
+    def _apply_skip(self, end: int) -> None:
+        """Apply the deferred segment's counters for cycles ``[from, end)``."""
+        skipped = end - self._skip_from
+        if skipped <= 0:
+            return
+        stats = self.stats
+        kind = self._skip_kind
+        if self._skip_streak:
+            self.idle_streak += skipped
+        if kind == "idle":
+            stats.idle_cycles += skipped
+            if self.fill_policy is not None:
+                self.fill_policy.skip_idle_cycles(self, skipped)
+        elif kind == "busy":
+            stats.busy_cycles += skipped
+        else:
+            stats.rng_mode_cycles += skipped
+        self.read_queue.bulk_sample_occupancy(skipped)
 
     # ------------------------------------------------------------------ completion
 

@@ -96,6 +96,16 @@ class RequestQueue:
         self.occupancy_samples += 1
         self.occupancy_sum += len(self._entries)
 
+    def bulk_sample_occupancy(self, samples: int) -> None:
+        """Record ``samples`` occupancy samples at the current occupancy.
+
+        Used by the cycle-skipping engine: while cycles are skipped no
+        request can enter or leave the queue, so every skipped sample
+        observes the same occupancy.
+        """
+        self.occupancy_samples += samples
+        self.occupancy_sum += samples * len(self._entries)
+
     @property
     def average_occupancy(self) -> float:
         if not self.occupancy_samples:

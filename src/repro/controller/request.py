@@ -21,7 +21,7 @@ class RequestType(Enum):
 _request_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Request:
     """A single memory request.
 

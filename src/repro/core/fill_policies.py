@@ -46,6 +46,20 @@ class NoFillPolicy:
     def should_continue_fill(self, controller: "ChannelController", now: int) -> bool:
         return False
 
+    # -- cycle-skipping support (see :mod:`repro.sim.engine`) ----------------------
+
+    def idle_event_cycle(self, controller: "ChannelController", now: int) -> Optional[int]:
+        """Earliest idle cycle at which this policy changes state (``None`` = never).
+
+        Called by the event engine when ``controller`` is idle at ``now``
+        and will stay idle; returning ``now`` forces a normal tick.
+        """
+        return None
+
+    def skip_idle_cycles(self, controller: "ChannelController", cycles: int) -> None:
+        """Replicate the effects of ``cycles`` quiet idle ticks in bulk."""
+        return None
+
 
 class DRStrangeFillPolicy:
     """DR-STRaNGe's predictor-guided buffer-filling policy."""
@@ -119,6 +133,37 @@ class DRStrangeFillPolicy:
             return False
         return True
 
+    # -- cycle-skipping support (see :mod:`repro.sim.engine`) ----------------------
+
+    def idle_event_cycle(self, controller: "ChannelController", now: int) -> Optional[int]:
+        """``now`` when a fill would start this idle cycle, else ``None``.
+
+        While the controller stays idle the predictor's inputs (the last
+        accessed address and its table) cannot change, so a negative
+        prediction stays negative for the whole idle stretch.  Without a
+        predictor the simple buffering mechanism fills on every idle
+        cycle, which makes every idle cycle an event.
+        """
+        if self.buffer.capacity_bits == 0 or self.buffer.is_full:
+            return None
+        predictor = self.predictor_for(controller)
+        if predictor is None:
+            return now
+        if predictor.predict(controller.last_accessed_address):
+            return now
+        return None
+
+    def skip_idle_cycles(self, controller: "ChannelController", cycles: int) -> None:
+        # ``should_start_fill`` would have called ``predict_and_record``
+        # once per skipped idle cycle; only the first call of an idle
+        # period records a pending prediction and ``predict`` itself is
+        # pure, so a single call replicates all of them.
+        if self.buffer.capacity_bits == 0 or self.buffer.is_full:
+            return
+        predictor = self.predictor_for(controller)
+        if predictor is not None:
+            predictor.predict_and_record(controller.last_accessed_address)
+
 
 class GreedyIdleFillPolicy:
     """The idealised Greedy Idle buffer-filling design (Section 7).
@@ -166,3 +211,25 @@ class GreedyIdleFillPolicy:
 
     def should_continue_fill(self, controller: "ChannelController", now: int) -> bool:
         return False
+
+    # -- cycle-skipping support (see :mod:`repro.sim.engine`) ----------------------
+
+    def idle_event_cycle(self, controller: "ChannelController", now: int) -> Optional[int]:
+        """The idle cycle at which the streak reaches the period threshold.
+
+        The free batch is granted the moment ``idle_streak`` *equals* the
+        threshold; the tick at cycle ``c`` observes a streak of
+        ``idle_streak + (c - now) + 1``.  Once the streak has passed the
+        threshold the rest of the idle period has no events.  Buffer
+        fullness is deliberately not consulted: it can change without any
+        controller-visible event (another channel's fill, a demand take),
+        so the threshold crossing is reported as an event either way and
+        the regular tick there decides.
+        """
+        remaining = self.period_threshold - controller.idle_streak - 1
+        if remaining < 0:
+            return None
+        return now + remaining
+
+    def skip_idle_cycles(self, controller: "ChannelController", cycles: int) -> None:
+        return None

@@ -87,6 +87,17 @@ class IdlenessPredictor:
             self._pending_prediction = prediction
         return prediction
 
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """Earliest cycle at which the predictor can change state on its own.
+
+        Predictors are purely reactive: :meth:`predict` is a pure function
+        of the table, and state only changes inside the observation hooks
+        (:meth:`observe_idle_period`, :meth:`predict_and_record`) that the
+        controller fires on request arrivals and idle-period boundaries.
+        A cycle-skipping engine may therefore always jump over them.
+        """
+        return None
+
     # -- training -----------------------------------------------------------------
 
     def observe_idle_period(self, length: int, last_address: int) -> None:

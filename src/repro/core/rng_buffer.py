@@ -52,6 +52,11 @@ class RandomNumberBuffer:
         self.capacity_bits = entries * bits_per_entry
         self._available_bits = 0
         self.stats = BufferStats()
+        #: Bumped on every occupancy change.  The cycle-skipping engine's
+        #: controller-side event-bound cache keys on it: the buffer is the
+        #: one piece of state a quiet controller's fill decision depends
+        #: on that other components mutate.
+        self.version = 0
 
     # -- capacity -----------------------------------------------------------------
 
@@ -99,6 +104,7 @@ class RandomNumberBuffer:
             raise ValueError("bits must be non-negative")
         stored = min(bits, self.free_bits)
         self._available_bits += stored
+        self.version += 1
         self.stats.bits_added += stored
         self.stats.bits_dropped += bits - stored
         if stored:
@@ -118,6 +124,7 @@ class RandomNumberBuffer:
             raise ValueError("bits must be positive")
         if self._available_bits >= bits:
             self._available_bits -= bits
+            self.version += 1
             self.stats.bits_served += bits
             self.stats.serves += 1
             return True
@@ -128,6 +135,7 @@ class RandomNumberBuffer:
         """Remove and return all stored bits (used when re-keying)."""
         bits = self._available_bits
         self._available_bits = 0
+        self.version += 1
         return bits
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

@@ -24,7 +24,7 @@ has been stalled by priority-based decisions; when it reaches
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Set, Tuple, TYPE_CHECKING
 
 from ..controller.queues import RequestQueue

@@ -22,8 +22,8 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
 
 from ..controller.memory_controller import ChannelController
 from ..controller.request import Request, RequestType
@@ -104,6 +104,25 @@ class RNGSubsystem:
 
     def _defer(self, cycle: int, callback: Callable[[int], None]) -> None:
         heapq.heappush(self._deferred, (cycle, next(self._deferred_counter), callback))
+
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """Lower bound on the next cycle at which :meth:`tick` changes state.
+
+        Deferred completions are a heap, so the head is the earliest
+        event.  A non-empty retry queue re-attempts enqueues every cycle
+        (each failed push mutates queue statistics and consumes nothing),
+        so it forces normal ticking until it drains.
+        """
+        if self._retry_queue:
+            return now
+        if self._deferred:
+            head = self._deferred[0][0]
+            return now if head <= now else head
+        return None
+
+    def skip_cycles(self, now: int, target: int) -> None:
+        """Apply the quiet ticks for cycles ``[now, target)`` (clock only)."""
+        self.now = target - 1
 
     # -- application interface -------------------------------------------------------
 

@@ -30,7 +30,8 @@ methodology of Section 7.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from itertools import repeat
 from typing import Callable, Deque, Optional
 
 from .trace import Trace, TraceEntry
@@ -110,6 +111,13 @@ class _WindowSlot:
         self.is_rng = is_rng
 
 
+#: Shared completed-bubble slot.  Bubbles enter the window already done
+#: and are never mutated afterwards (only the not-done memory/RNG slots
+#: are flipped by their completion callbacks), so the cycle-skipping
+#: bulk-append can reuse one immutable instance.
+_DONE_BUBBLE = _WindowSlot(done=True)
+
+
 class Core:
     """A single trace-driven core."""
 
@@ -140,6 +148,19 @@ class Core:
 
         # Dynamic execution state.
         self._window: Deque[_WindowSlot] = deque()
+        #: Window slots still waiting on a memory/RNG completion.  Kept
+        #: incrementally so the cycle-skipping engine's all-done check is
+        #: O(1) instead of a window scan.
+        self._undone_slots = 0
+        #: Issue/retire sequence counters plus a FIFO of (sequence, slot)
+        #: for outstanding slots.  Retirement is in issue order, so the
+        #: done-run length at the window head — how many slots can retire
+        #: before the oldest outstanding request — is
+        #: ``oldest_undone_sequence - retired_sequence``, O(1) amortised.
+        self._issued_seq = 0
+        self._retired_seq = 0
+        self._undone_fifo: Deque = deque()
+        self._slots_per_cycle = self.config.slots_per_bus_cycle
         self._entry_index = 0
         self._bubbles_left = 0
         self._pending_read: Optional[TraceEntry] = None
@@ -206,11 +227,25 @@ class Core:
 
     def _retire(self) -> int:
         retired = 0
-        budget = self.config.slots_per_bus_cycle
+        budget = self._slots_per_cycle
         window = self._window
-        while retired < budget and window and window[0].done:
-            window.popleft()
-            retired += 1
+        if not self._undone_slots:
+            # Everything in the window is done: retire a full batch
+            # without per-slot completion checks.
+            retired = min(budget, len(window))
+            for _ in range(retired):
+                window.popleft()
+        else:
+            while retired < budget and window and window[0].done:
+                window.popleft()
+                retired += 1
+        # Drop completed heads from the outstanding-slot FIFO here (not
+        # only in the skip-bound computation) so it cannot accumulate one
+        # entry per memory request over a whole run.
+        fifo = self._undone_fifo
+        while fifo and fifo[0][1].done:
+            fifo.popleft()
+        self._retired_seq += retired
         # Instructions count as executed when they retire (in order), so
         # the finish condition reflects completed work, not issued work.
         self.stats.instructions += retired
@@ -234,15 +269,28 @@ class Core:
                 break
 
             if self._bubbles_left > 0:
-                self._bubbles_left -= 1
-                self._window.append(_WindowSlot(done=True))
-                issued += 1
+                # Bubbles are issued in one batch: they complete
+                # immediately and never interact with anything, so the
+                # per-slot loop collapses to arithmetic plus a bulk
+                # append of the shared done-bubble slot.
+                take = min(
+                    budget - issued,
+                    self._bubbles_left,
+                    window_size - len(self._window),
+                )
+                self._bubbles_left -= take
+                self._window.extend(repeat(_DONE_BUBBLE, take))
+                self._issued_seq += take
+                issued += take
             elif self._pending_read is not None:
                 entry = self._pending_read
                 slot = _WindowSlot(done=False)
                 if not self._send_read(entry.address, self.core_id, self._make_read_callback(slot, now)):
                     break  # Read queue full; retry next cycle.
                 self._window.append(slot)
+                self._undone_fifo.append((self._issued_seq, slot))
+                self._issued_seq += 1
+                self._undone_slots += 1
                 self._pending_read = None
                 self.stats.reads_issued += 1
                 issued += 1
@@ -251,6 +299,9 @@ class Core:
                 self._pending_rng = None
                 slot = _WindowSlot(done=False, is_rng=True)
                 self._window.append(slot)
+                self._undone_fifo.append((self._issued_seq, slot))
+                self._issued_seq += 1
+                self._undone_slots += 1
                 self.stats.rng_requests += 1
                 issued += 1
                 self._send_rng(entry.rng_bits, self.core_id, self._make_rng_callback(slot, now))
@@ -261,9 +312,132 @@ class Core:
                 break
         return issued
 
+    # ------------------------------------------------------------------ cycle skipping
+
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """Lower bound on the next cycle at which :meth:`tick` must run.
+
+        ``now`` means the core is active and must be ticked normally.  A
+        future cycle means the ticks before it are pure bubble streaming
+        (retire ``slots_per_bus_cycle`` done slots, issue as many bubbles)
+        that :meth:`skip_cycles` replays in closed form.  ``None`` means
+        the core is stalled — instruction window full behind an
+        outstanding memory or RNG request — and can only be woken by a
+        completion callback, which belongs to another component's bound.
+        """
+        if self._pending_write is not None:
+            # Writeback back-pressure retries the enqueue every cycle.
+            return now
+        window = self._window
+        slots = self._slots_per_cycle
+        if window and not window[0].done:
+            space = self.config.window_size - len(window)
+            if space <= 0:
+                return None
+            if self._bubbles_left > slots:
+                # Window filling behind a blocked head: each tick retires
+                # nothing and appends one issue-width of done bubbles.
+                fill_ticks = space // slots
+                if fill_ticks:
+                    bubble_ticks = (self._bubbles_left - 1) // slots
+                    return now + min(fill_ticks, bubble_ticks)
+            return now
+        if self._bubbles_left > slots:
+            if not self._undone_slots:
+                if len(window) < slots:
+                    return now
+                # Pure streaming: the window is all done and more than one
+                # issue-width of bubbles remains at every tick start.
+                quiet_ticks = (self._bubbles_left - 1) // slots
+            else:
+                # Mixed window: bubbles stream in behind the tail while
+                # older requests are still outstanding mid-window.
+                # Retirement is in issue order, so full batches retire as
+                # long as the done run ahead of the oldest outstanding
+                # slot spans at least one issue width per tick.
+                fifo = self._undone_fifo
+                while fifo and fifo[0][1].done:
+                    fifo.popleft()
+                retire_ticks = (fifo[0][0] - self._retired_seq) // slots
+                if not retire_ticks:
+                    return now
+                quiet_ticks = min(retire_ticks, (self._bubbles_left - 1) // slots)
+                if not quiet_ticks:
+                    return now
+            if self.finish_cycle is None:
+                # Crossing the target instruction count is an event (the
+                # engine must re-check ``all_finished`` right after it).
+                remaining = self.target_instructions - self.stats.instructions
+                finishing_tick = -(-remaining // slots)
+                if finishing_tick < quiet_ticks:
+                    quiet_ticks = finishing_tick
+            return now + quiet_ticks
+        return now
+
+    def skip_cycles(self, now: int, target: int) -> None:
+        """Apply the effects of the quiet ticks for cycles ``[now, target)``."""
+        skipped = target - now
+        window = self._window
+        slots = self._slots_per_cycle
+        if window and not window[0].done:
+            self.stats.cycles += skipped
+            if len(window) >= self.config.window_size:
+                # Stalled: every skipped tick is a memory-stall cycle.
+                self.stats.memory_stall_cycles += skipped
+                if window[0].is_rng:
+                    self.stats.rng_stall_cycles += skipped
+            else:
+                # Window filling behind a blocked head: bubbles stream in
+                # without retiring (no stall is recorded while issuing).
+                count = slots * skipped
+                window.extend(repeat(_DONE_BUBBLE, count))
+                self._issued_seq += count
+                self._bubbles_left -= count
+            return
+        # Bubble streaming: each tick retires a full batch of done slots
+        # and issues as many bubbles.
+        count = slots * skipped
+        if self.finish_cycle is None and (
+            self.stats.instructions + count >= self.target_instructions
+        ):
+            finishing_tick = -(-(self.target_instructions - self.stats.instructions) // slots)
+            snapshot = self.stats.copy()
+            snapshot.cycles += finishing_tick
+            snapshot.instructions += slots * finishing_tick
+            self.finish_cycle = now + finishing_tick - 1
+            self.finished_stats = snapshot
+        self.stats.cycles += skipped
+        self.stats.instructions += count
+        self._bubbles_left -= count
+        self._issued_seq += count
+        self._retired_seq += count
+        if self._undone_slots:
+            # Mixed window: the retired prefix really leaves the window
+            # and fresh done bubbles take its place at the tail.
+            for _ in range(count):
+                window.popleft()
+            window.extend(repeat(_DONE_BUBBLE, count))
+
+    def catch_up_stall(self, start: int, end: int) -> None:
+        """Account the deferred stall ticks for cycles ``[start, end)``.
+
+        Used by the event engine after it left a window-stalled core
+        untouched: every deferred tick was a memory-stall cycle against
+        the (still unretired) head slot.  Must be called before the head
+        is retired so the RNG attribution still sees the right slot.
+        """
+        stalled = end - start
+        if stalled <= 0:
+            return
+        self.stats.cycles += stalled
+        self.stats.memory_stall_cycles += stalled
+        if self._window[0].is_rng:
+            self.stats.rng_stall_cycles += stalled
+
     def _make_read_callback(self, slot: _WindowSlot, issue_cycle: int) -> Callable:
         def _on_complete(request) -> None:
             slot.done = True
+            self._undone_slots -= 1
             completion = request.completion_cycle if request.completion_cycle is not None else issue_cycle
             self.stats.read_latency_sum += max(0, completion - issue_cycle)
 
@@ -272,6 +446,7 @@ class Core:
     def _make_rng_callback(self, slot: _WindowSlot, issue_cycle: int) -> Callable:
         def _on_rng_complete(completion_cycle: int) -> None:
             slot.done = True
+            self._undone_slots -= 1
             self.stats.rng_latency_sum += max(0, completion_cycle - issue_cycle)
 
         return _on_rng_complete

@@ -50,6 +50,13 @@ class Processor:
                 )
             )
 
+        # Cores not yet finished, maintained as a shrinking list so the
+        # per-iteration ``all_finished`` check is amortised O(1) instead
+        # of scanning every core every cycle.  Order is irrelevant: only
+        # emptiness matters, so finished cores are popped from the tail
+        # as they surface there.
+        self._unfinished: List[Core] = list(self.cores)
+
     def __len__(self) -> int:
         return len(self.cores)
 
@@ -61,9 +68,30 @@ class Processor:
         for core in self.cores:
             core.tick(now)
 
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """Earliest next-event bound over all cores (``None`` = all stalled)."""
+        bound: Optional[int] = None
+        for core in self.cores:
+            core_bound = core.next_event_cycle(now)
+            if core_bound is None:
+                continue
+            if core_bound <= now:
+                return now
+            if bound is None or core_bound < bound:
+                bound = core_bound
+        return bound
+
+    def skip_cycles(self, now: int, target: int) -> None:
+        """Apply the quiet ticks for cycles ``[now, target)`` on every core."""
+        for core in self.cores:
+            core.skip_cycles(now, target)
+
     @property
     def all_finished(self) -> bool:
-        return all(core.finished for core in self.cores)
+        unfinished = self._unfinished
+        while unfinished and unfinished[-1].finish_cycle is not None:
+            unfinished.pop()
+        return not unfinished
 
     @property
     def finish_cycle(self) -> int:

@@ -15,7 +15,7 @@ parallelism behaviour that the paper's scheduling study depends on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 
 from .timing import DRAMTiming
@@ -75,6 +75,10 @@ class Bank:
     def is_ready(self, now: int) -> bool:
         """Whether the bank can start a new access at cycle ``now``."""
         return now >= self.ready_at
+
+    def earliest_ready_cycle(self, now: int) -> int:
+        """Earliest cycle (not before ``now``) a new access can start."""
+        return max(now, self.ready_at)
 
     def preparation_latency(self, row: int) -> int:
         """Cycles of row preparation (precharge + activate) for an access."""

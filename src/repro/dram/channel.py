@@ -15,7 +15,7 @@ row buffers (the reserved RNG rows replace whatever was open).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .bank import AccessCategory, Bank, BankStats
 from .timing import DRAMOrganization, DRAMTiming
@@ -143,6 +143,16 @@ class Channel:
     def is_bus_free(self, now: int) -> bool:
         """Whether the data bus is free at cycle ``now``."""
         return now >= self.bus_free_at
+
+    def earliest_free_cycle(self, now: int) -> int:
+        """Earliest cycle (not before ``now``) the data bus is free.
+
+        The bus is the channel's binding resource: bank preparation can
+        overlap, so :attr:`bus_free_at` (together with the per-bank
+        :meth:`~repro.dram.bank.Bank.earliest_ready_cycle`) is the
+        earliest-ready bound the cycle-skipping engine consumes.
+        """
+        return max(now, self.bus_free_at)
 
     def bank_stats(self) -> BankStats:
         """Aggregate bank counters across all banks of this channel."""

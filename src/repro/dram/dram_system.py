@@ -26,6 +26,11 @@ class DRAMSystem:
             Channel(channel_id, self.timing, self.organization)
             for channel_id in range(self.organization.channels)
         ]
+        #: Current bus cycle, maintained by the simulation engine.  The
+        #: channel controllers read it when external work arrives while
+        #: their per-cycle bookkeeping is deferred (see
+        #: :meth:`repro.controller.memory_controller.ChannelController.catch_up`).
+        self.now = 0
 
     @property
     def num_channels(self) -> int:

@@ -21,7 +21,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from ..sim.config import SimulationConfig, baseline_config, drstrange_config, greedy_config
 from ..sim.runner import AloneRunCache, GLOBAL_ALONE_CACHE
 from ..workloads.spec import ApplicationSpec
-from ..workloads.suites import ALL_APPLICATIONS, PAPER_FIGURE_APPS, representative_subset
+from ..workloads.suites import ALL_APPLICATIONS, representative_subset
 
 #: Default per-core instruction count of the scaled-down experiments.
 #: The RNG benchmark issues one burst of requests every

@@ -8,7 +8,6 @@ application slowdowns and the buffer serve rate.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
 from ..core.config import DRStrangeConfig

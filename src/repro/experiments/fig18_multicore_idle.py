@@ -9,7 +9,7 @@ number in one go.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from ..dram.address import AddressMapping
 from ..metrics.stats import box_stats

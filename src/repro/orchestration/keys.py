@@ -39,8 +39,16 @@ def canonical_json(payload) -> str:
 
 
 def config_fingerprint(config: SimulationConfig) -> Dict:
-    """Every configuration field as a plain JSON-compatible dict."""
-    return dataclasses.asdict(config)
+    """Every *result-affecting* configuration field as a plain JSON dict.
+
+    The simulation engine (``"event"`` vs ``"tick"``) is excluded: both
+    engines produce bit-identical results (enforced by the equivalence
+    test suite), so results cached under one engine stay valid — and are
+    shared — under the other.
+    """
+    fields = dataclasses.asdict(config)
+    fields.pop("engine", None)
+    return fields
 
 
 def trace_fingerprint(trace: Trace) -> Dict:

@@ -31,7 +31,7 @@ import inspect
 import multiprocessing
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..cpu.trace import Trace
 from ..energy.drampower import EnergyBreakdown

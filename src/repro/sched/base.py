@@ -38,6 +38,15 @@ class MemoryScheduler(ABC):
     def tick(self, now: int) -> None:
         """Per-cycle hook (e.g. for interval-based bookkeeping)."""
 
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """Earliest cycle at which :meth:`tick` is *not* a no-op.
+
+        ``None`` means the scheduler has no self-generated events (its
+        per-cycle hook never changes state), so a cycle-skipping engine
+        may jump over it freely; see :mod:`repro.sim.engine`.
+        """
+        return None
+
     def reset(self) -> None:
         """Reset any scheduling state (between simulations)."""
 

@@ -23,7 +23,6 @@ from typing import TYPE_CHECKING, Optional, Set
 from ..controller.queues import RequestQueue
 from ..controller.request import Request, RequestType
 from .base import MemoryScheduler
-from .frfcfs import FRFCFS
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..controller.memory_controller import ChannelController
@@ -96,6 +95,12 @@ class BLISS(MemoryScheduler):
                 self.clear_events += 1
             self.blacklist.clear()
             self._last_clear_cycle = now
+
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        # The blacklist-clearing boundary must be ticked exactly: clearing
+        # resets ``_last_clear_cycle`` to the cycle it runs at, so jumping
+        # past the boundary would shift every later clearing interval.
+        return self._last_clear_cycle + self.clearing_interval
 
     def reset(self) -> None:
         self.blacklist.clear()

@@ -9,7 +9,7 @@ how long a high-row-locality application can monopolise a bank.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from ..controller.queues import RequestQueue
 from ..controller.request import Request, RequestType

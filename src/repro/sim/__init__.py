@@ -5,6 +5,9 @@ from .config import (
     DESIGN_GREEDY_IDLE,
     DESIGN_RNG_OBLIVIOUS,
     DESIGNS,
+    ENGINE_EVENT,
+    ENGINE_TICK,
+    ENGINES,
     PRIORITY_EQUAL,
     PRIORITY_MODES,
     PRIORITY_NON_RNG_HIGH,
@@ -14,6 +17,7 @@ from .config import (
     drstrange_config,
     greedy_config,
 )
+from .engine import EventEngine, TickEngine, make_engine
 from .results import ChannelResult, CoreResult, SimulationResult
 from .runner import (
     GLOBAL_ALONE_CACHE,
@@ -34,7 +38,13 @@ __all__ = [
     "DESIGN_DRSTRANGE",
     "DESIGN_GREEDY_IDLE",
     "DESIGN_RNG_OBLIVIOUS",
+    "ENGINES",
+    "ENGINE_EVENT",
+    "ENGINE_TICK",
+    "EventEngine",
     "GLOBAL_ALONE_CACHE",
+    "TickEngine",
+    "make_engine",
     "PRIORITY_EQUAL",
     "PRIORITY_MODES",
     "PRIORITY_NON_RNG_HIGH",

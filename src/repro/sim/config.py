@@ -10,6 +10,7 @@ from ..core.config import DRStrangeConfig
 from ..cpu.core import CoreConfig
 from ..dram.timing import DRAMOrganization, DRAMTiming
 from ..trng import DRAMTRNGModel, make_trng
+from .engine import ENGINE_REGISTRY, EventEngine, TickEngine
 
 #: System design points evaluated by the paper.
 DESIGN_RNG_OBLIVIOUS = "rng-oblivious"
@@ -24,6 +25,16 @@ PRIORITY_RNG_HIGH = "rng-high"
 PRIORITY_NON_RNG_HIGH = "non-rng-high"
 
 PRIORITY_MODES = (PRIORITY_EQUAL, PRIORITY_RNG_HIGH, PRIORITY_NON_RNG_HIGH)
+
+#: Simulation engines (see :mod:`repro.sim.engine`).  Both engines produce
+#: bit-identical :class:`~repro.sim.results.SimulationResult`s; the event
+#: engine skips over cycles in which no component can change state.  The
+#: registry in :mod:`repro.sim.engine` is the single source of truth, so
+#: config validation can never drift from what ``make_engine`` accepts.
+ENGINE_EVENT = EventEngine.name
+ENGINE_TICK = TickEngine.name
+
+ENGINES = tuple(ENGINE_REGISTRY)
 
 
 @dataclass(frozen=True)
@@ -52,10 +63,16 @@ class SimulationConfig:
     max_cycles: int = 5_000_000
     #: Seed for the TRNG entropy source.
     entropy_seed: int = 0
+    #: Simulation engine: ``"event"`` (cycle-skipping) or ``"tick"`` (the
+    #: reference cycle-by-cycle loop).  Results are bit-identical, so the
+    #: engine is excluded from all result-cache keys.
+    engine: str = ENGINE_EVENT
 
     def __post_init__(self) -> None:
         if self.design not in DESIGNS:
             raise ValueError(f"design must be one of {DESIGNS}, got {self.design!r}")
+        if self.engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {self.engine!r}")
         if self.priority_mode not in PRIORITY_MODES:
             raise ValueError(
                 f"priority_mode must be one of {PRIORITY_MODES}, got {self.priority_mode!r}"

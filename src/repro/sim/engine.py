@@ -1,0 +1,262 @@
+"""Simulation engines: the reference tick loop and the cycle-skipping loop.
+
+The simulator originally advanced one DRAM bus cycle at a time, ticking
+every channel controller, the RNG subsystem and every core — even across
+the long idle stretches the paper's whole design exploits (Figures 5, 15
+and 18 are dominated by idleness).  The :class:`EventEngine` removes that
+cost without changing a single result bit:
+
+* every component exposes ``next_event_cycle(now)`` — a lower bound on
+  the first cycle at which ticking it is **not** a pure counter update
+  (``now`` = "must tick normally", ``None`` = "no self-generated events"),
+* the engine advances the clock directly to the minimum of those bounds,
+  asking each component to ``skip_cycles(now, target)`` — a closed-form
+  replay of the skipped ticks (idle/busy/RNG-mode counters, occupancy
+  samples, stall cycles, bubble retirement),
+* whenever any component cannot bound its next event the engine falls
+  back to single-stepping, reusing the exact tick code path.
+
+Because skipped ticks are by construction state-preserving modulo those
+linear counters, both engines produce **bit-identical**
+:class:`~repro.sim.results.SimulationResult`s for every design; cached
+results therefore stay valid and the engine choice is excluded from all
+result-cache keys (see :mod:`repro.orchestration.keys`).
+
+Select the engine with ``SimulationConfig.engine`` (default ``"event"``;
+``"tick"`` is kept as the executable reference the equivalence tests
+compare against) or ``python -m repro --engine``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .system import System
+
+
+class TickEngine:
+    """The reference engine: tick every component once per bus cycle."""
+
+    name = "tick"
+
+    def run(self, system: "System") -> int:
+        """Advance ``system`` to completion; return the final cycle count."""
+        controllers = system.controllers
+        processor = system.processor
+        rng_subsystem = system.rng_subsystem
+        max_cycles = system.config.max_cycles
+
+        cycle = 0
+        while not processor.all_finished:
+            if cycle >= max_cycles:
+                system.hit_cycle_limit = True
+                break
+            system.cycle = cycle
+            for controller in controllers:
+                controller.tick(cycle)
+            rng_subsystem.tick(cycle)
+            processor.tick(cycle)
+            cycle += 1
+        return cycle
+
+
+class EventEngine:
+    """Cycle-skipping engine: jump straight to the next possible event.
+
+    Two mechanisms remove per-cycle work, both exploiting that a *quiet*
+    tick (one whose only effect is a constant per-cycle counter delta) is
+    exactly equivalent to a one-cycle ``skip_cycles``:
+
+    * **Jumping.**  When every component is quiet past the current cycle,
+      the clock advances straight to the earliest bound and the skipped
+      ticks are replayed in closed form.
+    * **Selective stepping.**  When some component must tick, only the
+      active components run the real tick path; quiet ones take the cheap
+      one-cycle skip.  Causality within a cycle is preserved by keeping
+      the reference order (controllers, RNG subsystem, processor) and by
+      deciding each core's activity *after* the memory side has ticked —
+      a completion fired by a controller this cycle makes the waiting
+      core active this cycle, exactly as in the tick engine.
+    """
+
+    name = "event"
+
+    def run(self, system: "System") -> int:
+        """Advance ``system`` to completion; return the final cycle count."""
+        controllers = system.controllers
+        processor = system.processor
+        cores = processor.cores
+        rng_subsystem = system.rng_subsystem
+        max_cycles = system.config.max_cycles
+
+        controller_range = list(enumerate(controllers))
+        core_range = list(enumerate(cores))
+        controller_bounds = [0] * len(controllers)
+        core_bounds = [0] * len(cores)
+        # Stall deferral: a core whose instruction window is full behind an
+        # outstanding request can neither act nor finish until a completion
+        # callback flips its head slot, so its per-cycle stall bookkeeping
+        # is deferred entirely — ``stalled_since[i]`` records the first
+        # deferred cycle, and the engine watches the head slot directly
+        # (cores are engine-intimate by design) to wake it.
+        stalled_since = [None] * len(cores)
+        # The engine reads component internals (cached bounds, deferred
+        # segment markers, window heads) to keep the hot loop free of
+        # redundant calls; every such read mirrors a documented invariant
+        # of the component's next_event_cycle / skip_cycles contract.
+        unfinished = processor._unfinished
+        cycle = 0
+        while True:
+            while unfinished and unfinished[-1].finish_cycle is not None:
+                unfinished.pop()
+            if not unfinished:
+                break
+            if cycle >= max_cycles:
+                system.hit_cycle_limit = True
+                break
+
+            # Memory-side horizon: the earliest cycle a controller or the
+            # RNG subsystem may change state.  ``None`` = unbounded-quiet.
+            target = max_cycles
+            memory_active = False
+            for index, controller in controller_range:
+                if controller._bound_cache_valid:
+                    buffer = controller._fill_buffer
+                    if buffer is None or buffer.version == controller._fill_buffer_version:
+                        bound = controller._bound_cache
+                    else:
+                        bound = controller.next_event_cycle(cycle)
+                else:
+                    bound = controller.next_event_cycle(cycle)
+                controller_bounds[index] = bound
+                if bound is None:
+                    continue
+                if bound <= cycle:
+                    memory_active = True
+                elif bound < target:
+                    target = bound
+            rng_bound = rng_subsystem.next_event_cycle(cycle)
+            if rng_bound is not None:
+                if rng_bound <= cycle:
+                    memory_active = True
+                elif rng_bound < target:
+                    target = rng_bound
+
+            step = cycle + 1
+            if not memory_active:
+                # Nothing on the memory side ticks this cycle: no
+                # completion can fire, so stalled cores stay stalled and
+                # the remaining cores' bounds are valid now.  A full jump
+                # may be possible.
+                cores_active = False
+                for index, core in core_range:
+                    if stalled_since[index] is not None:
+                        core_bounds[index] = None
+                        continue
+                    bound = core.next_event_cycle(cycle)
+                    if bound is None:
+                        # Newly stalled: defer its bookkeeping from here.
+                        stalled_since[index] = cycle
+                        core_bounds[index] = None
+                        continue
+                    core_bounds[index] = bound
+                    if bound <= cycle:
+                        cores_active = True
+                    elif bound < target:
+                        target = bound
+                if not cores_active and target > step:
+                    for index, controller in controller_range:
+                        if controller._skip_kind is None:
+                            controller.skip_cycles(cycle, target)
+                    rng_subsystem.skip_cycles(cycle, target)
+                    for index, core in core_range:
+                        if stalled_since[index] is None:
+                            core.skip_cycles(cycle, target)
+                    cycle = target
+                    continue
+                # Mixed cycle with a quiet memory side: skip it wholesale
+                # and step only the active cores, reusing the bounds just
+                # computed (no memory tick ran, so they are still valid).
+                # Advancing the RNG clock inline is exactly its
+                # skip_cycles(cycle, cycle + 1).
+                system.cycle = system.dram.now = rng_subsystem.now = cycle
+                for index, controller in controller_range:
+                    if controller._skip_kind is None:
+                        controller.skip_cycles(cycle, step)
+                for index, core in core_range:
+                    bound = core_bounds[index]
+                    if bound is None:
+                        continue
+                    if bound <= cycle:
+                        core.tick(cycle)
+                    else:
+                        core.skip_cycles(cycle, step)
+                cycle = step
+                continue
+
+            # Single step with memory activity: tick the active memory
+            # components, one-cycle-skip the quiet ones (identical by the
+            # definition of quietness), then decide each core *after* the
+            # memory side has ticked — a completion fired above wakes the
+            # waiting core this very cycle, exactly as in the tick engine.
+            system.cycle = system.dram.now = cycle
+            for index, controller in controller_range:
+                bound = controller_bounds[index]
+                if bound is not None and bound <= cycle:
+                    controller.tick(cycle)
+                elif controller._skip_kind is None:
+                    controller.skip_cycles(cycle, step)
+            if rng_bound is not None and rng_bound <= cycle:
+                rng_subsystem.tick(cycle)
+            else:
+                rng_subsystem.now = cycle
+            for index, core in core_range:
+                since = stalled_since[index]
+                if since is not None:
+                    # A stalled window only unblocks when a completion
+                    # marks its head slot done; until then the core has
+                    # no tick effects beyond the deferred stall counters.
+                    if not core._window[0].done:
+                        continue
+                    core.catch_up_stall(since, cycle)
+                    stalled_since[index] = None
+                bound = core.next_event_cycle(cycle)
+                if bound is None:
+                    stalled_since[index] = cycle
+                elif bound <= cycle:
+                    core.tick(cycle)
+                else:
+                    core.skip_cycles(cycle, step)
+            cycle = step
+
+        # Close every deferred quiet segment at the final cycle count
+        # (simulation finished or hit the cycle limit) so the statistics
+        # the result builder reads are complete.
+        system.dram.now = cycle
+        for controller in controllers:
+            controller.catch_up(cycle)
+        for index, core in enumerate(cores):
+            since = stalled_since[index]
+            if since is not None:
+                core.catch_up_stall(since, cycle)
+        return cycle
+
+
+#: Engine registry, keyed by ``SimulationConfig.engine``.  The single
+#: source of truth for valid engine names: ``SimulationConfig`` derives
+#: its validation tuple from it.
+ENGINE_REGISTRY = {
+    EventEngine.name: EventEngine,
+    TickEngine.name: TickEngine,
+}
+
+
+def make_engine(name: str):
+    """Instantiate the engine registered under ``name``."""
+    try:
+        return ENGINE_REGISTRY[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {name!r}; known engines: {', '.join(sorted(ENGINE_REGISTRY))}"
+        ) from None

@@ -11,14 +11,14 @@ weighted speedup.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..cpu.trace import Trace
 from ..dram.address import AddressMapping
 from ..metrics.fairness import memory_slowdown, unfairness_index
 from ..metrics.speedup import normalized_weighted_speedup, weighted_speedup
-from ..workloads.mixes import ROW_OFFSET_STRIDE, build_traces
+from ..workloads.mixes import build_traces
 from ..workloads.spec import WorkloadMix
 from .config import SimulationConfig
 from .results import CoreResult, SimulationResult
@@ -31,13 +31,33 @@ from .system import System
 #: so every simulation in the repository routes through one choke point.
 _SIMULATION_BACKEND: Optional[Callable[[Sequence[Trace], SimulationConfig], SimulationResult]] = None
 
+#: Process-wide engine override (``None`` = honour each config's engine).
+#: Set from the CLI's ``--engine`` flag; applied here, at the choke point,
+#: so every simulation of a run — experiments, alone runs, orchestration
+#: workers — uses the requested engine.  Results are engine-independent,
+#: so the override never affects cache keys.
+_ENGINE_OVERRIDE: Optional[str] = None
+
 
 def simulate_traces(traces: Sequence[Trace], config: SimulationConfig) -> SimulationResult:
     """Run one simulation through the currently installed backend."""
+    if _ENGINE_OVERRIDE is not None and config.engine != _ENGINE_OVERRIDE:
+        config = replace(config, engine=_ENGINE_OVERRIDE)
     backend = _SIMULATION_BACKEND
     if backend is None:
         return System(list(traces), config).run()
     return backend(traces, config)
+
+
+def set_engine_override(engine: Optional[str]) -> Optional[str]:
+    """Force every simulation onto ``engine`` (``None`` restores configs).
+
+    Returns the previous override so callers can scope it.
+    """
+    global _ENGINE_OVERRIDE
+    previous = _ENGINE_OVERRIDE
+    _ENGINE_OVERRIDE = engine
+    return previous
 
 
 def set_simulation_backend(

@@ -27,11 +27,11 @@ from ..sched import BLISS, FRFCFS, FRFCFSCap, MemoryScheduler
 from .config import (
     DESIGN_DRSTRANGE,
     DESIGN_GREEDY_IDLE,
-    DESIGN_RNG_OBLIVIOUS,
     PRIORITY_NON_RNG_HIGH,
     PRIORITY_RNG_HIGH,
     SimulationConfig,
 )
+from .engine import make_engine
 from .results import ChannelResult, CoreResult, SimulationResult
 
 
@@ -209,26 +209,18 @@ class System:
     # ------------------------------------------------------------------ simulation
 
     def run(self) -> SimulationResult:
-        """Run the simulation to completion and return its results."""
-        controllers = self.controllers
-        processor = self.processor
-        rng_subsystem = self.rng_subsystem
-        max_cycles = self.config.max_cycles
+        """Run the simulation to completion and return its results.
 
-        cycle = 0
-        while not processor.all_finished:
-            if cycle >= max_cycles:
-                self.hit_cycle_limit = True
-                break
-            self.cycle = cycle
-            for controller in controllers:
-                controller.tick(cycle)
-            rng_subsystem.tick(cycle)
-            processor.tick(cycle)
-            cycle += 1
+        The loop itself lives in :mod:`repro.sim.engine`: the ``"event"``
+        engine (default) skips straight to the next cycle at which any
+        component can change state, the ``"tick"`` engine is the
+        cycle-by-cycle reference.  Both produce bit-identical results.
+        """
+        engine = make_engine(self.config.engine)
+        cycle = engine.run(self)
 
         self.cycle = cycle
-        for controller in controllers:
+        for controller in self.controllers:
             controller.flush_idle_period()
         return self._build_result(cycle)
 

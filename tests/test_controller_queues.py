@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.controller.queues import RequestQueue
-from repro.controller.request import RequestType, make_read
+from repro.controller.request import make_read
 
 
 def _read(address, core=0, cycle=0):

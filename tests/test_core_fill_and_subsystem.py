@@ -71,6 +71,7 @@ class TestDRStrangeFillPolicy:
             controller.tick(cycle)
         controller.enqueue(make_read(dram.mapping.encode(channel=0, bank=0, row=0, column=0), 0, 100))
         bits_at_interrupt = buffer.available_bits
+        assert bits_at_interrupt > 0  # filling had begun before the read arrived
         for cycle in range(100, 400):
             controller.tick(cycle)
         # The pending read was eventually served despite buffer filling.

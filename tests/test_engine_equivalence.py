@@ -1,0 +1,163 @@
+"""Bit-identity of the event (cycle-skipping) and tick simulation engines.
+
+The event engine's whole contract is that skipped cycles are replayed in
+closed form with no observable difference: for every design, scheduler,
+predictor and topology, the :class:`~repro.sim.results.SimulationResult`
+must equal the tick engine's field for field — including the per-channel
+idle-period histograms, per-core stall accounting and predictor
+statistics.  This is what keeps the content-addressed result cache valid
+across engines (the cache key deliberately excludes the engine).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import DRStrangeConfig
+from repro.dram.address import AddressMapping
+from repro.dram.timing import DRAMOrganization
+from repro.sim.config import (
+    DESIGN_DRSTRANGE,
+    DESIGN_GREEDY_IDLE,
+    DESIGN_RNG_OBLIVIOUS,
+    ENGINE_EVENT,
+    ENGINE_TICK,
+    SimulationConfig,
+)
+from repro.sim.system import System
+from repro.workloads.mixes import build_traces, dual_core_mixes, four_core_group_mixes
+from repro.workloads.suites import representative_subset
+
+
+def run_both(traces, config: SimulationConfig):
+    """Run the same traces under both engines; return both result dicts."""
+    tick = System(list(traces), dataclasses.replace(config, engine=ENGINE_TICK)).run()
+    event = System(list(traces), dataclasses.replace(config, engine=ENGINE_EVENT)).run()
+    return dataclasses.asdict(tick), dataclasses.asdict(event)
+
+
+def assert_identical(traces, config: SimulationConfig) -> None:
+    tick, event = run_both(traces, config)
+    # Compare field by field first for a readable failure, then in full.
+    for field_name, tick_value in tick.items():
+        assert event[field_name] == tick_value, f"engines diverge in {field_name!r}"
+    assert event == tick
+
+
+@pytest.fixture(scope="module")
+def dual_core_traces():
+    apps = representative_subset(4)
+    mix = dual_core_mixes(apps)[0]
+    mapping = AddressMapping(DRAMOrganization())
+    return build_traces(mix, 12_000, seed=0, mapping=mapping)
+
+
+@pytest.fixture(scope="module")
+def four_core_traces():
+    mix = four_core_group_mixes(workloads_per_group=1)["LLHS"][0]
+    mapping = AddressMapping(DRAMOrganization())
+    return build_traces(mix, 8_000, seed=1, mapping=mapping)
+
+
+@pytest.mark.parametrize("design", [DESIGN_RNG_OBLIVIOUS, DESIGN_GREEDY_IDLE, DESIGN_DRSTRANGE])
+@pytest.mark.parametrize("scheduler", ["fr-fcfs", "fr-fcfs+cap", "bliss"])
+@pytest.mark.parametrize("predictor", ["simple", "rl", "none"])
+def test_engines_identical_designs_schedulers_predictors(
+    dual_core_traces, design, scheduler, predictor
+):
+    config = SimulationConfig(
+        design=design,
+        scheduler=scheduler,
+        drstrange=DRStrangeConfig(predictor=predictor),
+    )
+    assert_identical(dual_core_traces, config)
+
+
+@pytest.mark.parametrize("design", [DESIGN_RNG_OBLIVIOUS, DESIGN_GREEDY_IDLE, DESIGN_DRSTRANGE])
+@pytest.mark.parametrize("channels", [1, 2])
+def test_engines_identical_across_channel_counts(design, channels):
+    organization = DRAMOrganization(channels=channels)
+    config = SimulationConfig(design=design, organization=organization)
+    apps = representative_subset(4)
+    mix = dual_core_mixes(apps)[0]
+    traces = build_traces(mix, 10_000, seed=3, mapping=AddressMapping(organization))
+    assert_identical(traces, config)
+
+
+@pytest.mark.parametrize("priority_mode", ["rng-high", "non-rng-high"])
+def test_engines_identical_priority_modes(dual_core_traces, priority_mode):
+    config = SimulationConfig(design=DESIGN_DRSTRANGE, priority_mode=priority_mode)
+    assert_identical(dual_core_traces, config)
+
+
+@pytest.mark.parametrize("design", [DESIGN_RNG_OBLIVIOUS, DESIGN_GREEDY_IDLE, DESIGN_DRSTRANGE])
+def test_engines_identical_four_core(four_core_traces, design):
+    assert_identical(four_core_traces, SimulationConfig(design=design))
+
+
+def test_engines_identical_at_cycle_limit(dual_core_traces):
+    """The runaway guard clips both engines at the same cycle."""
+    config = SimulationConfig(design=DESIGN_DRSTRANGE, max_cycles=1_500)
+    tick, event = run_both(dual_core_traces, config)
+    assert tick["total_cycles"] == 1_500
+    assert event == tick
+
+
+def test_component_event_bound_contracts(dual_core_traces):
+    """The next_event_cycle/skip_cycles contracts the engine specialises.
+
+    The event engine inlines parts of these for speed; this test keeps
+    the public methods honest so an edit to one of them cannot silently
+    diverge from what the engine actually does.
+    """
+    from repro.core.idleness_predictor import SimpleIdlenessPredictor
+    from repro.dram.bank import Bank
+    from repro.dram.timing import DRAMTiming
+
+    system = System(list(dual_core_traces), SimulationConfig(design=DESIGN_DRSTRANGE))
+    processor = system.processor
+
+    # A freshly built processor has issuable cores: the bound is "now".
+    assert processor.next_event_cycle(0) == 0
+
+    # Predictors are purely reactive; banks expose their earliest-ready
+    # cycle as max(now, ready_at).
+    assert SimpleIdlenessPredictor().next_event_cycle(123) is None
+    bank = Bank(0, DRAMTiming())
+    bank.complete_access(50)
+    assert bank.earliest_ready_cycle(10) == 50
+    assert bank.earliest_ready_cycle(60) == 60
+
+    # Processor.skip_cycles delegates to every core: advancing a core in
+    # a pure bubble stream by its own quiet bound retires exactly one
+    # issue width per skipped cycle.
+    core = processor.cores[0]
+    core.tick(0)  # prime the window with the first bubble batch
+    core.tick(1)
+    bound = core.next_event_cycle(2)
+    if bound is not None and bound > 2:
+        before = core.stats.instructions
+        processor.skip_cycles(2, bound)
+        slots = core.config.slots_per_bus_cycle
+        assert core.stats.instructions == before + slots * (bound - 2)
+
+    # RNGSubsystem: no deferred work means no self-generated events; a
+    # deferred completion bounds the next event at its cycle.
+    rng = system.rng_subsystem
+    assert rng.next_event_cycle(0) is None
+    rng._defer(17, lambda cycle: None)
+    assert rng.next_event_cycle(0) == 17
+    rng.skip_cycles(0, 10)
+    assert rng.now == 9
+
+
+def test_idle_period_histograms_match_per_channel(dual_core_traces):
+    """Spot-check the statistic the idleness figures are built from."""
+    tick, event = run_both(dual_core_traces, SimulationConfig(design=DESIGN_DRSTRANGE))
+    for tick_channel, event_channel in zip(tick["channels"], event["channels"]):
+        assert event_channel["idle_periods"] == tick_channel["idle_periods"]
+        assert event_channel["idle_cycles"] == tick_channel["idle_cycles"]
+        assert event_channel["busy_cycles"] == tick_channel["busy_cycles"]
+        assert event_channel["rng_mode_cycles"] == tick_channel["rng_mode_cycles"]

@@ -1,6 +1,5 @@
 """Tests for the channel memory controller."""
 
-import pytest
 
 from repro.controller.config import ControllerConfig
 from repro.controller.memory_controller import ChannelController, ExecutionMode

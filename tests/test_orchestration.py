@@ -21,7 +21,7 @@ from repro.orchestration import (
     run_experiment,
 )
 from repro.sim import runner as sim_runner
-from repro.sim.config import SimulationConfig, baseline_config
+from repro.sim.config import baseline_config
 from repro.sim.runner import AloneRunCache
 from repro.sim.system import System
 from repro.workloads.suites import representative_subset

@@ -4,7 +4,7 @@ import pytest
 
 from repro.sim.config import baseline_config, drstrange_config
 from repro.sim.runner import AloneRunCache, compare_designs, run_single_application, run_workload
-from repro.workloads.mixes import build_traces, dual_core_mixes
+from repro.workloads.mixes import build_traces
 from repro.workloads.spec import ApplicationSpec, RNGBenchmarkSpec, WorkloadMix
 
 

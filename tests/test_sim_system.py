@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.config import DRStrangeConfig
 from repro.cpu.trace import Trace, TraceEntry
-from repro.dram.address import AddressMapping
 from repro.sim.config import baseline_config, drstrange_config, greedy_config
 from repro.sim.system import System, simulate
 from repro.workloads.mixes import build_traces, dual_core_mixes
