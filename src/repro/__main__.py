@@ -8,13 +8,19 @@ Usage::
     python -m repro fig7 --jobs 8                  # parallel simulation
     python -m repro sweep fig6 fig11 --jobs 4      # several figures, one batch
     python -m repro fig8 --json fig8.json          # export raw data
+    python -m repro fig7 --executor distributed --workers 4
+    python -m repro worker --connect HOST:PORT     # join a distributed run
+    python -m repro cache                          # result-store statistics
 
 Every invocation routes through :mod:`repro.orchestration`: simulation
 points are cached on disk (``--cache-dir``, default ``.repro-cache`` or
 ``$REPRO_CACHE_DIR``), so re-running a figure — or any figure sharing
 simulations with it — is served from the cache.  ``--jobs N`` fans the
-uncached points of the run across ``N`` worker processes; the printed
-tables are bit-identical to a serial run.
+uncached points of the run across ``N`` worker processes, and
+``--executor distributed`` shards them across coordinator-fed workers
+(self-spawned on localhost with ``--workers N``, or joined from other
+machines with ``repro worker --connect``); the printed tables are
+bit-identical to a serial run either way.
 """
 
 from __future__ import annotations
@@ -25,6 +31,9 @@ import sys
 
 from .experiments import EXPERIMENTS
 from .orchestration import (
+    ProcessPoolExecutor,
+    ResultCache,
+    SerialExecutor,
     SweepStats,
     dump_json,
     format_experiment,
@@ -37,6 +46,8 @@ from .sim.config import ENGINES
 from .sim.runner import set_engine_override
 
 DEFAULT_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
+
+EXECUTORS = ("serial", "process", "distributed")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -66,6 +77,36 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="N",
         help="simulate independent points on N worker processes (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=EXECUTORS,
+        default=None,
+        help=(
+            "execution backend for uncached points: 'serial', 'process' "
+            "(local pool of --jobs workers; what plain --jobs N implies) or "
+            "'distributed' (coordinator/worker sharding across machines)"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "with --executor distributed: self-spawn N localhost worker "
+            "processes (default: 0 — wait for external `repro worker` joins)"
+        ),
+    )
+    parser.add_argument(
+        "--bind",
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help=(
+            "with --executor distributed: coordinator listen address "
+            "(default: 127.0.0.1:0 — loopback, ephemeral port; use e.g. "
+            "0.0.0.0:9876 to accept workers from other machines)"
+        ),
     )
     parser.add_argument(
         "--cache-dir",
@@ -103,7 +144,119 @@ def _print_experiment_list() -> None:
         print(f"  {key:<8} {summary}")
 
 
+# ----------------------------------------------------------------- worker
+
+
+def _worker_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro worker",
+        description=(
+            "Join a distributed run: lease simulation points from a coordinator, "
+            "simulate them locally, and stream the results back."
+        ),
+    )
+    parser.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="address of the coordinator (printed by the coordinating `repro` run)",
+    )
+    parser.add_argument(
+        "--id", default=None, metavar="NAME", help="worker name (default: hostname-pid)"
+    )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help="override the simulation engine for this worker (results are identical)",
+    )
+    args = parser.parse_args(argv)
+
+    from .distributed import parse_address, run_worker
+
+    try:
+        parse_address(args.connect)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.engine is not None:
+        set_engine_override(args.engine)
+    try:
+        run_worker(args.connect, worker_id=args.id)
+    except (OSError, ConnectionError) as exc:
+        print(f"worker could not serve {args.connect}: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+# ----------------------------------------------------------------- cache
+
+
+def _cache_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro cache",
+        description="Inspect (or clear) the persistent content-addressed result store.",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"result cache directory (default: {DEFAULT_CACHE_DIR!r})",
+    )
+    parser.add_argument(
+        "--clear", action="store_true", help="delete every cached entry and exit"
+    )
+    args = parser.parse_args(argv)
+
+    store = ResultCache(args.cache_dir)
+    if args.clear:
+        removed = len(store)
+        store.clear()
+        print(f"cleared {removed} entr{'y' if removed == 1 else 'ies'} from {store.cache_dir}")
+        return 0
+
+    stats = store.stats()
+    print(f"result cache at {store.cache_dir}")
+    print(f"  entries:     {stats['entries']}")
+    print(f"  total bytes: {stats['total_bytes']}")
+    last = store.last_run()
+    if last is None:
+        print("  last run:    (none recorded)")
+    else:
+        hits, misses = last.get("hits", 0), last.get("misses", 0)
+        line = f"  last run:    {hits} hits, {misses} misses"
+        if "executed" in last:
+            line += f"; {last.get('planned', 0)} points planned, {last['executed']} executed"
+        print(line)
+    return 0
+
+
+# ----------------------------------------------------------------- experiments
+
+
+def _make_executor(args):
+    """The executor implied by ``--executor``/``--jobs`` (None = legacy path)."""
+    if args.executor is None:
+        return None
+    if args.executor == "serial":
+        return SerialExecutor()
+    if args.executor == "process":
+        return ProcessPoolExecutor(jobs=args.jobs)
+    from .distributed import DistributedExecutor, parse_address
+
+    host, port = parse_address(args.bind)
+    return DistributedExecutor(host, port, spawn_workers=args.workers)
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    # `worker` and `cache` have their own flags, so they are dispatched
+    # before the experiment parser ever sees the command line.
+    if argv and argv[0] == "worker":
+        return _worker_main(argv[1:])
+    if argv and argv[0] == "cache":
+        return _cache_main(argv[1:])
+
     parser = _build_parser()
     args = parser.parse_args(argv)
 
@@ -145,6 +298,24 @@ def main(argv: list[str] | None = None) -> int:
     if args.jobs < 1:
         print("--jobs must be at least 1", file=sys.stderr)
         return 2
+    if args.workers < 0:
+        print("--workers must be non-negative", file=sys.stderr)
+        return 2
+    if args.workers and args.executor != "distributed":
+        print("--workers only makes sense with --executor distributed", file=sys.stderr)
+        return 2
+    if args.jobs > 1 and args.executor in ("serial", "distributed"):
+        print(
+            f"--jobs is a local-pool knob; it has no effect with --executor {args.executor} "
+            "(use --workers to size a distributed run)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        executor = _make_executor(args)
+    except ValueError as exc:
+        print(f"--bind: {exc}", file=sys.stderr)
+        return 2
 
     if args.engine is not None:
         # Applied at the simulate_traces choke point so every simulation
@@ -153,7 +324,9 @@ def main(argv: list[str] | None = None) -> int:
 
     store = None if args.no_cache else open_store(args.cache_dir)
     stats = SweepStats()
-    results = sweep_experiments(keys, jobs=args.jobs, store=store, stats=stats, **kwargs)
+    results = sweep_experiments(
+        keys, jobs=args.jobs, store=store, stats=stats, executor=executor, **kwargs
+    )
 
     # With `--json -` the JSON document owns stdout; tables move to stderr
     # so the output stays pipeable into jq & co.
@@ -167,8 +340,27 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.json is not None:
         dump_json(results, args.json)
+
+    if isinstance(store, ResultCache):
+        # Best-effort bookkeeping for `repro cache`: a read-only or full
+        # cache directory must never cost the user the run's output.
+        try:
+            store.record_last_run(
+                {"planned": stats.planned, "executed": stats.executed, "reused": stats.reused}
+            )
+        except OSError:
+            pass
     return 0
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    try:
+        code = main()
+    except BrokenPipeError:
+        # The stdout reader went away (e.g. `repro cache | grep -q …`):
+        # exit quietly like a well-behaved unix filter instead of
+        # tracebacking.  Redirect stdout to devnull so the interpreter's
+        # shutdown flush cannot raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 141  # 128 + SIGPIPE
+    raise SystemExit(code)

@@ -1,0 +1,43 @@
+"""Distributed execution: coordinator/worker sharding of simulation points.
+
+This subsystem turns the orchestrator's execute phase into a cluster
+run.  A :class:`~repro.distributed.coordinator.Coordinator` serves an
+experiment's pending simulation points over a JSON-lines TCP protocol;
+:func:`~repro.distributed.worker.run_worker` processes — on the same
+machine or any machine that can reach the coordinator — lease points,
+simulate them through the existing engine, and stream results back.
+The coordinator commits results to the content-addressed result store,
+so a distributed sweep replays bit-identically to a serial one.
+
+Everything is standard library only (``socket`` + ``threading`` +
+``json``): no broker, no serialization framework, no install step on
+worker machines beyond the repository itself.
+
+Public surface:
+
+* :class:`~repro.distributed.executor.DistributedExecutor` — plug into
+  :func:`repro.orchestration.sweep.sweep_experiments`'s ``executor=``.
+* :class:`~repro.distributed.coordinator.Coordinator` — the work queue
+  (leases, heartbeats, bounded retries, straggler re-issue).
+* :func:`~repro.distributed.worker.run_worker` — the worker loop behind
+  ``python -m repro worker --connect HOST:PORT``.
+* :mod:`~repro.distributed.protocol` — message framing and the unit /
+  config / trace / result wire codecs.
+"""
+
+from .coordinator import Coordinator
+from .executor import DistributedExecutor, spawn_local_worker
+from .protocol import PROTOCOL_VERSION, parse_address, unit_from_wire, unit_to_wire
+from .worker import WorkerStats, run_worker
+
+__all__ = [
+    "Coordinator",
+    "DistributedExecutor",
+    "PROTOCOL_VERSION",
+    "WorkerStats",
+    "parse_address",
+    "run_worker",
+    "spawn_local_worker",
+    "unit_from_wire",
+    "unit_to_wire",
+]

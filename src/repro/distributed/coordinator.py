@@ -1,0 +1,478 @@
+"""Work-queue coordinator: leases simulation points to remote workers.
+
+The coordinator owns the full list of pending
+:class:`~repro.orchestration.sweep.SimulationUnit`s and serves them over
+the JSON-lines TCP protocol (:mod:`repro.distributed.protocol`).  Each
+accepted connection gets its own thread; shared queue state sits behind
+one lock.  Completed results are committed straight into the result
+store (the content-addressed :class:`~repro.orchestration.cache.ResultCache`
+or an in-memory equivalent), which is what keeps a distributed run
+bit-identical to a serial one: the replay phase reads the same store
+either way.
+
+Fault tolerance:
+
+* **Leases expire.**  A leased point must be renewed by heartbeats;
+  when ``lease_timeout`` passes without one (worker wedged, network
+  partition) the lease is revoked and the point goes back to the queue.
+* **Dead connections requeue immediately.**  A worker that is killed
+  (or whose machine reboots) drops its TCP connection; every point it
+  held is requeued without waiting for the lease to time out.
+* **Retries are bounded.**  Each revocation or reported error counts an
+  attempt; a point that fails ``max_attempts`` times is marked failed
+  and the run finishes with an error instead of looping forever.
+* **Stragglers are re-issued.**  Once the queue is empty, an idle
+  worker asking for work is handed a *duplicate* lease on the
+  longest-running point older than ``straggler_timeout``.  Simulations
+  are deterministic and the store is content-addressed, so whichever
+  copy finishes first wins and the loser's commit is a harmless
+  overwrite with identical bytes.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..orchestration.sweep import SimulationUnit
+from .protocol import (
+    PROTOCOL_VERSION,
+    encode_message,
+    read_message,
+    result_from_wire,
+    unit_to_wire,
+)
+
+#: Seconds a lease survives without a heartbeat before it is revoked.
+DEFAULT_LEASE_TIMEOUT = 15.0
+#: How many times one point may fail (revocation or error) before the
+#: whole run is declared failed.
+DEFAULT_MAX_ATTEMPTS = 3
+#: Lease age after which an idle worker may duplicate a tail point.
+DEFAULT_STRAGGLER_TIMEOUT = 60.0
+#: Sleep the coordinator suggests to workers when nothing is leasable.
+DEFAULT_RETRY_SECONDS = 0.5
+
+
+class _Lease:
+    """One worker's claim on one point."""
+
+    __slots__ = ("connection_id", "worker", "deadline", "started")
+
+    def __init__(self, connection_id: int, worker: str, deadline: float, started: float) -> None:
+        self.connection_id = connection_id
+        self.worker = worker
+        self.deadline = deadline
+        self.started = started
+
+
+class _Point:
+    """Queue state of one simulation point."""
+
+    __slots__ = ("unit", "attempts", "done", "failed", "committing", "leases", "_wire")
+
+    def __init__(self, unit: SimulationUnit) -> None:
+        self.unit = unit
+        self.attempts = 0
+        self.done = False
+        self.failed: Optional[str] = None
+        #: A result for this point is being written to the store right now.
+        self.committing = False
+        self.leases: Dict[int, _Lease] = {}
+        self._wire: Optional[Dict] = None
+
+    def wire(self) -> Optional[Dict]:
+        """Serialised unit, computed once and reused for duplicate leases.
+
+        ``None`` once the payload has been released (point completed).
+        Called *outside* the coordinator lock: serialising a large unit
+        must not stall the other connection threads.  The unit is read
+        into a local exactly once so a concurrent :meth:`release_payload`
+        can never null it between the check and the use.
+        """
+        unit = self.unit
+        if unit is None:
+            return None
+        wire = self._wire
+        if wire is None:
+            wire = unit_to_wire(unit)
+            self._wire = wire
+        return wire
+
+    def release_payload(self) -> None:
+        """Drop the unit and its wire form once the point can never be
+        leased again, so a long sweep does not hold every trace twice."""
+        self.unit = None
+        self._wire = None
+
+
+class Coordinator:
+    """Serves a fixed set of simulation points to workers over TCP."""
+
+    def __init__(
+        self,
+        units: Iterable[SimulationUnit],
+        store,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        straggler_timeout: float = DEFAULT_STRAGGLER_TIMEOUT,
+        retry_seconds: float = DEFAULT_RETRY_SECONDS,
+    ) -> None:
+        self._points: Dict[str, _Point] = {}
+        self._pending: deque[str] = deque()
+        for unit in units:
+            if unit.key not in self._points:
+                self._points[unit.key] = _Point(unit)
+                self._pending.append(unit.key)
+        self._store = store
+        self._requested_host = host
+        self._requested_port = port
+        self.lease_timeout = lease_timeout
+        self.max_attempts = max_attempts
+        self.straggler_timeout = straggler_timeout
+        self.retry_seconds = retry_seconds
+
+        self._lock = threading.Lock()
+        self._finished = threading.Event()
+        self._shutdown = threading.Event()
+        self._listener: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+        self._connections: Dict[int, socket.socket] = {}
+        self._connection_seq = 0
+        self._workers: Dict[int, Dict] = {}
+        self.results_committed = 0
+        if not self._points:
+            self._finished.set()
+
+    # ------------------------------------------------------------- lifecycle
+
+    def start(self) -> Tuple[str, int]:
+        """Bind, start serving, and return the actual ``(host, port)``."""
+        listener = socket.create_server(
+            (self._requested_host, self._requested_port), backlog=64, reuse_port=False
+        )
+        listener.settimeout(0.2)
+        self._listener = listener
+        accept_thread = threading.Thread(target=self._accept_loop, daemon=True, name="coord-accept")
+        reaper_thread = threading.Thread(target=self._reaper_loop, daemon=True, name="coord-reaper")
+        self._threads += [accept_thread, reaper_thread]
+        accept_thread.start()
+        reaper_thread.start()
+        return self.address
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._listener is None:
+            raise RuntimeError("coordinator is not started")
+        host, port = self._listener.getsockname()[:2]
+        return host, port
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until every point is done or failed (or ``timeout`` passes)."""
+        return self._finished.wait(timeout)
+
+    def stop(self) -> None:
+        """Stop accepting and serving; idempotent."""
+        self._shutdown.set()
+        self._finished.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._lock:
+            open_connections = list(self._connections.values())
+        for connection in open_connections:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        for thread in list(self._threads):
+            thread.join(timeout=2.0)
+
+    # ------------------------------------------------------------- inspection
+
+    @property
+    def failed_keys(self) -> Dict[str, str]:
+        """Keys that exhausted their retries, mapped to the last reason."""
+        with self._lock:
+            return {
+                key: point.failed for key, point in self._points.items() if point.failed is not None
+            }
+
+    def snapshot(self) -> Dict:
+        """Thread-safe view of queue state (for tests, logging, CLIs)."""
+        with self._lock:
+            leases = [
+                {"key": key, "worker": lease.worker, "started": lease.started}
+                for key, point in self._points.items()
+                for lease in point.leases.values()
+                if not point.done
+            ]
+            return {
+                "points": len(self._points),
+                "pending": len(self._pending),
+                "completed": sum(1 for point in self._points.values() if point.done),
+                "failed": sum(1 for point in self._points.values() if point.failed is not None),
+                "leases": leases,
+                "workers": [dict(info) for info in self._workers.values()],
+            }
+
+    # ------------------------------------------------------------- serving
+
+    def _accept_loop(self) -> None:
+        while not self._shutdown.is_set():
+            try:
+                connection, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            with self._lock:
+                self._connection_seq += 1
+                connection_id = self._connection_seq
+                self._connections[connection_id] = connection
+            # Long-lived coordinators see many short-lived connections
+            # (flaky workers reconnecting); drop finished threads so the
+            # list cannot grow without bound.
+            self._threads = [thread for thread in self._threads if thread.is_alive()]
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(connection, connection_id),
+                daemon=True,
+                name=f"coord-conn-{connection_id}",
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def _serve_connection(self, connection: socket.socket, connection_id: int) -> None:
+        stream = connection.makefile("rb")
+        try:
+            while True:
+                try:
+                    message = read_message(stream)
+                except ValueError:
+                    break
+                if message is None:
+                    break
+                reply = self._handle(message, connection_id)
+                if reply is _GOODBYE:
+                    break
+                if reply is not None:
+                    connection.sendall(encode_message(reply))
+        except OSError:
+            pass
+        finally:
+            self._release_connection(connection_id)
+            with self._lock:
+                self._connections.pop(connection_id, None)
+            try:
+                stream.close()
+                connection.close()
+            except OSError:
+                pass
+
+    def _handle(self, message: Dict, connection_id: int):
+        kind = message.get("type")
+        if kind == "hello":
+            if message.get("protocol") != PROTOCOL_VERSION:
+                return {
+                    "type": "done",
+                    "error": f"protocol mismatch (coordinator speaks {PROTOCOL_VERSION})",
+                }
+            with self._lock:
+                self._workers[connection_id] = {
+                    "worker": str(message.get("worker") or f"conn-{connection_id}"),
+                    "pid": message.get("pid"),
+                }
+            return {"type": "welcome", "protocol": PROTOCOL_VERSION, "points": len(self._points)}
+        if kind == "lease":
+            return self._lease(connection_id)
+        if kind == "result":
+            return self._commit(message, connection_id)
+        if kind == "error":
+            self._requeue(
+                message.get("key", ""),
+                connection_id,
+                reason=str(message.get("error", "worker error")),
+            )
+            return {"type": "ack"}
+        if kind == "heartbeat":
+            self._renew(message.get("key", ""), connection_id)
+            return None
+        if kind == "goodbye":
+            return _GOODBYE
+        return {"type": "done", "error": f"unknown message type {kind!r}"}
+
+    # ------------------------------------------------------------- queue ops
+
+    def _lease(self, connection_id: int) -> Dict:
+        while True:
+            now = time.monotonic()
+            with self._lock:
+                if self._shutdown.is_set() or self._all_settled():
+                    return {"type": "done"}
+                point = None
+                while self._pending:
+                    key = self._pending.popleft()
+                    candidate = self._points[key]
+                    if not (candidate.done or candidate.failed is not None):
+                        point = candidate
+                        break
+                if point is None:
+                    point = self._straggler_candidate(connection_id, now)
+                if point is None:
+                    return {"type": "wait", "seconds": self.retry_seconds}
+                worker = self._workers.get(connection_id, {}).get(
+                    "worker", f"conn-{connection_id}"
+                )
+                point.leases[connection_id] = _Lease(
+                    connection_id, worker, deadline=now + self.lease_timeout, started=now
+                )
+            # Serialise outside the lock: a multi-MB unit must not stall
+            # the other connection threads (or heartbeat renewal).
+            wire = point.wire()
+            if wire is not None and not point.done:
+                return {"type": "work", "unit": wire}
+            # The point completed while we were granting it; drop the
+            # speculative lease and pick something else.
+            with self._lock:
+                point.leases.pop(connection_id, None)
+
+    def _straggler_candidate(self, connection_id: int, now: float) -> Optional[_Point]:
+        oldest: Optional[Tuple[float, _Point]] = None
+        for point in self._points.values():
+            if point.done or point.failed is not None or point.committing or not point.leases:
+                continue
+            if connection_id in point.leases:
+                continue
+            started = min(lease.started for lease in point.leases.values())
+            if now - started < self.straggler_timeout:
+                continue
+            if oldest is None or started < oldest[0]:
+                oldest = (started, point)
+        return None if oldest is None else oldest[1]
+
+    def _commit(self, message: Dict, connection_id: int) -> Dict:
+        key = message.get("key", "")
+        try:
+            result = result_from_wire(message["result"])
+        except (KeyError, TypeError, ValueError) as exc:
+            self._requeue(key, connection_id, reason=f"undecodable result: {exc}")
+            return {"type": "ack"}
+        with self._lock:
+            point = self._points.get(key)
+            if point is None:
+                return {"type": "ack"}
+            point.leases.pop(connection_id, None)
+            if point.done or point.committing:
+                # A straggler duplicate finished second; its (identical)
+                # result is already committed or being committed.
+                self._check_finished()
+                return {"type": "ack"}
+            point.committing = True
+        try:
+            # Commit outside the lock: a disk write must not serialise the
+            # other connection threads.  The point is only flagged done
+            # *after* the write lands, so the finished event can never
+            # fire while a result is still in flight.
+            self._store.put(key, result)
+        except BaseException:
+            with self._lock:
+                point.committing = False
+                self._record_attempt(point, key, "result store commit failed")
+                self._check_finished()
+            raise
+        with self._lock:
+            point.committing = False
+            point.done = True
+            point.failed = None
+            point.release_payload()
+            self.results_committed += 1
+            self._check_finished()
+        return {"type": "ack"}
+
+    def _requeue(self, key: str, connection_id: int, reason: str) -> None:
+        with self._lock:
+            point = self._points.get(key)
+            if point is None or point.done:
+                return
+            point.leases.pop(connection_id, None)
+            self._record_attempt(point, key, reason)
+            self._check_finished()
+
+    def _record_attempt(self, point: _Point, key: str, reason: str) -> None:
+        """Count one failed attempt; requeue or (past the bound) fail. Lock held.
+
+        A point is never declared failed while another worker still holds
+        a live lease on it (straggler duplicate) or a result for it is
+        being committed — that copy may land moments later.  If the
+        in-flight copy dies too, its own revocation re-enters here with
+        the leases gone and fails the point then.
+        """
+        point.attempts += 1
+        if point.attempts >= self.max_attempts:
+            if not point.leases and not point.committing:
+                point.failed = reason
+        elif not point.leases and key not in self._pending:
+            self._pending.append(key)
+
+    def _renew(self, key: str, connection_id: int) -> None:
+        now = time.monotonic()
+        with self._lock:
+            point = self._points.get(key)
+            if point is None:
+                return
+            lease = point.leases.get(connection_id)
+            if lease is not None:
+                lease.deadline = now + self.lease_timeout
+
+    def _release_connection(self, connection_id: int) -> None:
+        """A connection died: requeue everything it still holds."""
+        with self._lock:
+            self._workers.pop(connection_id, None)
+            for key, point in self._points.items():
+                if connection_id in point.leases and not point.done:
+                    point.leases.pop(connection_id)
+                    if not point.leases:
+                        self._record_attempt(point, key, "worker connection lost")
+            self._check_finished()
+
+    def _reaper_loop(self) -> None:
+        interval = min(1.0, max(0.05, self.lease_timeout / 4))
+        while not self._shutdown.is_set():
+            if self._finished.wait(0):
+                return
+            time.sleep(interval)
+            now = time.monotonic()
+            with self._lock:
+                for key, point in self._points.items():
+                    if point.done or point.failed is not None:
+                        continue
+                    expired = [
+                        lease_id
+                        for lease_id, lease in point.leases.items()
+                        if lease.deadline < now
+                    ]
+                    for lease_id in expired:
+                        point.leases.pop(lease_id)
+                        self._record_attempt(point, key, "lease expired (missed heartbeats)")
+                self._check_finished()
+
+    def _all_settled(self) -> bool:
+        return all(point.done or point.failed is not None for point in self._points.values())
+
+    def _check_finished(self) -> None:
+        """Lock held: flip the completion event once every point settles."""
+        if self._all_settled():
+            self._finished.set()
+
+
+#: Sentinel handler return: close the connection without replying.
+_GOODBYE = object()

@@ -1,0 +1,172 @@
+"""Wire protocol of the coordinator/worker subsystem.
+
+Messages are newline-delimited JSON objects (UTF-8) over a plain TCP
+stream — trivially debuggable with ``nc`` and dependency-free.  Every
+message carries a ``type``:
+
+worker → coordinator
+    ``hello``      introduce the worker (name, pid, protocol version)
+    ``lease``      ask for one simulation point
+    ``result``     deliver a finished point (coordinator replies ``ack``)
+    ``error``      report a point that raised (coordinator replies ``ack``)
+    ``heartbeat``  renew the lease on the point being simulated (no reply)
+    ``goodbye``    clean disconnect (no reply)
+
+coordinator → worker
+    ``welcome``    accepts the hello
+    ``work``       one leased point: ``key`` plus the serialised unit
+    ``wait``       nothing leasable right now; retry after ``seconds``
+    ``done``       the run is complete (or failed); the worker should exit
+    ``ack``        result/error committed
+
+Payload serialisation round-trips the exact objects the orchestrator
+works with: a :class:`~repro.orchestration.sweep.SimulationUnit` is its
+key plus full trace content and every configuration field (nested
+dataclasses included), and results reuse the cache's canonical
+JSON codec — the same one the content-addressed store writes — so a
+result streamed over the wire is bit-identical to one computed locally.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from ..controller.config import ControllerConfig
+from ..core.config import DRStrangeConfig
+from ..cpu.core import CoreConfig
+from ..cpu.trace import Trace, TraceEntry
+from ..dram.timing import DRAMOrganization, DRAMTiming
+from ..orchestration.cache import result_from_dict, result_to_dict
+from ..orchestration.sweep import SimulationUnit
+from ..sim.config import SimulationConfig
+from ..sim.results import SimulationResult
+
+#: Bumped on any incompatible message or payload change; the coordinator
+#: rejects workers speaking a different version during the hello.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one serialised message.  Sized for the largest realistic
+#: ``work`` payload (every entry of every trace of a full-roster
+#: multi-core point is a few tens of MB); a line longer than this
+#: indicates a corrupt or hostile peer, not a real simulation point.
+#: :func:`read_message` enforces the cap *while reading*, so an
+#: oversized line never gets buffered whole.
+MAX_MESSAGE_BYTES = 256 * 1024 * 1024
+
+
+def encode_message(payload: Dict) -> bytes:
+    """One wire frame: compact JSON plus the terminating newline."""
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_message(line: bytes) -> Dict:
+    """Parse one wire frame (raises ``ValueError`` on garbage)."""
+    if len(line) > MAX_MESSAGE_BYTES:
+        raise ValueError(f"message of {len(line)} bytes exceeds protocol maximum")
+    payload = json.loads(line.decode("utf-8"))
+    if not isinstance(payload, dict) or "type" not in payload:
+        raise ValueError("protocol messages must be JSON objects with a 'type'")
+    return payload
+
+
+def read_message(stream) -> Optional[Dict]:
+    """Read one frame from a buffered binary stream.
+
+    Returns ``None`` on a clean EOF.  Raises ``ValueError`` on an
+    oversized or truncated line — the size limit is applied to the
+    ``readline`` call itself, so at most ``MAX_MESSAGE_BYTES`` of a
+    runaway line are ever held in memory.
+    """
+    line = stream.readline(MAX_MESSAGE_BYTES + 1)
+    if not line:
+        return None
+    if not line.endswith(b"\n"):
+        if len(line) > MAX_MESSAGE_BYTES:
+            raise ValueError(f"message exceeds protocol maximum of {MAX_MESSAGE_BYTES} bytes")
+        raise ValueError("connection closed mid-message")
+    return decode_message(line)
+
+
+# ----------------------------------------------------------------- traces
+
+
+def trace_to_wire(trace: Trace) -> Dict:
+    """Full trace content: name, metadata and every entry."""
+    return {
+        "name": trace.name,
+        "metadata": trace.metadata,
+        "entries": [
+            [entry.bubbles, entry.address, entry.write_address, entry.rng_bits]
+            for entry in trace.entries
+        ],
+    }
+
+
+def trace_from_wire(payload: Dict) -> Trace:
+    entries = [
+        TraceEntry(bubbles=bubbles, address=address, write_address=write_address, rng_bits=rng_bits)
+        for bubbles, address, write_address, rng_bits in payload["entries"]
+    ]
+    return Trace(entries, name=payload["name"], metadata=payload["metadata"])
+
+
+# ----------------------------------------------------------------- configs
+
+
+def config_to_wire(config: SimulationConfig) -> Dict:
+    """Every configuration field, nested dataclasses flattened to dicts."""
+    import dataclasses
+
+    return dataclasses.asdict(config)
+
+
+def config_from_wire(payload: Dict) -> SimulationConfig:
+    fields = dict(payload)
+    return SimulationConfig(
+        drstrange=DRStrangeConfig(**fields.pop("drstrange")),
+        controller=ControllerConfig(**fields.pop("controller")),
+        core=CoreConfig(**fields.pop("core")),
+        timing=DRAMTiming(**fields.pop("timing")),
+        organization=DRAMOrganization(**fields.pop("organization")),
+        **fields,
+    )
+
+
+# ----------------------------------------------------------------- units & results
+
+
+def unit_to_wire(unit: SimulationUnit) -> Dict:
+    return {
+        "key": unit.key,
+        "traces": [trace_to_wire(trace) for trace in unit.traces],
+        "config": config_to_wire(unit.config),
+    }
+
+
+def unit_from_wire(payload: Dict) -> SimulationUnit:
+    return SimulationUnit(
+        key=payload["key"],
+        traces=[trace_from_wire(trace) for trace in payload["traces"]],
+        config=config_from_wire(payload["config"]),
+    )
+
+
+def result_to_wire(result: SimulationResult) -> Dict:
+    return result_to_dict(result)
+
+
+def result_from_wire(payload: Dict) -> SimulationResult:
+    return result_from_dict(payload)
+
+
+def parse_address(address: str) -> tuple[str, int]:
+    """Split a ``HOST:PORT`` string (IPv4/hostname) into its parts."""
+    host, separator, port = address.rpartition(":")
+    if not separator or not host:
+        raise ValueError(f"expected HOST:PORT, got {address!r}")
+    return host, int(port)
+
+
+def hello_message(worker: str, pid: Optional[int] = None) -> Dict:
+    return {"type": "hello", "worker": worker, "pid": pid, "protocol": PROTOCOL_VERSION}

@@ -1,0 +1,163 @@
+"""Worker loop: lease points from a coordinator, simulate, stream results.
+
+A worker is stateless — it holds nothing but the point it is currently
+simulating.  While a simulation runs, a background thread sends
+heartbeats so the coordinator keeps the lease alive; the simulation
+itself goes through :func:`repro.sim.runner.simulate_traces` (the
+repository-wide choke point), so a worker honours the same engine
+selection and produces the same bits as an in-process run.
+
+Run one from the CLI on any machine that can reach the coordinator::
+
+    PYTHONPATH=src python -m repro worker --connect HOST:PORT
+
+The worker exits when the coordinator reports the run complete (or the
+connection drops).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sim.runner import simulate_traces
+from .protocol import (
+    encode_message,
+    hello_message,
+    parse_address,
+    read_message,
+    result_to_wire,
+    unit_from_wire,
+)
+
+#: Seconds between lease-renewal heartbeats while a point simulates.
+DEFAULT_HEARTBEAT_INTERVAL = 2.0
+
+
+@dataclass
+class WorkerStats:
+    """What one worker did over its lifetime."""
+
+    simulated: int = 0
+    errors: int = 0
+    waits: int = 0
+
+
+class _Heartbeat:
+    """Background lease renewal for the point currently simulating."""
+
+    def __init__(self, connection: socket.socket, send_lock: threading.Lock, key: str,
+                 interval: float) -> None:
+        self._connection = connection
+        self._send_lock = send_lock
+        self._key = key
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True, name="worker-heartbeat")
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join(timeout=self._interval + 1.0)
+
+    def _run(self) -> None:
+        message = encode_message({"type": "heartbeat", "key": self._key})
+        while not self._stop.wait(self._interval):
+            try:
+                with self._send_lock:
+                    self._connection.sendall(message)
+            except OSError:
+                return
+
+
+def run_worker(
+    connect: str,
+    worker_id: Optional[str] = None,
+    *,
+    heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+    log=None,
+) -> WorkerStats:
+    """Serve one coordinator until it reports the run done.
+
+    ``connect`` is ``HOST:PORT``.  Returns the worker's tally; raises
+    ``OSError`` if the coordinator cannot be reached at all.
+    """
+    host, port = parse_address(connect)
+    worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+    log = log or (lambda text: print(f"[worker {worker_id}] {text}", file=sys.stderr, flush=True))
+    stats = WorkerStats()
+
+    connection = socket.create_connection((host, port))
+    send_lock = threading.Lock()
+    stream = connection.makefile("rb")
+
+    def send(payload: dict) -> None:
+        with send_lock:
+            connection.sendall(encode_message(payload))
+
+    def receive() -> Optional[dict]:
+        # Bounded read; raises ValueError on an oversized/garbled frame.
+        return read_message(stream)
+
+    try:
+        send(hello_message(worker_id, pid=os.getpid()))
+        welcome = receive()
+        if welcome is None or welcome.get("type") != "welcome":
+            error = (welcome or {}).get("error", "coordinator refused the hello")
+            raise ConnectionError(f"handshake failed: {error}")
+        log(f"connected to {host}:{port} ({welcome.get('points', '?')} points in the run)")
+
+        while True:
+            send({"type": "lease"})
+            reply = receive()
+            if reply is None:
+                log("coordinator hung up")
+                break
+            kind = reply.get("type")
+            if kind == "done":
+                send({"type": "goodbye"})
+                break
+            if kind == "wait":
+                stats.waits += 1
+                time.sleep(float(reply.get("seconds", 0.5)))
+                continue
+            if kind != "work":
+                log(f"unexpected reply {kind!r}; exiting")
+                break
+
+            key = str((reply.get("unit") or {}).get("key", ""))
+            try:
+                unit = unit_from_wire(reply["unit"])
+                with _Heartbeat(connection, send_lock, key, heartbeat_interval):
+                    result = simulate_traces(unit.traces, unit.config)
+            except Exception as exc:  # bad payload or simulation bug: report, keep serving
+                stats.errors += 1
+                send({"type": "error", "key": key, "error": f"{type(exc).__name__}: {exc}"})
+            else:
+                stats.simulated += 1
+                send({"type": "result", "key": key, "result": result_to_wire(result)})
+            ack = receive()
+            if ack is None:
+                log("coordinator hung up before acknowledging")
+                break
+    except ValueError as exc:
+        # A garbled or oversized frame: the stream is unrecoverable, but
+        # the worker should exit cleanly (the coordinator requeues the
+        # leased point when the connection drops) rather than traceback.
+        log(f"protocol error, disconnecting: {exc}")
+    finally:
+        try:
+            stream.close()
+            connection.close()
+        except OSError:
+            pass
+    log(f"done: {stats.simulated} simulated, {stats.errors} errors")
+    return stats

@@ -17,6 +17,7 @@ Public surface:
 """
 
 from .cache import PersistentAloneRunCache, ResultCache, result_from_dict, result_to_dict
+from .executors import Executor, ProcessPoolExecutor, SerialExecutor, default_executor
 from .keys import SCHEMA_VERSION, point_key
 from .report import dump_json, format_experiment, format_stats, format_sweep
 from .sweep import (
@@ -39,13 +40,17 @@ from .sweep import (
 
 __all__ = [
     "CacheServingBackend",
+    "Executor",
     "InMemoryResultStore",
     "PersistentAloneRunCache",
     "PlanningBackend",
+    "ProcessPoolExecutor",
     "ResultCache",
     "SCHEMA_VERSION",
+    "SerialExecutor",
     "SimulationUnit",
     "SweepStats",
+    "default_executor",
     "dump_json",
     "execute_units",
     "filter_run_kwargs",

@@ -70,6 +70,23 @@ def result_from_dict(payload: Dict) -> SimulationResult:
     )
 
 
+def _atomic_write_json(path: Path, payload: Dict, **dump_kwargs) -> None:
+    """Write ``payload`` as JSON via temp file + ``os.replace`` so no
+    concurrent reader (or interrupted writer) can observe a torn file."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, **dump_kwargs)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
 # ----------------------------------------------------------------- disk store
 
 
@@ -99,9 +116,14 @@ class ResultCache:
             self.hits += 1
             return memoized
         path = self._path(key)
-        # Any unreadable or structurally invalid entry (torn restore from
-        # a CI cache, hand edit, schema drift) is a plain miss: the point
-        # is recomputed and the entry overwritten.
+        # A *corrupt* entry (a worker killed mid-write on a non-atomic
+        # filesystem, torn restore from a CI cache, hand edit) is a miss —
+        # and the bad file is deleted so it cannot shadow the recomputed
+        # entry or trip every later reader.  Two neighbouring cases stay
+        # non-destructive misses: transient read errors (EMFILE, EIO, …)
+        # say nothing about the content, and a schema-version mismatch is
+        # a valid record from another code revision (the recompute
+        # overwrites it under the same key anyway).
         try:
             with path.open("r", encoding="utf-8") as handle:
                 payload = json.load(handle)
@@ -109,8 +131,15 @@ class ResultCache:
                 self.misses += 1
                 return None
             result = result_from_dict(payload["result"])
-        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+        except OSError:
             self.misses += 1
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError, KeyError, TypeError, ValueError):
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
             return None
         self._memo[key] = result
         self.hits += 1
@@ -119,20 +148,8 @@ class ResultCache:
     def put(self, key: str, result: SimulationResult) -> None:
         """Store ``result`` under ``key`` (atomic, last writer wins)."""
         self._memo[key] = result
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"schema": SCHEMA_VERSION, "key": key, "result": result_to_dict(result)}
-        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        _atomic_write_json(self._path(key), payload)
 
     def __len__(self) -> int:
         if not self.cache_dir.is_dir():
@@ -150,6 +167,46 @@ class ResultCache:
                     entry.unlink()
                 except OSError:
                     pass
+            try:
+                (self.cache_dir / self.LAST_RUN_FILE).unlink()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------- statistics
+
+    #: Root-level bookkeeping file (outside the ``??/`` fan-out, so it is
+    #: never mistaken for an entry by ``__len__``/``clear``'s globs).
+    LAST_RUN_FILE = "last-run.json"
+
+    def stats(self) -> Dict:
+        """Store-wide statistics: entry count and total size in bytes."""
+        entries = 0
+        total_bytes = 0
+        if self.cache_dir.is_dir():
+            for entry in self.cache_dir.glob("??/*.json"):
+                try:
+                    total_bytes += entry.stat().st_size
+                except OSError:
+                    continue
+                entries += 1
+        return {"entries": entries, "total_bytes": total_bytes}
+
+    def record_last_run(self, extra: Optional[Dict] = None) -> None:
+        """Persist this process's hit/miss counters (plus ``extra`` fields)
+        so ``repro cache`` can report on the most recent run."""
+        payload = {"hits": self.hits, "misses": self.misses}
+        if extra:
+            payload.update(extra)
+        _atomic_write_json(self.cache_dir / self.LAST_RUN_FILE, payload, indent=2, sort_keys=True)
+
+    def last_run(self) -> Optional[Dict]:
+        """Counters recorded by the most recent run, if any."""
+        try:
+            with (self.cache_dir / self.LAST_RUN_FILE).open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        return payload if isinstance(payload, dict) else None
 
 
 # ----------------------------------------------------------------- alone runs

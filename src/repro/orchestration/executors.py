@@ -1,0 +1,86 @@
+"""Pluggable execution backends for the orchestrator's execute phase.
+
+:func:`~repro.orchestration.sweep.execute_units` delegates the actual
+simulation of pending points to an :class:`Executor`.  All executors
+share one contract: every unit handed to ``execute`` ends up committed
+to the result store (content-addressed, so completion order and even
+duplicate commits are irrelevant), and the replay phase then produces
+output bit-identical to a serial run.
+
+Built-ins:
+
+* :class:`SerialExecutor` — one point after another, in-process.
+* :class:`ProcessPoolExecutor` — a local ``multiprocessing`` pool (the
+  historical ``--jobs N`` behaviour, and still the default).
+* :class:`~repro.distributed.DistributedExecutor` (in
+  :mod:`repro.distributed`) — shards points across worker processes on
+  any machines via the coordinator/worker protocol.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import List, Sequence, Tuple
+
+from ..cpu.trace import Trace
+from ..sim.config import SimulationConfig
+from ..sim.system import System
+
+
+class Executor:
+    """Simulates a batch of pending units into a result store."""
+
+    #: CLI / reporting name of the executor.
+    name = "base"
+
+    def execute(self, units: Sequence, store) -> int:
+        """Simulate every unit and commit each result to ``store``.
+
+        Returns the number of points simulated.  Implementations may
+        reorder and parallelise freely; the store is content-addressed.
+        """
+        raise NotImplementedError
+
+
+class SerialExecutor(Executor):
+    """In-process, one point at a time (useful as a reference and for tests)."""
+
+    name = "serial"
+
+    def execute(self, units: Sequence, store) -> int:
+        for unit in units:
+            store.put(unit.key, System(unit.traces, unit.config).run())
+        return len(units)
+
+
+def _execute_unit(payload: Tuple[str, List[Trace], SimulationConfig]):
+    """Pool worker: simulate one point (must stay module-level for pickling)."""
+    key, traces, config = payload
+    return key, System(traces, config).run()
+
+
+class ProcessPoolExecutor(Executor):
+    """A local ``multiprocessing`` pool of ``jobs`` worker processes."""
+
+    name = "process"
+
+    def __init__(self, jobs: int = 1) -> None:
+        self.jobs = max(1, int(jobs))
+
+    def execute(self, units: Sequence, store) -> int:
+        units = list(units)
+        if self.jobs > 1 and len(units) > 1:
+            payloads = [(unit.key, unit.traces, unit.config) for unit in units]
+            processes = min(self.jobs, len(units))
+            with multiprocessing.get_context().Pool(processes=processes) as pool:
+                for key, result in pool.imap_unordered(_execute_unit, payloads):
+                    store.put(key, result)
+        else:
+            for unit in units:
+                store.put(unit.key, System(unit.traces, unit.config).run())
+        return len(units)
+
+
+def default_executor(jobs: int) -> Executor:
+    """The executor ``--jobs N`` historically implied."""
+    return ProcessPoolExecutor(jobs) if jobs > 1 else SerialExecutor()

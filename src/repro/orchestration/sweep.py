@@ -28,10 +28,9 @@ through the cache-serving backend, populating the store as it goes.
 from __future__ import annotations
 
 import inspect
-import multiprocessing
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..cpu.trace import Trace
 from ..energy.drampower import EnergyBreakdown
@@ -41,6 +40,7 @@ from ..sim.results import ChannelResult, CoreResult, SimulationResult
 from ..sim.runner import AloneRunCache
 from ..sim.system import System
 from .cache import PersistentAloneRunCache, ResultCache
+from .executors import Executor, default_executor
 from .keys import point_key
 
 
@@ -241,14 +241,16 @@ def plan_experiment(experiment, **kwargs) -> List[SimulationUnit]:
 # ----------------------------------------------------------------- execution
 
 
-def _execute_unit(payload: Tuple[str, List[Trace], SimulationConfig]):
-    """Pool worker: simulate one point (must stay module-level for pickling)."""
-    key, traces, config = payload
-    return key, System(traces, config).run()
-
-
-def execute_units(units: Iterable[SimulationUnit], store, jobs: int = 1) -> int:
+def execute_units(
+    units: Iterable[SimulationUnit], store, jobs: int = 1, executor: Optional[Executor] = None
+) -> int:
     """Simulate every unit missing from ``store``; returns how many ran.
+
+    The simulation itself is delegated to an :class:`Executor`
+    (``executor``, or the :func:`default_executor` implied by ``jobs``:
+    a local process pool for ``jobs > 1``, serial otherwise).  Every
+    executor commits into the same content-addressed store, so replay
+    output never depends on which executor ran the points.
 
     Pending-ness is decided with ``get`` rather than ``contains`` so an
     unreadable/corrupt cache entry counts as missing and is recomputed
@@ -258,16 +260,9 @@ def execute_units(units: Iterable[SimulationUnit], store, jobs: int = 1) -> int:
     pending = [unit for unit in units if store.get(unit.key) is None]
     if not pending:
         return 0
-    jobs = max(1, int(jobs))
-    if jobs > 1 and len(pending) > 1:
-        payloads = [(unit.key, unit.traces, unit.config) for unit in pending]
-        with multiprocessing.get_context().Pool(processes=min(jobs, len(pending))) as pool:
-            for key, result in pool.imap_unordered(_execute_unit, payloads):
-                store.put(key, result)
-    else:
-        for unit in pending:
-            store.put(unit.key, System(unit.traces, unit.config).run())
-    return len(pending)
+    if executor is None:
+        executor = default_executor(jobs)
+    return executor.execute(pending, store)
 
 
 # ----------------------------------------------------------------- entry points
@@ -288,17 +283,19 @@ def run_experiment(
     store=None,
     cache: Optional[AloneRunCache] = None,
     stats: Optional[SweepStats] = None,
+    executor: Optional[Executor] = None,
     **kwargs,
 ) -> Dict:
     """Run one experiment through the orchestrator and return its data dict.
 
     ``store`` is a result store (:class:`ResultCache` for persistence,
     :class:`InMemoryResultStore` or ``None`` for process-local reuse);
-    ``cache`` optionally overrides the alone-run cache used by the replay.
+    ``cache`` optionally overrides the alone-run cache used by the replay;
+    ``executor`` selects the execution backend (see :mod:`.executors`).
     The returned data is bit-identical to calling ``module.run`` serially.
     """
     results = sweep_experiments(
-        [experiment], jobs=jobs, store=store, cache=cache, stats=stats, **kwargs
+        [experiment], jobs=jobs, store=store, cache=cache, stats=stats, executor=executor, **kwargs
     )
     return next(iter(results.values()))
 
@@ -309,6 +306,7 @@ def sweep_experiments(
     store=None,
     cache: Optional[AloneRunCache] = None,
     stats: Optional[SweepStats] = None,
+    executor: Optional[Executor] = None,
     **kwargs,
 ) -> Dict[str, Dict]:
     """Run several experiments as one batch with shared planning and caching.
@@ -316,6 +314,12 @@ def sweep_experiments(
     Points shared between figures (e.g. alone runs, or fig9 reusing
     fig6's simulations) are deduplicated by content key and simulated at
     most once across the whole batch.
+
+    Passing ``executor`` (or ``jobs > 1``) selects the plan → execute →
+    replay pipeline, with the executor — serial, local process pool or
+    :class:`~repro.distributed.DistributedExecutor` — running the
+    missing points; otherwise the experiments simply run through the
+    cache-serving backend, populating the store as they go.
     """
     store = store if store is not None else InMemoryResultStore()
     stats = stats if stats is not None else SweepStats()
@@ -326,13 +330,14 @@ def sweep_experiments(
         label = experiment if isinstance(experiment, str) else module.__name__.rsplit(".", 1)[-1]
         labeled.append((label, module))
 
-    if jobs > 1:
+    orchestrated = executor is not None or jobs > 1
+    if orchestrated:
         units: Dict[str, SimulationUnit] = {}
         for _, module in labeled:
             for unit in plan_experiment(module, **kwargs):
                 units.setdefault(unit.key, unit)
         stats.planned = len(units)
-        stats.executed = execute_units(units.values(), store, jobs=jobs)
+        stats.executed = execute_units(units.values(), store, jobs=jobs, executor=executor)
         stats.reused = stats.planned - stats.executed
 
     backend = CacheServingBackend(store)
@@ -343,7 +348,7 @@ def sweep_experiments(
             if "cache" in supported_run_kwargs(module):
                 call_kwargs["cache"] = cache if cache is not None else AloneRunCache()
             results[label] = module.run(**call_kwargs)
-    if jobs <= 1:
+    if not orchestrated:
         stats.planned = backend.served + backend.computed
         stats.executed = backend.computed
         stats.reused = backend.served

@@ -97,6 +97,49 @@ class TestResultCache:
         path.write_text("{not json", encoding="utf-8")
         assert ResultCache(tmp_path).get(key) is None
 
+    def test_corrupt_entry_is_deleted_on_read(self, tmp_path, simulated):
+        """A worker killed mid-write must not leave a poisoned entry behind."""
+        trace, config, result = simulated
+        key = point_key([trace], config)
+        cache = ResultCache(tmp_path)
+        cache.put(key, result)
+        path = tmp_path / key[:2] / f"{key}.json"
+        # Truncate mid-document, as a SIGKILL during a non-atomic write would.
+        path.write_text(path.read_text(encoding="utf-8")[:40], encoding="utf-8")
+        fresh = ResultCache(tmp_path)
+        assert fresh.get(key) is None
+        assert not path.exists()
+        assert len(fresh) == 0
+        # The slot is immediately reusable.
+        fresh.put(key, result)
+        assert ResultCache(tmp_path).get(key) == result
+
+    def test_schema_mismatch_is_a_miss_but_not_deleted(self, tmp_path, simulated):
+        trace, config, result = simulated
+        key = point_key([trace], config)
+        ResultCache(tmp_path).put(key, result)
+        path = tmp_path / key[:2] / f"{key}.json"
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["schema"] = -1
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert ResultCache(tmp_path).get(key) is None
+        assert path.exists()
+
+    def test_stats_and_last_run_counters(self, tmp_path, simulated):
+        trace, config, result = simulated
+        cache = ResultCache(tmp_path)
+        assert cache.stats() == {"entries": 0, "total_bytes": 0}
+        cache.put(point_key([trace], config), result)
+        stats = cache.stats()
+        assert stats["entries"] == 1 and stats["total_bytes"] > 0
+        assert cache.last_run() is None
+        cache.record_last_run({"executed": 1, "planned": 1, "reused": 0})
+        recorded = ResultCache(tmp_path).last_run()
+        assert recorded["executed"] == 1 and recorded["hits"] == 0
+        cache.clear()
+        assert cache.stats()["entries"] == 0
+        assert cache.last_run() is None
+
     def test_config_change_invalidates(self, tmp_path, simulated):
         trace, config, result = simulated
         cache = ResultCache(tmp_path)
@@ -208,3 +251,45 @@ class TestCLI:
         payload = json.loads(captured.out)
         assert payload["fig5"]["figure"] == "5"
         assert "Figure 5" in captured.err
+
+    def test_executor_serial_flag_runs_orchestrated(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        code = main(
+            ["fig5", "--instructions", "2000", "--executor", "serial",
+             "--cache-dir", str(tmp_path / "cache")]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "Figure 5" in captured.out
+        # The plan → execute → replay pipeline ran (points were planned).
+        assert "simulation points" in captured.err
+
+    def test_workers_flag_requires_distributed_executor(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["fig5", "--workers", "2", "--no-cache"]) == 2
+        assert main(["fig5", "--executor", "distributed", "--bind", "nope", "--no-cache"]) == 2
+        # --jobs sizes the local pool; rejecting the combination beats
+        # silently running with different parallelism than requested.
+        assert main(["fig5", "--jobs", "4", "--executor", "serial", "--no-cache"]) == 2
+        assert main(["fig5", "--jobs", "4", "--executor", "distributed", "--no-cache"]) == 2
+
+    def test_cache_subcommand_stats_and_clear(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        cache_dir = str(tmp_path / "cache")
+        assert main(["fig5", "--instructions", "2000", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "--cache-dir", cache_dir]) == 0
+        captured = capsys.readouterr()
+        assert "entries:" in captured.out and "last run:" in captured.out
+        # The run above recorded its planned/executed counters.
+        assert "executed" in captured.out
+
+        assert main(["cache", "--cache-dir", cache_dir, "--clear"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "--cache-dir", cache_dir]) == 0
+        captured = capsys.readouterr()
+        assert "entries:     0" in captured.out
