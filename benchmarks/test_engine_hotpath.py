@@ -27,10 +27,12 @@ import pytest
 from repro.dram.address import AddressMapping
 from repro.dram.timing import DRAMOrganization
 from repro.experiments import fig05_idle_periods, fig15_low_utilization, fig18_multicore_idle
-from repro.sim.config import ENGINE_EVENT, ENGINE_TICK, drstrange_config
+from repro.sim.config import ENGINE_EVENT, ENGINE_TICK, baseline_config, drstrange_config
 from repro.sim.runner import GLOBAL_ALONE_CACHE, set_engine_override
 from repro.sim.system import System
-from repro.workloads.mixes import build_traces, four_core_group_mixes
+from repro.workloads.mixes import ROW_OFFSET_STRIDE, build_traces, four_core_group_mixes
+from repro.workloads.suites import applications_by_category
+from repro.workloads.synthetic import generate_application_trace
 
 from conftest import BENCH_INSTRUCTIONS
 
@@ -39,6 +41,11 @@ from conftest import BENCH_INSTRUCTIONS
 #: RNG-mode paths together.
 HOTPATH_INSTRUCTIONS = 15_000
 
+#: Scaled-down fig18 H-group shape for the dense-workload gate: eight
+#: high-memory-intensity applications keep every read queue deep, which
+#: is exactly the regime the batched-serve fast path exists for.
+DENSE_INSTRUCTIONS = 10_000
+
 
 def _hotpath_traces():
     mix = four_core_group_mixes(workloads_per_group=1)["LLHS"][0]
@@ -46,8 +53,28 @@ def _hotpath_traces():
     return build_traces(mix, HOTPATH_INSTRUCTIONS, seed=0, mapping=mapping)
 
 
+def _dense_traces():
+    mapping = AddressMapping(DRAMOrganization())
+    pool = applications_by_category()["H"]
+    return [
+        generate_application_trace(
+            pool[slot % len(pool)],
+            DENSE_INSTRUCTIONS,
+            seed=slot,
+            mapping=mapping,
+            row_offset=slot * ROW_OFFSET_STRIDE,
+        )
+        for slot in range(8)
+    ]
+
+
 def _run(traces, engine: str):
     config = dataclasses.replace(drstrange_config(), engine=engine)
+    return System(list(traces), config).run()
+
+
+def _run_dense(traces, engine: str):
+    config = dataclasses.replace(baseline_config(), engine=engine)
     return System(list(traces), config).run()
 
 
@@ -62,6 +89,19 @@ def test_engine_hotpath_tick(benchmark):
     """Reference engine on the same workload (for the speedup record)."""
     traces = _hotpath_traces()
     result = benchmark.pedantic(_run, args=(traces, ENGINE_TICK), rounds=3, iterations=1)
+    assert result.total_cycles > 0
+
+
+def test_fig18_dense(benchmark):
+    """Dense 8-core fig18 H-group hot path (guards the batched-serve path).
+
+    This is the skip-poor regime where the event engine degenerates to
+    per-cycle dispatch without batched serving; the >25% gate on its mean
+    keeps the fast path from silently regressing (or being disabled —
+    which would land well outside the gate).
+    """
+    traces = _dense_traces()
+    result = benchmark.pedantic(_run_dense, args=(traces, ENGINE_EVENT), rounds=3, iterations=1)
     assert result.total_cycles > 0
 
 

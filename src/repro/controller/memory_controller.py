@@ -148,6 +148,13 @@ class ChannelController:
             if type(self.scheduler).next_event_cycle is not MemoryScheduler.next_event_cycle
             else None
         )
+        # Same resolution for the per-cycle hook itself: most schedulers
+        # keep the base no-op, so the hot tick path skips the call.
+        self._scheduler_tick = (
+            self.scheduler.tick
+            if type(self.scheduler).tick is not MemoryScheduler.tick
+            else None
+        )
 
         cfg = self.config
         self.read_queue = RequestQueue(cfg.read_queue_capacity, name=f"read[{channel.channel_id}]")
@@ -288,15 +295,20 @@ class ChannelController:
         if self._skip_kind is not None:
             self.catch_up(now)
         self._bound_cache_valid = False
-        self.scheduler.tick(now)
-        self._complete_finished(now)
-        self._advance_rng_mode(now)
+        if self._scheduler_tick is not None:
+            self._scheduler_tick(now)
+        inflight = self._inflight
+        if inflight and inflight[0][0] <= now:
+            self._complete_finished(now)
+        if self._rng_op is not None:
+            self._advance_rng_mode(now)
 
         # Idle periods are defined with respect to *regular* traffic
         # (Section 5.1): the streak keeps counting while the channel is
         # generating random numbers, so that the idleness predictors are
         # trained on the true gap between regular requests.
-        if not self.has_pending_regular_work():
+        pending = self.read_queue._entries or self.write_queue._entries or inflight
+        if not pending:
             self.idle_streak += 1
 
         if self.mode is ExecutionMode.RNG:
@@ -304,7 +316,7 @@ class ChannelController:
             self.read_queue.sample_occupancy()
             return
 
-        if self.is_idle(now):
+        if not pending and now >= self.channel.bus_free_at:
             self.stats.idle_cycles += 1
             if self.fill_policy is not None:
                 self.fill_policy.on_idle_cycle(self, now)
@@ -318,6 +330,14 @@ class ChannelController:
             return
 
         self._schedule_regular(now)
+
+        # Prime the event-bound cache while the post-schedule state is at
+        # hand; the idle branches (fill events, bus-drain-to-idle) and
+        # RNG mode stay on the full recompute path.
+        if self.mode is ExecutionMode.REGULAR and (
+            self.read_queue._entries or self.write_queue._entries
+        ):
+            self._prime_queued_bound(now)
 
     # ------------------------------------------------------------------ cycle skipping
 
@@ -353,6 +373,34 @@ class ChannelController:
             if buffer is not None:
                 self._fill_buffer_version = buffer.version
         return bound
+
+    def _prime_queued_bound(self, now: int) -> None:
+        """Cache the event bound for the queued-regular-work state.
+
+        Mirrors :meth:`_compute_event_bound`'s queued-work branch —
+        scheduler event, completion head, issue-lookahead resume — for
+        the two hot exits that already know regular work is pending (the
+        end of a serving tick and the end of a serve batch), so the
+        engine's next probe is a cache hit instead of a recompute.  Only
+        valid in Regular Execution Mode with the read or write queue
+        non-empty; any new event source added to the queued-work branch
+        of :meth:`_compute_event_bound` must be folded in here too.
+        """
+        bound = self.channel.bus_free_at - self.config.issue_lookahead
+        if bound < now:
+            bound = now
+        inflight = self._inflight
+        if inflight and inflight[0][0] < bound:
+            bound = inflight[0][0]
+        if self._scheduler_event_probe is not None:
+            event = self._scheduler_event_probe(now)
+            if event is not None and event < bound:
+                bound = event
+        self._bound_cache = bound
+        self._bound_cache_valid = True
+        buffer = self._fill_buffer
+        if buffer is not None:
+            self._fill_buffer_version = buffer.version
 
     def _compute_event_bound(self, now: int) -> Optional[int]:
         bound: Optional[int] = None
@@ -443,6 +491,116 @@ class ChannelController:
         if self._skip_kind is not None:
             self._apply_skip(now)
             self._skip_kind = None
+
+    # ------------------------------------------------------------------ batched serving
+
+    def serve_batch(self, now: int, limit: int) -> None:
+        """Resolve every serve decision in cycles ``[now, limit)`` in one call.
+
+        The engine calls this instead of per-cycle dispatch when the
+        decision inputs are provably stable across the window (see
+        :meth:`EventEngine._serve_window_end <repro.sim.engine.EventEngine>`):
+
+        * no request arrives at this controller during the window (every
+          core is window-stalled and the RNG subsystem is quiet),
+        * the controller is in Regular Execution Mode with pending regular
+          work throughout the window (no idle transition, so the idle
+          streak and fill policy stay untouched),
+        * no RNG-type request is queued (serving one would switch modes),
+        * the within-queue scheduler has no event in the window (e.g. a
+          BLISS clearing boundary),
+        * no completion inside the window re-activates a core (waking
+          completions bound the window), and
+        * the fill policy reports no low-utilisation hazard at ``now``.
+
+        Under those preconditions every tick in the window is either a
+        quiet busy tick (constant counter deltas, applied in bulk) or a
+        serve tick whose decision depends only on controller-local state —
+        so the reference tick sequence is replayed exactly, just without
+        returning to the engine between cycles.  Completions due inside
+        the window fire at their recorded cycles' effects (the latency a
+        callback records uses the request's own ``completion_cycle``) and
+        only flip mid-window slots, which no stalled core observes before
+        the window ends.
+        """
+        inflight = self._inflight
+        read_queue = self.read_queue
+        read_entries = read_queue._entries
+        write_entries = self.write_queue._entries
+        channel = self.channel
+        lookahead = self.config.issue_lookahead
+        stats = self.stats
+        scheduler = self.scheduler
+        # The RNG-oblivious baseline policy reduces to the within-queue
+        # scheduler when the RNG queue is empty (guaranteed in a serve
+        # window) — bypass the policy layer for it.
+        fast_select = type(self.queue_policy) is BaselineQueuePolicy
+
+        # Close any quiet segment deferred from before the window; the
+        # cycles [now, first serve point) are accounted inline below.
+        if self._skip_kind is not None:
+            self.catch_up(now)
+
+        t = channel.bus_free_at - lookahead
+        if t < now:
+            t = now
+        elif t > now:
+            # Quiet busy lead-in (the bus is still draining): same bulk
+            # accounting as `skip_cycles` with kind "busy" and pending
+            # regular work (no idle streak).
+            lead = min(t, limit) - now
+            stats.busy_cycles += lead
+            read_queue.bulk_sample_occupancy(lead)
+
+        while t < limit and (read_entries or write_entries):
+            # Faithful replay of `tick(t)`: the scheduler has no event in
+            # the window (its per-cycle hook is a no-op by the
+            # next_event_cycle contract), completions due fire first, the
+            # cycle is busy (pending regular work, never idle), occupancy
+            # is sampled before scheduling, and the fill check was proven
+            # false for the whole window by the pre-flight.
+            while inflight and inflight[0][0] <= t:
+                completion, _, request = heapq.heappop(inflight)
+                request.complete(completion)
+            stats.busy_cycles += 1
+            read_queue.sample_occupancy()
+            if fast_select and not write_entries and not self._write_draining:
+                request = scheduler.select(read_queue, self, t)
+                if request is not None:
+                    self._issue_regular(read_queue, request, t)
+            else:
+                self._schedule_regular(t)
+            nxt = channel.bus_free_at - lookahead
+            if nxt <= t:
+                nxt = t + 1
+            elif nxt > limit:
+                nxt = limit
+            gap = nxt - t - 1
+            if gap > 0:
+                stats.busy_cycles += gap
+                read_queue.bulk_sample_occupancy(gap)
+            t = nxt
+
+        if t < limit:
+            # Work ran out (reads all in flight): the rest of the window
+            # is quiet busy cycles.
+            tail = limit - t
+            stats.busy_cycles += tail
+            read_queue.bulk_sample_occupancy(tail)
+
+        # Completions due strictly inside the window fire before the
+        # engine resumes; one due exactly at `limit` is the next event.
+        while inflight and inflight[0][0] < limit:
+            completion, _, request = heapq.heappop(inflight)
+            request.complete(completion)
+
+        # Prime the event-bound cache for the engine's next probe (every
+        # constituent is at or past `limit` by the window preconditions);
+        # with no work left, fall back to a normal recompute.
+        if read_entries or write_entries:
+            self._prime_queued_bound(limit)
+        else:
+            self._bound_cache_valid = False
 
     def _apply_skip(self, end: int) -> None:
         """Apply the deferred segment's counters for cycles ``[from, end)``."""
@@ -609,9 +767,10 @@ class ChannelController:
     def _select_write(self, now: int) -> Optional[Request]:
         # Writes are served oldest-first with a row-hit preference.
         best = None
+        banks = self.channel.banks
         for request in self.write_queue:
             decoded = self.decode(request)
-            if self.channel.is_row_hit(decoded.bank_id(self.organization), decoded.row):
+            if banks[decoded.flat_bank].open_row == decoded.row:
                 return request
             if best is None:
                 best = request
@@ -622,7 +781,7 @@ class ChannelController:
         request.issue_cycle = now
         decoded = self.decode(request)
         finish, _ = self.channel.service_access(
-            decoded.bank_id(self.organization),
+            decoded.flat_bank,
             decoded.row,
             now,
             is_write=request.is_write,
@@ -635,6 +794,14 @@ class ChannelController:
             self.stats.served_reads += 1
             completion = finish + self.config.backend_latency
             heapq.heappush(self._inflight, (completion, next(self._inflight_counter), request))
+            # Publish the completion cycle on the core's window slot so
+            # the batched-serve pre-flight can bound windows by waking
+            # completions without scanning the in-flight heap.
+            callback = request.callback
+            if callback is not None:
+                slot = getattr(callback, "window_slot", None)
+                if slot is not None:
+                    slot.ready_at = completion
 
     # ------------------------------------------------------------------ finalisation
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, List, Optional
 
-from .request import Request
+from .request import Request, RequestType
 
 
 class RequestQueue:
@@ -21,6 +21,12 @@ class RequestQueue:
         self.capacity = capacity
         self.name = name
         self._entries: List[Request] = []
+        #: Queued RNG-type requests, maintained on push/remove.  Serving
+        #: an RNG request switches the channel into RNG mode, which the
+        #: batched-serve fast path cannot replay; the counter lets the
+        #: engine's window pre-flight test this in O(1) instead of
+        #: scanning the queue (see :meth:`ChannelController.serve_batch`).
+        self.rng_pending = 0
         # Statistics.
         self.total_enqueued = 0
         self.total_dequeued = 0
@@ -58,12 +64,16 @@ class RequestQueue:
             self.rejected += 1
             return False
         self._entries.append(request)
+        if request.type is RequestType.RNG:
+            self.rng_pending += 1
         self.total_enqueued += 1
         return True
 
     def remove(self, request: Request) -> None:
         """Remove a specific request (after the scheduler selected it)."""
         self._entries.remove(request)
+        if request.type is RequestType.RNG:
+            self.rng_pending -= 1
         self.total_dequeued += 1
 
     def pop_oldest(self) -> Optional[Request]:
@@ -71,6 +81,8 @@ class RequestQueue:
         if not self._entries:
             return None
         request = self._entries.pop(0)
+        if request.type is RequestType.RNG:
+            self.rng_pending -= 1
         self.total_dequeued += 1
         return request
 

@@ -60,6 +60,17 @@ class NoFillPolicy:
         """Replicate the effects of ``cycles`` quiet idle ticks in bulk."""
         return None
 
+    def serve_window_hazard(self, controller: "ChannelController", now: int) -> bool:
+        """Whether this policy could start a fill while ``controller`` serves.
+
+        Consulted by the batched-serve pre-flight for a *busy* controller
+        (pending regular work throughout the window).  Only a policy whose
+        ``should_start_fill`` can return ``True`` outside idle cycles — the
+        low-utilisation extension — ever reports a hazard; this policy never
+        fills, so serving windows are always safe.
+        """
+        return False
+
 
 class DRStrangeFillPolicy:
     """DR-STRaNGe's predictor-guided buffer-filling policy."""
@@ -164,6 +175,38 @@ class DRStrangeFillPolicy:
         if predictor is not None:
             predictor.predict_and_record(controller.last_accessed_address)
 
+    def serve_window_hazard(self, controller: "ChannelController", now: int) -> bool:
+        """Whether the low-utilisation extension could fire during a serve window.
+
+        Mirrors :meth:`should_start_fill`'s non-idle branch at ``now``.
+        Once the controller issues a request the data bus stays ahead of
+        every later serve point (the issue lookahead keeps serve points
+        strictly before ``bus_free_at``), so with a positive lookahead the
+        only cycle of a serve window at which the bus can be observed free
+        is the first one — which is exactly the cycle this is evaluated
+        at.  The reference tick at ``now`` would make the same single
+        ``predictor.predict`` call (``predict`` is idempotent for a fixed
+        table and address), so evaluating the hazard here is bit-identical
+        to the per-cycle check it replaces.  A zero lookahead makes every
+        serve point bus-free; that configuration conservatively reports a
+        standing hazard instead of reasoning about occupancy trajectories.
+        """
+        if self.buffer.capacity_bits == 0 or self.buffer.is_full:
+            return False
+        if self.low_utilization_threshold <= 0:
+            return False
+        predictor = self.predictor_for(controller)
+        if predictor is None:
+            return False
+        if controller.config.issue_lookahead <= 0:
+            return True
+        occupancy = controller.read_queue_occupancy()
+        if not 0 < occupancy < self.low_utilization_threshold:
+            return False
+        if not controller.channel.is_bus_free(now):
+            return False
+        return predictor.predict(controller.last_accessed_address)
+
 
 class GreedyIdleFillPolicy:
     """The idealised Greedy Idle buffer-filling design (Section 7).
@@ -233,3 +276,7 @@ class GreedyIdleFillPolicy:
 
     def skip_idle_cycles(self, controller: "ChannelController", cycles: int) -> None:
         return None
+
+    def serve_window_hazard(self, controller: "ChannelController", now: int) -> bool:
+        """Greedy Idle only acts on idle cycles; serving windows are safe."""
+        return False

@@ -186,11 +186,10 @@ class RNGAwareQueuePolicy:
 
     @staticmethod
     def _has_row_hit(controller: "ChannelController", read_queue: RequestQueue) -> bool:
+        banks = controller.channel.banks
         for request in read_queue:
             decoded = controller.decode(request)
-            if controller.channel.is_row_hit(
-                decoded.bank_id(controller.organization), decoded.row
-            ):
+            if banks[decoded.flat_bank].open_row == decoded.row:
                 return True
         return False
 

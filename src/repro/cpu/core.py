@@ -104,11 +104,20 @@ class CoreStats:
 class _WindowSlot:
     """One instruction-window entry."""
 
-    __slots__ = ("done", "is_rng")
+    __slots__ = ("done", "is_rng", "ready_at")
 
     def __init__(self, done: bool, is_rng: bool = False) -> None:
         self.done = done
         self.is_rng = is_rng
+        #: Completion cycle of the memory read backing this slot, filled
+        #: in by the memory controller when the read issues (``None``
+        #: while the request is still queued, and always ``None`` for
+        #: bubbles and RNG slots).  The batched-serve pre-flight reads it
+        #: off stalled cores' window heads to bound serve windows by the
+        #: earliest *waking* completion in O(cores) — a queued head read
+        #: can only complete at least a full minimum read latency after
+        #: it issues, which is past any window formed now.
+        self.ready_at = None
 
 
 #: Shared completed-bubble slot.  Bubbles enter the window already done
@@ -161,6 +170,7 @@ class Core:
         self._retired_seq = 0
         self._undone_fifo: Deque = deque()
         self._slots_per_cycle = self.config.slots_per_bus_cycle
+        self._window_size = self.config.window_size
         self._entry_index = 0
         self._bubbles_left = 0
         self._pending_read: Optional[TraceEntry] = None
@@ -253,8 +263,8 @@ class Core:
 
     def _issue(self, now: int) -> int:
         issued = 0
-        budget = self.config.slots_per_bus_cycle
-        window_size = self.config.window_size
+        budget = self._slots_per_cycle
+        window_size = self._window_size
 
         while issued < budget:
             if self._pending_write is not None:
@@ -413,10 +423,13 @@ class Core:
         self._retired_seq += count
         if self._undone_slots:
             # Mixed window: the retired prefix really leaves the window
-            # and fresh done bubbles take its place at the tail.
-            for _ in range(count):
-                window.popleft()
-            window.extend(repeat(_DONE_BUBBLE, count))
+            # and fresh done bubbles take its place at the tail.  The
+            # retired slots are all done, and done slots are
+            # observationally interchangeable (only ``done`` is ever read
+            # on them; ``is_rng``/``ready_at`` matter solely on undone
+            # heads), so recycling them to the tail via a C-level rotate
+            # is equivalent to popping them and appending done bubbles.
+            window.rotate(-count)
 
     def catch_up_stall(self, start: int, end: int) -> None:
         """Account the deferred stall ticks for cycles ``[start, end)``.
@@ -441,6 +454,13 @@ class Core:
             completion = request.completion_cycle if request.completion_cycle is not None else issue_cycle
             self.stats.read_latency_sum += max(0, completion - issue_cycle)
 
+        # Expose the window slot this completion will flip.  The batched
+        # serve path uses it to tell *waking* completions (the request is
+        # a stalled core's window head, so completing it re-activates the
+        # core) from completions that only mark a mid-window slot done;
+        # the former bound the serve window, the latter may be replayed
+        # inside it (see repro.sim.engine).
+        _on_complete.window_slot = slot
         return _on_complete
 
     def _make_rng_callback(self, slot: _WindowSlot, issue_cycle: int) -> Callable:

@@ -11,7 +11,7 @@ bijection between physical addresses (at cache-block granularity) and
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from .timing import DRAMOrganization
 
@@ -25,9 +25,19 @@ class DecodedAddress:
     bank: int
     row: int
     column: int
+    #: Flat bank index within the owning channel, precomputed by
+    #: :meth:`AddressMapping.decode` so the schedulers' row-hit scans (the
+    #: hottest per-request work in dense simulations) read one attribute
+    #: instead of redoing the rank/bank arithmetic.  Excluded from
+    #: equality so hand-built instances compare as before; on those it is
+    #: ``None``, which fails loudly (``TypeError`` on indexing) if such an
+    #: instance ever reaches a scheduler scan — only decoded addresses do.
+    flat_bank: int | None = field(default=None, compare=False)
 
     def bank_id(self, organization: DRAMOrganization) -> int:
         """Flat bank index within the owning channel."""
+        if self.flat_bank is not None:
+            return self.flat_bank
         return self.rank * organization.banks_per_rank + self.bank
 
 
@@ -73,7 +83,14 @@ class AddressMapping:
         rank = bits % org.ranks_per_channel
         bits //= org.ranks_per_channel
         row = bits % org.rows_per_bank
-        return DecodedAddress(channel=channel, rank=rank, bank=bank, row=row, column=column)
+        return DecodedAddress(
+            channel=channel,
+            rank=rank,
+            bank=bank,
+            row=row,
+            column=column,
+            flat_bank=rank * org.banks_per_rank + bank,
+        )
 
     def channel_of(self, address: int) -> int:
         """Return only the channel index of ``address`` (fast path)."""

@@ -154,6 +154,19 @@ class Channel:
         """
         return max(now, self.bus_free_at)
 
+    def min_read_completion_distance(self, backend_latency: int) -> int:
+        """Lower bound on cycles between issuing a read and its completion.
+
+        A read issued at cycle ``t`` returns data no earlier than
+        ``t + tCL + tBL`` (the column access cannot start before ``t``,
+        CAS latency and the burst follow) and reaches the core
+        ``backend_latency`` cycles later.  The batched-serve fast path
+        uses this floor to cap serve windows: any read issued *inside* a
+        window of at most this length completes *after* it, so the window
+        never has to replay a completion it could not foresee.
+        """
+        return self.timing.tCL + self.timing.tBL + backend_latency
+
     def bank_stats(self) -> BankStats:
         """Aggregate bank counters across all banks of this channel."""
         total = BankStats()

@@ -106,6 +106,21 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.cache_dir / key[:2] / f"{key}.json"
 
+    def _entry_snapshot(self) -> list[Path]:
+        """A point-in-time, deduplicated listing of the on-disk entries.
+
+        ``glob`` evaluates lazily: iterating it while the same run (or a
+        concurrent worker) writes new entries can pick up files created
+        after the listing started — and, on directory mutation, yield a
+        path more than once — so counting directly off the iterator
+        double-counts entries written during the run being reported on.
+        Materialising the listing first makes every reader operate on one
+        consistent snapshot.
+        """
+        if not self.cache_dir.is_dir():
+            return []
+        return sorted(set(self.cache_dir.glob("??/*.json")))
+
     def contains(self, key: str) -> bool:
         return key in self._memo or self._path(key).is_file()
 
@@ -152,9 +167,7 @@ class ResultCache:
         _atomic_write_json(self._path(key), payload)
 
     def __len__(self) -> int:
-        if not self.cache_dir.is_dir():
-            return 0
-        return sum(1 for _ in self.cache_dir.glob("??/*.json"))
+        return len(self._entry_snapshot())
 
     def clear(self) -> None:
         """Remove every cached entry (leaves the directory in place)."""
@@ -162,7 +175,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         if self.cache_dir.is_dir():
-            for entry in self.cache_dir.glob("??/*.json"):
+            for entry in self._entry_snapshot():
                 try:
                     entry.unlink()
                 except OSError:
@@ -179,16 +192,20 @@ class ResultCache:
     LAST_RUN_FILE = "last-run.json"
 
     def stats(self) -> Dict:
-        """Store-wide statistics: entry count and total size in bytes."""
+        """Store-wide statistics: entry count and total size in bytes.
+
+        Counts are taken from one snapshot of the entry listing at read
+        time (see :meth:`_entry_snapshot`), so entries written during the
+        run being reported on are counted at most once.
+        """
         entries = 0
         total_bytes = 0
-        if self.cache_dir.is_dir():
-            for entry in self.cache_dir.glob("??/*.json"):
-                try:
-                    total_bytes += entry.stat().st_size
-                except OSError:
-                    continue
-                entries += 1
+        for entry in self._entry_snapshot():
+            try:
+                total_bytes += entry.stat().st_size
+            except OSError:
+                continue
+            entries += 1
         return {"entries": entries, "total_bytes": total_bytes}
 
     def record_last_run(self, extra: Optional[Dict] = None) -> None:

@@ -58,23 +58,25 @@ class BLISS(MemoryScheduler):
     ) -> Optional[Request]:
         best: Optional[Request] = None
         best_key = None
-        for request in queue:
+        blacklist = self.blacklist
+        banks = controller.channel.banks
+        for request in queue._entries:
+            if request.type is RequestType.RNG:
+                row_hit = False
+            else:
+                decoded = request.decoded
+                if decoded is None:
+                    decoded = controller.decode(request)
+                row_hit = banks[decoded.flat_bank].open_row == decoded.row
             key = (
-                0 if request.core_id not in self.blacklist else 1,
-                0 if self._is_row_hit(request, controller) else 1,
+                0 if request.core_id not in blacklist else 1,
+                0 if row_hit else 1,
                 request.arrival_cycle,
                 request.request_id,
             )
             if best_key is None or key < best_key:
                 best, best_key = request, key
         return best
-
-    @staticmethod
-    def _is_row_hit(request: Request, controller: "ChannelController") -> bool:
-        if request.type is RequestType.RNG:
-            return False
-        decoded = controller.decode(request)
-        return controller.channel.is_row_hit(decoded.bank_id(controller.organization), decoded.row)
 
     # -- bookkeeping --------------------------------------------------------------
 

@@ -32,19 +32,20 @@ class FRFCFS(MemoryScheduler):
     ) -> Optional[Request]:
         oldest_hit: Optional[Request] = None
         oldest: Optional[Request] = None
-        for request in queue:
+        banks = controller.channel.banks
+        for request in queue._entries:
             if oldest is None:
                 oldest = request
-            if self._is_row_hit(request, controller) and oldest_hit is None:
-                oldest_hit = request
+            if request.type is not RequestType.RNG:
+                decoded = request.decoded
+                if decoded is None:
+                    decoded = controller.decode(request)
+                if banks[decoded.flat_bank].open_row == decoded.row:
+                    # First (oldest) row hit wins; nothing later can
+                    # change the outcome.
+                    oldest_hit = request
+                    break
         return oldest_hit if oldest_hit is not None else oldest
-
-    @staticmethod
-    def _is_row_hit(request: Request, controller: "ChannelController") -> bool:
-        if request.type is RequestType.RNG:
-            return False
-        decoded = controller.decode(request)
-        return controller.channel.is_row_hit(decoded.bank_id(controller.organization), decoded.row)
 
 
 class FRFCFSCap(FRFCFS):
@@ -74,13 +75,19 @@ class FRFCFSCap(FRFCFS):
     ) -> Optional[Request]:
         oldest_hit: Optional[Request] = None
         oldest: Optional[Request] = None
-        for request in queue:
+        banks = controller.channel.banks
+        capped_key = self._streak_key if self._streak_length >= self.cap else None
+        for request in queue._entries:
             if oldest is None:
                 oldest = request
-            if oldest_hit is None and self._is_row_hit(request, controller):
-                key = self._row_key(request, controller)
-                if not (key == self._streak_key and self._streak_length >= self.cap):
-                    oldest_hit = request
+            if request.type is not RequestType.RNG:
+                decoded = request.decoded
+                if decoded is None:
+                    decoded = controller.decode(request)
+                if banks[decoded.flat_bank].open_row == decoded.row:
+                    if capped_key is None or capped_key != (decoded.flat_bank, decoded.row):
+                        oldest_hit = request
+                        break
         return oldest_hit if oldest_hit is not None else oldest
 
     def notify_served(self, request: Request, now: int) -> None:
@@ -88,7 +95,7 @@ class FRFCFSCap(FRFCFS):
             self._streak_key = None
             self._streak_length = 0
             return
-        key = (request.decoded.bank_id(self._org), request.decoded.row) if request.decoded else None
+        key = (request.decoded.flat_bank, request.decoded.row) if request.decoded else None
         if key is not None and key == self._streak_key:
             self._streak_length += 1
         else:
@@ -109,7 +116,7 @@ class FRFCFSCap(FRFCFS):
     @staticmethod
     def _row_key(request: Request, controller: "ChannelController") -> Tuple[int, int]:
         decoded = controller.decode(request)
-        return (decoded.bank_id(controller.organization), decoded.row)
+        return (decoded.flat_bank, decoded.row)
 
     def reset(self) -> None:
         self._streak_key = None

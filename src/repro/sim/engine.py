@@ -31,6 +31,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from ..controller.memory_controller import ExecutionMode
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from .system import System
 
@@ -78,9 +80,32 @@ class EventEngine:
       deciding each core's activity *after* the memory side has ticked —
       a completion fired by a controller this cycle makes the waiting
       core active this cycle, exactly as in the tick engine.
+    * **Batched serving.**  Dense workloads defeat both mechanisms: with
+      deep read queues the controllers issue nearly every cycle, so the
+      engine degenerates into per-cycle dispatch.  But whenever *every*
+      core is window-stalled and the RNG subsystem is quiet, no request
+      can arrive at any controller until a completion re-activates a
+      core — each controller's serve decisions over that stretch depend
+      only on its own state.  The engine detects such windows, bounds
+      them by every event that could couple components again (a waking
+      completion, a scheduler event such as a BLISS clearing boundary, an
+      RNG-buffer state change, the earliest cycle a read issued inside
+      the window could complete), and drains each controller through
+      :meth:`~repro.controller.memory_controller.ChannelController.serve_batch`
+      in a single call per window instead of one engine iteration per
+      cycle.  ``serve_windows`` / ``serve_window_cycles`` on the engine
+      instance count how often the fast path engaged.
     """
 
     name = "event"
+
+    def __init__(self) -> None:
+        #: Batched-serve instrumentation: windows drained and cycles
+        #: covered by them.  Tests use these to assert the fast path
+        #: engaged (dense workloads) or was correctly broken by
+        #: mid-window events.
+        self.serve_windows = 0
+        self.serve_window_cycles = 0
 
     def run(self, system: "System") -> int:
         """Advance ``system`` to completion; return the final cycle count."""
@@ -93,7 +118,6 @@ class EventEngine:
         controller_range = list(enumerate(controllers))
         core_range = list(enumerate(cores))
         controller_bounds = [0] * len(controllers)
-        core_bounds = [0] * len(cores)
         # Stall deferral: a core whose instruction window is full behind an
         # outstanding request can neither act nor finish until a completion
         # callback flips its head slot, so its per-cycle stall bookkeeping
@@ -101,6 +125,30 @@ class EventEngine:
         # deferred cycle, and the engine watches the head slot directly
         # (cores are engine-intimate by design) to wake it.
         stalled_since = [None] * len(cores)
+        # Streaming deferral: a *quiet* core (pure bubble streaming until
+        # its event bound) evolves deterministically as long as no memory
+        # tick fires a completion into its window, so instead of one
+        # ``skip_cycles`` call per cycle, the engine records the start of
+        # the quiet stretch (``quiet_since[i]``) and the core's cached
+        # absolute event bound (``core_bound_cache[i]``, ``-1`` invalid),
+        # and materialises the whole stretch in one call right before the
+        # core must tick, before any memory step (completions may change
+        # its window), or at the end of the run.
+        quiet_since = [None] * len(cores)
+        core_bound_cache = [-1] * len(cores)
+        # ``stalled_count`` mirrors the number of non-None entries so the
+        # batched-serve pre-flight's "every core is stalled" test is O(1).
+        stalled_count = 0
+        num_cores = len(cores)
+        # Floor on the cycles between issuing a read inside a serve window
+        # and its completion; windows never exceed it, so completions of
+        # reads issued inside a window always land outside it.
+        min_read_completion = controllers[0].channel.min_read_completion_distance(
+            controllers[0].config.backend_latency
+        )
+        # The shared random number buffer (if the design has one): its
+        # version counter is one of the signals that end a mixed stretch.
+        shared_buffer = system.buffer
         # The engine reads component internals (cached bounds, deferred
         # segment markers, window heads) to keep the hot loop free of
         # redundant calls; every such read mirrors a documented invariant
@@ -146,61 +194,225 @@ class EventEngine:
             step = cycle + 1
             if not memory_active:
                 # Nothing on the memory side ticks this cycle: no
-                # completion can fire, so stalled cores stay stalled and
-                # the remaining cores' bounds are valid now.  A full jump
+                # completion can fire, so stalled cores stay stalled,
+                # quiet cores' cached bounds stay exact, and a full jump
                 # may be possible.
                 cores_active = False
                 for index, core in core_range:
                     if stalled_since[index] is not None:
-                        core_bounds[index] = None
                         continue
-                    bound = core.next_event_cycle(cycle)
-                    if bound is None:
-                        # Newly stalled: defer its bookkeeping from here.
-                        stalled_since[index] = cycle
-                        core_bounds[index] = None
-                        continue
-                    core_bounds[index] = bound
+                    bound = core_bound_cache[index]
+                    if bound == -1:
+                        since = quiet_since[index]
+                        if since is not None:
+                            core.skip_cycles(since, cycle)
+                            quiet_since[index] = None
+                        bound = core.next_event_cycle(cycle)
+                        if bound is None:
+                            # Newly stalled: defer its bookkeeping from here.
+                            stalled_since[index] = cycle
+                            stalled_count += 1
+                            continue
+                        core_bound_cache[index] = bound
                     if bound <= cycle:
                         cores_active = True
-                    elif bound < target:
-                        target = bound
+                    elif bound == step:
+                        # The core's event is next cycle: materialise the
+                        # stretch through this cycle now, so a finish
+                        # inside it is visible to the loop-top check of
+                        # the next iteration (the engine must stop at the
+                        # exact cycle the last core finishes).  The
+                        # deferral marker moves to ``step`` (an empty
+                        # stretch) so a re-examination of the same cycle
+                        # cannot account it twice.
+                        since = quiet_since[index]
+                        core.skip_cycles(cycle if since is None else since, step)
+                        quiet_since[index] = step
+                        target = step
+                    else:
+                        if bound < target:
+                            target = bound
+                        if quiet_since[index] is None:
+                            quiet_since[index] = cycle
                 if not cores_active and target > step:
+                    # Full jump: quiet cores stay deferred — their
+                    # stretches extend through the jump for free — except
+                    # those whose event is exactly the jump target, which
+                    # materialise now for the same loop-top reason.
                     for index, controller in controller_range:
                         if controller._skip_kind is None:
                             controller.skip_cycles(cycle, target)
                     rng_subsystem.skip_cycles(cycle, target)
                     for index, core in core_range:
-                        if stalled_since[index] is None:
-                            core.skip_cycles(cycle, target)
+                        if core_bound_cache[index] == target and quiet_since[index] is not None:
+                            core.skip_cycles(quiet_since[index], target)
+                            quiet_since[index] = None
                     cycle = target
                     continue
-                # Mixed cycle with a quiet memory side: skip it wholesale
-                # and step only the active cores, reusing the bounds just
-                # computed (no memory tick ran, so they are still valid).
-                # Advancing the RNG clock inline is exactly its
-                # skip_cycles(cycle, cycle + 1).
-                system.cycle = system.dram.now = rng_subsystem.now = cycle
-                for index, controller in controller_range:
-                    if controller._skip_kind is None:
-                        controller.skip_cycles(cycle, step)
-                for index, core in core_range:
-                    bound = core_bounds[index]
-                    if bound is None:
-                        continue
-                    if bound <= cycle:
+                # Mixed stretch with a quiet memory side: step the active
+                # cores cycle by cycle *without re-running the memory
+                # prologue*.  The memory side provably stays quiet until
+                # ``target`` unless a core's tick perturbs it, and every
+                # perturbation is observable: an enqueue invalidates that
+                # controller's bound cache, a buffer serve bumps the
+                # shared buffer version, and an RNG request grows the
+                # subsystem's deferred heap or retry queue.  The stretch
+                # breaks on the first such signal (or a finish of the
+                # watched tail core) and falls back to the full loop.
+                deferred_len = len(rng_subsystem._deferred)
+                buffer_version = -1 if shared_buffer is None else shared_buffer.version
+                while True:
+                    system.cycle = system.dram.now = rng_subsystem.now = cycle
+                    for index, controller in controller_range:
+                        if controller._skip_kind is None:
+                            controller.skip_cycles(cycle, step)
+                    for index, core in core_range:
+                        bound = core_bound_cache[index]
+                        if bound == -1 or bound > cycle:
+                            continue
+                        since = quiet_since[index]
+                        if since is not None:
+                            core.skip_cycles(since, cycle)
+                            quiet_since[index] = None
                         core.tick(cycle)
-                    else:
-                        core.skip_cycles(cycle, step)
-                cycle = step
+                        core_bound_cache[index] = -1
+                    cycle = step
+                    step = cycle + 1
+                    if unfinished[-1].finish_cycle is not None:
+                        break
+                    if cycle >= target:
+                        break
+                    if (
+                        (shared_buffer is not None and shared_buffer.version != buffer_version)
+                        or len(rng_subsystem._deferred) != deferred_len
+                        or rng_subsystem._retry_queue
+                    ):
+                        break
+                    dirty = False
+                    for index, controller in controller_range:
+                        if not controller._bound_cache_valid:
+                            dirty = True
+                            break
+                    if dirty:
+                        break
+                    # Re-examine the cores for the next cycle (same rules
+                    # as the prologue's core pass).
+                    cores_active = False
+                    for index, core in core_range:
+                        if stalled_since[index] is not None:
+                            continue
+                        bound = core_bound_cache[index]
+                        if bound == -1:
+                            since = quiet_since[index]
+                            if since is not None:
+                                core.skip_cycles(since, cycle)
+                                quiet_since[index] = None
+                            bound = core.next_event_cycle(cycle)
+                            if bound is None:
+                                stalled_since[index] = cycle
+                                stalled_count += 1
+                                continue
+                            core_bound_cache[index] = bound
+                        if bound <= cycle:
+                            cores_active = True
+                        elif bound == step:
+                            since = quiet_since[index]
+                            core.skip_cycles(cycle if since is None else since, step)
+                            quiet_since[index] = step
+                        elif quiet_since[index] is None:
+                            quiet_since[index] = cycle
+                    if not cores_active:
+                        break
                 continue
+
+            # Batched-serve fast path: with every core window-stalled and
+            # the RNG subsystem quiet, no request can arrive at any
+            # controller, so each controller's serve decisions are a pure
+            # function of its own state until an event re-couples the
+            # components.  Resolve the whole window in one engine
+            # iteration instead of one per cycle.
+            if stalled_count == num_cores and (rng_bound is None or rng_bound > cycle):
+                # Horizon: the minimum-completion ceiling, the RNG
+                # subsystem's next event, the cycle limit, and — the
+                # common binding constraint in dense workloads — the
+                # earliest *waking* completion: a stalled core's window
+                # head re-activates it the cycle it completes.  Serving
+                # controllers' own future serve points are deliberately
+                # *not* horizon events; serve_batch resolves them.
+                window_end = cycle + min_read_completion
+                if rng_bound is not None and rng_bound < window_end:
+                    window_end = rng_bound
+                if max_cycles < window_end:
+                    window_end = max_cycles
+                # A waking completion at cycle ``c`` does not end the
+                # window at ``c``: in the reference order the controllers
+                # tick *before* the cores, so every serve decision at
+                # ``c`` precedes the woken core's enqueues.  The window
+                # extends through ``c`` and the engine runs the woken
+                # cores' ticks at ``c`` itself below — saving the whole
+                # per-cycle dispatch the wake would otherwise cost.
+                for core in cores:
+                    ready = core._window[0].ready_at
+                    if ready is not None and ready < window_end:
+                        window_end = ready + 1
+                if window_end > step:
+                    window_end = self._serve_window_end(
+                        cycle, window_end, controller_range, controller_bounds
+                    )
+                if window_end > step:
+                    for index, controller in controller_range:
+                        if controller.mode is ExecutionMode.REGULAR and (
+                            controller.read_queue._entries or controller.write_queue._entries
+                        ):
+                            controller.serve_batch(cycle, window_end)
+                        elif controller._skip_kind is None:
+                            controller.skip_cycles(cycle, window_end)
+                    rng_subsystem.skip_cycles(cycle, window_end)
+                    self.serve_windows += 1
+                    self.serve_window_cycles += window_end - cycle
+                    # Wake pass at the window's last cycle: completions
+                    # fired inside the window may have flipped stalled
+                    # heads; those cores tick now, exactly as the
+                    # reference would after the memory side at this
+                    # cycle.  Their enqueues land after every in-window
+                    # serve decision, preserving arrival order.
+                    wake_cycle = window_end - 1
+                    system.cycle = system.dram.now = wake_cycle
+                    for index, core in core_range:
+                        if stalled_since[index] is None or not core._window[0].done:
+                            continue
+                        core.catch_up_stall(stalled_since[index], wake_cycle)
+                        stalled_since[index] = None
+                        stalled_count -= 1
+                        bound = core.next_event_cycle(wake_cycle)
+                        if bound is None:
+                            stalled_since[index] = wake_cycle
+                            stalled_count += 1
+                        elif bound <= wake_cycle:
+                            core.tick(wake_cycle)
+                        elif bound == window_end:
+                            core.skip_cycles(wake_cycle, window_end)
+                        else:
+                            core_bound_cache[index] = bound
+                            quiet_since[index] = wake_cycle
+                    cycle = window_end
+                    continue
 
             # Single step with memory activity: tick the active memory
             # components, one-cycle-skip the quiet ones (identical by the
             # definition of quietness), then decide each core *after* the
             # memory side has ticked — a completion fired above wakes the
             # waiting core this very cycle, exactly as in the tick engine.
+            # Quiet cores' deferred stretches materialise first: the
+            # completions about to fire may change their windows, which
+            # would reclassify cycles that already went by.
             system.cycle = system.dram.now = cycle
+            for index, core in core_range:
+                since = quiet_since[index]
+                if since is not None:
+                    core.skip_cycles(since, cycle)
+                    quiet_since[index] = None
+                core_bound_cache[index] = -1
             for index, controller in controller_range:
                 bound = controller_bounds[index]
                 if bound is not None and bound <= cycle:
@@ -221,13 +433,20 @@ class EventEngine:
                         continue
                     core.catch_up_stall(since, cycle)
                     stalled_since[index] = None
+                    stalled_count -= 1
                 bound = core.next_event_cycle(cycle)
                 if bound is None:
                     stalled_since[index] = cycle
+                    stalled_count += 1
                 elif bound <= cycle:
                     core.tick(cycle)
-                else:
+                elif bound == step:
+                    # Event next cycle: materialise immediately so a
+                    # finish this cycle reaches the loop-top check.
                     core.skip_cycles(cycle, step)
+                else:
+                    core_bound_cache[index] = bound
+                    quiet_since[index] = cycle
             cycle = step
 
         # Close every deferred quiet segment at the final cycle count
@@ -240,7 +459,81 @@ class EventEngine:
             since = stalled_since[index]
             if since is not None:
                 core.catch_up_stall(since, cycle)
+            since = quiet_since[index]
+            if since is not None:
+                core.skip_cycles(since, cycle)
         return cycle
+
+    def _serve_window_end(self, cycle, limit, controller_range, controller_bounds):
+        """Bound a batched-serve window starting at ``cycle``, or reject it.
+
+        Called with every core window-stalled, the RNG subsystem quiet
+        past ``limit``, and ``limit`` already capped by the earliest
+        waking completion (a stalled core's window head re-activates its
+        core the cycle it completes; completions of reads that are still
+        queued land at least a full minimum read latency after they
+        issue, past any window formed now).  Returns the first cycle
+        per-cycle dispatch must resume at — ``<= cycle + 1`` rejects the
+        window.  Per controller:
+
+        * a *server* (Regular Execution Mode with queued regular work) is
+          checked for events ``serve_batch`` cannot replay: a queued
+          RNG-type request (serving it switches modes), a scheduler event
+          in the window (BLISS clearing boundary), a write-only backlog
+          whose last issue could end the busy streak mid-window, and a
+          fill-policy low-utilisation hazard at the window start (later
+          serve points observe a busy bus, see
+          :meth:`DRStrangeFillPolicy.serve_window_hazard
+          <repro.core.fill_policies.DRStrangeFillPolicy.serve_window_hazard>`);
+        * every other controller is quiet until its cached event bound
+          (RNG-mode segment end, in-flight completion, idle fill event),
+          which simply caps the window; a non-serving controller that is
+          active *now* (a completion or fill decision due this cycle)
+          rejects it.
+        """
+        end = limit
+        for index, controller in controller_range:
+            if controller.mode is ExecutionMode.REGULAR and (
+                controller.read_queue._entries or controller.write_queue._entries
+            ):
+                read_queue = controller.read_queue
+                if read_queue.rng_pending:
+                    return 0
+                rng_queue = controller.rng_queue
+                if rng_queue is not None and rng_queue._entries:
+                    return 0
+                probe = controller._scheduler_event_probe
+                if probe is not None:
+                    event = probe(cycle)
+                    if event is not None:
+                        if event <= cycle:
+                            return 0
+                        if event < end:
+                            end = event
+                if not read_queue._entries:
+                    # Write-only backlog: no read issued inside the window
+                    # pins the busy streak, so it may lapse once the last
+                    # write has issued and the in-flight reads drained.
+                    floor = cycle + len(controller.write_queue._entries)
+                    inflight = controller._inflight
+                    if inflight:
+                        last_completion = max(entry[0] for entry in inflight)
+                        if last_completion > floor:
+                            floor = last_completion
+                    if floor < end:
+                        end = floor
+                fill = controller.fill_policy
+                if fill is not None and fill.serve_window_hazard(controller, cycle):
+                    return 0
+            else:
+                bound = controller_bounds[index]
+                if bound is None:
+                    continue
+                if bound <= cycle:
+                    return 0
+                if bound < end:
+                    end = bound
+        return end
 
 
 #: Engine registry, keyed by ``SimulationConfig.engine``.  The single

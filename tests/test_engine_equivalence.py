@@ -26,9 +26,17 @@ from repro.sim.config import (
     ENGINE_TICK,
     SimulationConfig,
 )
+from repro.sim.engine import EventEngine
 from repro.sim.system import System
-from repro.workloads.mixes import build_traces, dual_core_mixes, four_core_group_mixes
-from repro.workloads.suites import representative_subset
+from repro.workloads.mixes import (
+    ROW_OFFSET_STRIDE,
+    build_traces,
+    dual_core_mixes,
+    four_core_group_mixes,
+    multi_core_group_mixes,
+)
+from repro.workloads.suites import applications_by_category, representative_subset
+from repro.workloads.synthetic import generate_application_trace
 
 
 def run_both(traces, config: SimulationConfig):
@@ -36,6 +44,17 @@ def run_both(traces, config: SimulationConfig):
     tick = System(list(traces), dataclasses.replace(config, engine=ENGINE_TICK)).run()
     event = System(list(traces), dataclasses.replace(config, engine=ENGINE_EVENT)).run()
     return dataclasses.asdict(tick), dataclasses.asdict(event)
+
+
+def run_event_instrumented(traces, config: SimulationConfig):
+    """Run the event engine directly so its window counters are readable."""
+    system = System(list(traces), dataclasses.replace(config, engine=ENGINE_EVENT))
+    engine = EventEngine()
+    cycle = engine.run(system)
+    system.cycle = cycle
+    for controller in system.controllers:
+        controller.flush_idle_period()
+    return dataclasses.asdict(system._build_result(cycle)), engine, system
 
 
 def assert_identical(traces, config: SimulationConfig) -> None:
@@ -161,3 +180,107 @@ def test_idle_period_histograms_match_per_channel(dual_core_traces):
         assert event_channel["idle_cycles"] == tick_channel["idle_cycles"]
         assert event_channel["busy_cycles"] == tick_channel["busy_cycles"]
         assert event_channel["rng_mode_cycles"] == tick_channel["rng_mode_cycles"]
+
+
+# --------------------------------------------------------------- dense workloads
+#
+# fig18's 8-core high-memory-intensity groups are the batched-serve fast
+# path's home turf: deep read queues, every core window-stalled most of
+# the time.  These cases keep that path under tier-1 coverage (the fuzz
+# harness and the nightly sweep are the wider nets) and additionally
+# assert — via the engine's window counters — that the fast path actually
+# engaged, so a silently disabled optimisation cannot pass as "identical".
+
+
+@pytest.fixture(scope="module")
+def dense_eight_core_traces():
+    """fig18 H-group shape: eight high-intensity non-RNG applications."""
+    mapping = AddressMapping(DRAMOrganization())
+    pool = applications_by_category()["H"]
+    return [
+        generate_application_trace(
+            pool[slot % len(pool)],
+            8_000,
+            seed=131 + slot,
+            mapping=mapping,
+            row_offset=slot * ROW_OFFSET_STRIDE,
+        )
+        for slot in range(8)
+    ]
+
+
+@pytest.mark.parametrize("design", [DESIGN_RNG_OBLIVIOUS, DESIGN_DRSTRANGE])
+def test_engines_identical_dense_eight_core(dense_eight_core_traces, design):
+    """Dense 8-core H groups are bit-identical and exercise serve windows."""
+    config = SimulationConfig(design=design)
+    tick = dataclasses.asdict(
+        System(list(dense_eight_core_traces), dataclasses.replace(config, engine=ENGINE_TICK)).run()
+    )
+    event, engine, _ = run_event_instrumented(dense_eight_core_traces, config)
+    assert event == tick
+    assert engine.serve_windows > 0, "batched-serve fast path never engaged on a dense workload"
+    assert engine.serve_window_cycles > engine.serve_windows, "windows never exceeded one cycle"
+
+
+def test_serve_window_breaks_on_mid_window_wake_and_enqueue(dense_eight_core_traces):
+    """The riskiest edge of the fast path: a completion inside a window
+    re-activates a stalled core, whose enqueues must land *after* every
+    in-window serve decision and break the window there.  In a dense run
+    this happens thousands of times; bit-identity plus engaged-and-bounded
+    window counters pin the behaviour."""
+    config = SimulationConfig(design=DESIGN_RNG_OBLIVIOUS)
+    tick = dataclasses.asdict(
+        System(list(dense_eight_core_traces), dataclasses.replace(config, engine=ENGINE_TICK)).run()
+    )
+    event, engine, _ = run_event_instrumented(dense_eight_core_traces, config)
+    assert event == tick
+    assert engine.serve_windows > 0
+    # Wakes/enqueues must bound windows well below the whole run: a single
+    # run-length window would mean mid-window events were ignored.
+    assert engine.serve_window_cycles < tick["total_cycles"]
+    average_window = engine.serve_window_cycles / engine.serve_windows
+    assert average_window < 30, f"windows implausibly long ({average_window:.1f} cycles)"
+
+
+def test_serve_window_breaks_on_bliss_clearing_boundary(dense_eight_core_traces, monkeypatch):
+    """A BLISS clearing boundary inside a would-be window must break it.
+
+    The clearing interval is shrunk so boundaries land inside the dense
+    serving phase; the scheduler's clear counter proves boundaries fired
+    while windows were forming, and bit-identity proves none was jumped.
+    """
+    import functools
+
+    import repro.sim.system as system_module
+    from repro.sched.bliss import BLISS
+
+    monkeypatch.setattr(
+        system_module, "BLISS", functools.partial(BLISS, clearing_interval=400)
+    )
+    config = SimulationConfig(design=DESIGN_RNG_OBLIVIOUS, scheduler="bliss")
+    tick = dataclasses.asdict(
+        System(list(dense_eight_core_traces), dataclasses.replace(config, engine=ENGINE_TICK)).run()
+    )
+    event, engine, system = run_event_instrumented(dense_eight_core_traces, config)
+    assert event == tick
+    assert engine.serve_windows > 0
+    assert any(
+        controller.scheduler.clear_events > 0 for controller in system.controllers
+    ), "no BLISS clearing boundary fired; the regression scenario did not materialise"
+
+
+def test_serve_window_breaks_on_rng_buffer_threshold_events(dense_eight_core_traces):
+    """RNG traffic (buffer serves, fills, mode switches) inside a dense
+    DR-STRaNGe run must bound or break serve windows, not be replayed by
+    them."""
+    mapping = AddressMapping(DRAMOrganization())
+    mix = multi_core_group_mixes(8, workloads_per_group=1)["H"][0]
+    traces = build_traces(mix, 8_000, seed=5, mapping=mapping)
+    config = SimulationConfig(design=DESIGN_DRSTRANGE)
+    tick = dataclasses.asdict(
+        System(list(traces), dataclasses.replace(config, engine=ENGINE_TICK)).run()
+    )
+    event, engine, _ = run_event_instrumented(traces, config)
+    assert event == tick
+    assert tick["rng_requests"] > 0, "the mix produced no RNG traffic"
+    assert engine.serve_windows > 0, "windows never formed around the RNG activity"

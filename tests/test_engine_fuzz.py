@@ -1,0 +1,321 @@
+"""Differential fuzzing of the tick and event simulation engines.
+
+The structured equivalence suite (:mod:`tests.test_engine_equivalence`)
+pins the known-interesting corners; this harness defends the corners
+nobody thought of.  A seeded generator draws hundreds of random systems —
+core counts, memory intensities, RNG throughputs, schedulers, predictors,
+buffer sizes, queue capacities, channel topologies, issue lookaheads,
+cycle limits — and for every generated system asserts that
+
+* the reference :class:`~repro.sim.engine.TickEngine` and the
+  cycle-skipping :class:`~repro.sim.engine.EventEngine` (including its
+  batched-serve fast path) produce **bit-identical**
+  :class:`~repro.sim.results.SimulationResult`s, and
+* the content-addressed cache key of the simulation point is stable:
+  identical across engines (the key deliberately excludes the engine) and
+  across recomputation, with a periodic store round-trip proving a cached
+  result deserialises bit-identically.
+
+On failure the harness *shrinks* the case: it greedily applies
+simplifying transformations (drop a core, halve the instruction count,
+fall back to the default scheduler/predictor/design/topology…) while the
+failure reproduces, and reports the minimal case as a parameter dict.
+Paste that dict into :func:`run_case` to replay it under a debugger.
+
+Knobs (environment variables):
+
+``REPRO_FUZZ_SEED``
+    Master seed of the generator (default 0).  CI pins it per schedule so
+    nightly runs explore fresh cases while a failure stays reproducible.
+``REPRO_FUZZ_CASES``
+    Number of generated systems (default 200).  The per-push CI slice
+    runs 50; nightly runs the full budget.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import random
+
+import pytest
+
+from repro.controller.config import ControllerConfig
+from repro.core.config import DRStrangeConfig
+from repro.cpu.core import CoreConfig
+from repro.dram.address import AddressMapping
+from repro.dram.timing import DRAMOrganization
+from repro.orchestration.cache import ResultCache
+from repro.orchestration.keys import point_key
+from repro.sim.config import ENGINE_EVENT, ENGINE_TICK, SimulationConfig
+from repro.sim.system import System
+from repro.workloads.rng_benchmark import generate_rng_trace
+from repro.workloads.spec import ApplicationSpec, RNGBenchmarkSpec
+from repro.workloads.synthetic import generate_application_trace
+
+MASTER_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "0"))
+NUM_CASES = int(os.environ.get("REPRO_FUZZ_CASES", "200"))
+
+#: Upper bound on shrink attempts so a pathological failure cannot stall
+#: the suite; the counter-example is still reported, just less minimal.
+MAX_SHRINK_EVALUATIONS = 80
+
+
+# ----------------------------------------------------------------- generation
+
+
+def build_case(rng: random.Random, index: int) -> dict:
+    """Draw one random system description (everything a replay needs)."""
+    num_slots = rng.choice((1, 1, 2, 2, 2, 3, 3, 4))
+    slots = []
+    for _ in range(num_slots):
+        if rng.random() < 0.4:
+            slots.append(
+                {
+                    "kind": "rng",
+                    "throughput_mbps": rng.choice((640.0, 1280.0, 2560.0, 5120.0)),
+                }
+            )
+        else:
+            slots.append(
+                {
+                    "kind": "app",
+                    "mpki": round(rng.choice((0.5, 2.0, 6.0, 15.0, 30.0)) * rng.uniform(0.5, 1.5), 3),
+                    "row_locality": round(rng.uniform(0.1, 0.95), 3),
+                    "write_fraction": round(rng.uniform(0.0, 0.45), 3),
+                    "footprint_rows": rng.choice((8, 64, 256)),
+                }
+            )
+    return {
+        "seed": rng.randrange(2**31),
+        "index": index,
+        "instructions": rng.choice((600, 1000, 1500, 2500)),
+        "slots": slots,
+        "design": rng.choice(("rng-oblivious", "greedy-idle", "dr-strange", "dr-strange")),
+        "scheduler": rng.choice(("fr-fcfs", "fr-fcfs+cap", "bliss")),
+        "scheduler_cap": rng.choice((2, 4, 16)),
+        "predictor": rng.choice(("none", "simple", "rl")),
+        "buffer_entries": rng.choice((0, 1, 4, 16)),
+        "low_utilization_threshold": rng.choice((0, 2, 4)),
+        "period_threshold": rng.choice((10, 40)),
+        "channels": rng.choice((1, 2, 4)),
+        "banks_per_rank": rng.choice((4, 8)),
+        "read_queue_capacity": rng.choice((2, 8, 32)),
+        "write_queue_capacity": rng.choice((2, 8, 32)),
+        "write_drain_high": rng.choice((2, 8, 16)),
+        "issue_lookahead": rng.choice((0, 2, 8)),
+        "backend_latency": rng.choice((0, 4, 10)),
+        "rng_mode_switch_penalty": rng.choice((0, 6, 12)),
+        "issue_width": rng.choice((1, 2, 3)),
+        "window_size": rng.choice((8, 32, 128)),
+        "clock_ratio": rng.choice((1, 3, 5)),
+        "priority_mode": rng.choice(("equal", "rng-high", "non-rng-high")),
+        "max_cycles": rng.choice((1_500, 40_000, 5_000_000)),
+    }
+
+
+def materialize(case: dict):
+    """Build the traces and (engine-less) config a case describes."""
+    drain_high = min(case["write_drain_high"], case["write_queue_capacity"])
+    config = SimulationConfig(
+        design=case["design"],
+        scheduler=case["scheduler"],
+        scheduler_cap=case["scheduler_cap"],
+        priority_mode=case["priority_mode"],
+        drstrange=DRStrangeConfig(
+            predictor=case["predictor"],
+            buffer_entries=case["buffer_entries"],
+            low_utilization_threshold=case["low_utilization_threshold"],
+            period_threshold=case["period_threshold"],
+        ),
+        controller=ControllerConfig(
+            read_queue_capacity=case["read_queue_capacity"],
+            write_queue_capacity=case["write_queue_capacity"],
+            write_drain_high=drain_high,
+            write_drain_low=max(0, min(ControllerConfig.write_drain_low, drain_high - 1)),
+            issue_lookahead=case["issue_lookahead"],
+            backend_latency=case["backend_latency"],
+            rng_mode_switch_penalty=case["rng_mode_switch_penalty"],
+        ),
+        core=CoreConfig(
+            issue_width=case["issue_width"],
+            window_size=case["window_size"],
+            clock_ratio=case["clock_ratio"],
+        ),
+        organization=DRAMOrganization(
+            channels=case["channels"], banks_per_rank=case["banks_per_rank"]
+        ),
+        max_cycles=case["max_cycles"],
+    )
+    mapping = AddressMapping(config.organization)
+    traces = []
+    for slot_id, slot in enumerate(case["slots"]):
+        seed = case["seed"] + slot_id * 7919
+        row_offset = slot_id * 4096
+        if slot["kind"] == "rng":
+            spec = RNGBenchmarkSpec(
+                f"fuzz-rng-{slot_id}", throughput_mbps=slot["throughput_mbps"]
+            )
+            traces.append(
+                generate_rng_trace(
+                    spec, case["instructions"], seed=seed, mapping=mapping, row_offset=row_offset
+                )
+            )
+        else:
+            spec = ApplicationSpec(
+                f"fuzz-app-{slot_id}",
+                mpki=slot["mpki"],
+                row_locality=slot["row_locality"],
+                write_fraction=slot["write_fraction"],
+                footprint_rows=slot["footprint_rows"],
+            )
+            traces.append(
+                generate_application_trace(
+                    spec, case["instructions"], seed=seed, mapping=mapping, row_offset=row_offset
+                )
+            )
+    return traces, config
+
+
+def run_case(case: dict, engine: str):
+    """Replay one fuzz case under ``engine`` and return its result."""
+    traces, config = materialize(case)
+    return System(traces, dataclasses.replace(config, engine=engine)).run()
+
+
+# ----------------------------------------------------------------- checking
+
+
+def check_case(case: dict, store: ResultCache | None = None):
+    """Return a failure description for ``case``, or ``None`` if it holds."""
+    traces, config = materialize(case)
+    tick_config = dataclasses.replace(config, engine=ENGINE_TICK)
+    event_config = dataclasses.replace(config, engine=ENGINE_EVENT)
+
+    key_tick = point_key(traces, tick_config)
+    key_event = point_key(traces, event_config)
+    if key_tick != key_event:
+        return "cache key differs between engines (engine leaked into the fingerprint)"
+    if key_tick != point_key(traces, tick_config):
+        return "cache key is not stable across recomputation"
+
+    tick = dataclasses.asdict(System(list(traces), tick_config).run())
+    event = dataclasses.asdict(System(list(traces), event_config).run())
+    for field_name, tick_value in tick.items():
+        if event[field_name] != tick_value:
+            return f"engines diverge in {field_name!r}"
+    if event != tick:
+        return "engines diverge"
+
+    if store is not None:
+        # Round-trip through the persistent store: a cached result must
+        # deserialise bit-identically, otherwise the engine-agnostic
+        # cache would paper over divergence.
+        from repro.orchestration.cache import result_from_dict, result_to_dict
+
+        rebuilt = dataclasses.asdict(
+            result_from_dict(result_to_dict(System(list(traces), event_config).run()))
+        )
+        if rebuilt != tick:
+            return "result does not survive a cache round-trip bit-identically"
+    return None
+
+
+# ----------------------------------------------------------------- shrinking
+
+
+def _shrink_candidates(case: dict):
+    """Yield progressively simpler variants of ``case`` (one change each)."""
+    if len(case["slots"]) > 1:
+        for drop in range(len(case["slots"])):
+            slimmer = dict(case)
+            slimmer["slots"] = [s for i, s in enumerate(case["slots"]) if i != drop]
+            yield slimmer
+    if case["instructions"] > 300:
+        yield {**case, "instructions": max(300, case["instructions"] // 2)}
+    defaults = {
+        "design": "rng-oblivious",
+        "scheduler": "fr-fcfs",
+        "predictor": "none",
+        "priority_mode": "equal",
+        "channels": 1,
+        "banks_per_rank": 8,
+        "buffer_entries": 0,
+        "low_utilization_threshold": 0,
+        "read_queue_capacity": 32,
+        "write_queue_capacity": 32,
+        "write_drain_high": 16,
+        "issue_lookahead": 8,
+        "backend_latency": 10,
+        "rng_mode_switch_penalty": 12,
+        "issue_width": 3,
+        "window_size": 128,
+        "clock_ratio": 5,
+        "max_cycles": 5_000_000,
+    }
+    for field_name, default in defaults.items():
+        if case[field_name] != default:
+            yield {**case, field_name: default}
+
+
+def shrink(case: dict, failure: str) -> dict:
+    """Greedily minimise ``case`` while it still reproduces a failure."""
+    evaluations = 0
+    minimal = case
+    progress = True
+    while progress and evaluations < MAX_SHRINK_EVALUATIONS:
+        progress = False
+        for candidate in _shrink_candidates(minimal):
+            evaluations += 1
+            if evaluations >= MAX_SHRINK_EVALUATIONS:
+                break
+            try:
+                still_failing = check_case(candidate) is not None
+            except Exception:
+                # A shrink step that crashes outright is its own (even
+                # better) reproducer.
+                still_failing = True
+            if still_failing:
+                minimal = candidate
+                progress = True
+                break
+    return minimal
+
+
+# ----------------------------------------------------------------- the test
+
+
+def test_fuzz_tick_event_identity(tmp_path):
+    """Hundreds of random systems: tick ≡ event, and cache keys hold."""
+    rng = random.Random(MASTER_SEED)
+    store = ResultCache(tmp_path / "fuzz-cache")
+    for index in range(NUM_CASES):
+        case = build_case(rng, index)
+        failure = check_case(case, store=store if index % 20 == 0 else None)
+        if failure is not None:
+            minimal = shrink(case, failure)
+            minimal_failure = None
+            try:
+                minimal_failure = check_case(minimal)
+            except Exception as error:  # pragma: no cover - diagnostics only
+                minimal_failure = f"crash: {error!r}"
+            pytest.fail(
+                f"fuzz case {index} (REPRO_FUZZ_SEED={MASTER_SEED}) failed: {failure}\n"
+                f"minimal reproducing case ({minimal_failure}):\n{minimal!r}\n"
+                "replay with tests.test_engine_fuzz.run_case(case, 'tick'/'event')"
+            )
+
+
+def test_fuzz_generator_is_deterministic():
+    """Same master seed ⇒ same cases (failures must be reproducible)."""
+    first = [build_case(random.Random(MASTER_SEED), i) for i in range(5)]
+    second = [build_case(random.Random(MASTER_SEED), i) for i in range(5)]
+    assert first == second
+
+
+def test_fuzz_case_runs_both_engines():
+    """The replay helper exercises a full case end to end."""
+    case = build_case(random.Random(1234), 0)
+    tick = run_case(case, ENGINE_TICK)
+    event = run_case(case, ENGINE_EVENT)
+    assert dataclasses.asdict(tick) == dataclasses.asdict(event)

@@ -147,6 +147,48 @@ class TestResultCache:
         changed = dataclasses.replace(config, scheduler_cap=4)
         assert cache.get(point_key([trace], changed)) is None
 
+    def test_stats_counts_same_run_writes_once(self, tmp_path, simulated):
+        """stats() snapshots the entry listing at read time.
+
+        ``glob`` is lazy: counting straight off the iterator while the
+        reported-on run is still writing can observe an entry twice (a
+        directory mutated mid-scan re-yields paths) and so double-count
+        entries written during that run.  The snapshot must dedupe.
+        """
+        trace, config, result = simulated
+        cache = ResultCache(tmp_path)
+        key = point_key([trace], config)
+        cache.put(key, result)
+        # Overwrites during the same run must not inflate the count.
+        cache.put(key, result)
+        assert cache.stats()["entries"] == 1 == len(cache)
+
+        real_dir = cache.cache_dir
+        late_key = point_key([trace], dataclasses.replace(config, scheduler_cap=4))
+
+        class MutatingDuringScanDir:
+            """Replays a lazy, duplicate-yielding directory scan: an entry
+            is written *during* the iteration and every path comes back
+            twice, as a mutated directory can produce."""
+
+            def is_dir(self):
+                return True
+
+            def glob(self, pattern):
+                first = list(real_dir.glob(pattern))
+                yield from first
+                ResultCache(real_dir).put(late_key, result)  # the same run writes…
+                yield from first  # …and the scan re-yields what it already saw
+                yield from real_dir.glob(pattern)
+
+        cache.cache_dir = MutatingDuringScanDir()
+        stats = cache.stats()
+        cache.cache_dir = real_dir
+        # One pre-existing entry plus the one written during the scan,
+        # each counted exactly once.
+        assert stats["entries"] == 2
+        assert stats["entries"] == len(cache)
+
 
 class TestPersistentAloneRunCache:
     def test_alone_runs_survive_processes(self, tmp_path):
