@@ -28,7 +28,7 @@ from repro.dram.address import AddressMapping
 from repro.dram.timing import DRAMOrganization
 from repro.experiments import fig05_idle_periods, fig15_low_utilization, fig18_multicore_idle
 from repro.sim.config import ENGINE_EVENT, ENGINE_TICK, baseline_config, drstrange_config
-from repro.sim.runner import GLOBAL_ALONE_CACHE, set_engine_override
+from repro.sim.runner import GLOBAL_ALONE_CACHE, engine_override
 from repro.sim.system import System
 from repro.workloads.mixes import ROW_OFFSET_STRIDE, build_traces, four_core_group_mixes
 from repro.workloads.suites import applications_by_category
@@ -45,6 +45,11 @@ HOTPATH_INSTRUCTIONS = 15_000
 #: high-memory-intensity applications keep every read queue deep, which
 #: is exactly the regime the batched-serve fast path exists for.
 DENSE_INSTRUCTIONS = 10_000
+
+#: Per-core instruction count of the trace-replay kernel benchmark: a
+#: two-core high-intensity run whose wall-clock is dominated by the
+#: precompiled-trace request lifecycle rather than by serve windows.
+KERNEL_INSTRUCTIONS = 30_000
 
 
 def _hotpath_traces():
@@ -92,6 +97,38 @@ def test_engine_hotpath_tick(benchmark):
     assert result.total_cycles > 0
 
 
+def _kernel_traces():
+    """Two high-intensity applications: the per-request lifecycle —
+    precompiled-column replay, arena reuse, queue slot-array scans,
+    issue/retire arithmetic — dominates, with minimal idleness for the
+    engine to skip."""
+    mapping = AddressMapping(DRAMOrganization())
+    pool = applications_by_category()["H"]
+    return [
+        generate_application_trace(
+            pool[slot % len(pool)],
+            KERNEL_INSTRUCTIONS,
+            seed=slot,
+            mapping=mapping,
+            row_offset=slot * ROW_OFFSET_STRIDE,
+        )
+        for slot in range(2)
+    ]
+
+
+def test_trace_replay_kernel(benchmark):
+    """The trace-replay/request-lifecycle kernel in isolation (gated).
+
+    A two-core run keeps every queue shallow, so wall-clock concentrates
+    in the shared kernel (core column replay, request arena, scheduler
+    slot scans) rather than in dense-window formation; together with
+    ``test_fig18_dense`` the >25% gate covers both halves of the dense
+    cost."""
+    traces = _kernel_traces()
+    result = benchmark.pedantic(_run_dense, args=(traces, ENGINE_EVENT), rounds=3, iterations=1)
+    assert result.total_cycles > 0
+
+
 def test_fig18_dense(benchmark):
     """Dense 8-core fig18 H-group hot path (guards the batched-serve path).
 
@@ -109,13 +146,10 @@ def _cold_figure_seconds(engine: str, run, reps: int = 2, **kwargs) -> float:
     best = float("inf")
     for _ in range(reps):
         GLOBAL_ALONE_CACHE.clear()
-        previous = set_engine_override(engine)
-        try:
+        with engine_override(engine):
             start = time.perf_counter()
             run(**kwargs)
             best = min(best, time.perf_counter() - start)
-        finally:
-            set_engine_override(previous)
     return best
 
 

@@ -26,6 +26,7 @@ bit-identical to a serial run either way.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 import sys
 
@@ -43,7 +44,7 @@ from .orchestration import (
     sweep_experiments,
 )
 from .sim.config import ENGINES
-from .sim.runner import set_engine_override
+from .sim.runner import engine_override
 
 DEFAULT_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
 
@@ -179,10 +180,11 @@ def _worker_main(argv: list[str]) -> int:
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    if args.engine is not None:
-        set_engine_override(args.engine)
     try:
-        run_worker(args.connect, worker_id=args.id)
+        with contextlib.ExitStack() as stack:
+            if args.engine is not None:
+                stack.enter_context(engine_override(args.engine))
+            run_worker(args.connect, worker_id=args.id)
     except (OSError, ConnectionError) as exc:
         print(f"worker could not serve {args.connect}: {exc}", file=sys.stderr)
         return 1
@@ -317,16 +319,18 @@ def main(argv: list[str] | None = None) -> int:
         print(f"--bind: {exc}", file=sys.stderr)
         return 2
 
-    if args.engine is not None:
-        # Applied at the simulate_traces choke point so every simulation
-        # of this run (including orchestration workers) uses the engine.
-        set_engine_override(args.engine)
-
     store = None if args.no_cache else open_store(args.cache_dir)
     stats = SweepStats()
-    results = sweep_experiments(
-        keys, jobs=args.jobs, store=store, stats=stats, executor=executor, **kwargs
-    )
+    with contextlib.ExitStack() as stack:
+        if args.engine is not None:
+            # Applied at the simulate_traces choke point so every
+            # simulation of this run (including orchestration workers)
+            # uses the engine; scoped so an exception mid-sweep cannot
+            # leak the override into later in-process simulations.
+            stack.enter_context(engine_override(args.engine))
+        results = sweep_experiments(
+            keys, jobs=args.jobs, store=store, stats=stats, executor=executor, **kwargs
+        )
 
     # With `--json -` the JSON document owns stdout; tables move to stderr
     # so the output stays pipeable into jq & co.

@@ -49,7 +49,7 @@ class ExecutionMode(Enum):
     RNG = "rng"
 
 
-@dataclass
+@dataclass(slots=True)
 class ControllerStats:
     """Per-controller counters."""
 
@@ -167,6 +167,17 @@ class ChannelController:
             else None
         )
 
+        # Hot-path scalars hoisted out of the config dataclass, and the
+        # queue-policy type resolved once: the RNG-oblivious baseline
+        # policy reduces to the within-queue scheduler whenever the RNG
+        # queue is empty, so the per-serve policy dispatch can be
+        # bypassed (see _schedule_regular / serve_batch).
+        self._issue_lookahead = cfg.issue_lookahead
+        self._backend_latency = cfg.backend_latency
+        self._write_drain_high = cfg.write_drain_high
+        self._write_drain_low = cfg.write_drain_low
+        self._fast_policy = type(self.queue_policy) is BaselineQueuePolicy
+
         self.mode = ExecutionMode.REGULAR
         self.stats = ControllerStats()
         self.idle_streak = 0
@@ -195,6 +206,7 @@ class ChannelController:
         self._skip_kind: Optional[str] = None
         self._skip_from = 0
         self._skip_streak = False
+        self._skip_fill_gate = None
 
     # ------------------------------------------------------------------ properties
 
@@ -267,17 +279,19 @@ class ChannelController:
         else:
             queue = self.read_queue
 
-        if request.type is not RequestType.RNG:
+        if request.type is not RequestType.RNG and request.decoded is None:
             self.decode(request)
 
         if not queue.push(request):
             return False
 
         if request.type is not RequestType.RNG:
-            self._end_idle_period(request)
+            if self.idle_streak > 0:
+                self._end_idle_period(request)
             self.last_accessed_address = request.address
-        for listener in self._arrival_listeners:
-            listener(self.channel_id, request)
+        if self._arrival_listeners:
+            for listener in self._arrival_listeners:
+                listener(self.channel_id, request)
         return True
 
     def _end_idle_period(self, request: Request) -> None:
@@ -307,13 +321,15 @@ class ChannelController:
         # (Section 5.1): the streak keeps counting while the channel is
         # generating random numbers, so that the idleness predictors are
         # trained on the true gap between regular requests.
-        pending = self.read_queue._entries or self.write_queue._entries or inflight
+        read_queue = self.read_queue
+        pending = read_queue._entries or self.write_queue._entries or inflight
         if not pending:
             self.idle_streak += 1
 
         if self.mode is ExecutionMode.RNG:
             self.stats.rng_mode_cycles += 1
-            self.read_queue.sample_occupancy()
+            read_queue.occupancy_samples += 1
+            read_queue.occupancy_sum += len(read_queue._entries)
             return
 
         if not pending and now >= self.channel.bus_free_at:
@@ -323,7 +339,9 @@ class ChannelController:
         else:
             self.stats.busy_cycles += 1
 
-        self.read_queue.sample_occupancy()
+        # Inline occupancy sample (sample_occupancy would be a call per tick).
+        read_queue.occupancy_samples += 1
+        read_queue.occupancy_sum += len(read_queue._entries)
 
         if self.fill_policy is not None and self.fill_policy.should_start_fill(self, now):
             self._start_fill(now)
@@ -332,12 +350,27 @@ class ChannelController:
         self._schedule_regular(now)
 
         # Prime the event-bound cache while the post-schedule state is at
-        # hand; the idle branches (fill events, bus-drain-to-idle) and
+        # hand (body of _prime_queued_bound, inlined on this per-tick
+        # path); the idle branches (fill events, bus-drain-to-idle) and
         # RNG mode stay on the full recompute path.
         if self.mode is ExecutionMode.REGULAR and (
-            self.read_queue._entries or self.write_queue._entries
+            read_queue._entries or self.write_queue._entries
         ):
-            self._prime_queued_bound(now)
+            bound = self.channel.bus_free_at - self._issue_lookahead
+            if bound < now:
+                bound = now
+            inflight = self._inflight
+            if inflight and inflight[0][0] < bound:
+                bound = inflight[0][0]
+            if self._scheduler_event_probe is not None:
+                event = self._scheduler_event_probe(now)
+                if event is not None and event < bound:
+                    bound = event
+            self._bound_cache = bound
+            self._bound_cache_valid = True
+            buffer = self._fill_buffer
+            if buffer is not None:
+                self._fill_buffer_version = buffer.version
 
     # ------------------------------------------------------------------ cycle skipping
 
@@ -386,7 +419,7 @@ class ChannelController:
         non-empty; any new event source added to the queued-work branch
         of :meth:`_compute_event_bound` must be folded in here too.
         """
-        bound = self.channel.bus_free_at - self.config.issue_lookahead
+        bound = self.channel.bus_free_at - self._issue_lookahead
         if bound < now:
             bound = now
         inflight = self._inflight
@@ -485,6 +518,11 @@ class ChannelController:
         self._skip_kind = kind
         self._skip_from = now
         self._skip_streak = not pending
+        if kind == "idle" and self.fill_policy is not None:
+            # Idle segments replay the fill policy's per-cycle checks at
+            # close time; snapshot the state those checks must run under
+            # (the shared buffer can change before the segment closes).
+            self._skip_fill_gate = self.fill_policy.begin_idle_skip(self)
 
     def catch_up(self, now: int) -> None:
         """Close the deferred quiet segment before state changes at ``now``."""
@@ -528,13 +566,18 @@ class ChannelController:
         read_entries = read_queue._entries
         write_entries = self.write_queue._entries
         channel = self.channel
-        lookahead = self.config.issue_lookahead
+        lookahead = self._issue_lookahead
+        backend_latency = self._backend_latency
+        inflight_counter = self._inflight_counter
         stats = self.stats
         scheduler = self.scheduler
         # The RNG-oblivious baseline policy reduces to the within-queue
         # scheduler when the RNG queue is empty (guaranteed in a serve
-        # window) — bypass the policy layer for it.
-        fast_select = type(self.queue_policy) is BaselineQueuePolicy
+        # window) — bypass the policy layer for it.  No request arrives
+        # during the window, so a read-only backlog stays read-only and
+        # the write-drain hysteresis cannot engage: the branch holds for
+        # the whole window and is hoisted out of the loop.
+        fast = self._fast_policy and not write_entries and not self._write_draining
 
         # Close any quiet segment deferred from before the window; the
         # cycles [now, first serve point) are accounted inline below.
@@ -561,13 +604,41 @@ class ChannelController:
             # false for the whole window by the pre-flight.
             while inflight and inflight[0][0] <= t:
                 completion, _, request = heapq.heappop(inflight)
-                request.complete(completion)
+                request.completion_cycle = completion
+                callback = request.callback
+                if callback is not None:
+                    callback(request)
+                pool = request.pool
+                if pool is not None:
+                    pool.append(request)
             stats.busy_cycles += 1
-            read_queue.sample_occupancy()
-            if fast_select and not write_entries and not self._write_draining:
-                request = scheduler.select(read_queue, self, t)
-                if request is not None:
-                    self._issue_regular(read_queue, request, t)
+            read_queue.occupancy_samples += 1
+            read_queue.occupancy_sum += len(read_entries)
+            if fast:
+                index = scheduler.select_index(read_queue, self, t)
+                if index >= 0:
+                    # Read issue inlined (the window preconditions
+                    # guarantee the read queue holds only decoded
+                    # non-RNG reads): body of _issue_regular's read
+                    # branch, minus the identity re-scan remove() and
+                    # the write-path tests.
+                    request = read_queue.remove_at(index)
+                    request.issue_cycle = t
+                    decoded = request.decoded
+                    if decoded is None:
+                        decoded = self.decode(request)
+                    finish, _ = channel.service_access(
+                        decoded.flat_bank, decoded.row, t, is_write=False
+                    )
+                    scheduler.notify_served(request, t)
+                    stats.served_reads += 1
+                    completion = finish + backend_latency
+                    heapq.heappush(
+                        inflight, (completion, next(inflight_counter), request)
+                    )
+                    slot = request.window_slot
+                    if slot is not None:
+                        slot.ready_at = completion
             else:
                 self._schedule_regular(t)
             nxt = channel.bus_free_at - lookahead
@@ -592,7 +663,13 @@ class ChannelController:
         # engine resumes; one due exactly at `limit` is the next event.
         while inflight and inflight[0][0] < limit:
             completion, _, request = heapq.heappop(inflight)
-            request.complete(completion)
+            request.completion_cycle = completion
+            callback = request.callback
+            if callback is not None:
+                callback(request)
+            pool = request.pool
+            if pool is not None:
+                pool.append(request)
 
         # Prime the event-bound cache for the engine's next probe (every
         # constituent is at or past `limit` by the window preconditions);
@@ -614,19 +691,27 @@ class ChannelController:
         if kind == "idle":
             stats.idle_cycles += skipped
             if self.fill_policy is not None:
-                self.fill_policy.skip_idle_cycles(self, skipped)
+                self.fill_policy.skip_idle_cycles(self, skipped, self._skip_fill_gate)
         elif kind == "busy":
             stats.busy_cycles += skipped
         else:
             stats.rng_mode_cycles += skipped
-        self.read_queue.bulk_sample_occupancy(skipped)
+        queue = self.read_queue
+        queue.occupancy_samples += skipped
+        queue.occupancy_sum += skipped * len(queue._entries)
 
     # ------------------------------------------------------------------ completion
 
     def _complete_finished(self, now: int) -> None:
         while self._inflight and self._inflight[0][0] <= now:
             completion, _, request = heapq.heappop(self._inflight)
-            request.complete(completion)
+            request.completion_cycle = completion
+            callback = request.callback
+            if callback is not None:
+                callback(request)
+            pool = request.pool
+            if pool is not None:
+                pool.append(request)
 
     # ------------------------------------------------------------------ RNG mode
 
@@ -732,7 +817,7 @@ class ChannelController:
     # ------------------------------------------------------------------ regular mode
 
     def _schedule_regular(self, now: int) -> None:
-        if self.channel.bus_free_at - now > self.config.issue_lookahead:
+        if self.channel.bus_free_at - now > self._issue_lookahead:
             return
 
         if self._should_drain_writes():
@@ -741,67 +826,103 @@ class ChannelController:
                 self._issue_regular(self.write_queue, request, now)
             return
 
-        selection = self.queue_policy.select(self, now)
-        if selection is not None:
-            queue, request = selection
-            if request.type is RequestType.RNG:
-                self._start_demand_rng(queue, request, now)
-            else:
-                self._issue_regular(queue, request, now)
-            return
+        if self._fast_policy:
+            # Baseline policy inlined: within-queue scheduler over the
+            # read queue, then the stray-RNG-queue drain it falls back to.
+            read_queue = self.read_queue
+            index = self.scheduler.select_index(read_queue, self, now)
+            if index >= 0:
+                request = read_queue._entries[index]
+                if request.type is RequestType.RNG:
+                    self._start_demand_rng(read_queue, request, now)
+                else:
+                    read_queue.remove_at(index)
+                    self._issue_removed(request, now)
+                return
+            rng_queue = self.rng_queue
+            if rng_queue is not None and rng_queue._entries:
+                self._start_demand_rng(rng_queue, rng_queue._entries[0], now)
+                return
+        else:
+            selection = self.queue_policy.select(self, now)
+            if selection is not None:
+                queue, request = selection
+                if request.type is RequestType.RNG:
+                    self._start_demand_rng(queue, request, now)
+                else:
+                    self._issue_regular(queue, request, now)
+                return
 
         # Opportunistic write issue when there is nothing else to do.
-        if self.write_queue:
+        if self.write_queue._entries:
             request = self._select_write(now)
             if request is not None:
                 self._issue_regular(self.write_queue, request, now)
 
     def _should_drain_writes(self) -> bool:
+        occupancy = len(self.write_queue._entries)
         if self._write_draining:
-            if len(self.write_queue) <= self.config.write_drain_low:
+            if occupancy <= self._write_drain_low:
                 self._write_draining = False
-        elif len(self.write_queue) >= self.config.write_drain_high:
+        elif occupancy >= self._write_drain_high:
             self._write_draining = True
         return self._write_draining
 
     def _select_write(self, now: int) -> Optional[Request]:
-        # Writes are served oldest-first with a row-hit preference.
-        best = None
-        banks = self.channel.banks
-        for request in self.write_queue:
-            decoded = self.decode(request)
-            if banks[decoded.flat_bank].open_row == decoded.row:
-                return request
-            if best is None:
-                best = request
-        return best
+        # Writes are served oldest-first with a row-hit preference; the
+        # scan walks the queue's preextracted bank/row slot arrays.
+        queue = self.write_queue
+        entries = queue._entries
+        if not entries:
+            return None
+        open_rows = self.channel.open_rows
+        rows = queue._rows
+        for index, bank in enumerate(queue._banks):
+            if bank == -2:  # SLOT_UNDECODED: direct queue use (tests).
+                bank = queue.repair_slot(index, self)
+            if bank >= 0 and open_rows[bank] == rows[index]:
+                return entries[index]
+        return entries[0]
 
     def _issue_regular(self, queue: RequestQueue, request: Request, now: int) -> None:
         queue.remove(request)
+        self._issue_removed(request, now)
+
+    def _issue_removed(self, request: Request, now: int) -> None:
+        """Issue a request already dequeued by the caller."""
         request.issue_cycle = now
-        decoded = self.decode(request)
+        decoded = request.decoded
+        if decoded is None:
+            decoded = self.decode(request)
+        is_write = request.type is RequestType.WRITE
         finish, _ = self.channel.service_access(
             decoded.flat_bank,
             decoded.row,
             now,
-            is_write=request.is_write,
+            is_write=is_write,
         )
         self.scheduler.notify_served(request, now)
-        if request.is_write:
+        if is_write:
             self.stats.served_writes += 1
-            request.complete(finish)
+            request.completion_cycle = finish
+            callback = request.callback
+            if callback is not None:
+                callback(request)
+            # Writes complete at issue; recycle the request into its
+            # per-core arena right away.
+            pool = request.pool
+            if pool is not None:
+                pool.append(request)
         else:
             self.stats.served_reads += 1
-            completion = finish + self.config.backend_latency
+            completion = finish + self._backend_latency
             heapq.heappush(self._inflight, (completion, next(self._inflight_counter), request))
             # Publish the completion cycle on the core's window slot so
             # the batched-serve pre-flight can bound windows by waking
             # completions without scanning the in-flight heap.
-            callback = request.callback
-            if callback is not None:
-                slot = getattr(callback, "window_slot", None)
-                if slot is not None:
-                    slot.ready_at = completion
+            slot = request.window_slot
+            if slot is not None:
+                slot.ready_at = completion
 
     # ------------------------------------------------------------------ finalisation
 

@@ -15,12 +15,30 @@ class RequestQueue:
     "oldest first" policies.
     """
 
+    #: Slot-array sentinel: the entry is an RNG request (never a row hit).
+    SLOT_RNG = -1
+    #: Slot-array sentinel: the entry was pushed undecoded; schedulers
+    #: repair the slot lazily via :meth:`repair_slot`.
+    SLOT_UNDECODED = -2
+
     def __init__(self, capacity: int = 32, name: str = "queue") -> None:
         if capacity <= 0:
             raise ValueError(f"queue capacity must be positive, got {capacity}")
         self.capacity = capacity
         self.name = name
         self._entries: List[Request] = []
+        #: Preextracted per-entry DRAM coordinates, parallel to
+        #: ``_entries``: flat bank id and row of each queued request,
+        #: maintained on push/remove.  The FR-FCFS/BLISS row-hit scans —
+        #: the hottest per-request work in dense simulations — iterate
+        #: these flat integer arrays instead of touching request objects
+        #: (``request.type`` / ``request.decoded`` attribute chains).
+        #: ``SLOT_RNG`` marks RNG-type entries (no row to hit);
+        #: ``SLOT_UNDECODED`` marks entries pushed without a decoded
+        #: address (direct queue use in tests), repaired lazily by the
+        #: first scheduler scan that meets them.
+        self._banks: List[int] = []
+        self._rows: List[int] = []
         #: Queued RNG-type requests, maintained on push/remove.  Serving
         #: an RNG request switches the channel into RNG mode, which the
         #: batched-serve fast path cannot replay; the counter lets the
@@ -60,27 +78,68 @@ class RequestQueue:
 
     def push(self, request: Request) -> bool:
         """Append ``request`` if there is space; return ``False`` otherwise."""
-        if self.is_full:
+        if len(self._entries) >= self.capacity:
             self.rejected += 1
             return False
         self._entries.append(request)
         if request.type is RequestType.RNG:
+            self._banks.append(self.SLOT_RNG)
+            self._rows.append(0)
             self.rng_pending += 1
+        else:
+            decoded = request.decoded
+            if decoded is None:
+                self._banks.append(self.SLOT_UNDECODED)
+                self._rows.append(0)
+            else:
+                self._banks.append(decoded.flat_bank)
+                self._rows.append(decoded.row)
         self.total_enqueued += 1
         return True
 
+    def repair_slot(self, index: int, controller) -> int:
+        """Decode an undecoded slot in place; return its flat bank id.
+
+        Only reachable through direct queue use (tests pushing requests
+        the controller never decoded); the simulator's enqueue path
+        decodes every non-RNG request before pushing it.
+        """
+        decoded = controller.decode(self._entries[index])
+        self._banks[index] = decoded.flat_bank
+        self._rows[index] = decoded.row
+        return decoded.flat_bank
+
     def remove(self, request: Request) -> None:
         """Remove a specific request (after the scheduler selected it)."""
-        self._entries.remove(request)
+        index = self._entries.index(request)
+        del self._entries[index]
+        del self._banks[index]
+        del self._rows[index]
         if request.type is RequestType.RNG:
             self.rng_pending -= 1
         self.total_dequeued += 1
+
+    def remove_at(self, index: int) -> Request:
+        """Remove and return the request at ``index``.
+
+        The index-returning scheduler selects use this to skip the
+        identity re-scan :meth:`remove` would do.
+        """
+        request = self._entries.pop(index)
+        del self._banks[index]
+        del self._rows[index]
+        if request.type is RequestType.RNG:
+            self.rng_pending -= 1
+        self.total_dequeued += 1
+        return request
 
     def pop_oldest(self) -> Optional[Request]:
         """Remove and return the oldest request, or ``None`` if empty."""
         if not self._entries:
             return None
         request = self._entries.pop(0)
+        del self._banks[0]
+        del self._rows[0]
         if request.type is RequestType.RNG:
             self.rng_pending -= 1
         self.total_dequeued += 1

@@ -21,7 +21,7 @@ class RequestType(Enum):
 _request_ids = itertools.count()
 
 
-@dataclass(slots=True)
+@dataclass(slots=True, eq=False)
 class Request:
     """A single memory request.
 
@@ -29,6 +29,11 @@ class Request:
     requests carry the number of random bits this (per-channel) request
     must produce; the 64-bit application-level random number request is
     split into one ``RNG`` request per channel by the RNG subsystem.
+
+    Requests compare by *identity* (``eq=False``): every live request is
+    a distinct object (``request_id`` is globally unique), and identity
+    keeps the queues' membership scans (``list.index``/``in``) on the
+    C fast path instead of field-by-field dataclass comparison.
     """
 
     type: RequestType
@@ -43,12 +48,52 @@ class Request:
     # Book-keeping filled in by the controller.
     issue_cycle: Optional[int] = None
     completion_cycle: Optional[int] = None
+    #: The instruction-window slot this read will complete (``None`` for
+    #: writes, RNG requests and hand-built requests).  The controller
+    #: publishes the completion cycle on it at issue time and the core's
+    #: shared completion callback flips it done — replacing the per-read
+    #: closure the core used to allocate.
+    window_slot: Optional[object] = None
+    #: Free-list this request returns to after its terminal completion
+    #: (``None`` = never recycled).  The system installs one arena per
+    #: core; the controller appends the request back after ``complete``
+    #: has fired, so dense workloads reuse a bounded set of request
+    #: objects instead of allocating one per memory access.
+    pool: Optional[list] = None
 
     def __post_init__(self) -> None:
         if self.type is RequestType.RNG and self.rng_bits <= 0:
             raise ValueError("RNG requests must request a positive number of bits")
         if self.type is not RequestType.RNG and self.address < 0:
             raise ValueError("memory requests must have a non-negative address")
+
+    def reuse(
+        self,
+        type: RequestType,
+        address: int,
+        arrival_cycle: int,
+        callback: Optional[Callable[["Request"], None]],
+        decoded: Optional[DecodedAddress],
+        window_slot: Optional[object],
+    ) -> "Request":
+        """Re-initialise a recycled request from its per-core arena.
+
+        ``core_id``, ``priority`` and ``pool`` are per-core constants and
+        keep their values.  A *fresh* ``request_id`` is drawn from the
+        same global counter a new allocation would use, so schedulers
+        that tie-break on the id (BLISS) observe the exact sequence a
+        non-recycling run produces.
+        """
+        self.type = type
+        self.address = address
+        self.arrival_cycle = arrival_cycle
+        self.callback = callback
+        self.decoded = decoded
+        self.window_slot = window_slot
+        self.request_id = next(_request_ids)
+        self.issue_cycle = None
+        self.completion_cycle = None
+        return self
 
     @property
     def is_rng(self) -> bool:

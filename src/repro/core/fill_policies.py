@@ -56,8 +56,24 @@ class NoFillPolicy:
         """
         return None
 
-    def skip_idle_cycles(self, controller: "ChannelController", cycles: int) -> None:
-        """Replicate the effects of ``cycles`` quiet idle ticks in bulk."""
+    def begin_idle_skip(self, controller: "ChannelController"):
+        """Snapshot the policy state a deferred idle segment must replay under.
+
+        Called when the controller *opens* a deferred idle segment; the
+        returned token is handed back to :meth:`skip_idle_cycles` when the
+        segment closes.  The segment's cycles all happened under the state
+        current at open time — a shared-buffer change after the open
+        forces the segment closed at the engine's next probe, so close-time
+        state may already differ from the state every covered tick saw.
+        """
+        return None
+
+    def skip_idle_cycles(self, controller: "ChannelController", cycles: int, gate=None) -> None:
+        """Replicate the effects of ``cycles`` quiet idle ticks in bulk.
+
+        ``gate`` is the token :meth:`begin_idle_skip` returned when the
+        segment opened.
+        """
         return None
 
     def serve_window_hazard(self, controller: "ChannelController", now: int) -> bool:
@@ -164,12 +180,27 @@ class DRStrangeFillPolicy:
             return now
         return None
 
-    def skip_idle_cycles(self, controller: "ChannelController", cycles: int) -> None:
+    def begin_idle_skip(self, controller: "ChannelController"):
+        """Whether the buffer could accept bits when the segment opened.
+
+        The full/empty state gates every predictor touch in
+        :meth:`should_start_fill`; it must be sampled when the deferred
+        idle segment *opens*, because a demand take elsewhere can drain
+        the buffer at the very cycle the segment closes — the reference
+        ticks the segment replaces all saw the open-time state (any
+        earlier buffer change invalidates the controller's event bound
+        and closes the segment at the engine's next probe).
+        """
+        return self.buffer.capacity_bits != 0 and not self.buffer.is_full
+
+    def skip_idle_cycles(self, controller: "ChannelController", cycles: int, gate=None) -> None:
         # ``should_start_fill`` would have called ``predict_and_record``
         # once per skipped idle cycle; only the first call of an idle
         # period records a pending prediction and ``predict`` itself is
-        # pure, so a single call replicates all of them.
-        if self.buffer.capacity_bits == 0 or self.buffer.is_full:
+        # pure, so a single call replicates all of them — under the
+        # buffer state of the segment's *open* (``gate``), not of its
+        # close.
+        if not gate:
             return
         predictor = self.predictor_for(controller)
         if predictor is not None:
@@ -274,7 +305,10 @@ class GreedyIdleFillPolicy:
             return None
         return now + remaining
 
-    def skip_idle_cycles(self, controller: "ChannelController", cycles: int) -> None:
+    def begin_idle_skip(self, controller: "ChannelController"):
+        return None
+
+    def skip_idle_cycles(self, controller: "ChannelController", cycles: int, gate=None) -> None:
         return None
 
     def serve_window_hazard(self, controller: "ChannelController", now: int) -> bool:

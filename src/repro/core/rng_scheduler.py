@@ -186,10 +186,12 @@ class RNGAwareQueuePolicy:
 
     @staticmethod
     def _has_row_hit(controller: "ChannelController", read_queue: RequestQueue) -> bool:
-        banks = controller.channel.banks
-        for request in read_queue:
-            decoded = controller.decode(request)
-            if banks[decoded.flat_bank].open_row == decoded.row:
+        open_rows = controller.channel.open_rows
+        rows = read_queue._rows
+        for index, bank in enumerate(read_queue._banks):
+            if bank == -2:  # SLOT_UNDECODED: direct queue use (tests).
+                bank = read_queue.repair_slot(index, controller)
+            if bank >= 0 and open_rows[bank] == rows[index]:
                 return True
         return False
 

@@ -29,12 +29,12 @@ methodology of Section 7.
 
 from __future__ import annotations
 
+import dataclasses
 from collections import deque
 from dataclasses import dataclass
-from itertools import repeat
 from typing import Callable, Deque, Optional
 
-from .trace import Trace, TraceEntry
+from .trace import Trace
 
 
 @dataclass
@@ -59,7 +59,7 @@ class CoreConfig:
         return self.issue_width * self.clock_ratio
 
 
-@dataclass
+@dataclass(slots=True)
 class CoreStats:
     """Statistics of one core, frozen when the core finishes."""
 
@@ -98,13 +98,13 @@ class CoreStats:
         return self.rng_latency_sum / self.rng_requests
 
     def copy(self) -> "CoreStats":
-        return CoreStats(**self.__dict__)
+        return dataclasses.replace(self)
 
 
 class _WindowSlot:
     """One instruction-window entry."""
 
-    __slots__ = ("done", "is_rng", "ready_at")
+    __slots__ = ("done", "is_rng", "ready_at", "issued_at", "seq")
 
     def __init__(self, done: bool, is_rng: bool = False) -> None:
         self.done = done
@@ -118,13 +118,15 @@ class _WindowSlot:
         #: can only complete at least a full minimum read latency after
         #: it issues, which is past any window formed now.
         self.ready_at = None
-
-
-#: Shared completed-bubble slot.  Bubbles enter the window already done
-#: and are never mutated afterwards (only the not-done memory/RNG slots
-#: are flipped by their completion callbacks), so the cycle-skipping
-#: bulk-append can reuse one immutable instance.
-_DONE_BUBBLE = _WindowSlot(done=True)
+        #: Cycle the core issued the memory read backing this slot
+        #: (``None`` for bubbles and RNG slots); the completion handler
+        #: charges the read latency against it.
+        self.issued_at = None
+        #: Issue sequence number within the owning core's window,
+        #: assigned at issue time (the outstanding-slot FIFO orders by
+        #: it; the window head is the slot whose sequence equals the
+        #: core's retired count).
+        self.seq = 0
 
 
 class Core:
@@ -134,7 +136,7 @@ class Core:
         self,
         core_id: int,
         trace: Trace,
-        send_read: Callable[[int, int, Callable], bool],
+        send_read: Callable[[int, int, "_WindowSlot"], bool],
         send_write: Callable[[int, int], bool],
         send_rng: Callable[[int, int, Callable], None],
         config: Optional[CoreConfig] = None,
@@ -155,28 +157,52 @@ class Core:
             target_instructions if target_instructions is not None else trace.total_instructions
         )
 
-        # Dynamic execution state.
-        self._window: Deque[_WindowSlot] = deque()
+        # The trace precompiled into flat parallel columns (shared across
+        # every core replaying the same Trace object): the issue loop
+        # replays them with index arithmetic instead of per-entry
+        # TraceEntry attribute access.
+        columns = trace.columns()
+        self._col_bubbles = columns.bubbles
+        self._col_reads = columns.read_addresses
+        self._col_writes = columns.write_addresses
+        self._col_rng = columns.rng_bits
+        self._num_entries = len(columns)
+
+        # Dynamic execution state.  The instruction window is not
+        # materialised: done slots are observationally interchangeable
+        # (only undone memory/RNG slots are ever inspected — by their
+        # completion callbacks, the head-blocked checks and the engine's
+        # wake probes), so the window reduces to the issue/retire
+        # sequence counters plus a FIFO of the outstanding slots:
+        #
+        # * window occupancy   = ``_issued_seq - _retired_seq``,
+        # * window head        = ``_undone_fifo[0]`` when its sequence
+        #   equals ``_retired_seq`` (a completed-but-unretired or still
+        #   outstanding memory/RNG slot), else an always-done bubble,
+        # * head-of-window done-run (how many slots can retire before the
+        #   oldest outstanding request) = ``oldest_undone_sequence -
+        #   retired_sequence``, O(1) amortised.
+        #
+        # Bubble issue and retirement are therefore pure counter
+        # arithmetic — no deque traffic at all on the streaming path.
         #: Window slots still waiting on a memory/RNG completion.  Kept
         #: incrementally so the cycle-skipping engine's all-done check is
         #: O(1) instead of a window scan.
         self._undone_slots = 0
-        #: Issue/retire sequence counters plus a FIFO of (sequence, slot)
-        #: for outstanding slots.  Retirement is in issue order, so the
-        #: done-run length at the window head — how many slots can retire
-        #: before the oldest outstanding request — is
-        #: ``oldest_undone_sequence - retired_sequence``, O(1) amortised.
         self._issued_seq = 0
         self._retired_seq = 0
         self._undone_fifo: Deque = deque()
         self._slots_per_cycle = self.config.slots_per_bus_cycle
         self._window_size = self.config.window_size
+        # Current trace position, replayed from the precompiled columns
+        # with integer sentinels (-1 = no pending read/write, 0 = no
+        # pending RNG request) so the hot issue loop never touches a
+        # TraceEntry object or an Optional.
         self._entry_index = 0
-        self._bubbles_left = 0
-        self._pending_read: Optional[TraceEntry] = None
-        self._pending_write: Optional[int] = None
-        self._pending_rng: Optional[TraceEntry] = None
-        self._load_entry(self.trace.entries[0])
+        self._bubbles_left = self._col_bubbles[0]
+        self._pending_read = self._col_reads[0]
+        self._pending_write = self._col_writes[0]
+        self._pending_rng = self._col_rng[0]
 
         # Statistics.
         self.stats = CoreStats()
@@ -186,26 +212,6 @@ class Core:
 
     # ------------------------------------------------------------------ helpers
 
-    def _load_entry(self, entry: TraceEntry) -> None:
-        self._bubbles_left = entry.bubbles
-        self._pending_read = entry if entry.has_memory_read else None
-        self._pending_write = entry.write_address
-        self._pending_rng = entry if entry.has_rng_request else None
-
-    def _advance_entry(self) -> None:
-        self._entry_index += 1
-        if self._entry_index >= len(self.trace.entries):
-            self._entry_index = 0  # Wrap to keep generating interference.
-        self._load_entry(self.trace.entries[self._entry_index])
-
-    def _entry_exhausted(self) -> bool:
-        return (
-            self._bubbles_left == 0
-            and self._pending_read is None
-            and self._pending_write is None
-            and self._pending_rng is None
-        )
-
     @property
     def finished(self) -> bool:
         """Whether the core has retired its target instruction count."""
@@ -213,7 +219,7 @@ class Core:
 
     @property
     def outstanding_window_entries(self) -> int:
-        return len(self._window)
+        return self._issued_seq - self._retired_seq
 
     # ------------------------------------------------------------------ main loop
 
@@ -225,10 +231,14 @@ class Core:
         issued = self._issue(now)
 
         if retired == 0 and issued == 0:
-            head_blocked = bool(self._window) and not self._window[0].done
-            if head_blocked or self._pending_write is not None:
+            fifo = self._undone_fifo
+            head = fifo[0] if fifo else None
+            head_blocked = (
+                head is not None and head.seq == self._retired_seq and not head.done
+            )
+            if head_blocked or self._pending_write >= 0:
                 self.stats.memory_stall_cycles += 1
-                if head_blocked and self._window[0].is_rng:
+                if head_blocked and head.is_rng:
                     self.stats.rng_stall_cycles += 1
 
         if self.finish_cycle is None and self.stats.instructions >= self.target_instructions:
@@ -236,25 +246,23 @@ class Core:
             self.finished_stats = self.stats.copy()
 
     def _retire(self) -> int:
-        retired = 0
         budget = self._slots_per_cycle
-        window = self._window
-        if not self._undone_slots:
-            # Everything in the window is done: retire a full batch
-            # without per-slot completion checks.
-            retired = min(budget, len(window))
-            for _ in range(retired):
-                window.popleft()
-        else:
-            while retired < budget and window and window[0].done:
-                window.popleft()
-                retired += 1
         # Drop completed heads from the outstanding-slot FIFO here (not
         # only in the skip-bound computation) so it cannot accumulate one
         # entry per memory request over a whole run.
         fifo = self._undone_fifo
-        while fifo and fifo[0][1].done:
+        while fifo and fifo[0].done:
             fifo.popleft()
+        # Retirement is in issue order: everything older than the oldest
+        # outstanding slot is done, so the retirable run is the window
+        # occupancy capped by that slot's sequence, capped by the budget.
+        retired = self._issued_seq - self._retired_seq
+        if fifo:
+            run = fifo[0].seq - self._retired_seq
+            if run < retired:
+                retired = run
+        if retired > budget:
+            retired = budget
         self._retired_seq += retired
         # Instructions count as executed when they retire (in order), so
         # the finish condition reflects completed work, not issued work.
@@ -265,59 +273,70 @@ class Core:
         issued = 0
         budget = self._slots_per_cycle
         window_size = self._window_size
+        stats = self.stats
 
         while issued < budget:
-            if self._pending_write is not None:
+            if self._pending_write >= 0:
                 # Back-pressure: the writeback must be accepted before the
                 # core moves on to the next trace entry.
                 if self._send_write(self._pending_write, self.core_id):
-                    self.stats.writes_issued += 1
-                    self._pending_write = None
+                    stats.writes_issued += 1
+                    self._pending_write = -1
                 else:
                     break
-            if len(self._window) >= window_size:
+            occupancy = self._issued_seq - self._retired_seq
+            if occupancy >= window_size:
                 break
 
-            if self._bubbles_left > 0:
+            bubbles = self._bubbles_left
+            if bubbles > 0:
                 # Bubbles are issued in one batch: they complete
                 # immediately and never interact with anything, so the
-                # per-slot loop collapses to arithmetic plus a bulk
-                # append of the shared done-bubble slot.
-                take = min(
-                    budget - issued,
-                    self._bubbles_left,
-                    window_size - len(self._window),
-                )
-                self._bubbles_left -= take
-                self._window.extend(repeat(_DONE_BUBBLE, take))
+                # per-slot loop collapses to counter arithmetic.
+                take = budget - issued
+                if bubbles < take:
+                    take = bubbles
+                space = window_size - occupancy
+                if space < take:
+                    take = space
+                self._bubbles_left = bubbles - take
                 self._issued_seq += take
                 issued += take
-            elif self._pending_read is not None:
-                entry = self._pending_read
+            elif self._pending_read >= 0:
                 slot = _WindowSlot(done=False)
-                if not self._send_read(entry.address, self.core_id, self._make_read_callback(slot, now)):
+                slot.issued_at = now
+                slot.seq = self._issued_seq
+                if not self._send_read(self._pending_read, self.core_id, slot):
                     break  # Read queue full; retry next cycle.
-                self._window.append(slot)
-                self._undone_fifo.append((self._issued_seq, slot))
+                self._undone_fifo.append(slot)
                 self._issued_seq += 1
                 self._undone_slots += 1
-                self._pending_read = None
-                self.stats.reads_issued += 1
+                self._pending_read = -1
+                stats.reads_issued += 1
                 issued += 1
-            elif self._pending_rng is not None:
-                entry = self._pending_rng
-                self._pending_rng = None
+            elif self._pending_rng > 0:
+                bits = self._pending_rng
+                self._pending_rng = 0
                 slot = _WindowSlot(done=False, is_rng=True)
-                self._window.append(slot)
-                self._undone_fifo.append((self._issued_seq, slot))
+                slot.seq = self._issued_seq
+                self._undone_fifo.append(slot)
                 self._issued_seq += 1
                 self._undone_slots += 1
-                self.stats.rng_requests += 1
+                stats.rng_requests += 1
                 issued += 1
-                self._send_rng(entry.rng_bits, self.core_id, self._make_rng_callback(slot, now))
-            elif self._pending_write is None and self._entry_exhausted():
-                self._advance_entry()
-                continue
+                self._send_rng(bits, self.core_id, self._make_rng_callback(slot, now))
+            elif self._pending_write < 0:
+                # Entry exhausted (no bubbles, read, write or RNG request
+                # left): advance to the next precompiled column position,
+                # wrapping to keep generating interference.
+                index = self._entry_index + 1
+                if index >= self._num_entries:
+                    index = 0
+                self._entry_index = index
+                self._bubbles_left = self._col_bubbles[index]
+                self._pending_read = self._col_reads[index]
+                self._pending_write = self._col_writes[index]
+                self._pending_rng = self._col_rng[index]
             else:
                 break
         return issued
@@ -335,18 +354,21 @@ class Core:
         outstanding memory or RNG request — and can only be woken by a
         completion callback, which belongs to another component's bound.
         """
-        if self._pending_write is not None:
+        if self._pending_write >= 0:
             # Writeback back-pressure retries the enqueue every cycle.
             return now
-        window = self._window
         slots = self._slots_per_cycle
-        if window and not window[0].done:
-            space = self.config.window_size - len(window)
+        retired_seq = self._retired_seq
+        occupancy = self._issued_seq - retired_seq
+        fifo = self._undone_fifo
+        head = fifo[0] if fifo else None
+        if head is not None and head.seq == retired_seq and not head.done:
+            space = self._window_size - occupancy
             if space <= 0:
                 return None
             if self._bubbles_left > slots:
                 # Window filling behind a blocked head: each tick retires
-                # nothing and appends one issue-width of done bubbles.
+                # nothing and issues one issue-width of done bubbles.
                 fill_ticks = space // slots
                 if fill_ticks:
                     bubble_ticks = (self._bubbles_left - 1) // slots
@@ -354,7 +376,7 @@ class Core:
             return now
         if self._bubbles_left > slots:
             if not self._undone_slots:
-                if len(window) < slots:
+                if occupancy < slots:
                     return now
                 # Pure streaming: the window is all done and more than one
                 # issue-width of bubbles remains at every tick start.
@@ -365,10 +387,9 @@ class Core:
                 # Retirement is in issue order, so full batches retire as
                 # long as the done run ahead of the oldest outstanding
                 # slot spans at least one issue width per tick.
-                fifo = self._undone_fifo
-                while fifo and fifo[0][1].done:
+                while fifo and fifo[0].done:
                     fifo.popleft()
-                retire_ticks = (fifo[0][0] - self._retired_seq) // slots
+                retire_ticks = (fifo[0].seq - retired_seq) // slots
                 if not retire_ticks:
                     return now
                 quiet_ticks = min(retire_ticks, (self._bubbles_left - 1) // slots)
@@ -387,25 +408,27 @@ class Core:
     def skip_cycles(self, now: int, target: int) -> None:
         """Apply the effects of the quiet ticks for cycles ``[now, target)``."""
         skipped = target - now
-        window = self._window
         slots = self._slots_per_cycle
-        if window and not window[0].done:
+        fifo = self._undone_fifo
+        head = fifo[0] if fifo else None
+        if head is not None and head.seq == self._retired_seq and not head.done:
             self.stats.cycles += skipped
-            if len(window) >= self.config.window_size:
+            if self._issued_seq - self._retired_seq >= self._window_size:
                 # Stalled: every skipped tick is a memory-stall cycle.
                 self.stats.memory_stall_cycles += skipped
-                if window[0].is_rng:
+                if head.is_rng:
                     self.stats.rng_stall_cycles += skipped
             else:
                 # Window filling behind a blocked head: bubbles stream in
                 # without retiring (no stall is recorded while issuing).
                 count = slots * skipped
-                window.extend(repeat(_DONE_BUBBLE, count))
                 self._issued_seq += count
                 self._bubbles_left -= count
             return
         # Bubble streaming: each tick retires a full batch of done slots
-        # and issues as many bubbles.
+        # and issues as many bubbles — in the counter representation both
+        # sides are pure arithmetic (the retired prefix is all done, and
+        # done slots are observationally interchangeable).
         count = slots * skipped
         if self.finish_cycle is None and (
             self.stats.instructions + count >= self.target_instructions
@@ -421,15 +444,6 @@ class Core:
         self._bubbles_left -= count
         self._issued_seq += count
         self._retired_seq += count
-        if self._undone_slots:
-            # Mixed window: the retired prefix really leaves the window
-            # and fresh done bubbles take its place at the tail.  The
-            # retired slots are all done, and done slots are
-            # observationally interchangeable (only ``done`` is ever read
-            # on them; ``is_rng``/``ready_at`` matter solely on undone
-            # heads), so recycling them to the tail via a C-level rotate
-            # is equivalent to popping them and appending done bubbles.
-            window.rotate(-count)
 
     def catch_up_stall(self, start: int, end: int) -> None:
         """Account the deferred stall ticks for cycles ``[start, end)``.
@@ -437,31 +451,51 @@ class Core:
         Used by the event engine after it left a window-stalled core
         untouched: every deferred tick was a memory-stall cycle against
         the (still unretired) head slot.  Must be called before the head
-        is retired so the RNG attribution still sees the right slot.
+        is retired so the RNG attribution still sees the right slot —
+        a stalled core's head is always ``_undone_fifo[0]``.
         """
         stalled = end - start
         if stalled <= 0:
             return
         self.stats.cycles += stalled
         self.stats.memory_stall_cycles += stalled
-        if self._window[0].is_rng:
+        if self._undone_fifo[0].is_rng:
             self.stats.rng_stall_cycles += stalled
 
-    def _make_read_callback(self, slot: _WindowSlot, issue_cycle: int) -> Callable:
-        def _on_complete(request) -> None:
-            slot.done = True
-            self._undone_slots -= 1
-            completion = request.completion_cycle if request.completion_cycle is not None else issue_cycle
-            self.stats.read_latency_sum += max(0, completion - issue_cycle)
+    def complete_read(self, slot: _WindowSlot, completion_cycle: Optional[int]) -> None:
+        """Mark the read backing ``slot`` done and record its latency.
 
-        # Expose the window slot this completion will flip.  The batched
-        # serve path uses it to tell *waking* completions (the request is
-        # a stalled core's window head, so completing it re-activates the
-        # core) from completions that only mark a mid-window slot done;
-        # the former bound the serve window, the latter may be replayed
-        # inside it (see repro.sim.engine).
-        _on_complete.window_slot = slot
-        return _on_complete
+        ``slot`` is the window slot the core handed to ``send_read`` at
+        issue time; the memory side calls back here (directly, or through
+        :meth:`_on_read_complete` when the completion arrives as a
+        :class:`~repro.controller.request.Request`) when the read's data
+        returns.
+        """
+        slot.done = True
+        self._undone_slots -= 1
+        issue_cycle = slot.issued_at
+        completion = completion_cycle if completion_cycle is not None else issue_cycle
+        self.stats.read_latency_sum += max(0, completion - issue_cycle)
+
+    def _on_read_complete(self, request) -> None:
+        """Completion callback shared by every read request of this core.
+
+        The request carries its window slot (``request.window_slot``, set
+        by the system when it built the request around the slot the core
+        passed to ``send_read``); the slot also records the issue cycle,
+        so one bound method serves every read — the per-read closure the
+        core used to allocate is gone from the hot path.  The body is
+        :meth:`complete_read` inlined (one call per read completion).
+        """
+        slot = request.window_slot
+        slot.done = True
+        self._undone_slots -= 1
+        issue_cycle = slot.issued_at
+        completion = request.completion_cycle
+        if completion is None:
+            completion = issue_cycle
+        if completion > issue_cycle:
+            self.stats.read_latency_sum += completion - issue_cycle
 
     def _make_rng_callback(self, slot: _WindowSlot, issue_cycle: int) -> Callable:
         def _on_rng_complete(completion_cycle: int) -> None:

@@ -21,7 +21,7 @@ class Processor:
     def __init__(
         self,
         traces: Sequence[Trace],
-        send_read: Callable[[int, int, Callable], bool],
+        send_read: Callable[[int, int, object], bool],
         send_write: Callable[[int, int], bool],
         send_rng: Callable[[int, int, Callable], None],
         core_config: Optional[CoreConfig] = None,

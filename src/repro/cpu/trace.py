@@ -19,6 +19,7 @@ loaded from a simple text format (one entry per line:
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator, List, Optional, Sequence
@@ -62,6 +63,58 @@ class TraceEntry:
         return self.rng_bits > 0
 
 
+class TraceColumns:
+    """A trace precompiled into flat parallel columns (the replay kernel).
+
+    The per-cycle core model replays its trace millions of times per
+    simulation; going through :class:`TraceEntry` objects costs one
+    attribute load (plus two *property calls*) per field per entry
+    visit.  ``TraceColumns`` flattens the entry list once into four
+    stdlib ``array('q')`` columns — machine-word signed integers, no
+    numpy dependency — indexed by entry position:
+
+    * ``bubbles[i]`` — non-memory instructions of entry ``i``,
+    * ``read_addresses[i]`` — the LLC-missing read address, ``-1`` if
+      the entry has no read,
+    * ``write_addresses[i]`` — the writeback address, ``-1`` if none,
+    * ``rng_bits[i]`` — requested random bits, ``0`` if none.
+
+    :class:`~repro.cpu.core.Core` replays these columns with pure index
+    arithmetic; both simulation engines share that replay path, so the
+    compiled form cannot introduce an engine divergence by construction.
+
+    Memory footprint: ``4 * 8 = 32`` bytes per trace entry (the columns
+    are shared by every core replaying the same :class:`Trace` object
+    within a process, including all alone-run replays).
+    """
+
+    __slots__ = ("bubbles", "read_addresses", "write_addresses", "rng_bits")
+
+    def __init__(self, entries: Sequence[TraceEntry]) -> None:
+        self.bubbles = array("q", [entry.bubbles for entry in entries])
+        self.read_addresses = array(
+            "q", [-1 if entry.address is None else entry.address for entry in entries]
+        )
+        self.write_addresses = array(
+            "q",
+            [-1 if entry.write_address is None else entry.write_address for entry in entries],
+        )
+        self.rng_bits = array("q", [entry.rng_bits for entry in entries])
+
+    def __len__(self) -> int:
+        return len(self.bubbles)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceColumns):
+            return NotImplemented
+        return (
+            self.bubbles == other.bubbles
+            and self.read_addresses == other.read_addresses
+            and self.write_addresses == other.write_addresses
+            and self.rng_bits == other.rng_bits
+        )
+
+
 class Trace:
     """An ordered collection of trace entries with a name and metadata."""
 
@@ -76,6 +129,8 @@ class Trace:
             raise ValueError("a trace must contain at least one entry")
         self.name = name
         self.metadata = dict(metadata or {})
+        self._columns: Optional[TraceColumns] = None
+        self._columns_snapshot: tuple = ()
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -114,38 +169,80 @@ class Trace:
             return 0.0
         return 1000.0 * self.memory_reads / instructions
 
+    # -- precompilation -----------------------------------------------------------
+
+    def columns(self) -> TraceColumns:
+        """The trace precompiled into flat parallel arrays (cached).
+
+        Compiled once per :class:`Trace` object at first use (simulation
+        start) and shared by every core replaying it afterwards.  The
+        cache is guarded by an identity snapshot of the entry list, so
+        appending, removing or replacing entries all trigger a recompile
+        (entries themselves are frozen, so element mutation is
+        impossible).  The guard is a tuple compare over object
+        identities — O(entries) pointer compares per call, negligible
+        next to the simulation that follows.
+        """
+        entries = tuple(self.entries)
+        columns = self._columns
+        if columns is None or entries != self._columns_snapshot:
+            columns = TraceColumns(entries)
+            self._columns = columns
+            self._columns_snapshot = entries
+        return columns
+
     # -- serialisation ------------------------------------------------------------
+
+    def format(self) -> str:
+        """Render the trace in the simple text format (see :meth:`parse`)."""
+        lines = [f"# trace {self.name}"]
+        for entry in self.entries:
+            parts = [str(entry.bubbles)]
+            if entry.address is not None:
+                parts += ["R", str(entry.address)]
+            if entry.write_address is not None:
+                parts += ["W", str(entry.write_address)]
+            if entry.rng_bits:
+                parts += ["G", str(entry.rng_bits)]
+            lines.append(" ".join(parts))
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def parse(
+        cls,
+        text: str,
+        name: str = "trace",
+        metadata: Optional[dict] = None,
+        source: str = "<string>",
+    ) -> "Trace":
+        """Parse the text format produced by :meth:`format`.
+
+        The text format carries only the entry list; ``name`` and
+        ``metadata`` must be supplied by the caller (or by
+        :meth:`load`, which derives the name from the file stem).
+        """
+        entries: List[TraceEntry] = []
+        for line_number, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            entries.append(cls._parse_line(line, source, line_number))
+        return cls(entries, name=name, metadata=metadata)
 
     def save(self, path: str | Path) -> None:
         """Write the trace in the simple text format."""
-        path = Path(path)
-        with path.open("w", encoding="utf-8") as handle:
-            handle.write(f"# trace {self.name}\n")
-            for entry in self.entries:
-                parts = [str(entry.bubbles)]
-                if entry.address is not None:
-                    parts += ["R", str(entry.address)]
-                if entry.write_address is not None:
-                    parts += ["W", str(entry.write_address)]
-                if entry.rng_bits:
-                    parts += ["G", str(entry.rng_bits)]
-                handle.write(" ".join(parts) + "\n")
+        Path(path).write_text(self.format(), encoding="utf-8")
 
     @classmethod
     def load(cls, path: str | Path, name: Optional[str] = None) -> "Trace":
         """Load a trace previously written by :meth:`save`."""
         path = Path(path)
-        entries: List[TraceEntry] = []
-        with path.open("r", encoding="utf-8") as handle:
-            for line_number, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line or line.startswith("#"):
-                    continue
-                entries.append(cls._parse_line(line, path, line_number))
-        return cls(entries, name=name or path.stem)
+        return cls.parse(
+            path.read_text(encoding="utf-8"), name=name or path.stem, source=str(path)
+        )
 
     @staticmethod
-    def _parse_line(line: str, path: Path, line_number: int) -> TraceEntry:
+    def _parse_line(line: str, source, line_number: int) -> TraceEntry:
         tokens = line.split()
         try:
             bubbles = int(tokens[0])
@@ -166,7 +263,7 @@ class Trace:
                     raise ValueError(f"unknown tag {tag!r}")
                 index += 2
         except (IndexError, ValueError) as exc:
-            raise ValueError(f"{path}:{line_number}: malformed trace line {line!r}") from exc
+            raise ValueError(f"{source}:{line_number}: malformed trace line {line!r}") from exc
         return TraceEntry(
             bubbles=bubbles, address=address, write_address=write_address, rng_bits=rng_bits
         )

@@ -386,7 +386,15 @@ class Coordinator:
         except BaseException:
             with self._lock:
                 point.committing = False
-                self._record_attempt(point, key, "result store commit failed")
+                # Count the failed commit as an attempt AND re-check
+                # settlement: a lease that died *while* the commit was in
+                # flight deferred its own settlement to the commit (see
+                # _settle_or_requeue), so the failure path must resolve
+                # the point — requeue it or declare it failed — or
+                # nothing ever would and _check_finished would hang the
+                # run with the point permanently unsettled.
+                point.attempts += 1
+                self._settle_or_requeue(point, key, "result store commit failed")
                 self._check_finished()
             raise
         with self._lock:
@@ -408,19 +416,30 @@ class Coordinator:
             self._check_finished()
 
     def _record_attempt(self, point: _Point, key: str, reason: str) -> None:
-        """Count one failed attempt; requeue or (past the bound) fail. Lock held.
-
-        A point is never declared failed while another worker still holds
-        a live lease on it (straggler duplicate) or a result for it is
-        being committed — that copy may land moments later.  If the
-        in-flight copy dies too, its own revocation re-enters here with
-        the leases gone and fails the point then.
-        """
+        """Count one failed attempt, then settle or requeue.  Lock held."""
         point.attempts += 1
+        self._settle_or_requeue(point, key, reason)
+
+    def _settle_or_requeue(self, point: _Point, key: str, reason: str) -> None:
+        """Resolve a point after an attempt was recorded.  Lock held.
+
+        A point is never declared failed — nor requeued — while another
+        worker still holds a live lease on it (straggler duplicate) or a
+        result for it is being committed: that copy may land moments
+        later, and requeueing under an in-flight commit would burn a
+        duplicate simulation of a point that is about to complete.
+        Whatever blocked the settlement re-enters here when it resolves:
+        a dying lease through its revocation, a failing commit through
+        :meth:`_commit`'s failure path — so a point can never be left
+        permanently unsettled.
+        """
+        if point.done or point.failed is not None:
+            return
+        if point.leases or point.committing:
+            return
         if point.attempts >= self.max_attempts:
-            if not point.leases and not point.committing:
-                point.failed = reason
-        elif not point.leases and key not in self._pending:
+            point.failed = reason
+        elif key not in self._pending:
             self._pending.append(key)
 
     def _renew(self, key: str, connection_id: int) -> None:
@@ -447,9 +466,13 @@ class Coordinator:
     def _reaper_loop(self) -> None:
         interval = min(1.0, max(0.05, self.lease_timeout / 4))
         while not self._shutdown.is_set():
-            if self._finished.wait(0):
+            # Block *on the finished event*, not in a plain sleep: the
+            # thread then exits the moment the last commit lands (or
+            # ``stop`` is called), instead of holding the process — and
+            # the listener port — for up to a full interval after the
+            # run is over.
+            if self._finished.wait(interval):
                 return
-            time.sleep(interval)
             now = time.monotonic()
             with self._lock:
                 for key, point in self._points.items():

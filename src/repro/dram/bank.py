@@ -29,7 +29,7 @@ class AccessCategory(Enum):
     ROW_CONFLICT = "row_conflict"
 
 
-@dataclass
+@dataclass(slots=True)
 class BankStats:
     """Per-bank counters used by the energy model and experiments."""
 
@@ -55,12 +55,20 @@ class BankStats:
 class Bank:
     """A single DRAM bank with an open-row policy."""
 
-    def __init__(self, bank_id: int, timing: DRAMTiming) -> None:
+    def __init__(
+        self, bank_id: int, timing: DRAMTiming, open_row_mirror: list | None = None
+    ) -> None:
         self.bank_id = bank_id
         self.timing = timing
         self.open_row: int | None = None
         self.ready_at: int = 0
         self.stats = BankStats()
+        #: The owning channel's flat open-row list (``Channel.open_rows``),
+        #: shared by every bank of the channel.  Every open-row mutation —
+        #: whether through this bank's own methods or the channel's
+        #: inlined access path — must land in it, because the schedulers'
+        #: row-hit scans read the mirror instead of ``open_row``.
+        self._open_row_mirror = open_row_mirror
 
     # -- queries ------------------------------------------------------------------
 
@@ -101,26 +109,37 @@ class Bank:
         latency and burst time, and for calling :meth:`complete_access`
         with the final bank-busy time.
         """
-        category = self.access_category(row)
-        start = max(now, self.ready_at)
-        column_ready = start + self.preparation_latency(row)
-
-        if category is AccessCategory.ROW_HIT:
-            self.stats.row_hits += 1
-        elif category is AccessCategory.ROW_CLOSED:
-            self.stats.row_closed += 1
-            self.stats.activations += 1
+        stats = self.stats
+        timing = self.timing
+        start = now if now >= self.ready_at else self.ready_at
+        open_row = self.open_row
+        # Classify once and apply the category's preparation latency and
+        # counters inline (access_category + preparation_latency would
+        # classify twice on this per-access path).
+        if open_row == row:
+            category = AccessCategory.ROW_HIT
+            column_ready = start
+            stats.row_hits += 1
+        elif open_row is None:
+            category = AccessCategory.ROW_CLOSED
+            column_ready = start + timing.tRCD
+            stats.row_closed += 1
+            stats.activations += 1
         else:
-            self.stats.row_conflicts += 1
-            self.stats.precharges += 1
-            self.stats.activations += 1
+            category = AccessCategory.ROW_CONFLICT
+            column_ready = start + timing.tRP + timing.tRCD
+            stats.row_conflicts += 1
+            stats.precharges += 1
+            stats.activations += 1
 
         if is_write:
-            self.stats.writes += 1
+            stats.writes += 1
         else:
-            self.stats.reads += 1
+            stats.reads += 1
 
         self.open_row = row
+        if self._open_row_mirror is not None:
+            self._open_row_mirror[self.bank_id] = row
         return column_ready, category
 
     def complete_access(self, busy_until: int) -> None:
@@ -133,9 +152,13 @@ class Bank:
         if self.open_row is not None:
             self.stats.precharges += 1
             self.open_row = None
+            if self._open_row_mirror is not None:
+                self._open_row_mirror[self.bank_id] = None
             self.ready_at = max(self.ready_at, now + self.timing.tRP)
 
     def reset(self) -> None:
         """Reset dynamic state (open row and readiness), keeping stats."""
         self.open_row = None
+        if self._open_row_mirror is not None:
+            self._open_row_mirror[self.bank_id] = None
         self.ready_at = 0

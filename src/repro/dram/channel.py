@@ -21,7 +21,7 @@ from .bank import AccessCategory, Bank, BankStats
 from .timing import DRAMOrganization, DRAMTiming
 
 
-@dataclass
+@dataclass(slots=True)
 class ChannelStats:
     """Aggregate per-channel counters."""
 
@@ -57,8 +57,17 @@ class Channel:
         self.channel_id = channel_id
         self.timing = timing or DRAMTiming()
         self.organization = organization or DRAMOrganization()
+        #: Flat mirror of every bank's currently open row.  The
+        #: schedulers' row-hit scans index this list directly — one list
+        #: load + int compare per queued request — instead of chasing
+        #: ``banks[i].open_row`` attribute chains.  The list identity is
+        #: permanent: each bank holds a reference and updates its slot on
+        #: every open-row mutation (as does the channel's inlined access
+        #: path), so no code path can desynchronise the mirror.
+        self.open_rows: list = [None] * self.organization.banks_per_channel
         self.banks = [
-            Bank(bank_id, self.timing) for bank_id in range(self.organization.banks_per_channel)
+            Bank(bank_id, self.timing, open_row_mirror=self.open_rows)
+            for bank_id in range(self.organization.banks_per_channel)
         ]
         self.bus_free_at: int = 0
         self.stats = ChannelStats()
@@ -78,34 +87,67 @@ class Channel:
         (read) or arrives at (write) the channel.  Bank preparation of
         different banks may overlap; bursts serialise on the data bus.
         """
-        if not 0 <= bank_id < len(self.banks):
+        banks = self.banks
+        if not 0 <= bank_id < len(banks):
             raise ValueError(f"bank_id {bank_id} out of range for channel {self.channel_id}")
-        bank = self.banks[bank_id]
+        bank = banks[bank_id]
         timing = self.timing
+        stats = self.stats
+        bank_stats = bank.stats
 
-        column_ready, category = bank.access(row, now, is_write=is_write)
+        # The bank state machine of :meth:`Bank.access` is applied inline
+        # here (classification, preparation latency, counters, open-row
+        # update, busy-until) — this per-access path is the hottest DRAM
+        # code in dense simulations and the method/enum indirections cost
+        # more than the logic.  Keep the two in sync.
+        ready = bank.ready_at
+        start = now if now >= ready else ready
+        open_row = bank.open_row
+        if open_row == row:
+            category = AccessCategory.ROW_HIT
+            column_ready = start
+            bank_stats.row_hits += 1
+            stats.row_hits += 1
+        elif open_row is None:
+            category = AccessCategory.ROW_CLOSED
+            column_ready = start + timing.tRCD
+            bank_stats.row_closed += 1
+            bank_stats.activations += 1
+            stats.row_closed += 1
+            bank.open_row = row
+            self.open_rows[bank_id] = row
+        else:
+            category = AccessCategory.ROW_CONFLICT
+            column_ready = start + timing.tRP + timing.tRCD
+            bank_stats.row_conflicts += 1
+            bank_stats.precharges += 1
+            bank_stats.activations += 1
+            stats.row_conflicts += 1
+            bank.open_row = row
+            self.open_rows[bank_id] = row
+
         cas_latency = timing.tCWL if is_write else timing.tCL
-        data_start = max(column_ready + cas_latency, self.bus_free_at)
+        data_start = column_ready + cas_latency
+        bus_free_at = self.bus_free_at
+        if data_start < bus_free_at:
+            data_start = bus_free_at
         data_end = data_start + timing.tBL
 
         # The bank remains busy until the burst completes (plus write
         # recovery for writes), which also enforces a minimal tRAS-like
         # occupancy for back-to-back accesses to the same bank.
         bank_busy_until = data_end + (timing.tWR if is_write else 0)
-        bank.complete_access(bank_busy_until)
+        if bank_busy_until > bank.ready_at:
+            bank.ready_at = bank_busy_until
         self.bus_free_at = data_end
 
         if is_write:
-            self.stats.write_accesses += 1
+            stats.write_accesses += 1
+            bank_stats.writes += 1
         else:
-            self.stats.read_accesses += 1
-        if category is AccessCategory.ROW_HIT:
-            self.stats.row_hits += 1
-        elif category is AccessCategory.ROW_CLOSED:
-            self.stats.row_closed += 1
-        else:
-            self.stats.row_conflicts += 1
-        self.stats.busy_cycles += data_end - max(now, min(column_ready, data_start))
+            stats.read_accesses += 1
+            bank_stats.reads += 1
+        stats.busy_cycles += data_end - max(now, min(column_ready, data_start))
 
         return data_end, category
 
@@ -121,8 +163,9 @@ class Channel:
         if duration < 0:
             raise ValueError(f"duration must be non-negative, got {duration}")
         end = max(now, self.bus_free_at) + duration
-        for bank in self.banks:
+        for index, bank in enumerate(self.banks):
             bank.open_row = None
+            self.open_rows[index] = None
             bank.complete_access(end)
         self.bus_free_at = end
         self.stats.rng_cycles += duration
@@ -177,5 +220,5 @@ class Channel:
     def reset_dynamic_state(self) -> None:
         """Reset row buffers and readiness without clearing statistics."""
         for bank in self.banks:
-            bank.reset()
+            bank.reset()  # each bank clears its open_rows slot
         self.bus_free_at = 0

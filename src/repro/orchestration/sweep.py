@@ -183,12 +183,14 @@ class CacheServingBackend:
 
 @contextmanager
 def installed_backend(backend):
-    """Temporarily route :func:`repro.sim.runner.simulate_traces` to ``backend``."""
-    previous = sim_runner.set_simulation_backend(backend)
-    try:
-        yield backend
-    finally:
-        sim_runner.set_simulation_backend(previous)
+    """Temporarily route :func:`repro.sim.runner.simulate_traces` to ``backend``.
+
+    Thin wrapper over :func:`repro.sim.runner.simulation_backend` (the
+    scoped installer both the orchestrator and the CLI use) kept under
+    its historical name.
+    """
+    with sim_runner.simulation_backend(backend) as installed:
+        yield installed
 
 
 # ----------------------------------------------------------------- experiments

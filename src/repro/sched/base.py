@@ -32,6 +32,24 @@ class MemoryScheduler(ABC):
     ) -> Optional[Request]:
         """Return the request to service next, or ``None`` to idle."""
 
+    def select_index(
+        self,
+        queue: RequestQueue,
+        controller: "ChannelController",
+        now: int,
+    ) -> int:
+        """Index in ``queue`` of the request :meth:`select` would return.
+
+        ``-1`` means "idle" (no selectable request).  The built-in
+        schedulers override this with native single-scan implementations
+        and derive :meth:`select` from it; the hot serve paths use the
+        index form so dequeuing needs no identity re-scan of the queue.
+        """
+        request = self.select(queue, controller, now)
+        if request is None:
+            return -1
+        return queue._entries.index(request)
+
     def notify_served(self, request: Request, now: int) -> None:
         """Hook invoked after ``request`` has been issued to the devices."""
 

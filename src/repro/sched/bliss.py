@@ -50,24 +50,23 @@ class BLISS(MemoryScheduler):
 
     # -- scheduling ---------------------------------------------------------------
 
-    def select(
+    def select_index(
         self,
         queue: RequestQueue,
         controller: "ChannelController",
         now: int,
-    ) -> Optional[Request]:
-        best: Optional[Request] = None
+    ) -> int:
+        best_index = -1
         best_key = None
         blacklist = self.blacklist
-        banks = controller.channel.banks
-        for request in queue._entries:
-            if request.type is RequestType.RNG:
-                row_hit = False
-            else:
-                decoded = request.decoded
-                if decoded is None:
-                    decoded = controller.decode(request)
-                row_hit = banks[decoded.flat_bank].open_row == decoded.row
+        open_rows = controller.channel.open_rows
+        rows = queue._rows
+        qbanks = queue._banks
+        for index, request in enumerate(queue._entries):
+            bank = qbanks[index]
+            if bank == -2:  # SLOT_UNDECODED: direct queue use (tests).
+                bank = queue.repair_slot(index, controller)
+            row_hit = bank >= 0 and open_rows[bank] == rows[index]
             key = (
                 0 if request.core_id not in blacklist else 1,
                 0 if row_hit else 1,
@@ -75,8 +74,17 @@ class BLISS(MemoryScheduler):
                 request.request_id,
             )
             if best_key is None or key < best_key:
-                best, best_key = request, key
-        return best
+                best_index, best_key = index, key
+        return best_index
+
+    def select(
+        self,
+        queue: RequestQueue,
+        controller: "ChannelController",
+        now: int,
+    ) -> Optional[Request]:
+        index = self.select_index(queue, controller, now)
+        return None if index < 0 else queue._entries[index]
 
     # -- bookkeeping --------------------------------------------------------------
 

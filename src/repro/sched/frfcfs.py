@@ -20,9 +20,34 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class FRFCFS(MemoryScheduler):
-    """First-ready (row hit) first, then first-come-first-serve."""
+    """First-ready (row hit) first, then first-come-first-serve.
+
+    The scan iterates the queue's preextracted slot arrays (flat bank id
+    and row per entry, see :class:`RequestQueue`) instead of touching
+    request objects: one integer compare per queued entry, with the
+    request object only materialised for the winner.
+    """
 
     name = "fr-fcfs"
+
+    def select_index(
+        self,
+        queue: RequestQueue,
+        controller: "ChannelController",
+        now: int,
+    ) -> int:
+        if not queue._entries:
+            return -1
+        open_rows = controller.channel.open_rows
+        rows = queue._rows
+        for index, bank in enumerate(queue._banks):
+            if bank == -2:  # SLOT_UNDECODED: direct queue use (tests).
+                bank = queue.repair_slot(index, controller)
+            if bank >= 0 and open_rows[bank] == rows[index]:
+                # First (oldest) row hit wins; nothing later can
+                # change the outcome.
+                return index
+        return 0
 
     def select(
         self,
@@ -30,22 +55,8 @@ class FRFCFS(MemoryScheduler):
         controller: "ChannelController",
         now: int,
     ) -> Optional[Request]:
-        oldest_hit: Optional[Request] = None
-        oldest: Optional[Request] = None
-        banks = controller.channel.banks
-        for request in queue._entries:
-            if oldest is None:
-                oldest = request
-            if request.type is not RequestType.RNG:
-                decoded = request.decoded
-                if decoded is None:
-                    decoded = controller.decode(request)
-                if banks[decoded.flat_bank].open_row == decoded.row:
-                    # First (oldest) row hit wins; nothing later can
-                    # change the outcome.
-                    oldest_hit = request
-                    break
-        return oldest_hit if oldest_hit is not None else oldest
+        index = self.select_index(queue, controller, now)
+        return None if index < 0 else queue._entries[index]
 
 
 class FRFCFSCap(FRFCFS):
@@ -67,28 +78,27 @@ class FRFCFSCap(FRFCFS):
         self._streak_key: Optional[Tuple[int, int]] = None
         self._streak_length = 0
 
-    def select(
+    def select_index(
         self,
         queue: RequestQueue,
         controller: "ChannelController",
         now: int,
-    ) -> Optional[Request]:
-        oldest_hit: Optional[Request] = None
-        oldest: Optional[Request] = None
-        banks = controller.channel.banks
+    ) -> int:
+        if not queue._entries:
+            return -1
+        open_rows = controller.channel.open_rows
+        rows = queue._rows
         capped_key = self._streak_key if self._streak_length >= self.cap else None
-        for request in queue._entries:
-            if oldest is None:
-                oldest = request
-            if request.type is not RequestType.RNG:
-                decoded = request.decoded
-                if decoded is None:
-                    decoded = controller.decode(request)
-                if banks[decoded.flat_bank].open_row == decoded.row:
-                    if capped_key is None or capped_key != (decoded.flat_bank, decoded.row):
-                        oldest_hit = request
-                        break
-        return oldest_hit if oldest_hit is not None else oldest
+        for index, bank in enumerate(queue._banks):
+            if bank == -2:  # SLOT_UNDECODED: direct queue use (tests).
+                bank = queue.repair_slot(index, controller)
+            if bank >= 0:
+                row = rows[index]
+                if open_rows[bank] == row and (
+                    capped_key is None or capped_key != (bank, row)
+                ):
+                    return index
+        return 0
 
     def notify_served(self, request: Request, now: int) -> None:
         if request.type is RequestType.RNG:

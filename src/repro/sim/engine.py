@@ -159,6 +159,23 @@ class EventEngine:
             while unfinished and unfinished[-1].finish_cycle is not None:
                 unfinished.pop()
             if not unfinished:
+                # The last finish may have been *materialised for the
+                # current, not-yet-processed cycle*: the mixed-stretch
+                # re-examination closes a quiet core's stretch through
+                # ``cycle`` itself when its event bound is the next cycle
+                # (so a finish inside it reaches this check), and every
+                # other exit path leaves ``cycle`` already past the
+                # finish.  The reference engine still runs that final
+                # cycle, so the clock must advance past the last finish
+                # before the epilogue closes the deferred memory-side
+                # segments — which provably cover the gap: the stretch
+                # only materialises while the memory side is quiet past
+                # it, so the skipped cycle extends each open segment
+                # with its established classification.
+                for core in cores:
+                    finish = core.finish_cycle
+                    if finish is not None and finish >= cycle:
+                        cycle = finish + 1
                 break
             if cycle >= max_cycles:
                 system.hit_cycle_limit = True
@@ -166,15 +183,18 @@ class EventEngine:
 
             # Memory-side horizon: the earliest cycle a controller or the
             # RNG subsystem may change state.  ``None`` = unbounded-quiet.
+            # The shared-buffer version is read once per iteration (every
+            # controller's fill decision consults the same buffer).
             target = max_cycles
             memory_active = False
+            buffer_version = None if shared_buffer is None else shared_buffer.version
             for index, controller in controller_range:
-                if controller._bound_cache_valid:
-                    buffer = controller._fill_buffer
-                    if buffer is None or buffer.version == controller._fill_buffer_version:
-                        bound = controller._bound_cache
-                    else:
-                        bound = controller.next_event_cycle(cycle)
+                if controller._bound_cache_valid and (
+                    buffer_version is None
+                    or controller._fill_buffer is None
+                    or controller._fill_buffer_version == buffer_version
+                ):
+                    bound = controller._bound_cache
                 else:
                     bound = controller.next_event_cycle(cycle)
                 controller_bounds[index] = bound
@@ -184,7 +204,17 @@ class EventEngine:
                     memory_active = True
                 elif bound < target:
                     target = bound
-            rng_bound = rng_subsystem.next_event_cycle(cycle)
+            # RNG-subsystem bound, inlined from
+            # RNGSubsystem.next_event_cycle (keep in sync): a pending
+            # retry forces normal ticking, else the deferred heap head is
+            # the earliest event.
+            if rng_subsystem._retry_queue:
+                rng_bound = cycle
+            elif rng_subsystem._deferred:
+                head = rng_subsystem._deferred[0][0]
+                rng_bound = cycle if head <= cycle else head
+            else:
+                rng_bound = None
             if rng_bound is not None:
                 if rng_bound <= cycle:
                     memory_active = True
@@ -242,7 +272,8 @@ class EventEngine:
                     for index, controller in controller_range:
                         if controller._skip_kind is None:
                             controller.skip_cycles(cycle, target)
-                    rng_subsystem.skip_cycles(cycle, target)
+                    # = RNGSubsystem.skip_cycles(cycle, target); keep in sync.
+                    rng_subsystem.now = target - 1
                     for index, core in core_range:
                         if core_bound_cache[index] == target and quiet_since[index] is not None:
                             core.skip_cycles(quiet_since[index], target)
@@ -351,8 +382,10 @@ class EventEngine:
                 # extends through ``c`` and the engine runs the woken
                 # cores' ticks at ``c`` itself below — saving the whole
                 # per-cycle dispatch the wake would otherwise cost.
+                # (A stalled core's window head is its oldest outstanding
+                # slot, ``_undone_fifo[0]``.)
                 for core in cores:
-                    ready = core._window[0].ready_at
+                    ready = core._undone_fifo[0].ready_at
                     if ready is not None and ready < window_end:
                         window_end = ready + 1
                 if window_end > step:
@@ -367,7 +400,8 @@ class EventEngine:
                             controller.serve_batch(cycle, window_end)
                         elif controller._skip_kind is None:
                             controller.skip_cycles(cycle, window_end)
-                    rng_subsystem.skip_cycles(cycle, window_end)
+                    # = RNGSubsystem.skip_cycles(cycle, window_end); keep in sync.
+                    rng_subsystem.now = window_end - 1
                     self.serve_windows += 1
                     self.serve_window_cycles += window_end - cycle
                     # Wake pass at the window's last cycle: completions
@@ -379,7 +413,7 @@ class EventEngine:
                     wake_cycle = window_end - 1
                     system.cycle = system.dram.now = wake_cycle
                     for index, core in core_range:
-                        if stalled_since[index] is None or not core._window[0].done:
+                        if stalled_since[index] is None or not core._undone_fifo[0].done:
                             continue
                         core.catch_up_stall(stalled_since[index], wake_cycle)
                         stalled_since[index] = None
@@ -429,7 +463,7 @@ class EventEngine:
                     # A stalled window only unblocks when a completion
                     # marks its head slot done; until then the core has
                     # no tick effects beyond the deferred stall counters.
-                    if not core._window[0].done:
+                    if not core._undone_fifo[0].done:
                         continue
                     core.catch_up_stall(since, cycle)
                     stalled_since[index] = None

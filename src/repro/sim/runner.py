@@ -11,8 +11,9 @@ weighted speedup.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..cpu.trace import Trace
 from ..dram.address import AddressMapping
@@ -74,6 +75,37 @@ def backend_provides_real_results() -> bool:
     """Whether backend results may be cached (planning backends return stubs)."""
     backend = _SIMULATION_BACKEND
     return backend is None or getattr(backend, "provides_real_results", True)
+
+
+@contextmanager
+def engine_override(engine: Optional[str]) -> Iterator[Optional[str]]:
+    """Scope an engine override: installed on entry, restored on exit.
+
+    Both :func:`set_engine_override` and :func:`set_simulation_backend`
+    mutate process-globals; a sweep that raises between install and
+    restore would otherwise leak its override into every subsequent
+    in-process simulation (a long-lived test session, a library caller).
+    All scoped installs — the CLI, the orchestrator, benchmarks — go
+    through these context managers so an exception cannot leak.
+    """
+    previous = set_engine_override(engine)
+    try:
+        yield engine
+    finally:
+        set_engine_override(previous)
+
+
+@contextmanager
+def simulation_backend(backend) -> Iterator:
+    """Scope a simulation backend: installed on entry, restored on exit.
+
+    See :func:`engine_override` for why installs must be scoped.
+    """
+    previous = set_simulation_backend(backend)
+    try:
+        yield backend
+    finally:
+        set_simulation_backend(previous)
 
 
 @dataclass(frozen=True)

@@ -104,6 +104,18 @@ class System:
             priorities=[priorities[core_id] for core_id in range(len(self.traces))],
         )
 
+        # Hot request-lifecycle state (see _send_read/_send_write):
+        # decoded DRAM coordinates cached per distinct address (traces
+        # wrap, so every address decodes once per run instead of once per
+        # access), one request free-list arena per core (requests recycle
+        # after their terminal completion instead of allocating one
+        # object per memory access), and each core's shared read-
+        # completion callback resolved once.
+        self._decode_cache: Dict[int, object] = {}
+        self._request_pools: List[list] = [[] for _ in self.traces]
+        self._read_callbacks = [core._on_read_complete for core in self.processor.cores]
+        self._priorities = [priorities[core_id] for core_id in range(len(self.traces))]
+
         self.energy_model = DRAMEnergyModel(num_channels=self.dram.num_channels)
 
     # ------------------------------------------------------------------ wiring
@@ -180,28 +192,66 @@ class System:
 
     # ------------------------------------------------------------------ core callbacks
 
-    def _send_read(self, address: int, core_id: int, callback) -> bool:
-        request = Request(
-            type=RequestType.READ,
-            core_id=core_id,
-            address=address,
-            arrival_cycle=self.cycle,
-            priority=self.registry.priority(core_id),
-            callback=callback,
-        )
-        controller = self.controllers[self.dram.mapping.channel_of(address)]
-        return controller.enqueue(request)
+    def _send_read(self, address: int, core_id: int, slot) -> bool:
+        cache = self._decode_cache
+        decoded = cache.get(address)
+        if decoded is None:
+            decoded = self.dram.mapping.decode(address)
+            cache[address] = decoded
+        pool = self._request_pools[core_id]
+        if pool:
+            request = pool.pop().reuse(
+                RequestType.READ,
+                address,
+                self.cycle,
+                self._read_callbacks[core_id],
+                decoded,
+                slot,
+            )
+        else:
+            request = Request(
+                type=RequestType.READ,
+                core_id=core_id,
+                address=address,
+                arrival_cycle=self.cycle,
+                priority=self._priorities[core_id],
+                callback=self._read_callbacks[core_id],
+                decoded=decoded,
+                window_slot=slot,
+                pool=pool,
+            )
+        if self.controllers[decoded.channel].enqueue(request):
+            return True
+        # Rejected (queue full): the request never left our hands, so it
+        # goes straight back to the arena and the core retries next cycle.
+        pool.append(request)
+        return False
 
     def _send_write(self, address: int, core_id: int) -> bool:
-        request = Request(
-            type=RequestType.WRITE,
-            core_id=core_id,
-            address=address,
-            arrival_cycle=self.cycle,
-            priority=self.registry.priority(core_id),
-        )
-        controller = self.controllers[self.dram.mapping.channel_of(address)]
-        return controller.enqueue(request)
+        cache = self._decode_cache
+        decoded = cache.get(address)
+        if decoded is None:
+            decoded = self.dram.mapping.decode(address)
+            cache[address] = decoded
+        pool = self._request_pools[core_id]
+        if pool:
+            request = pool.pop().reuse(
+                RequestType.WRITE, address, self.cycle, None, decoded, None
+            )
+        else:
+            request = Request(
+                type=RequestType.WRITE,
+                core_id=core_id,
+                address=address,
+                arrival_cycle=self.cycle,
+                priority=self._priorities[core_id],
+                decoded=decoded,
+                pool=pool,
+            )
+        if self.controllers[decoded.channel].enqueue(request):
+            return True
+        pool.append(request)
+        return False
 
     def _send_rng(self, bits: int, core_id: int, callback) -> None:
         self.rng_subsystem.request_random(bits, core_id, callback)

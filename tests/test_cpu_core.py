@@ -7,24 +7,31 @@ from repro.cpu.trace import Trace, TraceEntry
 
 
 class MemoryStub:
-    """Configurable memory backend for driving a core in isolation."""
+    """Configurable memory backend for driving a core in isolation.
+
+    Reads arrive as window slots (the core's ``send_read`` protocol) and
+    complete through :meth:`Core.complete_read`; RNG requests keep the
+    callback protocol.  Attach the core with ``memory.core = core``
+    before ticking (``run_core`` does).
+    """
 
     def __init__(self, read_latency=20, rng_latency=100, accept_reads=True, accept_writes=True):
         self.read_latency = read_latency
         self.rng_latency = rng_latency
         self.accept_reads = accept_reads
         self.accept_writes = accept_writes
-        self.pending = []  # (completion_cycle, kind, callback)
+        self.pending = []  # (completion_cycle, kind, slot-or-callback)
         self.now = 0
+        self.core = None
         self.reads = 0
         self.writes = 0
         self.rng_requests = 0
 
-    def send_read(self, address, core_id, callback):
+    def send_read(self, address, core_id, slot):
         if not self.accept_reads:
             return False
         self.reads += 1
-        self.pending.append((self.now + self.read_latency, "read", callback))
+        self.pending.append((self.now + self.read_latency, "read", slot))
         return True
 
     def send_write(self, address, core_id):
@@ -41,16 +48,11 @@ class MemoryStub:
         self.now = now
         ready = [entry for entry in self.pending if entry[0] <= now]
         self.pending = [entry for entry in self.pending if entry[0] > now]
-        for completion, kind, callback in ready:
+        for completion, kind, target in ready:
             if kind == "read":
-                callback(_FakeRequest(completion))
+                self.core.complete_read(target, completion)
             else:
-                callback(completion)
-
-
-class _FakeRequest:
-    def __init__(self, completion_cycle):
-        self.completion_cycle = completion_cycle
+                target(completion)
 
 
 def run_core(trace, memory=None, max_cycles=10_000, config=None):
@@ -63,6 +65,7 @@ def run_core(trace, memory=None, max_cycles=10_000, config=None):
         send_rng=memory.send_rng,
         config=config or CoreConfig(),
     )
+    memory.core = core
     cycle = 0
     while not core.finished and cycle < max_cycles:
         memory.tick(cycle)

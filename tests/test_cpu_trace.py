@@ -109,3 +109,61 @@ def test_save_load_roundtrip_property(tmp_path_factory, raw_entries):
     trace.save(path)
     loaded = Trace.load(path)
     assert loaded.entries == entries
+
+
+ADVERSARIAL_ENTRIES = [
+    TraceEntry(bubbles=0, address=64),                       # zero-bubble read
+    TraceEntry(bubbles=0, write_address=128),                # write-only
+    TraceEntry(bubbles=0, rng_bits=64),                      # rng-only
+    TraceEntry(bubbles=0, address=0, write_address=0),       # address zero
+    TraceEntry(bubbles=7, address=192, write_address=256, rng_bits=8),
+    TraceEntry(bubbles=1_000_000),                           # bubble flood
+]
+
+
+class TestTraceColumns:
+    def test_columns_mirror_entries(self):
+        trace = Trace(ADVERSARIAL_ENTRIES, name="adv")
+        columns = trace.columns()
+        assert len(columns) == len(trace.entries)
+        for index, entry in enumerate(trace.entries):
+            assert columns.bubbles[index] == entry.bubbles
+            expected_read = -1 if entry.address is None else entry.address
+            assert columns.read_addresses[index] == expected_read
+            expected_write = -1 if entry.write_address is None else entry.write_address
+            assert columns.write_addresses[index] == expected_write
+            assert columns.rng_bits[index] == entry.rng_bits
+
+    def test_columns_are_cached_per_trace(self):
+        trace = Trace(ADVERSARIAL_ENTRIES)
+        assert trace.columns() is trace.columns()
+
+    def test_columns_recompile_when_entries_grow(self):
+        trace = Trace([TraceEntry(bubbles=1)])
+        first = trace.columns()
+        trace.entries.append(TraceEntry(bubbles=2, address=64))
+        recompiled = trace.columns()
+        assert recompiled is not first
+        assert len(recompiled) == 2
+        assert recompiled.read_addresses[1] == 64
+
+    def test_columns_recompile_on_same_length_replacement(self):
+        trace = Trace([TraceEntry(bubbles=1), TraceEntry(bubbles=2)])
+        first = trace.columns()
+        trace.entries[0] = TraceEntry(bubbles=9, address=128)
+        recompiled = trace.columns()
+        assert recompiled is not first
+        assert recompiled.bubbles[0] == 9
+        assert recompiled.read_addresses[0] == 128
+
+    def test_text_roundtrip_compiles_identically(self):
+        trace = Trace(ADVERSARIAL_ENTRIES, name="adv", metadata={"seed": 3})
+        rebuilt = Trace.parse(trace.format(), name=trace.name, metadata=trace.metadata)
+        assert rebuilt.entries == trace.entries
+        assert rebuilt.name == trace.name
+        assert rebuilt.metadata == trace.metadata
+        assert rebuilt.columns() == trace.columns()
+
+    def test_parse_reports_source_location(self):
+        with pytest.raises(ValueError, match=r"<string>:2"):
+            Trace.parse("3\nnot a line\n")

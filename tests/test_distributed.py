@@ -455,3 +455,108 @@ class TestWorkerLoop:
     def test_worker_rejects_bad_address(self):
         with pytest.raises(ValueError):
             run_worker("no-port-here", log=lambda text: None)
+
+
+class TestCoordinatorShutdown:
+    def test_reaper_exits_promptly_after_last_commit(self, unit_and_result):
+        """The reaper blocks on the finished event, not a plain sleep, so
+        the coordinator releases its threads (and port) the moment the
+        last commit lands — not up to a full reaper interval later."""
+        unit, result = unit_and_result
+        # A long lease timeout pins the reaper interval at its 1s cap;
+        # with the old `time.sleep(interval)` the reaper thread would
+        # survive ~1s past the final commit and `stop()` would block on
+        # joining it.
+        coordinator = Coordinator(
+            [unit], InMemoryResultStore(), lease_timeout=60.0, retry_seconds=0.05
+        )
+        address = coordinator.start()
+        try:
+            worker = FakeWorker(address)
+            assert worker.lease_work()["type"] == "work"
+            worker.finish(unit.key, result)
+            assert coordinator.wait(timeout=5)
+            reaper = next(
+                thread
+                for thread in coordinator._threads
+                if thread.name == "coord-reaper"
+            )
+            reaper.join(timeout=0.5)
+            assert not reaper.is_alive(), "reaper still sleeping after the run finished"
+            start = time.monotonic()
+            coordinator.stop()
+            stop_latency = time.monotonic() - start
+            assert stop_latency < 0.5, f"stop() took {stop_latency:.2f}s"
+            worker.close()
+        finally:
+            coordinator.stop()
+        # The port is released: a fresh coordinator can bind it again.
+        rebound = socket.create_server(address, reuse_port=False)
+        rebound.close()
+
+
+class _BlockingFailingStore:
+    """Store whose put blocks until released, then raises (fault injection)."""
+
+    def __init__(self):
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def get(self, key):
+        return None
+
+    def put(self, key, result):
+        self.entered.set()
+        if not self.release.wait(timeout=10):  # pragma: no cover - safety net
+            raise AssertionError("fault-injection store never released")
+        raise OSError("injected commit failure")
+
+
+class TestCommitFailureSettlement:
+    def test_point_settles_when_last_lease_dies_during_failing_commit(self, unit_and_result):
+        """The race the settlement re-check closes: the point's last lease
+        dies while its result is mid-commit, and the commit then fails.
+
+        The lease revocation must defer settlement to the in-flight
+        commit (a live commit may still complete the point), and the
+        commit's failure path must then re-check settlement — otherwise
+        the point stays permanently unsettled and the run never
+        finishes."""
+        unit, result = unit_and_result
+        store = _BlockingFailingStore()
+        coordinator = Coordinator([unit], store, max_attempts=1, **FAST)
+        address = coordinator.start()
+        try:
+            committer = FakeWorker(address, "committer")
+            straggler = FakeWorker(address, "straggler")
+            assert committer.lease_work()["type"] == "work"
+            # A straggler duplicate lease keeps a second lease alive.
+            work = straggler.lease_work()
+            assert work["type"] == "work" and work["unit"]["key"] == unit.key
+
+            # The committer's result enters the (blocking) store commit.
+            committer.send(
+                {"type": "result", "key": unit.key, "result": result_to_wire(result)}
+            )
+            assert store.entered.wait(timeout=5), "commit never reached the store"
+
+            # Now the last lease dies while point.committing is set; with
+            # max_attempts=1 the attempt bound is already exhausted, so
+            # only the commit-failure re-check can settle the point.
+            straggler.close()
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline:
+                if not coordinator.snapshot()["leases"]:
+                    break
+                time.sleep(0.02)
+            assert not coordinator.snapshot()["leases"], "straggler lease never revoked"
+
+            # Let the commit fail.  The settlement re-check must mark the
+            # point failed and finish the run instead of hanging it.
+            store.release.set()
+            assert coordinator.wait(timeout=5), "run hung on a permanently unsettled point"
+            assert unit.key in coordinator.failed_keys
+            assert "commit failed" in coordinator.failed_keys[unit.key]
+            committer.close()
+        finally:
+            coordinator.stop()

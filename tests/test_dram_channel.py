@@ -109,3 +109,47 @@ class TestDRAMSystem:
         dram.channels[2].service_access(0, 1, now=0)
         total = dram.total_stats()
         assert total.read_accesses == 2
+
+
+class TestInlinedBankStateMachine:
+    """Channel.service_access inlines Bank.access for speed; this
+    differential sweep pins the two copies together so a fix applied to
+    one cannot silently leave the other stale."""
+
+    def test_service_access_matches_bank_access_reference(self):
+        from repro.dram.bank import Bank
+        from repro.dram.timing import DRAMTiming
+
+        timing = DRAMTiming()
+        channel = Channel(0, timing=timing)
+        reference = [Bank(b.bank_id, timing) for b in channel.banks]
+        # A state sweep over hits, closed banks, conflicts, reads and
+        # writes, with bus pressure from interleaved banks.
+        accesses = [
+            (0, 5, False), (0, 5, False), (0, 9, False), (1, 5, True),
+            (0, 9, True), (1, 5, False), (2, 0, False), (0, 9, False),
+            (2, 1, True), (2, 1, False),
+        ]
+        now = 0
+        bus_free = 0
+        for bank_id, row, is_write in accesses:
+            finish, category = channel.service_access(bank_id, row, now, is_write=is_write)
+            # Reference computation through Bank.access + the documented
+            # completion arithmetic.
+            bank = reference[bank_id]
+            column_ready, ref_category = bank.access(row, now, is_write=is_write)
+            cas = timing.tCWL if is_write else timing.tCL
+            data_start = max(column_ready + cas, bus_free)
+            data_end = data_start + timing.tBL
+            bank.complete_access(data_end + (timing.tWR if is_write else 0))
+            bus_free = data_end
+            assert (finish, category) == (data_end, ref_category), (bank_id, row, is_write)
+            now = finish - timing.tBL // 2  # overlap the next access with the burst
+        # Dynamic state agrees too, including the scheduler-facing mirror.
+        for bank, ref in zip(channel.banks, reference):
+            assert bank.open_row == ref.open_row
+            assert bank.ready_at == ref.ready_at
+            assert channel.open_rows[bank.bank_id] == ref.open_row
+        # And the per-bank counters the energy model consumes.
+        for bank, ref in zip(channel.banks, reference):
+            assert bank.stats == ref.stats

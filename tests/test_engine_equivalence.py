@@ -284,3 +284,88 @@ def test_serve_window_breaks_on_rng_buffer_threshold_events(dense_eight_core_tra
     assert event == tick
     assert tick["rng_requests"] > 0, "the mix produced no RNG traffic"
     assert engine.serve_windows > 0, "windows never formed around the RNG activity"
+
+
+# Minimal fuzz-found counterexamples, pinned as regression tests (both
+# reproduced latent engine divergences fixed in the same change that
+# added them; tests/test_engine_fuzz.py holds the generator that found
+# them and the ``run_case`` helper these reuse).
+
+
+def _run_fuzz_case_both_engines(case):
+    from test_engine_fuzz import materialize
+
+    traces, config = materialize(case)
+    tick = dataclasses.asdict(
+        System(traces, dataclasses.replace(config, engine=ENGINE_TICK)).run()
+    )
+    traces, config = materialize(case)
+    event = dataclasses.asdict(
+        System(traces, dataclasses.replace(config, engine=ENGINE_EVENT)).run()
+    )
+    return tick, event
+
+
+def test_final_cycle_finish_materialised_by_mixed_stretch():
+    """A finish materialised *for the current, unprocessed cycle* must not
+    end the run one cycle early.
+
+    The mixed-stretch re-examination closes a quiet core's stretch through
+    the current cycle when its event bound is the next cycle; when that
+    materialisation set the last ``finish_cycle``, the engine used to
+    break with ``cycle == finish`` — dropping the reference engine's
+    final cycle from the memory side's accounting (one missing RNG-mode
+    cycle, ``total_cycles`` off by one).  Fuzz-found (seed 77, case 38),
+    shrunk and pinned.
+    """
+    case = {
+        "seed": 1337203337, "index": 38, "instructions": 2500,
+        "slots": [
+            {"kind": "rng", "throughput_mbps": 5120.0},
+            {"kind": "app", "mpki": 39.76, "row_locality": 0.704,
+             "write_fraction": 0.005, "footprint_rows": 64},
+        ],
+        "design": "dr-strange", "scheduler": "fr-fcfs", "scheduler_cap": 2,
+        "predictor": "rl", "buffer_entries": 4, "low_utilization_threshold": 2,
+        "period_threshold": 10, "channels": 1, "banks_per_rank": 8,
+        "read_queue_capacity": 32, "write_queue_capacity": 32,
+        "write_drain_high": 16, "issue_lookahead": 0, "backend_latency": 10,
+        "rng_mode_switch_penalty": 12, "issue_width": 1, "window_size": 8,
+        "clock_ratio": 1, "priority_mode": "equal", "max_cycles": 5_000_000,
+    }
+    tick, event = _run_fuzz_case_both_engines(case)
+    assert event == tick
+
+
+def test_deferred_idle_segment_uses_open_time_buffer_state():
+    """A deferred idle segment must replay the fill policy's predictor
+    checks under the buffer state of the segment's *open*, not its close.
+
+    A demand take elsewhere can drain the shared buffer at the very cycle
+    an idle segment closes; the close used to consult the drained state
+    and record a pending idleness prediction the reference ticks (which
+    all saw a full buffer) never made — one extra scored prediction.
+    Fuzz-found (seed 77, case 53), shrunk and pinned.
+    """
+    case = {
+        "seed": 1178710291, "index": 53, "instructions": 1500,
+        "slots": [
+            {"kind": "app", "mpki": 1.742, "row_locality": 0.896,
+             "write_fraction": 0.245, "footprint_rows": 256},
+            {"kind": "rng", "throughput_mbps": 5120.0},
+            {"kind": "app", "mpki": 22.827, "row_locality": 0.304,
+             "write_fraction": 0.275, "footprint_rows": 64},
+            {"kind": "app", "mpki": 2.393, "row_locality": 0.932,
+             "write_fraction": 0.317, "footprint_rows": 8},
+        ],
+        "design": "dr-strange", "scheduler": "bliss", "scheduler_cap": 16,
+        "predictor": "simple", "buffer_entries": 4,
+        "low_utilization_threshold": 2, "period_threshold": 40,
+        "channels": 4, "banks_per_rank": 4, "read_queue_capacity": 2,
+        "write_queue_capacity": 32, "write_drain_high": 2,
+        "issue_lookahead": 2, "backend_latency": 4,
+        "rng_mode_switch_penalty": 12, "issue_width": 2, "window_size": 128,
+        "clock_ratio": 1, "priority_mode": "equal", "max_cycles": 5_000_000,
+    }
+    tick, event = _run_fuzz_case_both_engines(case)
+    assert event == tick

@@ -43,6 +43,7 @@ import pytest
 from repro.controller.config import ControllerConfig
 from repro.core.config import DRStrangeConfig
 from repro.cpu.core import CoreConfig
+from repro.cpu.trace import Trace, TraceEntry
 from repro.dram.address import AddressMapping
 from repro.dram.timing import DRAMOrganization
 from repro.orchestration.cache import ResultCache
@@ -64,18 +65,28 @@ MAX_SHRINK_EVALUATIONS = 80
 # ----------------------------------------------------------------- generation
 
 
+#: Adversarial entry shapes for the "edge" slot kind: traces a workload
+#: generator would never emit but the text format and the compiled
+#: columns must both replay exactly (zero-bubble back-to-back reads,
+#: write-only stretches, pure RNG bursts).
+EDGE_PATTERNS = ("zero-bubble-reads", "write-only", "rng-only", "mixed-extremes")
+
+
 def build_case(rng: random.Random, index: int) -> dict:
     """Draw one random system description (everything a replay needs)."""
     num_slots = rng.choice((1, 1, 2, 2, 2, 3, 3, 4))
     slots = []
     for _ in range(num_slots):
-        if rng.random() < 0.4:
+        draw = rng.random()
+        if draw < 0.4:
             slots.append(
                 {
                     "kind": "rng",
                     "throughput_mbps": rng.choice((640.0, 1280.0, 2560.0, 5120.0)),
                 }
             )
+        elif draw < 0.5:
+            slots.append({"kind": "edge", "pattern": rng.choice(EDGE_PATTERNS)})
         else:
             slots.append(
                 {
@@ -87,6 +98,10 @@ def build_case(rng: random.Random, index: int) -> dict:
                 }
             )
     return {
+        # Round-trip every trace through the text serialisation before
+        # precompilation for a slice of the cases: parse(format(t)) must
+        # compile to the same columns and replay bit-identically.
+        "text_roundtrip": rng.random() < 0.25,
         "seed": rng.randrange(2**31),
         "index": index,
         "instructions": rng.choice((600, 1000, 1500, 2500)),
@@ -112,6 +127,59 @@ def build_case(rng: random.Random, index: int) -> dict:
         "priority_mode": rng.choice(("equal", "rng-high", "non-rng-high")),
         "max_cycles": rng.choice((1_500, 40_000, 5_000_000)),
     }
+
+
+def _edge_trace(pattern: str, instructions: int, seed: int, row_offset: int) -> Trace:
+    """Build a trace of adversarial entries the generators never emit.
+
+    Edge traces are nearly bubble-free, so every "instruction" is a
+    memory or RNG request — orders of magnitude more simulated work per
+    instruction than a generated application.  The adversarial body is
+    therefore capped, and a long pure-bubble tail closes the trace: the
+    shapes are what matter, and the tail keeps the wrapped replay (a
+    finished core keeps executing for interference) from flooding the
+    memory system every cycle for the co-runners' whole lifetime, which
+    made single cases blow the fuzz budget.
+    """
+    instructions = min(instructions, 150)
+    rng = random.Random(seed)
+    entries = []
+    count = 0
+    base = row_offset * 8192
+    index = 0
+    while count < instructions:
+        address = base + (index % 97) * 64
+        if pattern == "zero-bubble-reads":
+            entry = TraceEntry(bubbles=0, address=address)
+        elif pattern == "write-only":
+            # Pure writebacks carry no instructions; a sparse bubble
+            # keeps the trace's instruction count positive (a core needs
+            # a positive retirement target).
+            if index % 8 == 7:
+                entry = TraceEntry(bubbles=1, write_address=address)
+            else:
+                entry = TraceEntry(bubbles=0, write_address=address)
+        elif pattern == "rng-only":
+            entry = TraceEntry(bubbles=0, rng_bits=64)
+        else:  # mixed-extremes: every field set, including all-at-once rows
+            entry = TraceEntry(
+                bubbles=rng.choice((0, 0, 1, 1000)),
+                address=address if rng.random() < 0.5 else None,
+                write_address=address + 64 if rng.random() < 0.5 else None,
+                rng_bits=64 if rng.random() < 0.3 else 0,
+            )
+        entries.append(entry)
+        count += entry.instruction_count
+        index += 1
+        if index > 50 * instructions + 100:  # pragma: no cover - safety bound
+            break
+    entries.append(TraceEntry(bubbles=max(1000, 4 * instructions)))
+    return Trace(entries, name=f"fuzz-edge-{pattern}-{seed}", metadata={"seed": seed})
+
+
+def text_roundtrip(trace: Trace) -> Trace:
+    """Round-trip a trace through the text format, keeping its identity."""
+    return Trace.parse(trace.format(), name=trace.name, metadata=trace.metadata)
 
 
 def materialize(case: dict):
@@ -152,7 +220,9 @@ def materialize(case: dict):
     for slot_id, slot in enumerate(case["slots"]):
         seed = case["seed"] + slot_id * 7919
         row_offset = slot_id * 4096
-        if slot["kind"] == "rng":
+        if slot["kind"] == "edge":
+            traces.append(_edge_trace(slot["pattern"], case["instructions"], seed, slot_id))
+        elif slot["kind"] == "rng":
             spec = RNGBenchmarkSpec(
                 f"fuzz-rng-{slot_id}", throughput_mbps=slot["throughput_mbps"]
             )
@@ -174,6 +244,8 @@ def materialize(case: dict):
                     spec, case["instructions"], seed=seed, mapping=mapping, row_offset=row_offset
                 )
             )
+    if case.get("text_roundtrip"):
+        traces = [text_roundtrip(trace) for trace in traces]
     return traces, config
 
 
@@ -191,6 +263,19 @@ def check_case(case: dict, store: ResultCache | None = None):
     traces, config = materialize(case)
     tick_config = dataclasses.replace(config, engine=ENGINE_TICK)
     event_config = dataclasses.replace(config, engine=ENGINE_EVENT)
+
+    if case.get("text_roundtrip"):
+        # The round-tripped traces must precompile to the same columns as
+        # the originals: parse(format(t)) feeding the replay kernel is
+        # exactly how a saved trace re-enters a simulation, so a columns
+        # mismatch would silently change every replayed request.
+        plain_traces, _ = materialize({**case, "text_roundtrip": False})
+        for plain, tripped in zip(plain_traces, traces):
+            if plain.columns() != tripped.columns():
+                return (
+                    f"trace {plain.name!r}: text round-trip compiles to different "
+                    "columns than the original entries"
+                )
 
     key_tick = point_key(traces, tick_config)
     key_event = point_key(traces, event_config)
@@ -233,6 +318,8 @@ def _shrink_candidates(case: dict):
             yield slimmer
     if case["instructions"] > 300:
         yield {**case, "instructions": max(300, case["instructions"] // 2)}
+    if case.get("text_roundtrip"):
+        yield {**case, "text_roundtrip": False}
     defaults = {
         "design": "rng-oblivious",
         "scheduler": "fr-fcfs",

@@ -82,3 +82,66 @@ class TestRunWorkload:
         core, result = run_single_application(traces[0], baseline_config(), cache=cache)
         assert core.instructions >= INSTRUCTIONS
         assert result.total_cycles >= core.cycles
+
+
+class TestScopedOverrides:
+    """The engine/backend overrides are process-globals; the scoped
+    installers must restore the previous value even when the body raises
+    (an unscoped install used to leak a failing sweep's override into
+    every subsequent in-process simulation)."""
+
+    def test_engine_override_restores_on_exception(self):
+        from repro.sim import runner
+
+        assert runner._ENGINE_OVERRIDE is None
+        with pytest.raises(RuntimeError, match="boom"):
+            with runner.engine_override("tick"):
+                assert runner._ENGINE_OVERRIDE == "tick"
+                raise RuntimeError("boom")
+        assert runner._ENGINE_OVERRIDE is None
+
+    def test_engine_override_restores_outer_override(self):
+        from repro.sim import runner
+
+        with runner.engine_override("tick"):
+            with runner.engine_override("event"):
+                assert runner._ENGINE_OVERRIDE == "event"
+            assert runner._ENGINE_OVERRIDE == "tick"
+        assert runner._ENGINE_OVERRIDE is None
+
+    def test_simulation_backend_restores_on_exception(self):
+        from repro.sim import runner
+
+        def backend(traces, config):  # pragma: no cover - never invoked
+            raise AssertionError("unused")
+
+        assert runner._SIMULATION_BACKEND is None
+        with pytest.raises(RuntimeError, match="boom"):
+            with runner.simulation_backend(backend):
+                assert runner._SIMULATION_BACKEND is backend
+                raise RuntimeError("boom")
+        assert runner._SIMULATION_BACKEND is None
+
+    def test_failing_backend_mid_run_restores_previous_backend(self):
+        """End to end: a backend that raises while serving a simulation
+        must not stay installed at the choke point."""
+        from repro.cpu.trace import Trace, TraceEntry
+        from repro.sim import runner
+
+        calls = []
+
+        def exploding_backend(traces, config):
+            calls.append(1)
+            raise RuntimeError("backend failure mid-sweep")
+
+        exploding_backend.provides_real_results = False
+
+        trace = Trace([TraceEntry(bubbles=10)], name="scoped-backend")
+        with pytest.raises(RuntimeError, match="mid-sweep"):
+            with runner.simulation_backend(exploding_backend):
+                runner.simulate_traces([trace], baseline_config())
+        assert calls, "the failing backend was never exercised"
+        assert runner._SIMULATION_BACKEND is None
+        # Direct execution works again after the failed run.
+        result = runner.simulate_traces([trace], baseline_config())
+        assert result.total_cycles > 0
