@@ -11,6 +11,8 @@ Usage::
     python -m repro fig7 --executor distributed --workers 4
     python -m repro worker --connect HOST:PORT     # join a distributed run
     python -m repro cache                          # result-store statistics
+    python -m repro status --connect HOST:PORT     # live view of a running coordinator
+    python -m repro runs                           # list persisted run manifests
 
 Every invocation routes through :mod:`repro.orchestration`: simulation
 points are cached on disk (``--cache-dir``, default ``.repro-cache`` or
@@ -29,8 +31,11 @@ import argparse
 import contextlib
 import os
 import sys
+import time
 
+from . import telemetry
 from .experiments import EXPERIMENTS
+from .telemetry import logs as telemetry_logs
 from .orchestration import (
     ProcessPoolExecutor,
     ResultCache,
@@ -135,7 +140,33 @@ def _build_parser() -> argparse.ArgumentParser:
             "(cycle-by-cycle reference); results are bit-identical either way"
         ),
     )
+    parser.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help=(
+            "disable metrics collection and manifest writing for this run "
+            "(results are bit-identical either way; telemetry is observe-only)"
+        ),
+    )
+    _add_verbosity_flags(parser)
     return parser
+
+
+def _add_verbosity_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--verbose",
+        "-v",
+        action="count",
+        default=0,
+        help="more diagnostics (repeat for debug-level)",
+    )
+    parser.add_argument(
+        "--quiet",
+        "-q",
+        action="count",
+        default=0,
+        help="fewer diagnostics (repeat to silence warnings too)",
+    )
 
 
 def _print_experiment_list() -> None:
@@ -171,7 +202,9 @@ def _worker_main(argv: list[str]) -> int:
         default=None,
         help="override the simulation engine for this worker (results are identical)",
     )
+    _add_verbosity_flags(parser)
     args = parser.parse_args(argv)
+    telemetry_logs.configure(verbose=args.verbose, quiet=args.quiet)
 
     from .distributed import parse_address, run_worker
 
@@ -221,6 +254,10 @@ def _cache_main(argv: list[str]) -> int:
     print(f"result cache at {store.cache_dir}")
     print(f"  entries:     {stats['entries']}")
     print(f"  total bytes: {stats['total_bytes']}")
+    breakdown = store.stats_by_figure()
+    for figure in sorted(breakdown):
+        bucket = breakdown[figure]
+        print(f"    {figure:<16} {bucket['entries']:>6} entries, {bucket['total_bytes']} bytes")
     last = store.last_run()
     if last is None:
         print("  last run:    (none recorded)")
@@ -230,6 +267,127 @@ def _cache_main(argv: list[str]) -> int:
         if "executed" in last:
             line += f"; {last.get('planned', 0)} points planned, {last['executed']} executed"
         print(line)
+    return 0
+
+
+# ----------------------------------------------------------------- status & runs
+
+
+def _status_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro status",
+        description=(
+            "Render a live status view of a running coordinator: fleet progress, "
+            "points/sec, per-worker liveness and lease state, cache hit rate, "
+            "per-figure ETA."
+        ),
+    )
+    parser.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="address of the coordinator (printed by the coordinating `repro` run)",
+    )
+    parser.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="poll every SECONDS instead of printing one snapshot and exiting",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw status payload as JSON instead of the rendered view",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=5.0, metavar="SECONDS", help="connect/read timeout"
+    )
+    args = parser.parse_args(argv)
+
+    import json as json_module
+
+    from .distributed import parse_address
+    from .telemetry.status import fetch_status, format_status, validate_status
+
+    try:
+        address = parse_address(args.connect)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    while True:
+        try:
+            payload = fetch_status(address, timeout=args.timeout)
+        except (OSError, ValueError) as exc:
+            print(f"could not fetch status from {args.connect}: {exc}", file=sys.stderr)
+            return 1
+        problems = validate_status(payload)
+        if problems:
+            print(
+                f"malformed status payload (bad fields: {', '.join(problems)})",
+                file=sys.stderr,
+            )
+            return 1
+        if args.json:
+            print(json_module.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(f"coordinator {args.connect}")
+            print(format_status(payload))
+        if args.watch is None:
+            return 0
+        time.sleep(max(0.1, args.watch))
+        print()
+
+
+def _runs_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro runs",
+        description="List or inspect the run manifests persisted next to the result cache.",
+    )
+    parser.add_argument(
+        "run_id",
+        nargs="?",
+        default=None,
+        help="inspect one run (id or unambiguous prefix) instead of listing all",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"result cache directory (default: {DEFAULT_CACHE_DIR!r})",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print raw manifest JSON instead of summaries"
+    )
+    args = parser.parse_args(argv)
+
+    import json as json_module
+
+    from .telemetry.manifest import list_manifests, load_manifest, summarize_manifest
+
+    if args.run_id is not None:
+        manifest = load_manifest(args.cache_dir, args.run_id)
+        if manifest is None:
+            print(f"no (unique) manifest matching {args.run_id!r}", file=sys.stderr)
+            return 1
+        if args.json:
+            print(json_module.dumps(manifest, indent=2, sort_keys=True))
+        else:
+            print(summarize_manifest(manifest))
+            counters = (manifest.get("metrics") or {}).get("counters") or {}
+            for name in sorted(counters):
+                print(f"  {name:<36} {counters[name]}")
+        return 0
+
+    manifests = list_manifests(args.cache_dir)
+    if not manifests:
+        print(f"no run manifests under {args.cache_dir}/runs")
+        return 0
+    if args.json:
+        print(json_module.dumps(manifests, indent=2, sort_keys=True))
+        return 0
+    for manifest in manifests:
+        print(summarize_manifest(manifest))
     return 0
 
 
@@ -252,15 +410,20 @@ def _make_executor(args):
 
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
-    # `worker` and `cache` have their own flags, so they are dispatched
-    # before the experiment parser ever sees the command line.
+    # `worker`, `cache`, `status` and `runs` have their own flags, so they
+    # are dispatched before the experiment parser ever sees the command line.
     if argv and argv[0] == "worker":
         return _worker_main(argv[1:])
     if argv and argv[0] == "cache":
         return _cache_main(argv[1:])
+    if argv and argv[0] == "status":
+        return _status_main(argv[1:])
+    if argv and argv[0] == "runs":
+        return _runs_main(argv[1:])
 
     parser = _build_parser()
     args = parser.parse_args(argv)
+    telemetry_logs.configure(verbose=args.verbose, quiet=args.quiet)
 
     if args.list or not args.experiments:
         _print_experiment_list()
@@ -321,7 +484,12 @@ def main(argv: list[str] | None = None) -> int:
 
     store = None if args.no_cache else open_store(args.cache_dir)
     stats = SweepStats()
+    started_at = time.time()
     with contextlib.ExitStack() as stack:
+        if args.no_telemetry:
+            # Observe-only by construction; disabling just skips the
+            # bookkeeping (and the manifest below), never the results.
+            stack.enter_context(telemetry.disabled())
         if args.engine is not None:
             # Applied at the simulate_traces choke point so every
             # simulation of this run (including orchestration workers)
@@ -354,6 +522,34 @@ def main(argv: list[str] | None = None) -> int:
             )
         except OSError:
             pass
+        if not args.no_telemetry:
+            # One run manifest per sweep, next to the cache (same
+            # best-effort contract as record_last_run).
+            from .telemetry.manifest import write_manifest
+
+            executor_name = getattr(executor, "name", None) or (
+                "process" if args.jobs > 1 else "serial"
+            )
+            try:
+                write_manifest(
+                    store.cache_dir,
+                    experiments=keys,
+                    started_at=started_at,
+                    argv=argv,
+                    kwargs=kwargs,
+                    executor=executor_name,
+                    engine=args.engine,
+                    stats={
+                        "planned": stats.planned,
+                        "executed": stats.executed,
+                        "reused": stats.reused,
+                        "elapsed_seconds": stats.elapsed,
+                    },
+                    cache=store.stats(),
+                    workers=getattr(executor, "last_worker_snapshots", None),
+                )
+            except OSError:
+                pass
     return 0
 
 

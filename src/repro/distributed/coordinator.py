@@ -37,8 +37,12 @@ import time
 from collections import deque
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from .. import telemetry
+from ..orchestration.executors import store_put
 from ..orchestration.sweep import SimulationUnit
+from ..telemetry import logs
 from .protocol import (
+    FEATURES,
     PROTOCOL_VERSION,
     encode_message,
     read_message,
@@ -72,10 +76,13 @@ class _Lease:
 class _Point:
     """Queue state of one simulation point."""
 
-    __slots__ = ("unit", "attempts", "done", "failed", "committing", "leases", "_wire")
+    __slots__ = ("unit", "figure", "attempts", "done", "failed", "committing", "leases", "_wire")
 
     def __init__(self, unit: SimulationUnit) -> None:
         self.unit = unit
+        # Figure attribution outlives the unit payload (released on
+        # completion), so status reporting keeps working to the end.
+        self.figure = getattr(unit, "figure", None)
         self.attempts = 0
         self.done = False
         self.failed: Optional[str] = None
@@ -147,6 +154,27 @@ class Coordinator:
         self._connection_seq = 0
         self._workers: Dict[int, Dict] = {}
         self.results_committed = 0
+
+        # --- telemetry (observe-only; nothing here feeds back into
+        # leasing decisions or the committed results) -----------------
+        self._started_monotonic = time.monotonic()
+        #: Coordinator-side counters (lease churn, commits, retries),
+        #: kept in a private registry so fleet aggregation is explicit.
+        self._metrics = telemetry.MetricsRegistry()
+        #: Per-worker liveness/progress, keyed by worker *name* so it
+        #: survives reconnects of flaky workers.
+        self._worker_stats: Dict[str, Dict] = {}
+        #: Latest telemetry snapshot each worker reported (snapshots are
+        #: cumulative, so only the newest per worker is retained).
+        self._worker_snapshots: Dict[str, Dict] = {}
+        #: Per-figure totals for progress/ETA reporting.
+        self._figures: Dict[str, Dict[str, int]] = {}
+        for point in self._points.values():
+            label = point.figure or "(unlabeled)"
+            bucket = self._figures.setdefault(label, {"points": 0, "completed": 0})
+            bucket["points"] += 1
+        self._log = logs.get_logger("coordinator")
+
         if not self._points:
             self._finished.set()
 
@@ -224,6 +252,77 @@ class Coordinator:
                 "workers": [dict(info) for info in self._workers.values()],
             }
 
+    def status_payload(self) -> Dict:
+        """The live ``status`` reply: fleet progress, per-worker liveness,
+        per-figure ETA, cache accounting, merged telemetry.
+
+        ETAs are naive linear extrapolations from the whole-run commit
+        rate — honest enough for a progress surface, deliberately not a
+        scheduling input.
+        """
+        now = time.monotonic()
+        elapsed = max(1e-9, now - self._started_monotonic)
+        with self._lock:
+            completed = sum(1 for point in self._points.values() if point.done)
+            failed = sum(1 for point in self._points.values() if point.failed is not None)
+            active_leases = sum(
+                len(point.leases) for point in self._points.values() if not point.done
+            )
+            pending = len(self._pending)
+            points = len(self._points)
+            rate = completed / elapsed
+            figures = {}
+            for label, bucket in sorted(self._figures.items()):
+                remaining = bucket["points"] - bucket["completed"]
+                figures[label] = {
+                    "points": bucket["points"],
+                    "completed": bucket["completed"],
+                    "eta_seconds": (remaining / rate) if rate > 0 and remaining else (
+                        None if remaining else 0.0
+                    ),
+                }
+            workers = {}
+            for name, stats in self._worker_stats.items():
+                last_seen = stats.get("last_seen")
+                workers[name] = {
+                    "pid": stats.get("pid"),
+                    "leases": stats.get("leases", 0),
+                    "completed": stats.get("completed", 0),
+                    "last_seen_seconds": None if last_seen is None else now - last_seen,
+                }
+            worker_snapshots = list(self._worker_snapshots.values())
+        merged = telemetry.merge_snapshots(self._metrics.snapshot(), *worker_snapshots)
+        return {
+            "type": "status",
+            "protocol": PROTOCOL_VERSION,
+            "points": points,
+            "pending": pending,
+            "completed": completed,
+            "failed": failed,
+            "leases": active_leases,
+            "workers": workers,
+            "elapsed_seconds": elapsed,
+            "points_per_second": rate,
+            "cache": {
+                "hits": getattr(self._store, "hits", 0),
+                "misses": getattr(self._store, "misses", 0),
+            },
+            "figures": figures,
+            "metrics": merged,
+        }
+
+    def fleet_metrics(self) -> Dict:
+        """Coordinator counters merged with every worker's last snapshot
+        (for run manifests and post-run aggregation)."""
+        with self._lock:
+            worker_snapshots = list(self._worker_snapshots.values())
+        return telemetry.merge_snapshots(self._metrics.snapshot(), *worker_snapshots)
+
+    def worker_snapshots(self) -> Dict[str, Dict]:
+        """The latest telemetry snapshot each worker reported, by name."""
+        with self._lock:
+            return {name: dict(snap) for name, snap in self._worker_snapshots.items()}
+
     # ------------------------------------------------------------- serving
 
     def _accept_loop(self) -> None:
@@ -280,18 +379,29 @@ class Coordinator:
 
     def _handle(self, message: Dict, connection_id: int):
         kind = message.get("type")
+        if kind != "hello" and kind != "status":
+            self._touch_worker(connection_id)
         if kind == "hello":
             if message.get("protocol") != PROTOCOL_VERSION:
                 return {
                     "type": "done",
                     "error": f"protocol mismatch (coordinator speaks {PROTOCOL_VERSION})",
                 }
+            name = str(message.get("worker") or f"conn-{connection_id}")
             with self._lock:
-                self._workers[connection_id] = {
-                    "worker": str(message.get("worker") or f"conn-{connection_id}"),
-                    "pid": message.get("pid"),
-                }
-            return {"type": "welcome", "protocol": PROTOCOL_VERSION, "points": len(self._points)}
+                self._workers[connection_id] = {"worker": name, "pid": message.get("pid")}
+                stats = self._worker_stats.setdefault(
+                    name, {"pid": message.get("pid"), "completed": 0, "leases": 0}
+                )
+                stats["pid"] = message.get("pid")
+                stats["last_seen"] = time.monotonic()
+            self._log.info("worker %s connected (pid %s)", name, message.get("pid"))
+            return {
+                "type": "welcome",
+                "protocol": PROTOCOL_VERSION,
+                "points": len(self._points),
+                "features": list(FEATURES),
+            }
         if kind == "lease":
             return self._lease(connection_id)
         if kind == "result":
@@ -306,9 +416,27 @@ class Coordinator:
         if kind == "heartbeat":
             self._renew(message.get("key", ""), connection_id)
             return None
+        if kind == "metrics":
+            snapshot = message.get("snapshot")
+            if isinstance(snapshot, dict):
+                with self._lock:
+                    name = self._workers.get(connection_id, {}).get("worker") or str(
+                        message.get("worker") or f"conn-{connection_id}"
+                    )
+                    self._worker_snapshots[name] = snapshot
+            return None
+        if kind == "status":
+            return self.status_payload()
         if kind == "goodbye":
             return _GOODBYE
         return {"type": "done", "error": f"unknown message type {kind!r}"}
+
+    def _touch_worker(self, connection_id: int) -> None:
+        """Record liveness for the worker behind ``connection_id``."""
+        with self._lock:
+            name = self._workers.get(connection_id, {}).get("worker")
+            if name is not None and name in self._worker_stats:
+                self._worker_stats[name]["last_seen"] = time.monotonic()
 
     # ------------------------------------------------------------- queue ops
 
@@ -335,6 +463,9 @@ class Coordinator:
                 point.leases[connection_id] = _Lease(
                     connection_id, worker, deadline=now + self.lease_timeout, started=now
                 )
+                if worker in self._worker_stats:
+                    self._worker_stats[worker]["leases"] += 1
+            self._metrics.counter("coordinator.lease_grants")
             # Serialise outside the lock: a multi-MB unit must not stall
             # the other connection threads (or heartbeat renewal).
             wire = point.wire()
@@ -382,7 +513,7 @@ class Coordinator:
             # other connection threads.  The point is only flagged done
             # *after* the write lands, so the finished event can never
             # fire while a result is still in flight.
-            self._store.put(key, result)
+            store_put(self._store, key, result, point.figure)
         except BaseException:
             with self._lock:
                 point.committing = False
@@ -403,7 +534,14 @@ class Coordinator:
             point.failed = None
             point.release_payload()
             self.results_committed += 1
+            bucket = self._figures.get(point.figure or "(unlabeled)")
+            if bucket is not None:
+                bucket["completed"] += 1
+            worker = self._workers.get(connection_id, {}).get("worker")
+            if worker in self._worker_stats:
+                self._worker_stats[worker]["completed"] += 1
             self._check_finished()
+        self._metrics.counter("coordinator.results_committed")
         return {"type": "ack"}
 
     def _requeue(self, key: str, connection_id: int, reason: str) -> None:
@@ -418,6 +556,8 @@ class Coordinator:
     def _record_attempt(self, point: _Point, key: str, reason: str) -> None:
         """Count one failed attempt, then settle or requeue.  Lock held."""
         point.attempts += 1
+        self._metrics.counter("coordinator.retries")
+        self._log.warning("point %s attempt failed: %s", key[:12], reason)
         self._settle_or_requeue(point, key, reason)
 
     def _settle_or_requeue(self, point: _Point, key: str, reason: str) -> None:
@@ -455,7 +595,10 @@ class Coordinator:
     def _release_connection(self, connection_id: int) -> None:
         """A connection died: requeue everything it still holds."""
         with self._lock:
-            self._workers.pop(connection_id, None)
+            info = self._workers.pop(connection_id, None)
+        if info is not None:
+            self._log.info("worker %s disconnected", info.get("worker"))
+        with self._lock:
             for key, point in self._points.items():
                 if connection_id in point.leases and not point.done:
                     point.leases.pop(connection_id)
@@ -485,6 +628,7 @@ class Coordinator:
                     ]
                     for lease_id in expired:
                         point.leases.pop(lease_id)
+                        self._metrics.counter("coordinator.lease_expired")
                         self._record_attempt(point, key, "lease expired (missed heartbeats)")
                 self._check_finished()
 

@@ -26,7 +26,9 @@ import time
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from .. import telemetry
 from ..orchestration.executors import Executor
+from ..telemetry import logs
 from .coordinator import (
     DEFAULT_LEASE_TIMEOUT,
     DEFAULT_MAX_ATTEMPTS,
@@ -93,9 +95,14 @@ class DistributedExecutor(Executor):
         self.max_attempts = max_attempts
         self.straggler_timeout = straggler_timeout
         self.timeout = timeout
-        self._announce = announce or (lambda text: print(text, file=sys.stderr, flush=True))
+        self._announce = announce or logs.get_logger("distributed").info
         #: Last run's coordinator (exposed for tests and diagnostics).
         self.last_coordinator: Optional[Coordinator] = None
+        #: Merged fleet metrics of the last run (coordinator counters +
+        #: every worker's final snapshot), for manifests and reporting.
+        self.last_fleet_metrics: Optional[dict] = None
+        #: Per-worker final snapshots of the last run, by worker name.
+        self.last_worker_snapshots: dict = {}
 
     def execute(self, units: Sequence, store) -> int:
         units = list(units)
@@ -130,6 +137,12 @@ class DistributedExecutor(Executor):
                     f"{self.spawn_workers} localhost worker(s), {len(units)} point(s)"
                 )
             self._wait(coordinator, workers, len(units))
+            # Fold the fleet's telemetry into this process before the
+            # coordinator goes away: the sweep's manifest and any final
+            # report read the process registry.
+            self.last_fleet_metrics = coordinator.fleet_metrics()
+            self.last_worker_snapshots = coordinator.worker_snapshots()
+            telemetry.merge_into_process(self.last_fleet_metrics)
             failed = coordinator.failed_keys
             if failed:
                 key, reason = next(iter(failed.items()))

@@ -10,14 +10,28 @@ worker → coordinator
     ``result``     deliver a finished point (coordinator replies ``ack``)
     ``error``      report a point that raised (coordinator replies ``ack``)
     ``heartbeat``  renew the lease on the point being simulated (no reply)
+    ``metrics``    periodic telemetry snapshot (no reply; only sent when
+                   the welcome advertised the ``"metrics"`` feature)
     ``goodbye``    clean disconnect (no reply)
 
 coordinator → worker
-    ``welcome``    accepts the hello
+    ``welcome``    accepts the hello (``features`` lists optional message
+                   kinds this coordinator understands)
     ``work``       one leased point: ``key`` plus the serialised unit
     ``wait``       nothing leasable right now; retry after ``seconds``
     ``done``       the run is complete (or failed); the worker should exit
     ``ack``        result/error committed
+
+observer → coordinator
+    ``status``     request one live status payload (the coordinator
+                   replies with ``type: "status"``; used by
+                   ``repro status`` and the telemetry smoke tests)
+
+Feature negotiation keeps the protocol version-tolerant without a
+version bump: optional message kinds (``metrics``, ``status``) are
+advertised in the welcome's ``features`` list, old workers simply never
+send them, and new workers talking to an old coordinator (no
+``features`` field) fall back to the original message set.
 
 Payload serialisation round-trips the exact objects the orchestrator
 works with: a :class:`~repro.orchestration.sweep.SimulationUnit` is its
@@ -45,6 +59,11 @@ from ..sim.results import SimulationResult
 #: Bumped on any incompatible message or payload change; the coordinator
 #: rejects workers speaking a different version during the hello.
 PROTOCOL_VERSION = 1
+
+#: Optional message kinds this build's coordinator understands,
+#: advertised in every welcome (see the module docstring on feature
+#: negotiation).
+FEATURES = ("metrics", "status")
 
 #: Hard cap on one serialised message.  Sized for the largest realistic
 #: ``work`` payload (every entry of every trace of a full-roster
@@ -137,11 +156,14 @@ def config_from_wire(payload: Dict) -> SimulationConfig:
 
 
 def unit_to_wire(unit: SimulationUnit) -> Dict:
-    return {
+    payload = {
         "key": unit.key,
         "traces": [trace_to_wire(trace) for trace in unit.traces],
         "config": config_to_wire(unit.config),
     }
+    if unit.figure is not None:
+        payload["figure"] = unit.figure
+    return payload
 
 
 def unit_from_wire(payload: Dict) -> SimulationUnit:
@@ -149,6 +171,7 @@ def unit_from_wire(payload: Dict) -> SimulationUnit:
         key=payload["key"],
         traces=[trace_from_wire(trace) for trace in payload["traces"]],
         config=config_from_wire(payload["config"]),
+        figure=payload.get("figure"),
     )
 
 
@@ -170,3 +193,21 @@ def parse_address(address: str) -> tuple[str, int]:
 
 def hello_message(worker: str, pid: Optional[int] = None) -> Dict:
     return {"type": "hello", "worker": worker, "pid": pid, "protocol": PROTOCOL_VERSION}
+
+
+def metrics_message(worker: str, snapshot: Dict) -> Dict:
+    """A worker's periodic telemetry snapshot (fire-and-forget)."""
+    return {"type": "metrics", "worker": worker, "snapshot": snapshot}
+
+
+def peer_features(welcome: Dict) -> frozenset:
+    """The optional message kinds a welcome advertises.
+
+    Pre-telemetry coordinators send no ``features`` field at all; the
+    empty set they map to is exactly the original message set, so new
+    workers degrade cleanly.
+    """
+    features = welcome.get("features")
+    if not isinstance(features, (list, tuple)):
+        return frozenset()
+    return frozenset(feature for feature in features if isinstance(feature, str))

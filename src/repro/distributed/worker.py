@@ -19,17 +19,20 @@ from __future__ import annotations
 
 import os
 import socket
-import sys
 import threading
 import time
 from dataclasses import dataclass
 from typing import Optional
 
+from .. import telemetry
 from ..sim.runner import simulate_traces
+from ..telemetry import logs
 from .protocol import (
     encode_message,
     hello_message,
+    metrics_message,
     parse_address,
+    peer_features,
     read_message,
     result_to_wire,
     unit_from_wire,
@@ -92,8 +95,15 @@ def run_worker(
     """
     host, port = parse_address(connect)
     worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
-    log = log or (lambda text: print(f"[worker {worker_id}] {text}", file=sys.stderr, flush=True))
+    log = log or logs.get_logger("worker", worker_id).info
     stats = WorkerStats()
+    # Worker-side telemetry.  ``registry`` holds the worker's own tallies;
+    # snapshots sent to the coordinator additionally fold in the process
+    # registry, which carries the engine/cache metrics recorded by the
+    # simulations themselves (a dedicated worker process records nothing
+    # else into it; in-process test workers share it, which merely makes
+    # their snapshots a superset).
+    registry = telemetry.MetricsRegistry()
 
     connection = socket.create_connection((host, port))
     send_lock = threading.Lock()
@@ -113,7 +123,21 @@ def run_worker(
         if welcome is None or welcome.get("type") != "welcome":
             error = (welcome or {}).get("error", "coordinator refused the hello")
             raise ConnectionError(f"handshake failed: {error}")
+        # Feature negotiation: only coordinators that advertised the
+        # ``metrics`` kind receive telemetry snapshots — an old
+        # coordinator answers unknown kinds with ``done``, which would
+        # shut this worker down mid-run.
+        send_metrics = "metrics" in peer_features(welcome)
         log(f"connected to {host}:{port} ({welcome.get('points', '?')} points in the run)")
+
+        def report_metrics() -> None:
+            if not send_metrics:
+                return
+            snapshot = telemetry.merge_snapshots(registry.snapshot(), telemetry.snapshot())
+            try:
+                send(metrics_message(worker_id, snapshot))
+            except OSError:
+                pass
 
         while True:
             send({"type": "lease"})
@@ -123,10 +147,12 @@ def run_worker(
                 break
             kind = reply.get("type")
             if kind == "done":
+                report_metrics()
                 send({"type": "goodbye"})
                 break
             if kind == "wait":
                 stats.waits += 1
+                registry.counter("worker.waits")
                 time.sleep(float(reply.get("seconds", 0.5)))
                 continue
             if kind != "work":
@@ -134,20 +160,25 @@ def run_worker(
                 break
 
             key = str((reply.get("unit") or {}).get("key", ""))
+            started = time.perf_counter()
             try:
                 unit = unit_from_wire(reply["unit"])
                 with _Heartbeat(connection, send_lock, key, heartbeat_interval):
                     result = simulate_traces(unit.traces, unit.config)
             except Exception as exc:  # bad payload or simulation bug: report, keep serving
                 stats.errors += 1
+                registry.counter("worker.errors")
                 send({"type": "error", "key": key, "error": f"{type(exc).__name__}: {exc}"})
             else:
                 stats.simulated += 1
+                registry.counter("worker.points")
+                registry.observe("worker.point_seconds", time.perf_counter() - started)
                 send({"type": "result", "key": key, "result": result_to_wire(result)})
             ack = receive()
             if ack is None:
                 log("coordinator hung up before acknowledging")
                 break
+            report_metrics()
     except ValueError as exc:
         # A garbled or oversized frame: the stream is unrecoverable, but
         # the worker should exit cleanly (the coordinator requeues the

@@ -24,6 +24,7 @@ import tempfile
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
+from .. import telemetry
 from ..cpu.trace import Trace
 from ..energy.drampower import EnergyBreakdown
 from ..sim.config import SimulationConfig
@@ -129,6 +130,7 @@ class ResultCache:
         memoized = self._memo.get(key)
         if memoized is not None:
             self.hits += 1
+            telemetry.counter("cache.hits")
             return memoized
         path = self._path(key)
         # A *corrupt* entry (a worker killed mid-write on a non-atomic
@@ -144,13 +146,16 @@ class ResultCache:
                 payload = json.load(handle)
             if payload.get("schema") != SCHEMA_VERSION:
                 self.misses += 1
+                telemetry.counter("cache.misses")
                 return None
             result = result_from_dict(payload["result"])
         except OSError:
             self.misses += 1
+            telemetry.counter("cache.misses")
             return None
         except (json.JSONDecodeError, UnicodeDecodeError, KeyError, TypeError, ValueError):
             self.misses += 1
+            telemetry.counter("cache.misses")
             try:
                 path.unlink()
             except OSError:
@@ -158,13 +163,30 @@ class ResultCache:
             return None
         self._memo[key] = result
         self.hits += 1
+        telemetry.counter("cache.hits")
         return result
 
-    def put(self, key: str, result: SimulationResult) -> None:
-        """Store ``result`` under ``key`` (atomic, last writer wins)."""
+    def put(self, key: str, result: SimulationResult, figure: Optional[str] = None) -> None:
+        """Store ``result`` under ``key`` (atomic, last writer wins).
+
+        ``figure`` is a purely informational label recorded *inside* the
+        entry payload — it attributes the entry to the experiment that
+        first produced it for ``repro cache`` breakdowns, without ever
+        entering the content key (cross-figure dedup and key stability
+        are preserved; an entry shared by several figures keeps its first
+        writer's label).
+        """
         self._memo[key] = result
         payload = {"schema": SCHEMA_VERSION, "key": key, "result": result_to_dict(result)}
-        _atomic_write_json(self._path(key), payload)
+        if figure is not None:
+            payload["figure"] = figure
+        path = self._path(key)
+        _atomic_write_json(path, payload)
+        telemetry.counter("cache.puts")
+        try:
+            telemetry.counter("cache.put_bytes", path.stat().st_size)
+        except OSError:
+            pass
 
     def __len__(self) -> int:
         return len(self._entry_snapshot())
@@ -192,7 +214,7 @@ class ResultCache:
     LAST_RUN_FILE = "last-run.json"
 
     def stats(self) -> Dict:
-        """Store-wide statistics: entry count and total size in bytes.
+        """Store-wide statistics plus this process's hit/miss counters.
 
         Counts are taken from one snapshot of the entry listing at read
         time (see :meth:`_entry_snapshot`), so entries written during the
@@ -206,7 +228,39 @@ class ResultCache:
             except OSError:
                 continue
             entries += 1
-        return {"entries": entries, "total_bytes": total_bytes}
+        return {
+            "entries": entries,
+            "total_bytes": total_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    #: Label under which entries with no recorded figure are reported.
+    UNATTRIBUTED = "(unattributed)"
+
+    def stats_by_figure(self) -> Dict[str, Dict]:
+        """Entry counts/bytes broken down by the figure label each entry
+        recorded at write time (see :meth:`put`).
+
+        Entries written before figure attribution existed — or shared
+        alone-run entries written outside any figure — fall under
+        :data:`UNATTRIBUTED`.  Unreadable entries are skipped: this is a
+        reporting surface, not a validity check.
+        """
+        breakdown: Dict[str, Dict] = {}
+        for entry in self._entry_snapshot():
+            try:
+                size = entry.stat().st_size
+                with entry.open("r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                continue
+            figure = payload.get("figure") if isinstance(payload, dict) else None
+            label = figure if isinstance(figure, str) and figure else self.UNATTRIBUTED
+            bucket = breakdown.setdefault(label, {"entries": 0, "total_bytes": 0})
+            bucket["entries"] += 1
+            bucket["total_bytes"] += size
+        return breakdown
 
     def record_last_run(self, extra: Optional[Dict] = None) -> None:
         """Persist this process's hit/miss counters (plus ``extra`` fields)

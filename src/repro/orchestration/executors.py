@@ -19,12 +19,47 @@ Built-ins:
 
 from __future__ import annotations
 
+import inspect
 import multiprocessing
-from typing import List, Sequence, Tuple
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import telemetry
 from ..cpu.trace import Trace
 from ..sim.config import SimulationConfig
 from ..sim.system import System
+
+#: Memo of which store types accept a ``figure`` keyword on ``put``
+#: (see :func:`store_put`), keyed by store class.
+_FIGURE_AWARE: Dict[type, bool] = {}
+
+
+def store_put(store, key: str, result, figure: Optional[str] = None) -> None:
+    """Commit one result, passing the figure label only to stores that
+    take it.
+
+    Stores are a duck-typed surface (the persistent cache, the in-memory
+    store, test doubles with a bare two-argument ``put``), so the figure
+    attribution added for ``repro cache`` breakdowns must degrade to a
+    plain ``put`` instead of breaking older stores.
+    """
+    if figure is not None:
+        cls = type(store)
+        aware = _FIGURE_AWARE.get(cls)
+        if aware is None:
+            try:
+                parameters = inspect.signature(store.put).parameters
+                aware = "figure" in parameters or any(
+                    parameter.kind is inspect.Parameter.VAR_KEYWORD
+                    for parameter in parameters.values()
+                )
+            except (TypeError, ValueError):
+                aware = False
+            _FIGURE_AWARE[cls] = aware
+        if aware:
+            store.put(key, result, figure=figure)
+            return
+    store.put(key, result)
 
 
 class Executor:
@@ -48,15 +83,29 @@ class SerialExecutor(Executor):
     name = "serial"
 
     def execute(self, units: Sequence, store) -> int:
+        executed = 0
         for unit in units:
-            store.put(unit.key, System(unit.traces, unit.config).run())
-        return len(units)
+            telemetry.counter("executor.points_started")
+            start = perf_counter()
+            result = System(unit.traces, unit.config).run()
+            telemetry.observe("executor.point_seconds", perf_counter() - start)
+            store_put(store, unit.key, result, getattr(unit, "figure", None))
+            telemetry.counter("executor.points_finished")
+            executed += 1
+        return executed
 
 
 def _execute_unit(payload: Tuple[str, List[Trace], SimulationConfig]):
-    """Pool worker: simulate one point (must stay module-level for pickling)."""
+    """Pool worker: simulate one point (must stay module-level for pickling).
+
+    Returns the point's wall time alongside the result so the parent can
+    fold per-point timings into its own registry (pool workers' process
+    registries die with the pool).
+    """
     key, traces, config = payload
-    return key, System(traces, config).run()
+    start = perf_counter()
+    result = System(traces, config).run()
+    return key, result, perf_counter() - start
 
 
 class ProcessPoolExecutor(Executor):
@@ -70,14 +119,17 @@ class ProcessPoolExecutor(Executor):
     def execute(self, units: Sequence, store) -> int:
         units = list(units)
         if self.jobs > 1 and len(units) > 1:
+            figures = {unit.key: getattr(unit, "figure", None) for unit in units}
             payloads = [(unit.key, unit.traces, unit.config) for unit in units]
             processes = min(self.jobs, len(units))
+            telemetry.counter("executor.points_started", len(units))
             with multiprocessing.get_context().Pool(processes=processes) as pool:
-                for key, result in pool.imap_unordered(_execute_unit, payloads):
-                    store.put(key, result)
+                for key, result, seconds in pool.imap_unordered(_execute_unit, payloads):
+                    telemetry.observe("executor.point_seconds", seconds)
+                    store_put(store, key, result, figures.get(key))
+                    telemetry.counter("executor.points_finished")
         else:
-            for unit in units:
-                store.put(unit.key, System(unit.traces, unit.config).run())
+            return SerialExecutor().execute(units, store)
         return len(units)
 
 

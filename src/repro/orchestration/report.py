@@ -37,10 +37,16 @@ def format_sweep(results: Dict[str, Dict], stats: Optional[SweepStats] = None) -
 
 def format_stats(stats: SweepStats) -> str:
     """One-line orchestration summary."""
-    return (
+    line = (
         f"[orchestration] simulation points: {stats.planned} "
         f"(executed {stats.executed}, cache-reused {stats.reused})"
     )
+    elapsed = getattr(stats, "elapsed", 0.0)
+    if elapsed > 0:
+        line += f" in {elapsed:.1f}s"
+        if stats.executed:
+            line += f" ({stats.executed / elapsed:.2f} points/s)"
+    return line
 
 
 def _json_default(value):

@@ -30,8 +30,10 @@ from __future__ import annotations
 import inspect
 from contextlib import contextmanager
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from .. import telemetry
 from ..cpu.trace import Trace
 from ..energy.drampower import EnergyBreakdown
 from ..sim import runner as sim_runner
@@ -40,17 +42,24 @@ from ..sim.results import ChannelResult, CoreResult, SimulationResult
 from ..sim.runner import AloneRunCache
 from ..sim.system import System
 from .cache import PersistentAloneRunCache, ResultCache
-from .executors import Executor, default_executor
+from .executors import Executor, default_executor, store_put
 from .keys import point_key
 
 
 @dataclass
 class SimulationUnit:
-    """One independent simulation point of an experiment."""
+    """One independent simulation point of an experiment.
+
+    ``figure`` is the label of the experiment that planned the point —
+    informational only (cache breakdowns, per-figure progress); it never
+    enters the content key, so a point shared by several figures keeps
+    the first planner's label.
+    """
 
     key: str
     traces: List[Trace]
     config: SimulationConfig
+    figure: Optional[str] = None
 
 
 class InMemoryResultStore:
@@ -72,7 +81,7 @@ class InMemoryResultStore:
             self.hits += 1
         return result
 
-    def put(self, key: str, result: SimulationResult) -> None:
+    def put(self, key: str, result: SimulationResult, figure: Optional[str] = None) -> None:
         self._data[key] = result
 
     def __len__(self) -> int:
@@ -142,24 +151,36 @@ def stub_result(traces: Sequence[Trace], config: SimulationConfig) -> Simulation
 
 
 class PlanningBackend:
-    """Records every simulation point instead of executing it."""
+    """Records every simulation point instead of executing it.
+
+    ``label`` tags every recorded unit with the experiment being planned
+    (see :attr:`SimulationUnit.figure`).
+    """
 
     #: Stub results must never be cached by :class:`AloneRunCache` etc.
     provides_real_results = False
 
-    def __init__(self) -> None:
+    def __init__(self, label: Optional[str] = None) -> None:
         self.units: Dict[str, SimulationUnit] = {}
+        self.label = label
 
     def __call__(self, traces: Sequence[Trace], config: SimulationConfig) -> SimulationResult:
         traces = list(traces)
         key = point_key(traces, config)
         if key not in self.units:
-            self.units[key] = SimulationUnit(key=key, traces=traces, config=config)
+            self.units[key] = SimulationUnit(
+                key=key, traces=traces, config=config, figure=self.label
+            )
         return stub_result(traces, config)
 
 
 class CacheServingBackend:
-    """Serves simulations from a result store, computing (and storing) misses."""
+    """Serves simulations from a result store, computing (and storing) misses.
+
+    ``figure`` (mutable between replays) attributes entries computed
+    during the replay itself — jobs=1 runs never go through an executor,
+    so this is where their figure labels come from.
+    """
 
     provides_real_results = True
 
@@ -167,6 +188,7 @@ class CacheServingBackend:
         self.store = store
         self.served = 0
         self.computed = 0
+        self.figure: Optional[str] = None
 
     def __call__(self, traces: Sequence[Trace], config: SimulationConfig) -> SimulationResult:
         traces = list(traces)
@@ -174,7 +196,7 @@ class CacheServingBackend:
         result = self.store.get(key)
         if result is None:
             result = System(traces, config).run()
-            self.store.put(key, result)
+            store_put(self.store, key, result, self.figure)
             self.computed += 1
         else:
             self.served += 1
@@ -227,14 +249,21 @@ def filter_run_kwargs(module, kwargs: Dict) -> Dict:
     return {name: value for name, value in kwargs.items() if name in supported}
 
 
-def plan_experiment(experiment, **kwargs) -> List[SimulationUnit]:
-    """Enumerate the simulation points ``experiment`` needs, without simulating."""
+def plan_experiment(experiment, label: Optional[str] = None, **kwargs) -> List[SimulationUnit]:
+    """Enumerate the simulation points ``experiment`` needs, without simulating.
+
+    ``label`` tags the recorded units with the planning experiment (see
+    :attr:`SimulationUnit.figure`); it defaults to the experiment id when
+    one was given as a string.
+    """
     module = resolve_experiment(experiment)
+    if label is None and isinstance(experiment, str):
+        label = experiment
     call_kwargs = filter_run_kwargs(module, kwargs)
     # A fresh alone-run cache forces every alone run to reach the backend
     # (a shared cache would hide points it already holds in memory).
     call_kwargs["cache"] = AloneRunCache()
-    backend = PlanningBackend()
+    backend = PlanningBackend(label=label)
     with installed_backend(backend):
         module.run(**call_kwargs)
     return list(backend.units.values())
@@ -277,6 +306,8 @@ class SweepStats:
     planned: int = 0
     executed: int = 0
     reused: int = 0
+    #: Wall time of the whole sweep (plan + execute + replay), seconds.
+    elapsed: float = 0.0
 
 
 def run_experiment(
@@ -325,6 +356,7 @@ def sweep_experiments(
     """
     store = store if store is not None else InMemoryResultStore()
     stats = stats if stats is not None else SweepStats()
+    sweep_start = perf_counter()
 
     labeled = []
     for experiment in experiments:
@@ -335,10 +367,11 @@ def sweep_experiments(
     orchestrated = executor is not None or jobs > 1
     if orchestrated:
         units: Dict[str, SimulationUnit] = {}
-        for _, module in labeled:
-            for unit in plan_experiment(module, **kwargs):
+        for label, module in labeled:
+            for unit in plan_experiment(module, label=label, **kwargs):
                 units.setdefault(unit.key, unit)
         stats.planned = len(units)
+        telemetry.counter("sweep.points_planned", stats.planned)
         stats.executed = execute_units(units.values(), store, jobs=jobs, executor=executor)
         stats.reused = stats.planned - stats.executed
 
@@ -346,14 +379,19 @@ def sweep_experiments(
     results: Dict[str, Dict] = {}
     with installed_backend(backend):
         for label, module in labeled:
+            backend.figure = label
             call_kwargs = filter_run_kwargs(module, kwargs)
             if "cache" in supported_run_kwargs(module):
                 call_kwargs["cache"] = cache if cache is not None else AloneRunCache()
-            results[label] = module.run(**call_kwargs)
+            with telemetry.registry().time(f"sweep.figure_seconds.{label}"):
+                results[label] = module.run(**call_kwargs)
     if not orchestrated:
         stats.planned = backend.served + backend.computed
         stats.executed = backend.computed
         stats.reused = backend.served
+    stats.elapsed = perf_counter() - sweep_start
+    telemetry.counter("sweep.runs")
+    telemetry.observe("sweep.seconds", stats.elapsed)
     return results
 
 

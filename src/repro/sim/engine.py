@@ -42,6 +42,10 @@ class TickEngine:
 
     name = "tick"
 
+    def metrics(self) -> dict:
+        """Engine counters to export as telemetry (none for the reference)."""
+        return {}
+
     def run(self, system: "System") -> int:
         """Advance ``system`` to completion; return the final cycle count."""
         controllers = system.controllers
@@ -106,6 +110,13 @@ class EventEngine:
         #: mid-window events.
         self.serve_windows = 0
         self.serve_window_cycles = 0
+
+    def metrics(self) -> dict:
+        """Engine counters to export as telemetry, keyed by metric name."""
+        return {
+            "engine.serve_windows": self.serve_windows,
+            "engine.serve_window_cycles": self.serve_window_cycles,
+        }
 
     def run(self, system: "System") -> int:
         """Advance ``system`` to completion; return the final cycle count."""

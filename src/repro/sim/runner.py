@@ -15,6 +15,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from .. import telemetry
 from ..cpu.trace import Trace
 from ..dram.address import AddressMapping
 from ..metrics.fairness import memory_slowdown, unfairness_index
@@ -214,13 +215,16 @@ class AloneRunCache:
         )
         if key in self._cache:
             self.hits += 1
+            telemetry.counter("alone_cache.hits")
             return self._cache[key]
         entry = self._load(trace, alone_config)
         if entry is not None:
             self.hits += 1
+            telemetry.counter("alone_cache.hits")
             self._cache[key] = entry
             return entry
         self.misses += 1
+        telemetry.counter("alone_cache.misses")
         result = simulate_traces([trace], alone_config)
         entry = (result.cores[0], result)
         if backend_provides_real_results():

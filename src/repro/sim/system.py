@@ -9,8 +9,10 @@ core has retired its target instruction count.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence
 
+from .. import telemetry
 from ..controller.memory_controller import BaselineQueuePolicy, ChannelController
 from ..controller.request import Request, RequestType
 from ..core.fill_policies import DRStrangeFillPolicy, GreedyIdleFillPolicy
@@ -267,11 +269,17 @@ class System:
         cycle-by-cycle reference.  Both produce bit-identical results.
         """
         engine = make_engine(self.config.engine)
+        start = perf_counter()
         cycle = engine.run(self)
+        elapsed = perf_counter() - start
+        # Kept for instrumentation-minded callers (tests inspect the
+        # engine's serve-window counters after a run).
+        self.last_engine = engine
 
         self.cycle = cycle
         for controller in self.controllers:
             controller.flush_idle_period()
+        telemetry.record_simulation(engine.name, cycle, elapsed, engine.metrics())
         return self._build_result(cycle)
 
     # ------------------------------------------------------------------ results

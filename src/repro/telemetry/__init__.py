@@ -1,0 +1,48 @@
+"""Observability for the reproduction: metrics, manifests, status, logs.
+
+Four small pieces, all standard library:
+
+* :mod:`.metrics` — process-local counters/gauges/timers with a
+  deterministic snapshot-and-merge model (observe-only; never feeds
+  back into simulation state or cache keys),
+* :mod:`.manifest` — one persisted run manifest per sweep, written next
+  to the content-addressed cache,
+* :mod:`.status` — client + validation for the coordinator's live
+  ``status`` payload (the ``repro status`` view),
+* :mod:`.logs` — the shared ``logging`` setup behind
+  ``--verbose``/``--quiet``.
+"""
+
+from .metrics import (
+    SNAPSHOT_SCHEMA,
+    MetricsRegistry,
+    counter,
+    disabled,
+    enabled,
+    gauge,
+    isolated,
+    merge_into_process,
+    merge_snapshots,
+    observe,
+    record_simulation,
+    registry,
+    set_enabled,
+    snapshot,
+)
+
+__all__ = [
+    "SNAPSHOT_SCHEMA",
+    "MetricsRegistry",
+    "counter",
+    "disabled",
+    "enabled",
+    "gauge",
+    "isolated",
+    "merge_into_process",
+    "merge_snapshots",
+    "observe",
+    "record_simulation",
+    "registry",
+    "set_enabled",
+    "snapshot",
+]

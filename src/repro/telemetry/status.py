@@ -1,0 +1,142 @@
+"""Client side of the live status surface (``repro status``).
+
+A running coordinator answers ``{"type": "status"}`` with a structured
+payload: fleet progress, per-worker liveness and lease state, cache hit
+rate and per-figure completion/ETA.  This module fetches that payload
+over the ordinary JSON-lines protocol, validates its shape (CI smoke
+tests fail a run on malformed metrics), and renders it for a terminal.
+
+The fetch is a plain one-shot request/response on a fresh connection:
+the coordinator treats a status client like any other peer, so polling
+never interferes with lease accounting or worker heartbeats.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..distributed.protocol import (
+    PROTOCOL_VERSION,
+    encode_message,
+    read_message,
+)
+
+#: Top-level fields a well-formed status payload must carry.  CI's smoke
+#: job treats any absence as a hard failure.
+REQUIRED_FIELDS = (
+    "type",
+    "protocol",
+    "points",
+    "pending",
+    "completed",
+    "failed",
+    "leases",
+    "workers",
+    "elapsed_seconds",
+    "points_per_second",
+    "cache",
+    "figures",
+    "metrics",
+)
+
+
+def fetch_status(address: Tuple[str, int], timeout: float = 5.0) -> Dict:
+    """One status payload from the coordinator at ``address``.
+
+    Raises ``OSError`` if the coordinator is unreachable and
+    ``ValueError`` if it answers with something other than a status
+    payload (e.g. a pre-telemetry coordinator that does not speak the
+    message kind).
+    """
+    with socket.create_connection(address, timeout=timeout) as sock:
+        sock.sendall(encode_message({"type": "status", "protocol": PROTOCOL_VERSION}))
+        reader = sock.makefile("rb")
+        try:
+            reply = read_message(reader)
+        finally:
+            reader.close()
+    if reply is None:
+        raise ValueError("coordinator closed the connection without a status reply")
+    if reply.get("type") != "status":
+        detail = reply.get("error") or reply.get("type")
+        raise ValueError(f"coordinator does not support status queries ({detail!r})")
+    return reply
+
+
+def validate_status(payload: Dict) -> List[str]:
+    """Names of malformed/missing fields; empty when the payload is sound."""
+    problems = [field for field in REQUIRED_FIELDS if field not in payload]
+    for field in ("points", "pending", "completed", "failed"):
+        value = payload.get(field)
+        if field not in problems and not isinstance(value, int):
+            problems.append(field)
+    if "workers" not in problems and not isinstance(payload.get("workers"), dict):
+        problems.append("workers")
+    if "figures" not in problems and not isinstance(payload.get("figures"), dict):
+        problems.append("figures")
+    metrics = payload.get("metrics")
+    if "metrics" not in problems:
+        if not isinstance(metrics, dict) or not isinstance(metrics.get("counters"), dict):
+            problems.append("metrics")
+    return problems
+
+
+def _format_eta(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "--"
+    seconds = int(seconds)
+    if seconds >= 3600:
+        return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+    if seconds >= 60:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds}s"
+
+
+def format_status(payload: Dict, *, now: Optional[float] = None) -> str:
+    """Render a status payload as the multi-line `repro status` view."""
+    now = time.time() if now is None else now
+    lines = []
+    points = payload.get("points", 0)
+    completed = payload.get("completed", 0)
+    rate = payload.get("points_per_second") or 0.0
+    lines.append(
+        f"points   {completed}/{points} done, {payload.get('pending', 0)} pending, "
+        f"{payload.get('failed', 0)} failed, {payload.get('leases', 0)} leased "
+        f"({rate:.2f} points/s, up {_format_eta(payload.get('elapsed_seconds'))})"
+    )
+
+    cache = payload.get("cache") or {}
+    hits = cache.get("hits", 0)
+    misses = cache.get("misses", 0)
+    total = hits + misses
+    ratio = f"{hits / total:.0%}" if total else "n/a"
+    lines.append(f"cache    {hits} hits / {misses} misses (hit rate {ratio})")
+
+    figures = payload.get("figures") or {}
+    for name in sorted(figures):
+        figure = figures[name]
+        done = figure.get("completed", 0)
+        figure_points = figure.get("points", 0)
+        eta = _format_eta(figure.get("eta_seconds"))
+        lines.append(f"figure   {name:<10} {done}/{figure_points} done, eta {eta}")
+
+    workers = payload.get("workers") or {}
+    if not workers:
+        lines.append("workers  (none connected yet)")
+    for name in sorted(workers):
+        worker = workers[name]
+        age = worker.get("last_seen_seconds")
+        seen = "never" if age is None else f"{age:.1f}s ago"
+        lines.append(
+            f"worker   {name:<20} leases {worker.get('leases', 0)}, "
+            f"completed {worker.get('completed', 0)}, last seen {seen}"
+        )
+
+    counters = (payload.get("metrics") or {}).get("counters") or {}
+    churn = counters.get("coordinator.lease_grants", 0)
+    expired = counters.get("coordinator.lease_expired", 0)
+    retries = counters.get("coordinator.retries", 0)
+    lines.append(f"leases   {churn} granted, {expired} expired, {retries} retried")
+    return "\n".join(lines)

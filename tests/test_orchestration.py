@@ -128,7 +128,7 @@ class TestResultCache:
     def test_stats_and_last_run_counters(self, tmp_path, simulated):
         trace, config, result = simulated
         cache = ResultCache(tmp_path)
-        assert cache.stats() == {"entries": 0, "total_bytes": 0}
+        assert cache.stats() == {"entries": 0, "total_bytes": 0, "hits": 0, "misses": 0}
         cache.put(point_key([trace], config), result)
         stats = cache.stats()
         assert stats["entries"] == 1 and stats["total_bytes"] > 0
