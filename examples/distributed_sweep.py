@@ -7,11 +7,14 @@ the exports are bit-identical.  The same code drives a multi-machine
 run: bind the coordinator to a routable address and start workers on
 other machines instead of (or in addition to) the self-spawned ones:
 
-    # machine A (coordinator + the experiment itself)
-    PYTHONPATH=src python -m repro fig6 --executor distributed --bind 0.0.0.0:9876
+    # machine A (a persistent daemon; one-shot form: --executor distributed)
+    PYTHONPATH=src python -m repro serve --bind 0.0.0.0:9876
 
-    # machines B, C, ... (any number of workers, any time during the run)
-    PYTHONPATH=src python -m repro worker --connect A:9876
+    # machines B, C, ... (any number of workers, any time)
+    PYTHONPATH=src python -m repro worker --target A:9876
+
+    # submit from anywhere
+    PYTHONPATH=src python -m repro submit fig6 --target A:9876
 
 Run with:  PYTHONPATH=src python examples/distributed_sweep.py
 """
@@ -21,25 +24,27 @@ import tempfile
 
 from repro.distributed import DistributedExecutor
 from repro.experiments import fig06_dualcore_performance as fig6
-from repro.orchestration import ResultCache, SweepStats, run_experiment
+from repro.orchestration import ResultCache, SweepRequest, SweepStats, run_experiment
 from repro.sim.runner import AloneRunCache
 from repro.workloads.suites import representative_subset
 
 
 def main() -> None:
     apps = representative_subset(4)
-    kwargs = dict(apps=apps, instructions=20_000)
 
     print("Serial reference run...")
-    serial = fig6.run(cache=AloneRunCache(), **kwargs)
+    serial = fig6.run(cache=AloneRunCache(), apps=apps, instructions=20_000)
 
     print("Distributed run: coordinator + 2 localhost workers...")
     stats = SweepStats()
+    request = SweepRequest(experiments=("fig6",), instructions=20_000)
     with tempfile.TemporaryDirectory() as cache_dir:
         executor = DistributedExecutor(spawn_workers=2, timeout=600)
+        # Experiment-module kwargs beyond the request's own fields (here
+        # `apps`) pass through alongside it.
         distributed = run_experiment(
-            "fig6", store=ResultCache(cache_dir), executor=executor, stats=stats, **kwargs
-        )
+            request, store=ResultCache(cache_dir), executor=executor, stats=stats, apps=apps
+        )["fig6"]
 
     identical = json.dumps(distributed, sort_keys=True) == json.dumps(serial, sort_keys=True)
     print(f"\npoints planned: {stats.planned}, executed by workers: {stats.executed}")

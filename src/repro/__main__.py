@@ -8,21 +8,26 @@ Usage::
     python -m repro fig7 --jobs 8                  # parallel simulation
     python -m repro sweep fig6 fig11 --jobs 4      # several figures, one batch
     python -m repro fig8 --json fig8.json          # export raw data
-    python -m repro fig7 --executor distributed --workers 4
-    python -m repro worker --connect HOST:PORT     # join a distributed run
+    python -m repro fig7 --target process:4        # where points execute
+    python -m repro fig7 --target HOST:PORT        # submit to a sweep service
+    python -m repro serve --bind 0.0.0.0:7777 --workers 4   # run the service
+    python -m repro submit fig5 fig6 --target HOST:PORT     # submit + wait
+    python -m repro jobs --target HOST:PORT        # list the service's jobs
+    python -m repro worker --target HOST:PORT      # join a fleet
     python -m repro cache                          # result-store statistics
-    python -m repro status --connect HOST:PORT     # live view of a running coordinator
+    python -m repro status --target HOST:PORT      # live coordinator/service view
     python -m repro runs                           # list persisted run manifests
 
 Every invocation routes through :mod:`repro.orchestration`: simulation
 points are cached on disk (``--cache-dir``, default ``.repro-cache`` or
 ``$REPRO_CACHE_DIR``), so re-running a figure — or any figure sharing
-simulations with it — is served from the cache.  ``--jobs N`` fans the
-uncached points of the run across ``N`` worker processes, and
-``--executor distributed`` shards them across coordinator-fed workers
-(self-spawned on localhost with ``--workers N``, or joined from other
-machines with ``repro worker --connect``); the printed tables are
-bit-identical to a serial run either way.
+simulations with it — is served from the cache.  Execution is selected
+with one spec, ``--target {local,process[:N],HOST:PORT}``: serial in
+this process, a local process pool, or submission to a running
+``repro serve`` daemon; the printed tables are bit-identical to a
+serial run in every case.  The pre-service flags (``--executor``,
+``--workers``, ``--bind``, ``--connect``) keep working as deprecated
+aliases.
 """
 
 from __future__ import annotations
@@ -40,20 +45,28 @@ from .orchestration import (
     ProcessPoolExecutor,
     ResultCache,
     SerialExecutor,
+    SweepRequest,
     SweepStats,
     dump_json,
     format_experiment,
     format_stats,
     format_sweep,
     open_store,
+    parse_target,
     sweep_experiments,
 )
 from .sim.config import ENGINES
-from .sim.runner import engine_override
 
 DEFAULT_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
 
 EXECUTORS = ("serial", "process", "distributed")
+
+
+def _warn_deprecated(flag: str, replacement: str) -> None:
+    print(
+        f"warning: {flag} is deprecated; use {replacement} instead",
+        file=sys.stderr,
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -78,40 +91,49 @@ def _build_parser() -> argparse.ArgumentParser:
         "--full", action="store_true", help="use the full 43-application roster (slow)"
     )
     parser.add_argument(
+        "--target",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "where uncached points execute: 'local' (serial, in-process), "
+            "'process[:N]' (local pool of N workers) or 'HOST:PORT' (submit "
+            "the run to a `repro serve` daemon); default: local"
+        ),
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=1,
         metavar="N",
         help="simulate independent points on N worker processes (default: 1, serial)",
     )
+    # ------------------------------------------------------------------
+    # Deprecated execution flags, kept as working aliases of --target.
+    # `None` defaults distinguish "not given" from every meaningful value
+    # so explicit use (and only explicit use) draws the warning.
     parser.add_argument(
         "--executor",
         choices=EXECUTORS,
         default=None,
-        help=(
-            "execution backend for uncached points: 'serial', 'process' "
-            "(local pool of --jobs workers; what plain --jobs N implies) or "
-            "'distributed' (coordinator/worker sharding across machines)"
-        ),
+        help="(deprecated; use --target) execution backend for uncached points",
     )
     parser.add_argument(
         "--workers",
         type=int,
-        default=0,
+        default=None,
         metavar="N",
         help=(
-            "with --executor distributed: self-spawn N localhost worker "
-            "processes (default: 0 — wait for external `repro worker` joins)"
+            "(deprecated; use --target or `repro serve --workers`) with "
+            "--executor distributed: self-spawn N localhost worker processes"
         ),
     )
     parser.add_argument(
         "--bind",
-        default="127.0.0.1:0",
+        default=None,
         metavar="HOST:PORT",
         help=(
-            "with --executor distributed: coordinator listen address "
-            "(default: 127.0.0.1:0 — loopback, ephemeral port; use e.g. "
-            "0.0.0.0:9876 to accept workers from other machines)"
+            "(deprecated; use `repro serve --bind`) with --executor "
+            "distributed: coordinator listen address (default: 127.0.0.1:0)"
         ),
     )
     parser.add_argument(
@@ -169,6 +191,35 @@ def _add_verbosity_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_service_target(parser: argparse.ArgumentParser, *, required: bool = True) -> None:
+    """The ``--target HOST:PORT`` / deprecated ``--connect`` pair used by
+    every verb that talks to a running daemon."""
+    parser.add_argument(
+        "--target",
+        default=None,
+        metavar="HOST:PORT",
+        help="address of the daemon (printed by `repro serve`)",
+    )
+    parser.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="(deprecated alias of --target)",
+    )
+    parser.set_defaults(_target_required=required)
+
+
+def _resolve_service_target(args, parser: argparse.ArgumentParser) -> str | None:
+    if args.target is not None and args.connect is not None:
+        parser.error("--target and --connect are mutually exclusive")
+    if args.connect is not None:
+        _warn_deprecated("--connect", "--target")
+        return args.connect
+    if args.target is None and getattr(args, "_target_required", True):
+        parser.error("--target HOST:PORT is required")
+    return args.target
+
+
 def _print_experiment_list() -> None:
     print("Available experiments:")
     for key, module in sorted(EXPERIMENTS.items()):
@@ -183,16 +234,11 @@ def _worker_main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="repro worker",
         description=(
-            "Join a distributed run: lease simulation points from a coordinator, "
-            "simulate them locally, and stream the results back."
+            "Join a fleet: lease simulation points from a coordinator or a "
+            "sweep service, simulate them locally, and stream the results back."
         ),
     )
-    parser.add_argument(
-        "--connect",
-        required=True,
-        metavar="HOST:PORT",
-        help="address of the coordinator (printed by the coordinating `repro` run)",
-    )
+    _add_service_target(parser)
     parser.add_argument(
         "--id", default=None, metavar="NAME", help="worker name (default: hostname-pid)"
     )
@@ -205,11 +251,13 @@ def _worker_main(argv: list[str]) -> int:
     _add_verbosity_flags(parser)
     args = parser.parse_args(argv)
     telemetry_logs.configure(verbose=args.verbose, quiet=args.quiet)
+    target = _resolve_service_target(args, parser)
 
     from .distributed import parse_address, run_worker
+    from .sim.runner import engine_override
 
     try:
-        parse_address(args.connect)
+        parse_address(target)
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -217,9 +265,9 @@ def _worker_main(argv: list[str]) -> int:
         with contextlib.ExitStack() as stack:
             if args.engine is not None:
                 stack.enter_context(engine_override(args.engine))
-            run_worker(args.connect, worker_id=args.id)
+            run_worker(target, worker_id=args.id)
     except (OSError, ConnectionError) as exc:
-        print(f"worker could not serve {args.connect}: {exc}", file=sys.stderr)
+        print(f"worker could not serve {target}: {exc}", file=sys.stderr)
         return 1
     return 0
 
@@ -239,7 +287,9 @@ def _cache_main(argv: list[str]) -> int:
         help=f"result cache directory (default: {DEFAULT_CACHE_DIR!r})",
     )
     parser.add_argument(
-        "--clear", action="store_true", help="delete every cached entry and exit"
+        "--clear",
+        action="store_true",
+        help="delete every cached entry (and the run manifests they produced) and exit",
     )
     args = parser.parse_args(argv)
 
@@ -277,17 +327,12 @@ def _status_main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="repro status",
         description=(
-            "Render a live status view of a running coordinator: fleet progress, "
-            "points/sec, per-worker liveness and lease state, cache hit rate, "
-            "per-figure ETA."
+            "Render a live status view of a running coordinator or sweep service: "
+            "fleet progress, points/sec, per-worker liveness and lease state, "
+            "cache hit rate, per-figure ETA — and, for a service, the jobs table."
         ),
     )
-    parser.add_argument(
-        "--connect",
-        required=True,
-        metavar="HOST:PORT",
-        help="address of the coordinator (printed by the coordinating `repro` run)",
-    )
+    _add_service_target(parser)
     parser.add_argument(
         "--watch",
         type=float,
@@ -304,6 +349,7 @@ def _status_main(argv: list[str]) -> int:
         "--timeout", type=float, default=5.0, metavar="SECONDS", help="connect/read timeout"
     )
     args = parser.parse_args(argv)
+    target = _resolve_service_target(args, parser)
 
     import json as json_module
 
@@ -311,7 +357,7 @@ def _status_main(argv: list[str]) -> int:
     from .telemetry.status import fetch_status, format_status, validate_status
 
     try:
-        address = parse_address(args.connect)
+        address = parse_address(target)
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -319,7 +365,7 @@ def _status_main(argv: list[str]) -> int:
         try:
             payload = fetch_status(address, timeout=args.timeout)
         except (OSError, ValueError) as exc:
-            print(f"could not fetch status from {args.connect}: {exc}", file=sys.stderr)
+            print(f"could not fetch status from {target}: {exc}", file=sys.stderr)
             return 1
         problems = validate_status(payload)
         if problems:
@@ -331,7 +377,7 @@ def _status_main(argv: list[str]) -> int:
         if args.json:
             print(json_module.dumps(payload, indent=2, sort_keys=True))
         else:
-            print(f"coordinator {args.connect}")
+            print(f"coordinator {target}")
             print(format_status(payload))
         if args.watch is None:
             return 0
@@ -391,35 +437,374 @@ def _runs_main(argv: list[str]) -> int:
     return 0
 
 
+# ----------------------------------------------------------------- service verbs
+
+
+def _serve_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Run the persistent sweep service: clients submit experiment "
+            "requests (`repro submit`), one shared worker fleet simulates "
+            "them, and a BLISS-style fair scheduler keeps heavy batch jobs "
+            "from starving interactive ones."
+        ),
+    )
+    parser.add_argument(
+        "--bind",
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help=(
+            "listen address (default: 127.0.0.1:0 — loopback, ephemeral "
+            "port, printed once bound; use e.g. 0.0.0.0:7777 to accept "
+            "clients and workers from other machines)"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "self-spawn N localhost worker processes (default: 0 — wait for "
+            "external `repro worker --target` joins)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=(
+            "persistent result store shared by every job and tenant "
+            f"(default: {DEFAULT_CACHE_DIR!r})"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="keep results in memory only (no disk persistence, no manifests)",
+    )
+    parser.add_argument(
+        "--quantum",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fairness: consecutive leases before a job is blacklisted (default: 4)",
+    )
+    parser.add_argument(
+        "--clearing-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="fairness: seconds between blacklist clearings (default: 5)",
+    )
+    _add_verbosity_flags(parser)
+    args = parser.parse_args(argv)
+    telemetry_logs.configure(verbose=args.verbose, quiet=args.quiet)
+
+    from .distributed import parse_address, spawn_local_worker
+    from .distributed.fairness import DEFAULT_CLEARING_INTERVAL, DEFAULT_SERVICE_QUANTUM
+    from .distributed.service import SweepService
+    from .orchestration import InMemoryResultStore
+
+    try:
+        host, port = parse_address(args.bind)
+    except ValueError as exc:
+        print(f"--bind: {exc}", file=sys.stderr)
+        return 2
+    if args.workers < 0:
+        print("--workers must be non-negative", file=sys.stderr)
+        return 2
+
+    store = InMemoryResultStore() if args.no_cache else open_store(args.cache_dir)
+    try:
+        service = SweepService(
+            store,
+            host,
+            port,
+            service_quantum=args.quantum if args.quantum is not None
+            else DEFAULT_SERVICE_QUANTUM,
+            clearing_interval=args.clearing_interval if args.clearing_interval is not None
+            else DEFAULT_CLEARING_INTERVAL,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        bound_host, bound_port = service.start()
+    except OSError as exc:
+        print(f"could not bind {args.bind}: {exc}", file=sys.stderr)
+        return 1
+    # Self-spawned workers connect via loopback even on a wildcard bind.
+    connect_host = "127.0.0.1" if bound_host in ("0.0.0.0", "::", "") else bound_host
+    print(f"sweep service listening on {bound_host}:{bound_port}", flush=True)
+    print(
+        f"submit with: python -m repro submit fig6 --target {connect_host}:{bound_port}",
+        file=sys.stderr,
+    )
+    workers = [spawn_local_worker(connect_host, bound_port, index)
+               for index in range(args.workers)]
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        service.stop()
+        for worker in workers:
+            try:
+                worker.wait(timeout=5.0)
+            except Exception:
+                worker.kill()
+    return 0
+
+
+def _print_job_results(results, stats: SweepStats, *, sweep_mode: bool, json_out) -> None:
+    """Shared tail of the submit/--target-service paths: tables + export."""
+    tables = sys.stderr if json_out == "-" else sys.stdout
+    if sweep_mode or len(results) != 1:
+        print(format_sweep(results), file=tables)
+    else:
+        key, data = next(iter(results.items()))
+        print(format_experiment(key, data), file=tables)
+    print(format_stats(stats), file=sys.stderr)
+    if json_out is not None:
+        dump_json(results, json_out)
+
+
+def _submit_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro submit",
+        description=(
+            "Submit a sweep to a running `repro serve` daemon and (by "
+            "default) wait for its results."
+        ),
+    )
+    parser.add_argument(
+        "experiments", nargs="+", metavar="experiment", help="experiment ids, e.g. fig5 fig6"
+    )
+    _add_service_target(parser)
+    parser.add_argument(
+        "--instructions", type=int, default=None, help="per-core instruction count override"
+    )
+    parser.add_argument(
+        "--full", action="store_true", help="use the full 43-application roster (slow)"
+    )
+    parser.add_argument(
+        "--engine", choices=ENGINES, default=None, help="simulation engine for this job"
+    )
+    parser.add_argument(
+        "--priority",
+        choices=("interactive", "batch"),
+        default="interactive",
+        help=(
+            "scheduling class: 'interactive' jobs are favoured, 'batch' jobs "
+            "yield under contention (default: interactive)"
+        ),
+    )
+    parser.add_argument(
+        "--tag",
+        action="append",
+        default=None,
+        metavar="TAG",
+        dest="tags",
+        help="free-form tag recorded in the job's manifest (repeatable)",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="OUT",
+        help="dump the job's raw data as JSON to OUT ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="print the job id and exit instead of waiting for results",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="give up waiting after SECONDS (default: wait forever)",
+    )
+    _add_verbosity_flags(parser)
+    args = parser.parse_args(argv)
+    telemetry_logs.configure(verbose=args.verbose, quiet=args.quiet)
+    target = _resolve_service_target(args, parser)
+
+    from .distributed import ServiceError, SweepClient
+
+    try:
+        request = SweepRequest(
+            experiments=tuple(args.experiments),
+            instructions=args.instructions,
+            full=args.full,
+            engine=args.engine,
+            priority=args.priority,
+            tags=tuple(args.tags or ()),
+        )
+    except (TypeError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        with SweepClient(target) as client:
+            job_id = client.submit(request)
+            print(f"submitted {job_id} to {target}", file=sys.stderr)
+            if args.no_wait:
+                print(job_id)
+                return 0
+            status = client.wait(job_id, timeout=args.timeout)
+            if status.state != "done":
+                detail = f": {status.error}" if status.error else ""
+                print(f"{job_id} {status.state}{detail}", file=sys.stderr)
+                return 1
+            results = client.results(job_id)
+    except (ServiceError, TimeoutError, OSError, ValueError) as exc:
+        print(f"submit to {target} failed: {exc}", file=sys.stderr)
+        return 1
+
+    stats = SweepStats(
+        planned=status.points,
+        executed=status.executed,
+        reused=status.reused,
+        elapsed=status.elapsed_seconds,
+    )
+    _print_job_results(
+        results, stats, sweep_mode=len(request.experiments) > 1, json_out=args.json
+    )
+    return 0
+
+
+def _jobs_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro jobs",
+        description="List (or cancel) the jobs of a running sweep service.",
+    )
+    _add_service_target(parser)
+    parser.add_argument(
+        "--cancel", default=None, metavar="JOB", help="cancel one job instead of listing"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print raw job payloads as JSON"
+    )
+    _add_verbosity_flags(parser)
+    args = parser.parse_args(argv)
+    telemetry_logs.configure(verbose=args.verbose, quiet=args.quiet)
+    target = _resolve_service_target(args, parser)
+
+    import json as json_module
+
+    from .distributed import ServiceError, SweepClient
+
+    try:
+        with SweepClient(target) as client:
+            if args.cancel is not None:
+                status = client.cancel(args.cancel)
+                print(f"{status.job_id} {status.state}")
+                return 0
+            statuses = client.jobs()
+    except (ServiceError, OSError, ValueError) as exc:
+        print(f"could not query {target}: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json_module.dumps([status.raw for status in statuses], indent=2, sort_keys=True))
+        return 0
+    if not statuses:
+        print("no jobs submitted yet")
+        return 0
+    for status in statuses:
+        label = ",".join(status.experiments) or "?"
+        print(
+            f"{status.job_id:<10} {status.state:<10} {status.priority:<11} "
+            f"{status.completed}/{status.points} points, executed {status.executed}, "
+            f"reused {status.reused}  [{label}]  tenant {status.tenant}"
+        )
+    return 0
+
+
 # ----------------------------------------------------------------- experiments
 
 
-def _make_executor(args):
-    """The executor implied by ``--executor``/``--jobs`` (None = legacy path)."""
+class _CliError(Exception):
+    """An execution-spec problem; ``main`` prints it and exits 2."""
+
+
+def _resolve_execution(args):
+    """Map ``--target`` (or the deprecated flag set) onto an execution plan.
+
+    Returns ``(service_address, executor, jobs)`` — exactly one of
+    ``service_address``/local fields is meaningful: a non-``None``
+    address means "submit to that daemon", otherwise run locally with
+    ``executor``/``jobs``.  Raises :class:`_CliError` on a bad spec.
+    """
+    deprecated_used = [
+        flag for flag, value in (
+            ("--executor", args.executor),
+            ("--workers", args.workers),
+            ("--bind", args.bind),
+        ) if value is not None
+    ]
+    if args.target is not None and deprecated_used:
+        raise _CliError(
+            f"--target cannot be combined with {', '.join(deprecated_used)} "
+            "(they are deprecated aliases of it)"
+        )
+
+    if args.target is not None:
+        try:
+            target = parse_target(args.target)
+        except ValueError as exc:
+            raise _CliError(str(exc)) from exc
+        if target.kind == "service":
+            host, port = target.address
+            return f"{host}:{port}", None, args.jobs
+        if target.kind == "process":
+            jobs = target.jobs or os.cpu_count() or 1
+            return None, ProcessPoolExecutor(jobs=jobs), jobs
+        return None, None, args.jobs  # local: plain --jobs semantics
+
+    for flag in deprecated_used:
+        _warn_deprecated(flag, "--target")
+    workers = args.workers if args.workers is not None else 0
+    if workers < 0:
+        raise _CliError("--workers must be non-negative")
+    if workers and args.executor != "distributed":
+        raise _CliError("--workers only makes sense with --executor distributed")
+    if args.jobs > 1 and args.executor in ("serial", "distributed"):
+        raise _CliError(
+            f"--jobs is a local-pool knob; it has no effect with --executor {args.executor} "
+            "(use --workers to size a distributed run)"
+        )
     if args.executor is None:
-        return None
+        return None, None, args.jobs
     if args.executor == "serial":
-        return SerialExecutor()
+        return None, SerialExecutor(), args.jobs
     if args.executor == "process":
-        return ProcessPoolExecutor(jobs=args.jobs)
+        return None, ProcessPoolExecutor(jobs=args.jobs), args.jobs
     from .distributed import DistributedExecutor, parse_address
 
-    host, port = parse_address(args.bind)
-    return DistributedExecutor(host, port, spawn_workers=args.workers)
+    try:
+        host, port = parse_address(args.bind if args.bind is not None else "127.0.0.1:0")
+    except ValueError as exc:
+        raise _CliError(f"--bind: {exc}") from exc
+    return None, DistributedExecutor(host, port, spawn_workers=workers), args.jobs
 
 
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
-    # `worker`, `cache`, `status` and `runs` have their own flags, so they
-    # are dispatched before the experiment parser ever sees the command line.
-    if argv and argv[0] == "worker":
-        return _worker_main(argv[1:])
-    if argv and argv[0] == "cache":
-        return _cache_main(argv[1:])
-    if argv and argv[0] == "status":
-        return _status_main(argv[1:])
-    if argv and argv[0] == "runs":
-        return _runs_main(argv[1:])
+    # Verbs with their own flags are dispatched before the experiment
+    # parser ever sees the command line.
+    verbs = {
+        "worker": _worker_main,
+        "cache": _cache_main,
+        "status": _status_main,
+        "runs": _runs_main,
+        "serve": _serve_main,
+        "submit": _submit_main,
+        "jobs": _jobs_main,
+    }
+    if argv and argv[0] in verbs:
+        return verbs[argv[0]](argv[1:])
 
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -452,35 +837,50 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 2
 
-    # Only forward the knobs each experiment's run() actually supports;
-    # repro.orchestration filters per-module via inspect.signature.
-    kwargs = {}
-    if args.instructions is not None:
-        kwargs["instructions"] = args.instructions
-    if args.full:
-        kwargs["full"] = True
-
     if args.jobs < 1:
         print("--jobs must be at least 1", file=sys.stderr)
         return 2
-    if args.workers < 0:
-        print("--workers must be non-negative", file=sys.stderr)
-        return 2
-    if args.workers and args.executor != "distributed":
-        print("--workers only makes sense with --executor distributed", file=sys.stderr)
-        return 2
-    if args.jobs > 1 and args.executor in ("serial", "distributed"):
-        print(
-            f"--jobs is a local-pool knob; it has no effect with --executor {args.executor} "
-            "(use --workers to size a distributed run)",
-            file=sys.stderr,
-        )
-        return 2
+
+    # One request object is the whole run description from here on — the
+    # same value a `repro submit` would put on the wire.
+    request = SweepRequest(
+        experiments=tuple(keys),
+        instructions=args.instructions,
+        full=args.full,
+        engine=args.engine,
+    )
     try:
-        executor = _make_executor(args)
-    except ValueError as exc:
-        print(f"--bind: {exc}", file=sys.stderr)
+        service_address, executor, jobs = _resolve_execution(args)
+    except _CliError as exc:
+        print(str(exc), file=sys.stderr)
         return 2
+
+    if service_address is not None:
+        from .distributed import ServiceError, SweepClient
+
+        try:
+            with SweepClient(service_address) as client:
+                job_id = client.submit(request)
+                print(f"submitted {job_id} to {service_address}", file=sys.stderr)
+                status = client.wait(job_id)
+                if status.state != "done":
+                    detail = f": {status.error}" if status.error else ""
+                    print(f"{job_id} {status.state}{detail}", file=sys.stderr)
+                    return 1
+                results = client.results(job_id)
+        except (ServiceError, OSError, ValueError) as exc:
+            print(f"submit to {service_address} failed: {exc}", file=sys.stderr)
+            return 1
+        stats = SweepStats(
+            planned=status.points,
+            executed=status.executed,
+            reused=status.reused,
+            elapsed=status.elapsed_seconds,
+        )
+        # The service owns the cache and writes the job's manifest; the
+        # client-side run has nothing to persist.
+        _print_job_results(results, stats, sweep_mode=sweep_mode, json_out=args.json)
+        return 0
 
     store = None if args.no_cache else open_store(args.cache_dir)
     stats = SweepStats()
@@ -490,28 +890,14 @@ def main(argv: list[str] | None = None) -> int:
             # Observe-only by construction; disabling just skips the
             # bookkeeping (and the manifest below), never the results.
             stack.enter_context(telemetry.disabled())
-        if args.engine is not None:
-            # Applied at the simulate_traces choke point so every
-            # simulation of this run (including orchestration workers)
-            # uses the engine; scoped so an exception mid-sweep cannot
-            # leak the override into later in-process simulations.
-            stack.enter_context(engine_override(args.engine))
-        results = sweep_experiments(
-            keys, jobs=args.jobs, store=store, stats=stats, executor=executor, **kwargs
+        result = sweep_experiments(
+            request, jobs=jobs, store=store, stats=stats, executor=executor
         )
+    results = result.data
 
     # With `--json -` the JSON document owns stdout; tables move to stderr
     # so the output stays pipeable into jq & co.
-    tables = sys.stderr if args.json == "-" else sys.stdout
-    if sweep_mode:
-        print(format_sweep(results), file=tables)
-    else:
-        key, data = next(iter(results.items()))
-        print(format_experiment(key, data), file=tables)
-    print(format_stats(stats), file=sys.stderr)
-
-    if args.json is not None:
-        dump_json(results, args.json)
+    _print_job_results(results, stats, sweep_mode=sweep_mode, json_out=args.json)
 
     if isinstance(store, ResultCache):
         # Best-effort bookkeeping for `repro cache`: a read-only or full
@@ -528,7 +914,7 @@ def main(argv: list[str] | None = None) -> int:
             from .telemetry.manifest import write_manifest
 
             executor_name = getattr(executor, "name", None) or (
-                "process" if args.jobs > 1 else "serial"
+                "process" if jobs > 1 else "serial"
             )
             try:
                 write_manifest(
@@ -536,7 +922,7 @@ def main(argv: list[str] | None = None) -> int:
                     experiments=keys,
                     started_at=started_at,
                     argv=argv,
-                    kwargs=kwargs,
+                    kwargs=request.run_kwargs(),
                     executor=executor_name,
                     engine=args.engine,
                     stats={

@@ -15,25 +15,49 @@ worker machines beyond the repository itself.
 
 Public surface:
 
+* :class:`~repro.distributed.service.SweepService` — the persistent
+  multi-tenant daemon behind ``repro serve``: submit/poll/cancel over
+  the same protocol, BLISS-fair scheduling across jobs, one shared
+  worker fleet, per-job run manifests.
+* :class:`~repro.distributed.client.SweepClient` — submit → job id →
+  poll → results, the programmatic face of ``repro submit``.
+* :class:`~repro.distributed.fairness.TenantScheduler` — the
+  consecutive-service/blacklist/clearing policy object.
 * :class:`~repro.distributed.executor.DistributedExecutor` — plug into
   :func:`repro.orchestration.sweep.sweep_experiments`'s ``executor=``.
-* :class:`~repro.distributed.coordinator.Coordinator` — the work queue
-  (leases, heartbeats, bounded retries, straggler re-issue).
+* :class:`~repro.distributed.coordinator.Coordinator` — the one-shot
+  work queue (leases, heartbeats, bounded retries, straggler re-issue).
 * :func:`~repro.distributed.worker.run_worker` — the worker loop behind
-  ``python -m repro worker --connect HOST:PORT``.
+  ``python -m repro worker --connect HOST:PORT`` (identical against a
+  coordinator or a service).
 * :mod:`~repro.distributed.protocol` — message framing and the unit /
   config / trace / result wire codecs.
 """
 
+from .client import JobStatus, ServiceError, SweepClient
 from .coordinator import Coordinator
 from .executor import DistributedExecutor, spawn_local_worker
-from .protocol import PROTOCOL_VERSION, parse_address, unit_from_wire, unit_to_wire
+from .fairness import TenantScheduler
+from .protocol import (
+    PROTOCOL_VERSION,
+    SERVICE_FEATURES,
+    parse_address,
+    unit_from_wire,
+    unit_to_wire,
+)
+from .service import SweepService
 from .worker import WorkerStats, run_worker
 
 __all__ = [
     "Coordinator",
     "DistributedExecutor",
+    "JobStatus",
     "PROTOCOL_VERSION",
+    "SERVICE_FEATURES",
+    "ServiceError",
+    "SweepClient",
+    "SweepService",
+    "TenantScheduler",
     "WorkerStats",
     "parse_address",
     "run_worker",

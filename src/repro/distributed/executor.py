@@ -8,7 +8,7 @@ points, optionally self-spawns localhost worker processes, and blocks
 until every point is committed to the result store.  Remote workers on
 other machines join the same run with::
 
-    PYTHONPATH=src python -m repro worker --connect HOST:PORT
+    PYTHONPATH=src python -m repro worker --target HOST:PORT
 
 Because results land in the same content-addressed store the replay
 phase reads, a distributed sweep's output is bit-identical to a serial
@@ -57,7 +57,7 @@ def spawn_local_worker(host: str, port: int, index: int = 0) -> subprocess.Popen
         "-m",
         "repro",
         "worker",
-        "--connect",
+        "--target",
         f"{host}:{port}",
         "--id",
         f"local-{index}",
@@ -129,7 +129,7 @@ class DistributedExecutor(Executor):
             if not self.spawn_workers:
                 self._announce(
                     f"[distributed] coordinator listening on {host}:{port}; waiting for workers "
-                    f"(start one with: python -m repro worker --connect {join_host}:{port})"
+                    f"(start one with: python -m repro worker --target {join_host}:{port})"
                 )
             else:
                 self._announce(

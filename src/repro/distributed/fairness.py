@@ -1,0 +1,189 @@
+"""BLISS-inspired fair scheduling across tenants of the sweep service.
+
+The source paper's scheduling problem recurs one level up: in DRAM,
+BLISS keeps a request-streak-heavy application from starving the others
+by counting *consecutive services* per application, blacklisting an
+application that exceeds the threshold, and clearing all blacklists
+periodically so the heavy application still makes progress.  Here the
+"applications" are submitted sweep jobs and the "requests" are
+simulation-point leases: a 43-app ``--full`` batch sweep holds thousands
+of points, and without fairness it would monopolise the worker fleet for
+the whole run while a two-figure interactive request waits behind it.
+
+:class:`TenantScheduler` transplants the exact BLISS mechanism:
+
+* a *consecutive-service counter* per job, incremented on every lease
+  granted to the same job and reset when a different job is served;
+* a *blacklist*: a job whose streak reaches the service quantum is
+  deprioritised (never blocked — if only blacklisted jobs have work,
+  one of them is still served, exactly like BLISS under a single-app
+  workload);
+* *periodic clearing*: every ``clearing_interval`` seconds all
+  blacklists and streaks are wiped, bounding how long any job can be
+  deprioritised and guaranteeing an interactive job's points are
+  interleaved within one interval of submission.
+
+Priorities layer on top: among equally-(non-)blacklisted jobs,
+``interactive`` beats ``batch``, and ties fall to the job served
+longest ago (round-robin), then submission order.  The scheduler is a
+pure policy object — no locks, no threads; the service calls it under
+its own lock.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from .. import telemetry
+from ..orchestration.request import PRIORITIES
+
+#: A job is blacklisted after this many consecutive leases (BLISS's
+#: ``Blacklisting Threshold``; the paper uses 4 consecutive requests).
+DEFAULT_SERVICE_QUANTUM = 4
+
+#: Seconds between blacklist clearings (BLISS clears every 10 000
+#: cycles; wall-clock seconds are the service's natural time base).
+DEFAULT_CLEARING_INTERVAL = 5.0
+
+
+@dataclass
+class _Tenant:
+    """Per-job scheduling state."""
+
+    priority: str
+    arrival_seq: int
+    last_served_seq: int = 0
+    streak: int = 0
+    blacklisted: bool = False
+    grants: int = 0
+    blacklist_events: int = 0
+
+    def snapshot(self) -> Dict:
+        return {
+            "priority": self.priority,
+            "blacklisted": self.blacklisted,
+            "streak": self.streak,
+            "grants": self.grants,
+            "blacklist_events": self.blacklist_events,
+        }
+
+
+@dataclass
+class TenantScheduler:
+    """BLISS-style fair lease scheduling across concurrent jobs.
+
+    ``clock`` is injectable so fairness tests can drive clearing
+    deterministically instead of sleeping.
+    """
+
+    service_quantum: int = DEFAULT_SERVICE_QUANTUM
+    clearing_interval: float = DEFAULT_CLEARING_INTERVAL
+    clock: Callable[[], float] = time.monotonic
+    _tenants: Dict[str, _Tenant] = field(default_factory=dict)
+    _arrivals: int = 0
+    _serves: int = 0
+    _last_clear: Optional[float] = None
+    clear_events: int = 0
+
+    def __post_init__(self) -> None:
+        if self.service_quantum < 1:
+            raise ValueError(f"service quantum must be >= 1, got {self.service_quantum}")
+        if self.clearing_interval <= 0:
+            raise ValueError(
+                f"clearing interval must be positive, got {self.clearing_interval}"
+            )
+
+    # ----------------------------------------------------------- membership
+
+    def add_job(self, job_id: str, priority: str = "interactive") -> None:
+        if priority not in PRIORITIES:
+            raise ValueError(f"priority must be one of {PRIORITIES}, got {priority!r}")
+        if job_id in self._tenants:
+            return
+        self._arrivals += 1
+        self._tenants[job_id] = _Tenant(priority=priority, arrival_seq=self._arrivals)
+
+    def remove_job(self, job_id: str) -> None:
+        self._tenants.pop(job_id, None)
+
+    # ----------------------------------------------------------- scheduling
+
+    def maybe_clear(self) -> bool:
+        """Clear every blacklist if a clearing interval has elapsed.
+
+        The first call only arms the timer (matching BLISS, whose first
+        clearing happens one full interval after reset).
+        """
+        now = self.clock()
+        if self._last_clear is None:
+            self._last_clear = now
+            return False
+        if now - self._last_clear < self.clearing_interval:
+            return False
+        self._last_clear = now
+        self.clear_events += 1
+        telemetry.counter("scheduler.clearings")
+        for tenant in self._tenants.values():
+            tenant.blacklisted = False
+            tenant.streak = 0
+        return True
+
+    def select(self, pending: Dict[str, int]) -> Optional[str]:
+        """Pick the job to lease the next point from.
+
+        ``pending`` maps job id → number of leasable points; jobs with
+        nothing pending are skipped.  Selection order: non-blacklisted
+        before blacklisted, then interactive before batch, then the job
+        served longest ago, then submission order.  A blacklisted job
+        with the only pending work is still selected — blacklisting
+        deprioritises, it never blocks.
+        """
+        self.maybe_clear()
+        best_id: Optional[str] = None
+        best_rank = None
+        for job_id, backlog in pending.items():
+            if backlog <= 0:
+                continue
+            tenant = self._tenants.get(job_id)
+            if tenant is None:
+                continue
+            rank = (
+                1 if tenant.blacklisted else 0,
+                PRIORITIES.index(tenant.priority),
+                tenant.last_served_seq,
+                tenant.arrival_seq,
+            )
+            if best_rank is None or rank < best_rank:
+                best_rank = rank
+                best_id = job_id
+        return best_id
+
+    def record_service(self, job_id: str) -> None:
+        """Account one granted lease to ``job_id`` (BLISS's streak update)."""
+        tenant = self._tenants.get(job_id)
+        if tenant is None:
+            return
+        self._serves += 1
+        tenant.grants += 1
+        tenant.last_served_seq = self._serves
+        for other_id, other in self._tenants.items():
+            if other_id != job_id:
+                other.streak = 0
+        tenant.streak += 1
+        if not tenant.blacklisted and tenant.streak >= self.service_quantum:
+            tenant.blacklisted = True
+            tenant.blacklist_events += 1
+            telemetry.counter("scheduler.blacklistings")
+
+    # ----------------------------------------------------------- reporting
+
+    def snapshot(self) -> Dict:
+        """JSON-safe scheduler state for status payloads and tests."""
+        return {
+            "service_quantum": self.service_quantum,
+            "clearing_interval": self.clearing_interval,
+            "clear_events": self.clear_events,
+            "jobs": {job_id: tenant.snapshot() for job_id, tenant in self._tenants.items()},
+        }

@@ -27,11 +27,20 @@ observer → coordinator
                    replies with ``type: "status"``; used by
                    ``repro status`` and the telemetry smoke tests)
 
+client → service (only when the welcome advertised ``"jobs"``)
+    ``submit``     submit one :class:`~repro.orchestration.request.SweepRequest`
+                   (the service replies ``type: "job"`` with the job id)
+    ``poll``       ask for one job's state/progress (reply ``type: "job"``;
+                   ``results: true`` attaches the data dicts when done)
+    ``cancel``     cancel a job (reply ``type: "job"``)
+    ``jobs``       list every job the service knows (reply ``type: "jobs"``)
+
 Feature negotiation keeps the protocol version-tolerant without a
-version bump: optional message kinds (``metrics``, ``status``) are
-advertised in the welcome's ``features`` list, old workers simply never
-send them, and new workers talking to an old coordinator (no
-``features`` field) fall back to the original message set.
+version bump: optional message kinds (``metrics``, ``status``, the
+``jobs`` submit/poll family) are advertised in the welcome's
+``features`` list, old workers simply never send them, and new workers
+talking to an old coordinator (no ``features`` field) fall back to the
+original message set.
 
 Payload serialisation round-trips the exact objects the orchestrator
 works with: a :class:`~repro.orchestration.sweep.SimulationUnit` is its
@@ -64,6 +73,12 @@ PROTOCOL_VERSION = 1
 #: advertised in every welcome (see the module docstring on feature
 #: negotiation).
 FEATURES = ("metrics", "status")
+
+#: What the long-lived sweep *service* additionally understands: the
+#: ``jobs`` feature covers the submit/poll/cancel/jobs message family.
+#: A :class:`~repro.distributed.client.SweepClient` refuses peers whose
+#: welcome lacks it (a plain one-shot coordinator, for instance).
+SERVICE_FEATURES = FEATURES + ("jobs",)
 
 #: Hard cap on one serialised message.  Sized for the largest realistic
 #: ``work`` payload (every entry of every trace of a full-roster
@@ -191,8 +206,14 @@ def parse_address(address: str) -> tuple[str, int]:
     return host, int(port)
 
 
-def hello_message(worker: str, pid: Optional[int] = None) -> Dict:
-    return {"type": "hello", "worker": worker, "pid": pid, "protocol": PROTOCOL_VERSION}
+def hello_message(worker: str, pid: Optional[int] = None, role: Optional[str] = None) -> Dict:
+    """The introduction frame.  ``role`` distinguishes submit/poll
+    clients from workers on a service (old peers omit it and default to
+    workers, which is what they are)."""
+    message = {"type": "hello", "worker": worker, "pid": pid, "protocol": PROTOCOL_VERSION}
+    if role is not None:
+        message["role"] = role
+    return message
 
 
 def metrics_message(worker: str, snapshot: Dict) -> Dict:

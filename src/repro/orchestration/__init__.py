@@ -2,11 +2,19 @@
 
 Public surface:
 
+* :class:`~repro.orchestration.request.SweepRequest` /
+  :class:`~repro.orchestration.request.SweepResult` — the public sweep
+  API: one frozen, validated request object that travels unchanged
+  through :func:`sweep_experiments`, the service protocol and run
+  manifests, and the mapping-of-data-dicts result it produces.
 * :func:`~repro.orchestration.sweep.run_experiment` /
   :func:`~repro.orchestration.sweep.sweep_experiments` — run figures
   through the plan → execute (multiprocessing) → replay pipeline with
   results served from a content-addressed store.  Parallel output is
   bit-identical to a serial run by construction.
+* :func:`~repro.orchestration.request.parse_target` — parser for the
+  ``--target {local,process[:N],HOST:PORT}`` execution spec shared by
+  every CLI verb.
 * :class:`~repro.orchestration.cache.ResultCache` — the persistent
   content-addressed store (one JSON file per simulation point).
 * :class:`~repro.orchestration.cache.PersistentAloneRunCache` — a
@@ -19,13 +27,20 @@ Public surface:
 from .cache import PersistentAloneRunCache, ResultCache, result_from_dict, result_to_dict
 from .executors import Executor, ProcessPoolExecutor, SerialExecutor, default_executor
 from .keys import SCHEMA_VERSION, point_key
-from .report import dump_json, format_experiment, format_stats, format_sweep
+from .report import canonical_data, dump_json, format_experiment, format_stats, format_sweep
+from .request import (
+    PRIORITIES,
+    ExecutionTarget,
+    SweepRequest,
+    SweepResult,
+    SweepStats,
+    parse_target,
+)
 from .sweep import (
     CacheServingBackend,
     InMemoryResultStore,
     PlanningBackend,
     SimulationUnit,
-    SweepStats,
     execute_units,
     filter_run_kwargs,
     installed_backend,
@@ -40,8 +55,10 @@ from .sweep import (
 
 __all__ = [
     "CacheServingBackend",
+    "ExecutionTarget",
     "Executor",
     "InMemoryResultStore",
+    "PRIORITIES",
     "PersistentAloneRunCache",
     "PlanningBackend",
     "ProcessPoolExecutor",
@@ -49,7 +66,10 @@ __all__ = [
     "SCHEMA_VERSION",
     "SerialExecutor",
     "SimulationUnit",
+    "SweepRequest",
+    "SweepResult",
     "SweepStats",
+    "canonical_data",
     "default_executor",
     "dump_json",
     "execute_units",
@@ -59,6 +79,7 @@ __all__ = [
     "format_sweep",
     "installed_backend",
     "open_store",
+    "parse_target",
     "persistent_alone_cache",
     "plan_experiment",
     "point_key",

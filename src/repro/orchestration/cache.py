@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 from .. import telemetry
+from ..telemetry.manifest import MANIFEST_DIR
 from ..cpu.trace import Trace
 from ..energy.drampower import EnergyBreakdown
 from ..sim.config import SimulationConfig
@@ -192,7 +193,13 @@ class ResultCache:
         return len(self._entry_snapshot())
 
     def clear(self) -> None:
-        """Remove every cached entry (leaves the directory in place)."""
+        """Remove every cached entry (leaves the directory in place).
+
+        Run manifests under ``runs/`` are pruned too: a manifest
+        describes a run whose entries this clear just deleted, so
+        leaving them would have ``repro runs`` list runs that can no
+        longer be replayed from this cache.
+        """
         self._memo.clear()
         self.hits = 0
         self.misses = 0
@@ -206,6 +213,13 @@ class ResultCache:
                 (self.cache_dir / self.LAST_RUN_FILE).unlink()
             except OSError:
                 pass
+            manifest_dir = self.cache_dir / MANIFEST_DIR
+            if manifest_dir.is_dir():
+                for manifest in sorted(manifest_dir.glob("*.json*")):
+                    try:
+                        manifest.unlink()
+                    except OSError:
+                        pass
 
     # ------------------------------------------------------------- statistics
 

@@ -56,9 +56,29 @@ def _json_default(value):
     return str(value)
 
 
-def dump_json(results: Dict[str, Dict], destination: str | Path) -> None:
-    """Write the raw experiment data dicts as JSON (``-`` for stdout)."""
-    text = json.dumps(results, indent=2, sort_keys=True, default=_json_default)
+def canonical_data(results):
+    """Round-trip ``results`` through JSON encoding, as the wire would.
+
+    Byte-identity between local runs and service-fetched results hinges
+    on this: ``sort_keys`` orders *int* dict keys numerically but their
+    post-wire *string* forms lexicographically, so both paths must
+    stringify keys the same way before the sorted dump.  A local export
+    and one decoded from the daemon then serialise identically.
+    """
+    return json.loads(json.dumps(results, default=_json_default))
+
+
+def dump_json(results, destination: str | Path) -> None:
+    """Write the raw experiment data dicts as JSON (``-`` for stdout).
+
+    Accepts the legacy plain dict or any mapping (a
+    :class:`~repro.orchestration.request.SweepResult`); the payload is
+    canonicalised (see :func:`canonical_data`) so exports are
+    byte-identical whether results were computed locally or fetched
+    from a sweep service.
+    """
+    results = canonical_data(dict(results))
+    text = json.dumps(results, indent=2, sort_keys=True)
     if str(destination) == "-":
         sys.stdout.write(text + "\n")
         return

@@ -28,10 +28,11 @@ through the cache-serving backend, populating the store as it goes.
 from __future__ import annotations
 
 import inspect
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from .. import telemetry
 from ..cpu.trace import Trace
@@ -44,6 +45,7 @@ from ..sim.system import System
 from .cache import PersistentAloneRunCache, ResultCache
 from .executors import Executor, default_executor, store_put
 from .keys import point_key
+from .request import SweepRequest, SweepResult, SweepStats
 
 
 @dataclass
@@ -299,15 +301,14 @@ def execute_units(
 # ----------------------------------------------------------------- entry points
 
 
-@dataclass
-class SweepStats:
-    """Bookkeeping of one orchestrated run (for reporting)."""
+_LEGACY_CALL_WARNING = (
+    "passing experiment lists and loose kwargs to run_experiment/"
+    "sweep_experiments is deprecated; pass a SweepRequest instead"
+)
 
-    planned: int = 0
-    executed: int = 0
-    reused: int = 0
-    #: Wall time of the whole sweep (plan + execute + replay), seconds.
-    elapsed: float = 0.0
+#: Request fields that must not also arrive as loose kwargs alongside a
+#: :class:`SweepRequest` — the request is the single source of truth.
+_REQUEST_OWNED_KWARGS = frozenset({"instructions", "full", "engine"})
 
 
 def run_experiment(
@@ -318,8 +319,13 @@ def run_experiment(
     stats: Optional[SweepStats] = None,
     executor: Optional[Executor] = None,
     **kwargs,
-) -> Dict:
-    """Run one experiment through the orchestrator and return its data dict.
+) -> Union[SweepResult, Dict]:
+    """Run one experiment through the orchestrator.
+
+    Given a :class:`SweepRequest` (the public API), returns a
+    :class:`SweepResult`.  Given a bare experiment id/module plus loose
+    kwargs (the deprecated legacy form), returns that experiment's raw
+    data dict, exactly as before.
 
     ``store`` is a result store (:class:`ResultCache` for persistence,
     :class:`InMemoryResultStore` or ``None`` for process-local reuse);
@@ -327,22 +333,35 @@ def run_experiment(
     ``executor`` selects the execution backend (see :mod:`.executors`).
     The returned data is bit-identical to calling ``module.run`` serially.
     """
-    results = sweep_experiments(
-        [experiment], jobs=jobs, store=store, cache=cache, stats=stats, executor=executor, **kwargs
+    if isinstance(experiment, SweepRequest):
+        return sweep_experiments(
+            experiment, jobs=jobs, store=store, cache=cache, stats=stats,
+            executor=executor, **kwargs,
+        )
+    warnings.warn(_LEGACY_CALL_WARNING, DeprecationWarning, stacklevel=2)
+    results = _sweep(
+        [experiment], jobs=jobs, store=store, cache=cache, stats=stats or SweepStats(),
+        executor=executor, **kwargs,
     )
     return next(iter(results.values()))
 
 
 def sweep_experiments(
-    experiments: Sequence,
+    experiments: Union[SweepRequest, Sequence],
     jobs: int = 1,
     store=None,
     cache: Optional[AloneRunCache] = None,
     stats: Optional[SweepStats] = None,
     executor: Optional[Executor] = None,
     **kwargs,
-) -> Dict[str, Dict]:
+) -> Union[SweepResult, Dict[str, Dict]]:
     """Run several experiments as one batch with shared planning and caching.
+
+    The public form takes a :class:`SweepRequest` and returns a
+    :class:`SweepResult` (a mapping of figure label → data dict carrying
+    the request and orchestration stats).  The deprecated legacy form
+    takes a sequence of experiment ids/modules plus loose kwargs and
+    returns the plain dict it always did.
 
     Points shared between figures (e.g. alone runs, or fig9 reusing
     fig6's simulations) are deduplicated by content key and simulated at
@@ -354,8 +373,41 @@ def sweep_experiments(
     missing points; otherwise the experiments simply run through the
     cache-serving backend, populating the store as they go.
     """
+    if isinstance(experiments, SweepRequest):
+        request = experiments
+        owned = _REQUEST_OWNED_KWARGS.intersection(kwargs)
+        if owned:
+            raise TypeError(
+                f"{sorted(owned)} are owned by the SweepRequest; "
+                "set them on the request, not as kwargs"
+            )
+        stats = stats if stats is not None else SweepStats()
+        run_kwargs = dict(request.run_kwargs())
+        run_kwargs.update(kwargs)
+        with sim_runner.engine_override(request.engine):
+            data = _sweep(
+                request.experiments, jobs=jobs, store=store, cache=cache,
+                stats=stats, executor=executor, **run_kwargs,
+            )
+        return SweepResult(request=request, data=data, stats=stats)
+    warnings.warn(_LEGACY_CALL_WARNING, DeprecationWarning, stacklevel=2)
+    return _sweep(
+        experiments, jobs=jobs, store=store, cache=cache, stats=stats or SweepStats(),
+        executor=executor, **kwargs,
+    )
+
+
+def _sweep(
+    experiments: Sequence,
+    jobs: int,
+    store,
+    cache: Optional[AloneRunCache],
+    stats: SweepStats,
+    executor: Optional[Executor],
+    **kwargs,
+) -> Dict[str, Dict]:
+    """The plan → execute → replay pipeline shared by both entry forms."""
     store = store if store is not None else InMemoryResultStore()
-    stats = stats if stats is not None else SweepStats()
     sweep_start = perf_counter()
 
     labeled = []

@@ -11,6 +11,7 @@ weighted speedup.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
@@ -27,38 +28,57 @@ from .results import CoreResult, SimulationResult
 from .system import System
 
 
-#: Pluggable execution backend (see :mod:`repro.orchestration.sweep`).
-#: ``None`` means "build a :class:`System` and run it in-process"; the
-#: orchestrator temporarily installs planning/cache-serving backends here
-#: so every simulation in the repository routes through one choke point.
-_SIMULATION_BACKEND: Optional[Callable[[Sequence[Trace], SimulationConfig], SimulationResult]] = None
+class _ThreadScope(threading.local):
+    """Per-thread backend installation and engine override.
 
-#: Process-wide engine override (``None`` = honour each config's engine).
-#: Set from the CLI's ``--engine`` flag; applied here, at the choke point,
-#: so every simulation of a run — experiments, alone runs, orchestration
-#: workers — uses the requested engine.  Results are engine-independent,
-#: so the override never affects cache keys.
-_ENGINE_OVERRIDE: Optional[str] = None
+    The pluggable execution backend (see :mod:`repro.orchestration.sweep`)
+    and the ``--engine`` override are scoped *per thread*, not per process:
+    the sweep service plans and replays several tenants' jobs on their own
+    threads while in-process workers simulate leased points concurrently —
+    a process-global backend would route a worker's real simulation
+    through another tenant's :class:`PlanningBackend` and commit a stub
+    result to the shared store.  Each thread starts with no backend
+    installed (direct execution) and no engine override; the class
+    attributes below are the per-thread defaults ``threading.local``
+    hands to every new thread.
+    """
+
+    #: ``None`` means "build a :class:`System` and run it in-process"; the
+    #: orchestrator temporarily installs planning/cache-serving backends
+    #: here so every simulation in the repository routes through one
+    #: choke point.
+    backend: Optional[Callable[[Sequence[Trace], SimulationConfig], SimulationResult]] = None
+
+    #: Engine override (``None`` = honour each config's engine).  Set from
+    #: the CLI's ``--engine`` flag or a :class:`SweepRequest`; applied at
+    #: the choke point so every simulation of a run — experiments, alone
+    #: runs, orchestration workers — uses the requested engine.  Results
+    #: are engine-independent, so the override never affects cache keys.
+    engine: Optional[str] = None
+
+
+_SCOPE = _ThreadScope()
 
 
 def simulate_traces(traces: Sequence[Trace], config: SimulationConfig) -> SimulationResult:
     """Run one simulation through the currently installed backend."""
-    if _ENGINE_OVERRIDE is not None and config.engine != _ENGINE_OVERRIDE:
-        config = replace(config, engine=_ENGINE_OVERRIDE)
-    backend = _SIMULATION_BACKEND
+    engine = _SCOPE.engine
+    if engine is not None and config.engine != engine:
+        config = replace(config, engine=engine)
+    backend = _SCOPE.backend
     if backend is None:
         return System(list(traces), config).run()
     return backend(traces, config)
 
 
 def set_engine_override(engine: Optional[str]) -> Optional[str]:
-    """Force every simulation onto ``engine`` (``None`` restores configs).
+    """Force this thread's simulations onto ``engine`` (``None`` restores
+    configs).
 
     Returns the previous override so callers can scope it.
     """
-    global _ENGINE_OVERRIDE
-    previous = _ENGINE_OVERRIDE
-    _ENGINE_OVERRIDE = engine
+    previous = _SCOPE.engine
+    _SCOPE.engine = engine
     return previous
 
 
@@ -66,15 +86,14 @@ def set_simulation_backend(
     backend: Optional[Callable[[Sequence[Trace], SimulationConfig], SimulationResult]],
 ) -> Optional[Callable[[Sequence[Trace], SimulationConfig], SimulationResult]]:
     """Install ``backend`` (or ``None`` for direct execution); returns the old one."""
-    global _SIMULATION_BACKEND
-    previous = _SIMULATION_BACKEND
-    _SIMULATION_BACKEND = backend
+    previous = _SCOPE.backend
+    _SCOPE.backend = backend
     return previous
 
 
 def backend_provides_real_results() -> bool:
     """Whether backend results may be cached (planning backends return stubs)."""
-    backend = _SIMULATION_BACKEND
+    backend = _SCOPE.backend
     return backend is None or getattr(backend, "provides_real_results", True)
 
 
@@ -83,11 +102,12 @@ def engine_override(engine: Optional[str]) -> Iterator[Optional[str]]:
     """Scope an engine override: installed on entry, restored on exit.
 
     Both :func:`set_engine_override` and :func:`set_simulation_backend`
-    mutate process-globals; a sweep that raises between install and
+    mutate this thread's scope; a sweep that raises between install and
     restore would otherwise leak its override into every subsequent
-    in-process simulation (a long-lived test session, a library caller).
-    All scoped installs — the CLI, the orchestrator, benchmarks — go
-    through these context managers so an exception cannot leak.
+    simulation on the thread (a long-lived test session, a library
+    caller, a service job thread).  All scoped installs — the CLI, the
+    orchestrator, the sweep service, benchmarks — go through these
+    context managers so an exception cannot leak.
     """
     previous = set_engine_override(engine)
     try:

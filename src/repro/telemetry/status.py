@@ -80,6 +80,12 @@ def validate_status(payload: Dict) -> List[str]:
     if "metrics" not in problems:
         if not isinstance(metrics, dict) or not isinstance(metrics.get("counters"), dict):
             problems.append("metrics")
+    # Service-only fields: validated when present, never required — a
+    # plain coordinator (or an older service) simply omits them.
+    if "jobs" in payload and not isinstance(payload.get("jobs"), dict):
+        problems.append("jobs")
+    if "scheduler" in payload and not isinstance(payload.get("scheduler"), dict):
+        problems.append("scheduler")
     return problems
 
 
@@ -134,9 +140,44 @@ def format_status(payload: Dict, *, now: Optional[float] = None) -> str:
             f"completed {worker.get('completed', 0)}, last seen {seen}"
         )
 
+    # Jobs table: only services report one (a plain coordinator has no
+    # notion of jobs, so the field is simply absent).
+    jobs = payload.get("jobs")
+    if isinstance(jobs, dict):
+        if not jobs:
+            lines.append("jobs     (none submitted yet)")
+        for job_id in sorted(jobs):
+            job = jobs[job_id]
+            state = job.get("state", "?")
+            label = ",".join(job.get("experiments") or []) or "?"
+            lines.append(
+                f"job      {job_id:<10} {state:<10} {job.get('priority', '?'):<11} "
+                f"{job.get('completed', 0)}/{job.get('points', 0)} points, "
+                f"reused {job.get('reused', 0)}  [{label}]  "
+                f"tenant {job.get('tenant', '?')}"
+            )
+        scheduler = payload.get("scheduler")
+        if isinstance(scheduler, dict):
+            blacklisted = sum(
+                1 for tenant in (scheduler.get("jobs") or {}).values()
+                if isinstance(tenant, dict) and tenant.get("blacklisted")
+            )
+            lines.append(
+                f"fairness quantum {scheduler.get('service_quantum', '?')}, "
+                f"clearing every {scheduler.get('clearing_interval', '?')}s "
+                f"({scheduler.get('clear_events', 0)} clearings, "
+                f"{blacklisted} currently blacklisted)"
+            )
+
     counters = (payload.get("metrics") or {}).get("counters") or {}
-    churn = counters.get("coordinator.lease_grants", 0)
-    expired = counters.get("coordinator.lease_expired", 0)
-    retries = counters.get("coordinator.retries", 0)
-    lines.append(f"leases   {churn} granted, {expired} expired, {retries} retried")
+
+    def _counter(name: str) -> int:
+        # Coordinator and service use prefixed counter names; show
+        # whichever peer answered.
+        return counters.get(f"coordinator.{name}", 0) + counters.get(f"service.{name}", 0)
+
+    lines.append(
+        f"leases   {_counter('lease_grants')} granted, "
+        f"{_counter('lease_expired')} expired, {_counter('retries')} retried"
+    )
     return "\n".join(lines)

@@ -335,3 +335,162 @@ class TestCLI:
         assert main(["cache", "--cache-dir", cache_dir]) == 0
         captured = capsys.readouterr()
         assert "entries:     0" in captured.out
+
+
+class TestSweepRequest:
+    def test_normalises_experiments(self):
+        from repro.orchestration import SweepRequest
+
+        request = SweepRequest(experiments=" Fig5 ")
+        assert request.experiments == ("fig5",)
+        assert SweepRequest(experiments=["FIG5", "fig6 "]).experiments == ("fig5", "fig6")
+
+    def test_validates_fields(self):
+        from repro.orchestration import SweepRequest
+
+        with pytest.raises(ValueError):
+            SweepRequest(experiments=())
+        with pytest.raises(ValueError):
+            SweepRequest(experiments=("fig5",), instructions=0)
+        with pytest.raises(ValueError):
+            SweepRequest(experiments=("fig5",), engine="warp")
+        with pytest.raises(ValueError):
+            SweepRequest(experiments=("fig5",), priority="urgent")
+
+    def test_is_frozen(self):
+        from repro.orchestration import SweepRequest
+
+        request = SweepRequest(experiments=("fig5",))
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            request.full = True
+
+    def test_wire_round_trip_and_tolerance(self):
+        from repro.orchestration import SweepRequest
+
+        request = SweepRequest(
+            experiments=("fig5", "fig6"),
+            instructions=2000,
+            full=True,
+            engine="tick",
+            priority="batch",
+            tags=("nightly",),
+        )
+        assert SweepRequest.from_wire(request.to_wire()) == request
+        # Defaults are omitted from the wire form…
+        assert SweepRequest(experiments=("fig5",)).to_wire() == {"experiments": ["fig5"]}
+        # …and unknown keys from newer peers are ignored, not fatal.
+        payload = dict(request.to_wire(), deadline="soon")
+        assert SweepRequest.from_wire(payload) == request
+        with pytest.raises(TypeError):
+            SweepRequest.from_wire("fig5")
+
+    def test_run_kwargs_carries_only_set_fields(self):
+        from repro.orchestration import SweepRequest
+
+        assert SweepRequest(experiments=("fig5",)).run_kwargs() == {}
+        assert SweepRequest(experiments=("fig5",), instructions=500, full=True).run_kwargs() == {
+            "instructions": 500,
+            "full": True,
+        }
+
+
+class TestParseTarget:
+    def test_local_process_and_service_specs(self):
+        from repro.orchestration import parse_target
+
+        assert parse_target("local").kind == "local"
+        pool = parse_target("process:4")
+        assert (pool.kind, pool.jobs) == ("process", 4)
+        assert parse_target("process").jobs == 0  # sized later (cpu count)
+        service = parse_target("10.0.0.7:9876")
+        assert (service.kind, service.address) == ("service", ("10.0.0.7", 9876))
+
+    def test_rejects_malformed_specs(self):
+        from repro.orchestration import parse_target
+
+        for bad in ("", "process:0", "process:x", "nowhere", "host:", ":80", "host:99999"):
+            with pytest.raises(ValueError):
+                parse_target(bad)
+
+
+class TestRequestDrivenSweep:
+    def test_request_sweep_matches_legacy_call(self):
+        from repro.orchestration import SweepRequest, SweepResult, sweep_experiments
+
+        request = SweepRequest(experiments=("fig6",), instructions=1500)
+        result = sweep_experiments(request, store=InMemoryResultStore())
+        assert isinstance(result, SweepResult)
+        assert result.request is request
+        assert result.stats.planned > 0
+        with pytest.warns(DeprecationWarning):
+            legacy = sweep_experiments(
+                ["fig6"], store=InMemoryResultStore(), instructions=1500
+            )
+        assert dict(result) == legacy
+
+    def test_run_experiment_accepts_request_and_legacy_form(self):
+        from repro.orchestration import SweepRequest, SweepResult
+
+        result = run_experiment(
+            SweepRequest(experiments=("fig6",), instructions=1500),
+            store=InMemoryResultStore(),
+        )
+        assert isinstance(result, SweepResult)
+        with pytest.warns(DeprecationWarning):
+            legacy = run_experiment(
+                "fig6", store=InMemoryResultStore(), instructions=1500
+            )
+        assert result["fig6"] == legacy
+
+    def test_request_owned_kwargs_cannot_be_overridden(self):
+        from repro.orchestration import SweepRequest, sweep_experiments
+
+        request = SweepRequest(experiments=("fig6",), instructions=1500)
+        with pytest.raises(TypeError, match="instructions"):
+            sweep_experiments(request, store=InMemoryResultStore(), instructions=99)
+
+
+class TestManifestPruning:
+    def test_clear_prunes_orphaned_run_manifests(self, tmp_path):
+        from repro.telemetry.manifest import MANIFEST_DIR, list_manifests, write_manifest
+
+        cache = ResultCache(tmp_path)
+        write_manifest(tmp_path, experiments=["fig5"], started_at=1.0)
+        assert len(list_manifests(tmp_path)) == 1
+        stray = tmp_path / MANIFEST_DIR / "not-a-manifest.json.tmp"
+        stray.write_text("{}", encoding="utf-8")
+        cache.clear()
+        # Entries are gone, and so are the manifests describing them.
+        assert list_manifests(tmp_path) == []
+        assert not stray.exists()
+
+
+class TestTargetCLI:
+    def test_deprecated_executor_flag_warns_and_still_works(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        code = main(
+            ["fig5", "--instructions", "2000", "--executor", "serial",
+             "--cache-dir", str(tmp_path / "cache")]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "deprecated" in captured.err and "--target" in captured.err
+
+    def test_target_conflicts_with_deprecated_flags(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["fig5", "--target", "local", "--executor", "serial", "--no-cache"]) == 2
+        assert main(["fig5", "--target", "nope", "--no-cache"]) == 2
+
+    def test_target_local_runs_serial(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        code = main(
+            ["fig5", "--instructions", "2000", "--target", "local",
+             "--cache-dir", str(tmp_path / "cache")]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "Figure 5" in captured.out
+        assert "deprecated" not in captured.err

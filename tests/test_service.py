@@ -1,0 +1,437 @@
+"""Tests for the sweep service: fairness policy, job protocol, equivalence.
+
+Covers the :class:`~repro.distributed.fairness.TenantScheduler` policy
+in isolation (consecutive-service quantum, blacklisting, periodic
+clearing), the service's submit/poll/cancel/jobs protocol including its
+error paths, service-level fairness observed through the ``job`` field
+of work grants — and the acceptance bar: two concurrent clients sharing
+one worker fleet get results byte-identical to serial runs, with
+overlapping points simulated exactly once.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.distributed import (
+    Coordinator,
+    ServiceError,
+    SweepClient,
+    SweepService,
+    TenantScheduler,
+    run_worker,
+)
+from repro.distributed.protocol import (
+    decode_message,
+    encode_message,
+    hello_message,
+    peer_features,
+)
+from repro.orchestration import (
+    InMemoryResultStore,
+    SweepRequest,
+    canonical_data,
+    sweep_experiments,
+)
+from tests.test_distributed import make_unit
+
+#: Service knobs tuned so fault-handling paths fire inside a test run.
+FAST = dict(lease_timeout=0.4, straggler_timeout=0.3, retry_seconds=0.05)
+
+
+# ----------------------------------------------------------------- scheduler
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_scheduler(**kwargs):
+    clock = FakeClock()
+    scheduler = TenantScheduler(clock=clock, **kwargs)
+    return scheduler, clock
+
+
+class TestTenantScheduler:
+    def test_quantum_blacklists_after_consecutive_service(self):
+        scheduler, _ = make_scheduler(service_quantum=3)
+        scheduler.add_job("batch", priority="batch")
+        scheduler.add_job("late", priority="batch")
+        # Only `batch` has backlog: it is served quantum times in a row
+        # and must be blacklisted on the last grant.
+        for grant in range(3):
+            assert scheduler.select({"batch": 10, "late": 0}) == "batch"
+            scheduler.record_service("batch")
+        snapshot = scheduler.snapshot()["jobs"]["batch"]
+        assert snapshot["blacklisted"]
+        # Once `late` has pending points, the blacklisted job yields even
+        # though both share the batch priority class.
+        assert scheduler.select({"batch": 10, "late": 5}) == "late"
+
+    def test_blacklist_deprioritises_but_never_blocks(self):
+        scheduler, _ = make_scheduler(service_quantum=2)
+        scheduler.add_job("only", priority="batch")
+        # A lone job keeps receiving grants long past its quantum: the
+        # blacklist reorders contenders, it never stalls the fleet.
+        for grant in range(10):
+            assert scheduler.select({"only": 99}) == "only"
+            scheduler.record_service("only")
+        assert scheduler.snapshot()["jobs"]["only"]["blacklisted"]
+
+    def test_interactive_beats_batch_regardless_of_history(self):
+        scheduler, _ = make_scheduler(service_quantum=4)
+        scheduler.add_job("big", priority="batch")
+        scheduler.add_job("ui", priority="interactive")
+        scheduler.record_service("big")
+        # Batch has been running; the moment interactive work is pending
+        # it wins every selection until its backlog drains.  (Its streak
+        # stays under the quantum here — blacklisting outranks priority,
+        # so even an interactive job yields once it monopolises a full
+        # quantum.)
+        picks = []
+        for remaining in (3, 2, 1):
+            picks.append(scheduler.select({"big": 100, "ui": remaining}))
+            scheduler.record_service(picks[-1])
+        assert picks == ["ui"] * 3
+        assert scheduler.select({"big": 100, "ui": 0}) == "big"
+
+    def test_clearing_resets_blacklists_and_streaks(self):
+        scheduler, clock = make_scheduler(service_quantum=2, clearing_interval=5.0)
+        scheduler.add_job("a", priority="batch")
+        scheduler.add_job("b", priority="batch")
+        scheduler.select({"a": 10, "b": 0})  # arms the clearing timer
+        scheduler.record_service("a")
+        scheduler.record_service("a")
+        assert scheduler.snapshot()["jobs"]["a"]["blacklisted"]
+        clock.advance(5.1)
+        scheduler.select({"a": 10, "b": 10})  # triggers maybe_clear
+        snapshot = scheduler.snapshot()
+        assert snapshot["clear_events"] == 1
+        assert not snapshot["jobs"]["a"]["blacklisted"]
+        assert snapshot["jobs"]["a"]["streak"] == 0
+
+    def test_service_resets_competitors_streaks(self):
+        scheduler, _ = make_scheduler(service_quantum=3)
+        scheduler.add_job("a", priority="batch")
+        scheduler.add_job("b", priority="batch")
+        scheduler.record_service("a")
+        scheduler.record_service("a")
+        scheduler.record_service("b")  # interleaved grant: a's streak resets
+        scheduler.record_service("a")
+        jobs = scheduler.snapshot()["jobs"]
+        assert jobs["a"]["streak"] == 1 and not jobs["a"]["blacklisted"]
+
+    def test_lru_round_robin_within_a_priority_class(self):
+        scheduler, _ = make_scheduler()
+        scheduler.add_job("a", priority="batch")
+        scheduler.add_job("b", priority="batch")
+        picks = []
+        for _ in range(4):
+            picks.append(scheduler.select({"a": 5, "b": 5}))
+            scheduler.record_service(picks[-1])
+        assert picks == ["a", "b", "a", "b"]
+
+    def test_remove_and_unknown_jobs_are_ignored(self):
+        scheduler, _ = make_scheduler()
+        scheduler.add_job("a")
+        scheduler.remove_job("a")
+        scheduler.remove_job("ghost")
+        assert scheduler.select({"a": 5, "ghost": 5}) is None
+
+    def test_validates_knobs(self):
+        with pytest.raises(ValueError):
+            TenantScheduler(service_quantum=0)
+        with pytest.raises(ValueError):
+            TenantScheduler(clearing_interval=0.0)
+
+
+# ----------------------------------------------------------------- protocol
+
+
+class FakeClient:
+    """A hand-driven protocol client for exercising the service directly."""
+
+    def __init__(self, address, name="fake-tenant", role="client"):
+        self.connection = socket.create_connection(address)
+        self.stream = self.connection.makefile("rb")
+        self.send(hello_message(name, role=role))
+        self.welcome = self.receive()
+        assert self.welcome["type"] == "welcome"
+
+    def send(self, payload):
+        self.connection.sendall(encode_message(payload))
+
+    def receive(self):
+        return decode_message(self.stream.readline())
+
+    def rpc(self, payload):
+        self.send(payload)
+        return self.receive()
+
+    def submit(self, request, tenant=None):
+        payload = {"type": "submit", "request": request.to_wire()}
+        if tenant is not None:
+            payload["tenant"] = tenant
+        return self.rpc(payload)
+
+    def poll_until(self, job_id, states, timeout=10.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            reply = self.rpc({"type": "poll", "job": job_id})
+            if reply.get("state") in states:
+                return reply
+            time.sleep(0.02)
+        raise AssertionError(f"job {job_id} never reached {states}")
+
+    def lease_work(self, attempts=100):
+        for _ in range(attempts):
+            reply = self.rpc({"type": "lease"})
+            if reply["type"] in ("work", "done"):
+                return reply
+            time.sleep(reply.get("seconds", 0.05))
+        raise AssertionError("service never handed out work")
+
+    def close(self):
+        try:
+            self.connection.close()
+        except OSError:
+            pass
+
+
+@pytest.fixture
+def service():
+    store = InMemoryResultStore()
+    svc = SweepService(store, **FAST)
+    address = svc.start()
+    try:
+        yield svc, address, store
+    finally:
+        svc.stop()
+
+
+FIG5 = SweepRequest(experiments=("fig5",), instructions=1500)
+FIG6 = SweepRequest(experiments=("fig6",), instructions=1500)
+BOTH = SweepRequest(experiments=("fig5", "fig6"), instructions=1500)
+
+
+class TestServiceProtocol:
+    def test_welcome_advertises_jobs_feature(self, service):
+        _, address, _ = service
+        client = FakeClient(address)
+        assert "jobs" in peer_features(client.welcome)
+        client.close()
+
+    def test_submit_rejects_unknown_experiment(self, service):
+        _, address, _ = service
+        client = FakeClient(address)
+        bad = {"type": "submit", "request": {"experiments": ["nope"]}}
+        reply = client.rpc(bad)
+        assert reply["type"] == "error" and "nope" in reply["error"]
+        client.close()
+
+    def test_submit_rejects_malformed_request(self, service):
+        _, address, _ = service
+        client = FakeClient(address)
+        assert client.rpc({"type": "submit", "request": "fig5"})["type"] == "error"
+        assert client.rpc({"type": "submit"})["type"] == "error"
+        client.close()
+
+    def test_poll_and_cancel_unknown_job(self, service):
+        _, address, _ = service
+        client = FakeClient(address)
+        assert client.rpc({"type": "poll", "job": "job-9999"})["type"] == "error"
+        assert client.rpc({"type": "cancel", "job": "job-9999"})["type"] == "error"
+        client.close()
+
+    def test_unknown_message_kind_is_an_error_reply(self, service):
+        _, address, _ = service
+        client = FakeClient(address)
+        assert client.rpc({"type": "frobnicate"})["type"] == "error"
+        client.close()
+
+    def test_cancel_pending_job_with_no_workers(self, service):
+        _, address, _ = service
+        client = FakeClient(address)
+        job_id = client.submit(FIG5)["job"]
+        client.poll_until(job_id, ("running",))
+        reply = client.rpc({"type": "cancel", "job": job_id})
+        assert reply["state"] == "cancelled"
+        # Terminal states are sticky: a second cancel is a no-op reply.
+        assert client.rpc({"type": "cancel", "job": job_id})["state"] == "cancelled"
+        client.close()
+
+    def test_jobs_listing_reflects_submissions(self, service):
+        _, address, _ = service
+        client = FakeClient(address)
+        job_id = client.submit(FIG5, tenant="alice")["job"]
+        client.poll_until(job_id, ("running",))
+        reply = client.rpc({"type": "jobs"})
+        assert reply["type"] == "jobs"
+        assert reply["jobs"][job_id]["tenant"] == "alice"
+        assert reply["jobs"][job_id]["experiments"] == ["fig5"]
+        client.close()
+
+    def test_status_payload_carries_jobs_and_scheduler(self, service):
+        svc, address, _ = service
+        client = FakeClient(address)
+        job_id = client.submit(FIG5)["job"]
+        client.poll_until(job_id, ("running",))
+        payload = svc.status_payload()
+        from repro.telemetry.status import validate_status
+
+        assert validate_status(payload) == []
+        assert job_id in payload["jobs"]
+        assert payload["scheduler"]["service_quantum"] == 4
+        client.close()
+
+    def test_sweep_client_refuses_plain_coordinator(self):
+        unit = make_unit()
+        coordinator = Coordinator([unit], InMemoryResultStore())
+        host, port = coordinator.start()
+        try:
+            with pytest.raises(ServiceError, match="job submissions"):
+                SweepClient(f"{host}:{port}")
+        finally:
+            coordinator.stop()
+
+
+# ----------------------------------------------------------------- fairness (service level)
+
+
+class TestServiceFairness:
+    def test_interactive_points_preempt_a_running_batch(self):
+        """With a batch sweep in flight, a newly submitted interactive
+        job's points are granted next — before any further batch point —
+        i.e. the interactive job drains well within one clearing interval."""
+        store = InMemoryResultStore()
+        # Long lease/straggler windows: the hand-driven worker never
+        # heartbeats, and expiry-requeue noise would blur the grant order
+        # this test asserts on.
+        svc = SweepService(
+            store,
+            service_quantum=2,
+            clearing_interval=60.0,
+            lease_timeout=30.0,
+            straggler_timeout=60.0,
+            retry_seconds=0.05,
+        )
+        address = svc.start()
+        try:
+            tenant = FakeClient(address, "batch-tenant")
+            batch_id = tenant.submit(
+                SweepRequest(experiments=("fig6",), instructions=1500, priority="batch")
+            )["job"]
+            tenant.poll_until(batch_id, ("running",))
+
+            worker = FakeClient(address, "hand-worker", role="worker")
+            for _ in range(3):  # the batch fleet is already being served
+                grant = worker.lease_work()
+                assert grant["job"] == batch_id
+
+            ui = FakeClient(address, "ui-tenant")
+            ui_id = ui.submit(FIG5)["job"]  # 6 disjoint points, interactive
+            ui.poll_until(ui_id, ("running",))
+
+            grants = [worker.lease_work()["job"] for _ in range(6)]
+            assert grants == [ui_id] * 6
+            # Interactive backlog drained; the batch job resumes.
+            assert worker.lease_work()["job"] == batch_id
+            for client in (tenant, ui, worker):
+                client.close()
+        finally:
+            svc.stop()
+
+
+# ----------------------------------------------------------------- equivalence
+
+
+def start_worker_thread(address, name):
+    host, port = address
+
+    def serve():
+        try:
+            run_worker(f"{host}:{port}", worker_id=name, log=lambda text: None)
+        except OSError:
+            pass  # service shut down mid-request
+
+    thread = threading.Thread(target=serve, daemon=True, name=name)
+    thread.start()
+    return thread
+
+
+def dumps(results) -> str:
+    return json.dumps(canonical_data(dict(results)), indent=2, sort_keys=True)
+
+
+class TestTwoClientEquivalence:
+    def test_concurrent_overlapping_jobs_match_serial_byte_for_byte(self):
+        serial_both = sweep_experiments(BOTH, store=InMemoryResultStore())
+        serial_fig6 = sweep_experiments(FIG6, store=InMemoryResultStore())
+        distinct_points = serial_both.stats.planned  # fig5 ∪ fig6
+
+        store = InMemoryResultStore()
+        svc = SweepService(store, **FAST)
+        address = svc.start()
+        workers = []
+        try:
+            workers = [start_worker_thread(address, f"inproc-{i}") for i in range(2)]
+            with SweepClient(address, tenant="alice") as alice, \
+                    SweepClient(address, tenant="bob") as bob:
+                job1 = alice.submit(BOTH)
+                job2 = bob.submit(FIG6)
+                status1 = alice.wait(job1, timeout=120)
+                status2 = bob.wait(job2, timeout=120)
+                assert status1.state == "done" and status2.state == "done"
+
+                # Byte-identical exports: the service's replay is the
+                # serial code path reading the same store.
+                assert dumps(alice.results(job1)) == dumps(serial_both.data)
+                assert dumps(bob.results(job2)) == dumps(serial_fig6.data)
+
+                # Every distinct point was simulated exactly once across
+                # the two jobs; the fig6 overlap was shared, not re-run.
+                assert status1.executed + status2.executed == distinct_points
+                assert status1.executed + status1.reused == status1.points
+                assert status2.executed + status2.reused == status2.points
+                assert status2.points == serial_fig6.stats.planned
+        finally:
+            svc.stop()
+            for thread in workers:
+                thread.join(timeout=5)
+
+    def test_second_submit_after_completion_is_all_reuse(self):
+        store = InMemoryResultStore()
+        svc = SweepService(store, **FAST)
+        address = svc.start()
+        workers = []
+        try:
+            workers = [start_worker_thread(address, "inproc-reuse")]
+            with SweepClient(address) as client:
+                first = client.run(FIG5, timeout=120)
+                status = client.poll(client.submit(FIG5))
+                # Every point is already in the shared store: the job
+                # finalises without touching the fleet.
+                deadline = time.monotonic() + 30
+                while not status.finished and time.monotonic() < deadline:
+                    time.sleep(0.05)
+                    status = client.poll(status.job_id)
+                assert status.state == "done"
+                assert status.executed == 0
+                assert status.reused == status.points
+                assert dumps(client.results(status.job_id)) == dumps(first)
+        finally:
+            svc.stop()
+            for thread in workers:
+                thread.join(timeout=5)

@@ -85,29 +85,31 @@ class TestRunWorkload:
 
 
 class TestScopedOverrides:
-    """The engine/backend overrides are process-globals; the scoped
+    """The engine/backend overrides are thread-scoped; the scoped
     installers must restore the previous value even when the body raises
     (an unscoped install used to leak a failing sweep's override into
-    every subsequent in-process simulation)."""
+    every subsequent in-process simulation), and an override in one
+    thread must never leak into another (concurrent service tenants and
+    in-process workers share the module)."""
 
     def test_engine_override_restores_on_exception(self):
         from repro.sim import runner
 
-        assert runner._ENGINE_OVERRIDE is None
+        assert runner._SCOPE.engine is None
         with pytest.raises(RuntimeError, match="boom"):
             with runner.engine_override("tick"):
-                assert runner._ENGINE_OVERRIDE == "tick"
+                assert runner._SCOPE.engine == "tick"
                 raise RuntimeError("boom")
-        assert runner._ENGINE_OVERRIDE is None
+        assert runner._SCOPE.engine is None
 
     def test_engine_override_restores_outer_override(self):
         from repro.sim import runner
 
         with runner.engine_override("tick"):
             with runner.engine_override("event"):
-                assert runner._ENGINE_OVERRIDE == "event"
-            assert runner._ENGINE_OVERRIDE == "tick"
-        assert runner._ENGINE_OVERRIDE is None
+                assert runner._SCOPE.engine == "event"
+            assert runner._SCOPE.engine == "tick"
+        assert runner._SCOPE.engine is None
 
     def test_simulation_backend_restores_on_exception(self):
         from repro.sim import runner
@@ -115,12 +117,43 @@ class TestScopedOverrides:
         def backend(traces, config):  # pragma: no cover - never invoked
             raise AssertionError("unused")
 
-        assert runner._SIMULATION_BACKEND is None
+        assert runner._SCOPE.backend is None
         with pytest.raises(RuntimeError, match="boom"):
             with runner.simulation_backend(backend):
-                assert runner._SIMULATION_BACKEND is backend
+                assert runner._SCOPE.backend is backend
                 raise RuntimeError("boom")
-        assert runner._SIMULATION_BACKEND is None
+        assert runner._SCOPE.backend is None
+
+    def test_overrides_are_thread_local(self):
+        import threading
+
+        from repro.sim import runner
+
+        installed = threading.Event()
+        release = threading.Event()
+        seen = {}
+
+        def other_thread():
+            seen["engine"] = runner._SCOPE.engine
+            seen["backend"] = runner._SCOPE.backend
+            with runner.engine_override("event"):
+                installed.set()
+                release.wait(timeout=5)
+
+        def backend(traces, config):  # pragma: no cover - never invoked
+            raise AssertionError("unused")
+
+        with runner.engine_override("tick"), runner.simulation_backend(backend):
+            worker = threading.Thread(target=other_thread)
+            worker.start()
+            assert installed.wait(timeout=5)
+            # The other thread saw pristine defaults, not this thread's
+            # overrides — and its own override is invisible here.
+            assert seen == {"engine": None, "backend": None}
+            assert runner._SCOPE.engine == "tick"
+            release.set()
+            worker.join(timeout=5)
+        assert runner._SCOPE.engine is None
 
     def test_failing_backend_mid_run_restores_previous_backend(self):
         """End to end: a backend that raises while serving a simulation
@@ -141,7 +174,7 @@ class TestScopedOverrides:
             with runner.simulation_backend(exploding_backend):
                 runner.simulate_traces([trace], baseline_config())
         assert calls, "the failing backend was never exercised"
-        assert runner._SIMULATION_BACKEND is None
+        assert runner._SCOPE.backend is None
         # Direct execution works again after the failed run.
         result = runner.simulate_traces([trace], baseline_config())
         assert result.total_cycles > 0
