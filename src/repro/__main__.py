@@ -16,7 +16,9 @@ Usage::
     python -m repro worker --target HOST:PORT      # join a fleet
     python -m repro cache                          # result-store statistics
     python -m repro status --target HOST:PORT      # live coordinator/service view
+    python -m repro watch --target HOST:PORT       # stream structured events
     python -m repro runs                           # list persisted run manifests
+    python -m repro trace export --run ID          # Perfetto-loadable trace JSON
 
 Every invocation routes through :mod:`repro.orchestration`: simulation
 points are cached on disk (``--cache-dir``, default ``.repro-cache`` or
@@ -170,6 +172,23 @@ def _build_parser() -> argparse.ArgumentParser:
             "(results are bit-identical either way; telemetry is observe-only)"
         ),
     )
+    parser.add_argument(
+        "--no-trace",
+        action="store_true",
+        help=(
+            "do not emit structured trace events or write the run's event "
+            "journal (results are byte-identical either way)"
+        ),
+    )
+    parser.add_argument(
+        "--profile-engine",
+        action="store_true",
+        help=(
+            "record engine phase histograms (serve-window lengths, skip "
+            "lengths, dispatch counts) into the run manifest; view with "
+            "`repro trace profile`; observe-only, results are identical"
+        ),
+    )
     _add_verbosity_flags(parser)
     return parser
 
@@ -248,6 +267,14 @@ def _worker_main(argv: list[str]) -> int:
         default=None,
         help="override the simulation engine for this worker (results are identical)",
     )
+    parser.add_argument(
+        "--profile-engine",
+        action="store_true",
+        help=(
+            "record engine phase histograms for every point this worker "
+            "simulates (folded into the coordinator's metrics; observe-only)"
+        ),
+    )
     _add_verbosity_flags(parser)
     args = parser.parse_args(argv)
     telemetry_logs.configure(verbose=args.verbose, quiet=args.quiet)
@@ -265,6 +292,8 @@ def _worker_main(argv: list[str]) -> int:
         with contextlib.ExitStack() as stack:
             if args.engine is not None:
                 stack.enter_context(engine_override(args.engine))
+            if args.profile_engine:
+                stack.enter_context(telemetry.profiled())
             run_worker(target, worker_id=args.id)
     except (OSError, ConnectionError) as exc:
         print(f"worker could not serve {target}: {exc}", file=sys.stderr)
@@ -385,6 +414,128 @@ def _status_main(argv: list[str]) -> int:
         print()
 
 
+def _watch_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro watch",
+        description=(
+            "Stream a running coordinator's or sweep service's structured "
+            "events live: leases granted and expired, points committed and "
+            "requeued, jobs changing state, tenants blacklisted and cleared. "
+            "Pushed over the watch protocol — no polling."
+        ),
+    )
+    _add_service_target(parser)
+    parser.add_argument(
+        "--from-seq",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "replay buffered events with seq > N before going live "
+            "(0 = everything still buffered; default: live events only)"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print raw event dicts as JSON lines instead of the rendered view",
+    )
+    parser.add_argument(
+        "--poll",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help=(
+            "fallback poll interval against a pre-watch peer "
+            "(default: 2.0; the event stream itself never polls)"
+        ),
+    )
+    _add_verbosity_flags(parser)
+    args = parser.parse_args(argv)
+    telemetry_logs.configure(verbose=args.verbose, quiet=args.quiet)
+    target = _resolve_service_target(args, parser)
+
+    import json as json_module
+
+    from .distributed import ServiceError, parse_address
+    from .distributed.client import WatchClient
+    from .telemetry.status import fetch_status, format_event, format_status
+
+    try:
+        address = parse_address(target)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        watcher = WatchClient(address, from_seq=args.from_seq)
+    except (ServiceError, OSError, ValueError) as exc:
+        print(f"could not watch {target}: {exc}", file=sys.stderr)
+        return 1
+    try:
+        if not watcher.supports_watch:
+            # Version tolerance: an older daemon answers status queries
+            # but cannot push events — degrade to polling, loudly.
+            watcher.close()
+            print(
+                f"peer at {target} predates the watch protocol; "
+                f"polling status every {args.poll:.1f}s instead",
+                file=sys.stderr,
+            )
+            while True:
+                try:
+                    payload = fetch_status(address)
+                except (OSError, ValueError) as exc:
+                    print(f"could not fetch status from {target}: {exc}", file=sys.stderr)
+                    return 1
+                if args.json:
+                    print(json_module.dumps(payload, sort_keys=True), flush=True)
+                else:
+                    print(format_status(payload))
+                    print()
+                time.sleep(max(0.1, args.poll))
+        if not args.json:
+            print(
+                f"watching {target} (events from seq {watcher.seq})",
+                file=sys.stderr,
+                flush=True,
+            )
+            if watcher.status is not None:
+                print(format_status(watcher.status))
+                print("--- live events ---", flush=True)
+        for event in watcher.events():
+            if args.json:
+                print(json_module.dumps(event, sort_keys=True), flush=True)
+            else:
+                print(format_event(event), flush=True)
+        print(f"{target} closed the event stream", file=sys.stderr)
+        return 0
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        watcher.close()
+
+
+def _parse_since(text: str) -> float:
+    """``--since`` spec → epoch seconds: ``2h``/``45m``/``30s``/``7d``
+    relative forms or an ISO date/datetime."""
+    import re
+
+    spec = text.strip()
+    relative = re.fullmatch(r"(\d+(?:\.\d+)?)([smhd])", spec)
+    if relative:
+        scale = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}[relative.group(2)]
+        return time.time() - float(relative.group(1)) * scale
+    for fmt in ("%Y-%m-%dT%H:%M:%S", "%Y-%m-%d %H:%M:%S", "%Y-%m-%d"):
+        try:
+            return time.mktime(time.strptime(spec, fmt))
+        except ValueError:
+            continue
+    raise ValueError(
+        f"invalid --since {text!r}: use a relative age like 30s/45m/2h/7d "
+        "or an ISO date (2026-08-08[T12:00:00])"
+    )
+
+
 def _runs_main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="repro runs",
@@ -401,6 +552,24 @@ def _runs_main(argv: list[str]) -> int:
         default=DEFAULT_CACHE_DIR,
         metavar="DIR",
         help=f"result cache directory (default: {DEFAULT_CACHE_DIR!r})",
+    )
+    parser.add_argument(
+        "--figure",
+        default=None,
+        metavar="FIG",
+        help="only list runs that swept this experiment (e.g. fig6)",
+    )
+    parser.add_argument(
+        "--tenant",
+        default=None,
+        metavar="NAME",
+        help="only list service runs submitted by this tenant",
+    )
+    parser.add_argument(
+        "--since",
+        default=None,
+        metavar="SPEC",
+        help="only list runs started after SPEC: 30s/45m/2h/7d ago, or an ISO date",
     )
     parser.add_argument(
         "--json", action="store_true", help="print raw manifest JSON instead of summaries"
@@ -420,20 +589,189 @@ def _runs_main(argv: list[str]) -> int:
             print(json_module.dumps(manifest, indent=2, sort_keys=True))
         else:
             print(summarize_manifest(manifest))
+            points = manifest.get("points") or {}
+            if isinstance(points, dict) and points:
+                simulated = sum(
+                    1 for point in points.values()
+                    if isinstance(point, dict) and point.get("state") == "simulated"
+                )
+                print(
+                    f"  points: {len(points)} "
+                    f"({simulated} simulated, {len(points) - simulated} replayed)"
+                )
             counters = (manifest.get("metrics") or {}).get("counters") or {}
             for name in sorted(counters):
                 print(f"  {name:<36} {counters[name]}")
         return 0
 
     manifests = list_manifests(args.cache_dir)
+    if args.figure:
+        wanted = args.figure.strip().lower()
+        manifests = [m for m in manifests if wanted in (m.get("experiments") or ())]
+    if args.tenant:
+        manifests = [m for m in manifests if m.get("tenant") == args.tenant
+                     or (m.get("kwargs") or {}).get("tenant") == args.tenant]
+    if args.since:
+        try:
+            threshold = _parse_since(args.since)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        manifests = [m for m in manifests
+                     if isinstance(m.get("started_at"), (int, float))
+                     and m["started_at"] >= threshold]
     if not manifests:
-        print(f"no run manifests under {args.cache_dir}/runs")
+        filtered = any((args.figure, args.tenant, args.since))
+        print(
+            f"no run manifests under {args.cache_dir}/runs"
+            + (" matching the given filters" if filtered else "")
+        )
         return 0
     if args.json:
         print(json_module.dumps(manifests, indent=2, sort_keys=True))
         return 0
     for manifest in manifests:
         print(summarize_manifest(manifest))
+    return 0
+
+
+def _trace_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description=(
+            "Inspect the persisted event traces under <cache-dir>/traces/: "
+            "list journals, export one as Chrome trace-event JSON "
+            "(loadable in Perfetto / chrome://tracing), or render a run's "
+            "engine profile histograms."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", metavar="COMMAND")
+
+    def _add_cache_dir(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--cache-dir",
+            default=DEFAULT_CACHE_DIR,
+            metavar="DIR",
+            help=f"result cache directory (default: {DEFAULT_CACHE_DIR!r})",
+        )
+
+    list_parser = sub.add_parser(
+        "list", help="list the event journals next to the result cache"
+    )
+    _add_cache_dir(list_parser)
+
+    export_parser = sub.add_parser(
+        "export", help="export one run's journal as Chrome trace-event JSON"
+    )
+    export_parser.add_argument(
+        "--run",
+        required=True,
+        metavar="ID",
+        help="run id (or unambiguous prefix) whose journal to export; "
+        "'service' exports the daemon's journal",
+    )
+    export_parser.add_argument(
+        "--out",
+        default=None,
+        metavar="OUT",
+        help="output path ('-' for stdout; default: <run>.trace.json)",
+    )
+    _add_cache_dir(export_parser)
+
+    profile_parser = sub.add_parser(
+        "profile", help="render a --profile-engine run's phase histograms"
+    )
+    profile_parser.add_argument(
+        "run_id",
+        nargs="?",
+        default=None,
+        help="run id or prefix (default: the most recent manifest)",
+    )
+    _add_cache_dir(profile_parser)
+
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help(sys.stderr)
+        return 2
+
+    import json as json_module
+
+    from .telemetry.trace import (
+        export_chrome_trace,
+        list_journals,
+        read_journal,
+        validate_chrome_trace,
+    )
+
+    if args.command == "list":
+        journals = list_journals(args.cache_dir)
+        if not journals:
+            print(f"no event journals under {args.cache_dir}/traces")
+            return 0
+        for path in journals:
+            events = read_journal(path)
+            span = ""
+            if events:
+                first, last = events[0].get("ts"), events[-1].get("ts")
+                if isinstance(first, (int, float)) and isinstance(last, (int, float)):
+                    span = f", {max(0.0, last - first):.1f}s"
+            print(f"{path.stem:<40} {len(events):>6} events{span}")
+        return 0
+
+    if args.command == "export":
+        journals = list_journals(args.cache_dir)
+        matches = [path for path in journals if path.stem == args.run]
+        if not matches:
+            matches = [path for path in journals if path.stem.startswith(args.run)]
+        if len(matches) != 1:
+            hint = "no journal" if not matches else f"{len(matches)} journals"
+            print(
+                f"{hint} matching {args.run!r} under {args.cache_dir}/traces "
+                "(see `repro trace list`)",
+                file=sys.stderr,
+            )
+            return 1
+        events = read_journal(matches[0])
+        document = export_chrome_trace(events)
+        problems = validate_chrome_trace(document)
+        if problems:
+            print(
+                f"export produced an invalid trace ({'; '.join(problems[:5])})",
+                file=sys.stderr,
+            )
+            return 1
+        text = json_module.dumps(document, indent=2, sort_keys=True)
+        out = args.out if args.out is not None else f"{matches[0].stem}.trace.json"
+        if out == "-":
+            print(text)
+        else:
+            with open(out, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            print(
+                f"wrote {len(document['traceEvents'])} trace events to {out} "
+                "(load in Perfetto or chrome://tracing)",
+                file=sys.stderr,
+            )
+        return 0
+
+    # profile
+    from .telemetry.manifest import list_manifests, load_manifest
+    from .telemetry.trace import format_profile, load_profile
+
+    if args.run_id is not None:
+        manifest = load_manifest(args.cache_dir, args.run_id)
+        if manifest is None:
+            print(f"no (unique) manifest matching {args.run_id!r}", file=sys.stderr)
+            return 1
+    else:
+        manifests = list_manifests(args.cache_dir)
+        if not manifests:
+            print(f"no run manifests under {args.cache_dir}/runs", file=sys.stderr)
+            return 1
+        manifest = manifests[-1]
+    counters = load_profile(manifest) or {}
+    print(f"run {manifest.get('run_id', '?')}")
+    print(format_profile(counters))
     return 0
 
 
@@ -798,7 +1136,9 @@ def main(argv: list[str] | None = None) -> int:
         "worker": _worker_main,
         "cache": _cache_main,
         "status": _status_main,
+        "watch": _watch_main,
         "runs": _runs_main,
+        "trace": _trace_main,
         "serve": _serve_main,
         "submit": _submit_main,
         "jobs": _jobs_main,
@@ -890,6 +1230,16 @@ def main(argv: list[str] | None = None) -> int:
             # Observe-only by construction; disabling just skips the
             # bookkeeping (and the manifest below), never the results.
             stack.enter_context(telemetry.disabled())
+        if args.no_telemetry or args.no_trace:
+            # Silence the event bus for the run: no emits, no journal
+            # (TraceJournal only creates its file on first write).
+            previous_bus_state = telemetry.bus().enabled
+            telemetry.bus().enabled = False
+            stack.callback(
+                setattr, telemetry.bus(), "enabled", previous_bus_state
+            )
+        if args.profile_engine:
+            stack.enter_context(telemetry.profiled())
         result = sweep_experiments(
             request, jobs=jobs, store=store, stats=stats, executor=executor
         )
@@ -933,6 +1283,8 @@ def main(argv: list[str] | None = None) -> int:
                     },
                     cache=store.stats(),
                     workers=getattr(executor, "last_worker_snapshots", None),
+                    run_id=stats.run_id,
+                    points=stats.points,
                 )
             except OSError:
                 pass

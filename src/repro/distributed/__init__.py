@@ -34,7 +34,7 @@ Public surface:
   config / trace / result wire codecs.
 """
 
-from .client import JobStatus, ServiceError, SweepClient
+from .client import JobStatus, ServiceError, SweepClient, WatchClient
 from .coordinator import Coordinator
 from .executor import DistributedExecutor, spawn_local_worker
 from .fairness import TenantScheduler
@@ -58,6 +58,7 @@ __all__ = [
     "SweepClient",
     "SweepService",
     "TenantScheduler",
+    "WatchClient",
     "WorkerStats",
     "parse_address",
     "run_worker",

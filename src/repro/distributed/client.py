@@ -44,6 +44,10 @@ DEFAULT_TIMEOUT = 30.0
 #: Seconds between polls in :meth:`SweepClient.wait`.
 DEFAULT_POLL_INTERVAL = 0.2
 
+#: Connect/handshake timeout for :class:`WatchClient` (the event stream
+#: itself is unbounded — a quiet fleet pushes nothing for minutes).
+DEFAULT_CONNECT_TIMEOUT = 10.0
+
 
 class ServiceError(RuntimeError):
     """The service rejected a request or the conversation broke down."""
@@ -97,6 +101,96 @@ class JobStatus:
             elapsed_seconds=float(payload.get("elapsed_seconds", 0.0) or 0.0),
             raw=payload,
         )
+
+
+class WatchClient:
+    """Streaming observer of a coordinator's or service's event feed.
+
+    Connects with ``role: "observer"`` and, when the peer's welcome
+    advertises the ``"watch"`` feature, subscribes to the event stream:
+    ``status`` then holds the seeding snapshot the ``watching`` ack
+    carried, and :meth:`events` yields one event dict per push until the
+    connection closes.
+
+    Version tolerance is explicit: against a pre-``watch`` peer the
+    constructor still succeeds but leaves ``supports_watch`` false —
+    callers (``repro watch``) degrade to one-shot ``status`` polling
+    with a notice instead of erroring out.
+    """
+
+    def __init__(
+        self,
+        target: Union[str, Tuple[str, int]],
+        *,
+        from_seq: Optional[int] = None,
+        timeout: float = DEFAULT_CONNECT_TIMEOUT,
+    ) -> None:
+        address = parse_address(target) if isinstance(target, str) else tuple(target)
+        self.name = f"watch-{socket.gethostname()}-{os.getpid()}"
+        self.status: Optional[Dict] = None
+        self.seq = 0
+        self.supports_watch = False
+        self._connection = socket.create_connection(address, timeout=timeout)
+        self._stream = self._connection.makefile("rb")
+        try:
+            self._connection.sendall(
+                encode_message(hello_message(self.name, pid=os.getpid(), role="observer"))
+            )
+            welcome = read_message(self._stream)
+            if welcome is None or welcome.get("type") != "welcome":
+                error = (welcome or {}).get("error", "peer refused the hello")
+                raise ServiceError(f"handshake failed: {error}")
+            self.supports_watch = "watch" in peer_features(welcome)
+            if self.supports_watch:
+                subscribe: Dict = {"type": "watch"}
+                # None = live-only; an explicit value (0 included)
+                # replays buffered history — mirror the wire semantics.
+                if from_seq is not None:
+                    subscribe["from_seq"] = int(from_seq)
+                self._connection.sendall(encode_message(subscribe))
+                ack = read_message(self._stream)
+                if ack is None or ack.get("type") != "watching":
+                    raise ServiceError(f"watch subscription refused: {ack!r}")
+                self.seq = int(ack.get("seq") or 0)
+                status = ack.get("status")
+                self.status = status if isinstance(status, dict) else None
+                # The stream blocks until the fleet does something; only
+                # the connect/handshake above is deadline-bound.
+                self._connection.settimeout(None)
+        except BaseException:
+            self.close()
+            raise
+
+    def events(self):
+        """Yield pushed event dicts; returns when the peer hangs up."""
+        if not self.supports_watch:
+            return
+        while True:
+            try:
+                message = read_message(self._stream)
+            except (OSError, ValueError):
+                return
+            if message is None:
+                return
+            if message.get("type") != "event":
+                continue
+            event = message.get("event")
+            if isinstance(event, dict):
+                self.seq = int(event.get("seq") or self.seq)
+                yield event
+
+    def close(self) -> None:
+        try:
+            self._stream.close()
+            self._connection.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "WatchClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 class SweepClient:

@@ -59,6 +59,10 @@ DEFAULT_MAX_ATTEMPTS = 3
 DEFAULT_STRAGGLER_TIMEOUT = 60.0
 #: Sleep the coordinator suggests to workers when nothing is leasable.
 DEFAULT_RETRY_SECONDS = 0.5
+#: Per-watcher event queue depth.  A subscriber that falls this far
+#: behind starts losing events (delivery is best-effort by design — a
+#: wedged observer must never apply backpressure to the fleet).
+DEFAULT_WATCH_QUEUE = 4096
 
 
 class _Lease:
@@ -130,6 +134,7 @@ class Coordinator:
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         straggler_timeout: float = DEFAULT_STRAGGLER_TIMEOUT,
         retry_seconds: float = DEFAULT_RETRY_SECONDS,
+        events: Optional[telemetry.EventBus] = None,
     ) -> None:
         self._points: Dict[str, _Point] = {}
         self._pending: deque[str] = deque()
@@ -145,6 +150,12 @@ class Coordinator:
         self.straggler_timeout = straggler_timeout
         self.retry_seconds = retry_seconds
 
+        #: The causal event stream: lease churn, commits, requeues,
+        #: worker connects — everything the streaming ``watch`` protocol
+        #: pushes and trace journals record.  Callers (the distributed
+        #: executor) pass the process bus so a run's journal sees fleet
+        #: events; a private bus keeps co-located instances isolated.
+        self.events = events if events is not None else telemetry.EventBus()
         self._lock = threading.Lock()
         self._finished = threading.Event()
         self._shutdown = threading.Event()
@@ -352,6 +363,11 @@ class Coordinator:
 
     def _serve_connection(self, connection: socket.socket, connection_id: int) -> None:
         stream = connection.makefile("rb")
+        # One send lock per connection: the request/reply path and a
+        # watch sender thread share the socket, and interleaved partial
+        # writes would corrupt the JSON-lines framing.
+        send_lock = threading.Lock()
+        watch_state: Dict = {}
         try:
             while True:
                 try:
@@ -360,14 +376,25 @@ class Coordinator:
                     break
                 if message is None:
                     break
+                kind = message.get("type")
+                if kind == "watch":
+                    self._start_watch(connection, send_lock, watch_state, message)
+                    continue
+                if kind == "unwatch":
+                    self._stop_watch(watch_state)
+                    with send_lock:
+                        connection.sendall(encode_message({"type": "unwatched"}))
+                    continue
                 reply = self._handle(message, connection_id)
                 if reply is _GOODBYE:
                     break
                 if reply is not None:
-                    connection.sendall(encode_message(reply))
+                    with send_lock:
+                        connection.sendall(encode_message(reply))
         except OSError:
             pass
         finally:
+            self._stop_watch(watch_state)
             self._release_connection(connection_id)
             with self._lock:
                 self._connections.pop(connection_id, None)
@@ -376,6 +403,80 @@ class Coordinator:
                 connection.close()
             except OSError:
                 pass
+
+    # ------------------------------------------------------------- watch
+
+    def _start_watch(
+        self,
+        connection: socket.socket,
+        send_lock: threading.Lock,
+        watch_state: Dict,
+        message: Dict,
+    ) -> None:
+        """Subscribe this connection to the event stream.
+
+        The ``watching`` reply (current ``seq`` plus a status snapshot to
+        seed the view) is sent *before* the sender thread starts, so the
+        client always sees the acknowledgement first and events — replayed
+        ones included — strictly after it, in ``seq`` order.
+        """
+        if watch_state.get("queue") is not None:
+            # Already watching: re-acknowledge, keep the existing stream.
+            with send_lock:
+                connection.sendall(
+                    encode_message({"type": "watching", "seq": self.events.seq})
+                )
+            return
+        # No ``from_seq`` field means live-only; an explicit value (0
+        # included) replays buffered events with seq > from_seq first.
+        raw_from_seq = message.get("from_seq")
+        try:
+            from_seq = None if raw_from_seq is None else int(raw_from_seq)
+        except (TypeError, ValueError):
+            from_seq = None
+        status = self.status_payload()
+        subscriber = self.events.subscribe(maxsize=DEFAULT_WATCH_QUEUE, from_seq=from_seq)
+        try:
+            with send_lock:
+                connection.sendall(
+                    encode_message(
+                        {"type": "watching", "seq": self.events.seq, "status": status}
+                    )
+                )
+        except OSError:
+            self.events.unsubscribe(subscriber)
+            raise
+        thread = threading.Thread(
+            target=self._watch_sender,
+            args=(connection, send_lock, subscriber),
+            daemon=True,
+            name="coord-watch-sender",
+        )
+        watch_state["queue"] = subscriber
+        watch_state["thread"] = thread
+        thread.start()
+
+    def _watch_sender(
+        self, connection: socket.socket, send_lock: threading.Lock, subscriber
+    ) -> None:
+        while True:
+            event = subscriber.get()
+            if event is None:  # _stop_watch's sentinel
+                return
+            try:
+                with send_lock:
+                    connection.sendall(encode_message({"type": "event", "event": event}))
+            except OSError:
+                return
+
+    def _stop_watch(self, watch_state: Dict) -> None:
+        subscriber = watch_state.pop("queue", None)
+        thread = watch_state.pop("thread", None)
+        if subscriber is not None:
+            self.events.unsubscribe(subscriber)
+            subscriber.put(None)
+        if thread is not None:
+            thread.join(timeout=2.0)
 
     def _handle(self, message: Dict, connection_id: int):
         kind = message.get("type")
@@ -396,6 +497,12 @@ class Coordinator:
                 stats["pid"] = message.get("pid")
                 stats["last_seen"] = time.monotonic()
             self._log.info("worker %s connected (pid %s)", name, message.get("pid"))
+            self.events.emit(
+                "worker.connect",
+                worker=name,
+                pid=message.get("pid"),
+                role=message.get("role") or "worker",
+            )
             return {
                 "type": "welcome",
                 "protocol": PROTOCOL_VERSION,
@@ -454,7 +561,7 @@ class Coordinator:
                         point = candidate
                         break
                 if point is None:
-                    point = self._straggler_candidate(connection_id, now)
+                    key, point = self._straggler_candidate(connection_id, now)
                 if point is None:
                     return {"type": "wait", "seconds": self.retry_seconds}
                 worker = self._workers.get(connection_id, {}).get(
@@ -470,15 +577,20 @@ class Coordinator:
             # the other connection threads (or heartbeat renewal).
             wire = point.wire()
             if wire is not None and not point.done:
+                self.events.emit(
+                    "lease.grant", point=key, worker=worker, figure=point.figure
+                )
                 return {"type": "work", "unit": wire}
             # The point completed while we were granting it; drop the
             # speculative lease and pick something else.
             with self._lock:
                 point.leases.pop(connection_id, None)
 
-    def _straggler_candidate(self, connection_id: int, now: float) -> Optional[_Point]:
-        oldest: Optional[Tuple[float, _Point]] = None
-        for point in self._points.values():
+    def _straggler_candidate(
+        self, connection_id: int, now: float
+    ) -> Tuple[Optional[str], Optional[_Point]]:
+        oldest: Optional[Tuple[float, str, _Point]] = None
+        for key, point in self._points.items():
             if point.done or point.failed is not None or point.committing or not point.leases:
                 continue
             if connection_id in point.leases:
@@ -487,8 +599,8 @@ class Coordinator:
             if now - started < self.straggler_timeout:
                 continue
             if oldest is None or started < oldest[0]:
-                oldest = (started, point)
-        return None if oldest is None else oldest[1]
+                oldest = (started, key, point)
+        return (None, None) if oldest is None else (oldest[1], oldest[2])
 
     def _commit(self, message: Dict, connection_id: int) -> Dict:
         key = message.get("key", "")
@@ -542,6 +654,7 @@ class Coordinator:
                 self._worker_stats[worker]["completed"] += 1
             self._check_finished()
         self._metrics.counter("coordinator.results_committed")
+        self.events.emit("point.commit", point=key, worker=worker, figure=point.figure)
         return {"type": "ack"}
 
     def _requeue(self, key: str, connection_id: int, reason: str) -> None:
@@ -559,6 +672,16 @@ class Coordinator:
         self._metrics.counter("coordinator.retries")
         self._log.warning("point %s attempt failed: %s", key[:12], reason)
         self._settle_or_requeue(point, key, reason)
+        if point.failed is not None:
+            self.events.emit(
+                "point.fail", point=key, figure=point.figure, reason=reason,
+                attempts=point.attempts,
+            )
+        else:
+            self.events.emit(
+                "point.requeue", point=key, figure=point.figure, reason=reason,
+                attempts=point.attempts,
+            )
 
     def _settle_or_requeue(self, point: _Point, key: str, reason: str) -> None:
         """Resolve a point after an attempt was recorded.  Lock held.
@@ -598,6 +721,7 @@ class Coordinator:
             info = self._workers.pop(connection_id, None)
         if info is not None:
             self._log.info("worker %s disconnected", info.get("worker"))
+            self.events.emit("worker.disconnect", worker=info.get("worker"))
         with self._lock:
             for key, point in self._points.items():
                 if connection_id in point.leases and not point.done:
@@ -627,8 +751,12 @@ class Coordinator:
                         if lease.deadline < now
                     ]
                     for lease_id in expired:
-                        point.leases.pop(lease_id)
+                        lease = point.leases.pop(lease_id)
                         self._metrics.counter("coordinator.lease_expired")
+                        self.events.emit(
+                            "lease.expire", point=key, worker=lease.worker,
+                            figure=point.figure,
+                        )
                         self._record_attempt(point, key, "lease expired (missed heartbeats)")
                 self._check_finished()
 

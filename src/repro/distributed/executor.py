@@ -114,6 +114,9 @@ class DistributedExecutor(Executor):
             lease_timeout=self.lease_timeout,
             max_attempts=self.max_attempts,
             straggler_timeout=self.straggler_timeout,
+            # The process bus: lease/commit/requeue events from this run
+            # land in the same journal as the sweep's own point events.
+            events=telemetry.bus(),
         )
         self.last_coordinator = coordinator
         host, port = coordinator.start()

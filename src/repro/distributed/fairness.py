@@ -81,6 +81,12 @@ class TenantScheduler:
     service_quantum: int = DEFAULT_SERVICE_QUANTUM
     clearing_interval: float = DEFAULT_CLEARING_INTERVAL
     clock: Callable[[], float] = time.monotonic
+    #: Observer hooks (both optional, called under the owner's lock):
+    #: ``on_blacklist(job_id)`` fires when a streak crosses the quantum,
+    #: ``on_clear(job_ids)`` when a clearing interval wipes the listed
+    #: blacklists.  The service uses them to emit trace events.
+    on_blacklist: Optional[Callable[[str], None]] = None
+    on_clear: Optional[Callable[[list], None]] = None
     _tenants: Dict[str, _Tenant] = field(default_factory=dict)
     _arrivals: int = 0
     _serves: int = 0
@@ -125,9 +131,14 @@ class TenantScheduler:
         self._last_clear = now
         self.clear_events += 1
         telemetry.counter("scheduler.clearings")
+        cleared = [
+            job_id for job_id, tenant in self._tenants.items() if tenant.blacklisted
+        ]
         for tenant in self._tenants.values():
             tenant.blacklisted = False
             tenant.streak = 0
+        if cleared and self.on_clear is not None:
+            self.on_clear(cleared)
         return True
 
     def select(self, pending: Dict[str, int]) -> Optional[str]:
@@ -176,6 +187,8 @@ class TenantScheduler:
             tenant.blacklisted = True
             tenant.blacklist_events += 1
             telemetry.counter("scheduler.blacklistings")
+            if self.on_blacklist is not None:
+                self.on_blacklist(job_id)
 
     # ----------------------------------------------------------- reporting
 

@@ -26,6 +26,18 @@ observer → coordinator
     ``status``     request one live status payload (the coordinator
                    replies with ``type: "status"``; used by
                    ``repro status`` and the telemetry smoke tests)
+    ``watch``      subscribe to the event stream (only when the welcome
+                   advertised ``"watch"``).  The peer replies
+                   ``type: "watching"`` (carrying its current event
+                   ``seq`` and a status snapshot to seed the view) and
+                   then pushes one ``type: "event"`` frame per state
+                   transition — point started/committed/requeued, lease
+                   churn, blacklist transitions, job state changes —
+                   until the connection closes or ``unwatch`` is sent.
+                   An optional ``from_seq`` replays buffered events
+                   after that sequence number first.
+    ``unwatch``    end the subscription (reply ``type: "unwatched"``);
+                   the connection stays usable for other requests.
 
 client → service (only when the welcome advertised ``"jobs"``)
     ``submit``     submit one :class:`~repro.orchestration.request.SweepRequest`
@@ -71,8 +83,10 @@ PROTOCOL_VERSION = 1
 
 #: Optional message kinds this build's coordinator understands,
 #: advertised in every welcome (see the module docstring on feature
-#: negotiation).
-FEATURES = ("metrics", "status")
+#: negotiation).  ``watch`` covers the streaming subscribe/event/unwatch
+#: family; peers that never saw it advertised fall back to one-shot
+#: ``status`` polling.
+FEATURES = ("metrics", "status", "watch")
 
 #: What the long-lived sweep *service* additionally understands: the
 #: ``jobs`` feature covers the submit/poll/cancel/jobs message family.

@@ -57,11 +57,13 @@ from ..orchestration.sweep import (
 from ..sim.runner import AloneRunCache, engine_override
 from ..telemetry import logs
 from ..telemetry.manifest import write_manifest
+from ..telemetry.trace import TraceJournal, read_journal, traces_dir
 from .coordinator import (
     DEFAULT_LEASE_TIMEOUT,
     DEFAULT_MAX_ATTEMPTS,
     DEFAULT_RETRY_SECONDS,
     DEFAULT_STRAGGLER_TIMEOUT,
+    DEFAULT_WATCH_QUEUE,
 )
 from .fairness import DEFAULT_CLEARING_INTERVAL, DEFAULT_SERVICE_QUANTUM, TenantScheduler
 from .protocol import (
@@ -83,6 +85,12 @@ DONE = "done"
 FAILED = "failed"
 CANCELLED = "cancelled"
 TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+#: The daemon's own event journal under ``<cache-dir>/traces/``.  It is
+#: both the durable trace (``repro trace export --run service``) and the
+#: restart log: on construction the service replays its ``job.state``
+#: events so the jobs table survives a daemon restart.
+SERVICE_JOURNAL = "service.jsonl"
 
 
 class _Lease:
@@ -237,6 +245,12 @@ class SweepService:
         self._scheduler = TenantScheduler(
             service_quantum=service_quantum, clearing_interval=clearing_interval
         )
+        #: The daemon's private event bus: ``watch`` subscribers and the
+        #: service journal hang off it.  Private (not the process bus) so
+        #: co-located services and in-process tests never cross-talk.
+        self.events = telemetry.EventBus()
+        self._scheduler.on_blacklist = self._on_blacklist
+        self._scheduler.on_clear = self._on_cleared
 
         # Lifetime totals: completed/failed points are *deleted* from
         # ``_points`` (the store answers future submits, and a daemon
@@ -254,6 +268,88 @@ class SweepService:
         #: Where per-job run manifests land (persistent stores only).
         self._manifest_dir = store.cache_dir if isinstance(store, ResultCache) else None
         self._log = logs.get_logger("service")
+        #: Durable event journal (persistent stores only).  Replaying it
+        #: before attaching makes the jobs table survive a restart.
+        self._journal: Optional[TraceJournal] = None
+        if self._manifest_dir is not None:
+            journal_path = traces_dir(self._manifest_dir) / SERVICE_JOURNAL
+            self._restore_jobs(journal_path)
+            self._journal = TraceJournal(journal_path)
+            self.events.add_sink(self._journal.write)
+
+    # ------------------------------------------------------------- events
+
+    def _emit_job(self, job: _Job) -> None:
+        """One ``job.state`` event per transition, carrying the full poll
+        payload — which is what makes the journal a restart log: the last
+        ``job.state`` per job id *is* that job's record."""
+        self.events.emit(
+            "job.state",
+            job=job.job_id,
+            tenant=job.tenant,
+            state=job.state,
+            payload=job.payload(),
+        )
+
+    def _on_blacklist(self, job_id: str) -> None:
+        job = self._jobs.get(job_id)
+        self.events.emit(
+            "tenant.blacklist", job=job_id, tenant=job.tenant if job else None
+        )
+
+    def _on_cleared(self, job_ids: List[str]) -> None:
+        self.events.emit("tenant.cleared", jobs=list(job_ids))
+
+    def _restore_jobs(self, journal_path) -> None:
+        """Rebuild the jobs table from a previous daemon's journal.
+
+        Terminal jobs come back exactly as they ended (minus the result
+        payloads, which live in the store, not the journal).  A job that
+        was live when the daemon died lost its points and leases with the
+        process, so it is restored as ``failed`` — an honest record, and
+        a resubmit replans it from the warm store anyway.
+        """
+        last_state: Dict[str, Dict] = {}
+        for event in read_journal(journal_path):
+            if event.get("kind") != "job.state":
+                continue
+            job_id = event.get("job")
+            payload = event.get("payload")
+            if isinstance(job_id, str) and isinstance(payload, dict):
+                last_state[job_id] = payload
+        restored = 0
+        for job_id, payload in sorted(last_state.items()):
+            try:
+                request = SweepRequest(
+                    experiments=tuple(payload.get("experiments") or ()),
+                    priority=str(payload.get("priority") or "interactive"),
+                    tags=tuple(payload.get("tags") or ()),
+                )
+                job = _Job(job_id, str(payload.get("tenant") or "?"), request)
+                job.state = str(payload.get("state") or RUNNING)
+                job.error = payload.get("error")
+                job.total = int(payload.get("points") or 0)
+                job.executed = int(payload.get("executed") or 0)
+                job.reused = int(payload.get("reused") or 0)
+                job.submitted_at = float(payload.get("submitted_at") or time.time())
+                elapsed = float(payload.get("elapsed_seconds") or 0.0)
+            except (TypeError, ValueError):
+                continue  # a torn or foreign record must not block startup
+            if job.state not in TERMINAL_STATES:
+                job.state = FAILED
+                job.error = "daemon restarted mid-job"
+            job.finished_at = job.submitted_at + elapsed
+            self._jobs[job_id] = job
+            restored += 1
+            _, _, digits = job_id.rpartition("-")
+            if digits.isdigit():
+                # New submissions continue the id sequence instead of
+                # colliding with restored history.
+                self._job_seq = max(self._job_seq, int(digits))
+        if restored:
+            self._log.info(
+                "restored %d job record(s) from %s", restored, journal_path
+            )
 
     # ------------------------------------------------------------- lifecycle
 
@@ -306,6 +402,9 @@ class SweepService:
                 pass
         for thread in list(self._threads):
             thread.join(timeout=2.0)
+        if self._journal is not None:
+            self.events.remove_sink(self._journal.write)
+            self._journal.close()
 
     # ------------------------------------------------------------- serving
 
@@ -333,6 +432,10 @@ class SweepService:
 
     def _serve_connection(self, connection: socket.socket, connection_id: int) -> None:
         stream = connection.makefile("rb")
+        # One send lock per connection: request/reply and a watch sender
+        # thread share the socket (see Coordinator._serve_connection).
+        send_lock = threading.Lock()
+        watch_state: Dict = {}
         try:
             while True:
                 try:
@@ -341,14 +444,25 @@ class SweepService:
                     break
                 if message is None:
                     break
+                kind = message.get("type")
+                if kind == "watch":
+                    self._start_watch(connection, send_lock, watch_state, message)
+                    continue
+                if kind == "unwatch":
+                    self._stop_watch(watch_state)
+                    with send_lock:
+                        connection.sendall(encode_message({"type": "unwatched"}))
+                    continue
                 reply = self._handle(message, connection_id)
                 if reply is _GOODBYE:
                     break
                 if reply is not None:
-                    connection.sendall(encode_message(reply))
+                    with send_lock:
+                        connection.sendall(encode_message(reply))
         except OSError:
             pass
         finally:
+            self._stop_watch(watch_state)
             self._release_connection(connection_id)
             with self._lock:
                 self._connections.pop(connection_id, None)
@@ -357,6 +471,76 @@ class SweepService:
                 connection.close()
             except OSError:
                 pass
+
+    # ------------------------------------------------------------- watch
+
+    def _start_watch(
+        self,
+        connection: socket.socket,
+        send_lock: threading.Lock,
+        watch_state: Dict,
+        message: Dict,
+    ) -> None:
+        """Subscribe this connection to the event stream (same contract
+        as :meth:`Coordinator._start_watch`: the ``watching`` ack goes out
+        before the sender thread starts, so events arrive strictly after
+        it, in ``seq`` order)."""
+        if watch_state.get("queue") is not None:
+            with send_lock:
+                connection.sendall(
+                    encode_message({"type": "watching", "seq": self.events.seq})
+                )
+            return
+        # No ``from_seq`` field means live-only; an explicit value (0
+        # included) replays buffered events with seq > from_seq first.
+        raw_from_seq = message.get("from_seq")
+        try:
+            from_seq = None if raw_from_seq is None else int(raw_from_seq)
+        except (TypeError, ValueError):
+            from_seq = None
+        status = self.status_payload()
+        subscriber = self.events.subscribe(maxsize=DEFAULT_WATCH_QUEUE, from_seq=from_seq)
+        try:
+            with send_lock:
+                connection.sendall(
+                    encode_message(
+                        {"type": "watching", "seq": self.events.seq, "status": status}
+                    )
+                )
+        except OSError:
+            self.events.unsubscribe(subscriber)
+            raise
+        thread = threading.Thread(
+            target=self._watch_sender,
+            args=(connection, send_lock, subscriber),
+            daemon=True,
+            name="service-watch-sender",
+        )
+        watch_state["queue"] = subscriber
+        watch_state["thread"] = thread
+        thread.start()
+
+    def _watch_sender(
+        self, connection: socket.socket, send_lock: threading.Lock, subscriber
+    ) -> None:
+        while True:
+            event = subscriber.get()
+            if event is None:  # _stop_watch's sentinel
+                return
+            try:
+                with send_lock:
+                    connection.sendall(encode_message({"type": "event", "event": event}))
+            except OSError:
+                return
+
+    def _stop_watch(self, watch_state: Dict) -> None:
+        subscriber = watch_state.pop("queue", None)
+        thread = watch_state.pop("thread", None)
+        if subscriber is not None:
+            self.events.unsubscribe(subscriber)
+            subscriber.put(None)
+        if thread is not None:
+            thread.join(timeout=2.0)
 
     def _handle(self, message: Dict, connection_id: int):
         kind = message.get("type")
@@ -421,6 +605,9 @@ class SweepService:
                 stats["last_seen"] = time.monotonic()
             points = len(self._points)
         self._log.info("%s %s connected (pid %s)", role, name, message.get("pid"))
+        self.events.emit(
+            "worker.connect", worker=name, pid=message.get("pid"), role=role
+        )
         return {
             "type": "welcome",
             "protocol": PROTOCOL_VERSION,
@@ -456,6 +643,7 @@ class SweepService:
             job = _Job(f"job-{self._job_seq:04d}", tenant, request)
             self._jobs[job.job_id] = job
         self._metrics.counter("service.submissions")
+        self._emit_job(job)
         self._log.info(
             "job %s submitted by %s: %s (priority %s)",
             job.job_id, tenant, ",".join(request.experiments), request.priority,
@@ -534,6 +722,7 @@ class SweepService:
             "job %s planned: %d points (%d to simulate, %d reused)",
             job.job_id, job.total, len(job.remaining), job.reused,
         )
+        self._emit_job(job)
         if finalize:
             self._spawn_finalize(job)
 
@@ -568,6 +757,13 @@ class SweepService:
             self._metrics.counter("service.lease_grants")
             wire = point.wire()  # outside the lock (large payloads)
             if wire is not None and not point.done:
+                self.events.emit(
+                    "lease.grant",
+                    point=wire.get("key"),
+                    worker=worker,
+                    job=job_id,
+                    figure=point.figure,
+                )
                 reply = {"type": "work", "unit": wire}
                 if job_id is not None:
                     reply["job"] = job_id
@@ -681,7 +877,15 @@ class SweepService:
             # *live* backlog, not its history.
             del self._points[key]
         self._metrics.counter("service.results_committed")
+        self.events.emit(
+            "point.commit",
+            point=key,
+            worker=worker,
+            job=lease_job,
+            figure=point.figure,
+        )
         for job in finalize:
+            self._emit_job(job)
             self._spawn_finalize(job)
         return {"type": "ack"}
 
@@ -699,6 +903,22 @@ class SweepService:
         self._metrics.counter("service.retries")
         self._log.warning("point %s attempt failed: %s", key[:12], reason)
         self._settle_or_requeue(point, key, reason)
+        if point.failed is not None:
+            self.events.emit(
+                "point.fail",
+                point=key,
+                figure=point.figure,
+                reason=reason,
+                attempts=point.attempts,
+            )
+        elif point.queued:
+            self.events.emit(
+                "point.requeue",
+                point=key,
+                figure=point.figure,
+                reason=reason,
+                attempts=point.attempts,
+            )
 
     def _settle_or_requeue(self, point: _ServicePoint, key: str, reason: str) -> None:
         """Resolve a point after a failed attempt.  Lock held.
@@ -751,6 +971,7 @@ class SweepService:
         self._drop_subscriptions_locked(job)
         self._metrics.counter("service.jobs_failed")
         self._log.warning("job %s failed: %s", job.job_id, reason)
+        self._emit_job(job)
 
     def _drop_subscriptions_locked(self, job: _Job) -> None:
         """Unsubscribe a dead job; drop points nobody else needs.
@@ -786,6 +1007,7 @@ class SweepService:
             info = self._peers.pop(connection_id, None)
         if info is not None:
             self._log.info("%s %s disconnected", info.get("role", "peer"), info.get("worker"))
+            self.events.emit("worker.disconnect", worker=info.get("worker"))
         with self._lock:
             for key, point in list(self._points.items()):
                 if connection_id in point.leases and not point.done:
@@ -807,8 +1029,15 @@ class SweepService:
                         if lease.deadline < now
                     ]
                     for lease_id in expired:
-                        point.leases.pop(lease_id)
+                        lease = point.leases.pop(lease_id)
                         self._metrics.counter("service.lease_expired")
+                        self.events.emit(
+                            "lease.expire",
+                            point=key,
+                            worker=lease.worker,
+                            job=lease.job,
+                            figure=point.figure,
+                        )
                         self._record_attempt(point, key, "lease expired (missed heartbeats)")
 
     # ------------------------------------------------------------- job queries
@@ -836,6 +1065,7 @@ class SweepService:
                 self._drop_subscriptions_locked(job)
                 self._metrics.counter("service.jobs_cancelled")
                 self._log.info("job %s cancelled", job_id)
+                self._emit_job(job)
             return job.payload()
 
     def _list_jobs(self) -> Dict:
@@ -891,6 +1121,7 @@ class SweepService:
             job.state = DONE
             job.finished_at = time.time()
         self._metrics.counter("service.jobs_completed")
+        self._emit_job(job)
         self._log.info(
             "job %s done: %d points (%d executed, %d reused) in %.1fs",
             job.job_id, job.total, job.executed, job.reused,

@@ -164,7 +164,8 @@ def run_worker(
             try:
                 unit = unit_from_wire(reply["unit"])
                 with _Heartbeat(connection, send_lock, key, heartbeat_interval):
-                    result = simulate_traces(unit.traces, unit.config)
+                    with telemetry.figure_scope(getattr(unit, "figure", None)):
+                        result = simulate_traces(unit.traces, unit.config)
             except Exception as exc:  # bad payload or simulation bug: report, keep serving
                 stats.errors += 1
                 registry.counter("worker.errors")

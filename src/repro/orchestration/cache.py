@@ -104,6 +104,10 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self._memo: Dict[str, SimulationResult] = {}
+        #: Run id stamped into entries written while set (see
+        #: :meth:`put`); the orchestrator scopes it around a sweep so
+        #: every entry records which run produced it.
+        self.run_context: Optional[str] = None
 
     def _path(self, key: str) -> Path:
         return self.cache_dir / key[:2] / f"{key}.json"
@@ -181,6 +185,8 @@ class ResultCache:
         payload = {"schema": SCHEMA_VERSION, "key": key, "result": result_to_dict(result)}
         if figure is not None:
             payload["figure"] = figure
+        if self.run_context is not None:
+            payload["run"] = self.run_context
         path = self._path(key)
         _atomic_write_json(path, payload)
         telemetry.counter("cache.puts")
@@ -275,6 +281,25 @@ class ResultCache:
             bucket["entries"] += 1
             bucket["total_bytes"] += size
         return breakdown
+
+    def entry_meta(self, key: str) -> Dict:
+        """Informational metadata of one entry: its ``figure`` and the
+        ``run`` that wrote it (empty for missing/unreadable entries or
+        entries predating either annotation).  Never deserialises the
+        result — this is the provenance lookup, not a read path."""
+        try:
+            with self._path(key).open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return {}
+        if not isinstance(payload, dict):
+            return {}
+        meta = {}
+        for name in ("figure", "run"):
+            value = payload.get(name)
+            if isinstance(value, str):
+                meta[name] = value
+        return meta
 
     def record_last_run(self, extra: Optional[Dict] = None) -> None:
         """Persist this process's hit/miss counters (plus ``extra`` fields)

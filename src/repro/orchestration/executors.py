@@ -85,27 +85,37 @@ class SerialExecutor(Executor):
     def execute(self, units: Sequence, store) -> int:
         executed = 0
         for unit in units:
+            figure = getattr(unit, "figure", None)
             telemetry.counter("executor.points_started")
+            telemetry.emit("point.start", point=unit.key, figure=figure)
             start = perf_counter()
-            result = System(unit.traces, unit.config).run()
-            telemetry.observe("executor.point_seconds", perf_counter() - start)
-            store_put(store, unit.key, result, getattr(unit, "figure", None))
+            with telemetry.figure_scope(figure):
+                result = System(unit.traces, unit.config).run()
+            seconds = perf_counter() - start
+            telemetry.observe("executor.point_seconds", seconds)
+            store_put(store, unit.key, result, figure)
             telemetry.counter("executor.points_finished")
+            telemetry.emit("point.done", point=unit.key, figure=figure, seconds=seconds)
             executed += 1
         return executed
 
 
-def _execute_unit(payload: Tuple[str, List[Trace], SimulationConfig]):
+def _execute_unit(payload: Tuple[str, List[Trace], SimulationConfig, Optional[str]]):
     """Pool worker: simulate one point (must stay module-level for pickling).
 
-    Returns the point's wall time alongside the result so the parent can
-    fold per-point timings into its own registry (pool workers' process
-    registries die with the pool).
+    Returns the point's wall time and the child's own metrics snapshot
+    alongside the result, so the parent can fold per-point timings *and*
+    the engine counters the simulation recorded into its registry (pool
+    workers' process registries die with the pool — without the
+    snapshot, pool runs would lose engine/profile attribution entirely).
     """
-    key, traces, config = payload
+    key, traces, config, figure = payload
     start = perf_counter()
-    result = System(traces, config).run()
-    return key, result, perf_counter() - start
+    with telemetry.isolated(enabled=True) as registry:
+        with telemetry.figure_scope(figure):
+            result = System(traces, config).run()
+        child_snapshot = registry.snapshot()
+    return key, result, perf_counter() - start, child_snapshot
 
 
 class ProcessPoolExecutor(Executor):
@@ -120,14 +130,24 @@ class ProcessPoolExecutor(Executor):
         units = list(units)
         if self.jobs > 1 and len(units) > 1:
             figures = {unit.key: getattr(unit, "figure", None) for unit in units}
-            payloads = [(unit.key, unit.traces, unit.config) for unit in units]
+            payloads = [
+                (unit.key, unit.traces, unit.config, figures[unit.key]) for unit in units
+            ]
             processes = min(self.jobs, len(units))
             telemetry.counter("executor.points_started", len(units))
+            for unit in units:
+                telemetry.emit("point.start", point=unit.key, figure=figures[unit.key])
             with multiprocessing.get_context().Pool(processes=processes) as pool:
-                for key, result, seconds in pool.imap_unordered(_execute_unit, payloads):
+                for key, result, seconds, child_snapshot in pool.imap_unordered(
+                    _execute_unit, payloads
+                ):
                     telemetry.observe("executor.point_seconds", seconds)
+                    telemetry.merge_into_process(child_snapshot)
                     store_put(store, key, result, figures.get(key))
                     telemetry.counter("executor.points_finished")
+                    telemetry.emit(
+                        "point.done", point=key, figure=figures.get(key), seconds=seconds
+                    )
         else:
             return SerialExecutor().execute(units, store)
         return len(units)

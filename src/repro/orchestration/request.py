@@ -139,6 +139,15 @@ class SweepStats:
     reused: int = 0
     #: Wall time of the whole sweep (plan + execute + replay), seconds.
     elapsed: float = 0.0
+    #: Causal id of this run (shared by its manifest, journal and the
+    #: cache entries it wrote).
+    run_id: Optional[str] = None
+    #: Per-point provenance: key → ``{"state": "simulated"|"replayed",
+    #: "figure": ..., "run": <originating run id>}``.  ``simulated``
+    #: means this run executed the point; ``replayed`` means the store
+    #: already held it (``run`` then names the run that wrote it, when
+    #: the entry recorded one).
+    points: Dict[str, Dict] = field(default_factory=dict)
 
 
 @dataclass

@@ -42,6 +42,8 @@ from ..sim.config import SimulationConfig
 from ..sim.results import ChannelResult, CoreResult, SimulationResult
 from ..sim.runner import AloneRunCache
 from ..sim.system import System
+from ..telemetry.manifest import new_run_id
+from ..telemetry.trace import TraceJournal, traces_dir
 from .cache import PersistentAloneRunCache, ResultCache
 from .executors import Executor, default_executor, store_put
 from .keys import point_key
@@ -191,17 +193,30 @@ class CacheServingBackend:
         self.served = 0
         self.computed = 0
         self.figure: Optional[str] = None
+        #: Per-key provenance of this replay: ``"simulated"`` when the
+        #: backend computed the point, ``"replayed"`` on a store hit.  A
+        #: key served after being computed keeps ``simulated`` — what the
+        #: point cost this run is what provenance records.
+        self.points: Dict[str, str] = {}
+        self.figures: Dict[str, Optional[str]] = {}
 
     def __call__(self, traces: Sequence[Trace], config: SimulationConfig) -> SimulationResult:
         traces = list(traces)
         key = point_key(traces, config)
         result = self.store.get(key)
         if result is None:
+            telemetry.emit("point.start", point=key, figure=self.figure)
             result = System(traces, config).run()
             store_put(self.store, key, result, self.figure)
             self.computed += 1
+            self.points[key] = "simulated"
+            self.figures[key] = self.figure
+            telemetry.emit("point.done", point=key, figure=self.figure)
         else:
             self.served += 1
+            if key not in self.points:
+                self.points[key] = "replayed"
+                self.figures[key] = self.figure
         return result
 
 
@@ -415,36 +430,101 @@ def _sweep(
         module = resolve_experiment(experiment)
         label = experiment if isinstance(experiment, str) else module.__name__.rsplit(".", 1)[-1]
         labeled.append((label, module))
+    labels = [label for label, _ in labeled]
 
-    orchestrated = executor is not None or jobs > 1
-    if orchestrated:
-        units: Dict[str, SimulationUnit] = {}
-        for label, module in labeled:
-            for unit in plan_experiment(module, label=label, **kwargs):
-                units.setdefault(unit.key, unit)
-        stats.planned = len(units)
-        telemetry.counter("sweep.points_planned", stats.planned)
-        stats.executed = execute_units(units.values(), store, jobs=jobs, executor=executor)
-        stats.reused = stats.planned - stats.executed
+    # The run id is minted *before* anything executes so the event
+    # journal, the cache entries written by this run and the manifest
+    # all carry the same causal id.
+    stats.run_id = run_id = new_run_id(labels, kwargs)
+    bus = telemetry.bus()
+    journal: Optional[TraceJournal] = None
+    if isinstance(store, ResultCache):
+        journal = TraceJournal(traces_dir(store.cache_dir) / f"{run_id}.jsonl")
+        bus.add_sink(journal.write)
+    had_run_context = hasattr(store, "run_context")
+    previous_run_context = getattr(store, "run_context", None)
+    if had_run_context:
+        store.run_context = run_id
+    telemetry.emit("run.start", run=run_id, figures=labels)
+    try:
+        orchestrated = executor is not None or jobs > 1
+        if orchestrated:
+            telemetry.emit("phase.start", phase="plan", run=run_id)
+            units: Dict[str, SimulationUnit] = {}
+            for label, module in labeled:
+                for unit in plan_experiment(module, label=label, **kwargs):
+                    units.setdefault(unit.key, unit)
+            stats.planned = len(units)
+            telemetry.counter("sweep.points_planned", stats.planned)
+            telemetry.emit(
+                "phase.end", phase="plan", run=run_id, points=stats.planned
+            )
+            warm = {key for key in units if store.contains(key)}
+            telemetry.emit("phase.start", phase="execute", run=run_id)
+            stats.executed = execute_units(units.values(), store, jobs=jobs, executor=executor)
+            stats.reused = stats.planned - stats.executed
+            telemetry.emit(
+                "phase.end", phase="execute", run=run_id,
+                executed=stats.executed, reused=stats.reused,
+            )
+            for key, unit in units.items():
+                if key in warm:
+                    origin = (
+                        store.entry_meta(key).get("run")
+                        if hasattr(store, "entry_meta") else None
+                    )
+                    stats.points[key] = {
+                        "state": "replayed", "figure": unit.figure, "run": origin
+                    }
+                    telemetry.emit(
+                        "point.replay", point=key, figure=unit.figure, run=origin
+                    )
+                else:
+                    stats.points[key] = {
+                        "state": "simulated", "figure": unit.figure, "run": run_id
+                    }
 
-    backend = CacheServingBackend(store)
-    results: Dict[str, Dict] = {}
-    with installed_backend(backend):
-        for label, module in labeled:
-            backend.figure = label
-            call_kwargs = filter_run_kwargs(module, kwargs)
-            if "cache" in supported_run_kwargs(module):
-                call_kwargs["cache"] = cache if cache is not None else AloneRunCache()
-            with telemetry.registry().time(f"sweep.figure_seconds.{label}"):
-                results[label] = module.run(**call_kwargs)
-    if not orchestrated:
-        stats.planned = backend.served + backend.computed
-        stats.executed = backend.computed
-        stats.reused = backend.served
-    stats.elapsed = perf_counter() - sweep_start
-    telemetry.counter("sweep.runs")
-    telemetry.observe("sweep.seconds", stats.elapsed)
-    return results
+        backend = CacheServingBackend(store)
+        results: Dict[str, Dict] = {}
+        telemetry.emit("phase.start", phase="replay", run=run_id)
+        with installed_backend(backend):
+            for label, module in labeled:
+                backend.figure = label
+                call_kwargs = filter_run_kwargs(module, kwargs)
+                if "cache" in supported_run_kwargs(module):
+                    call_kwargs["cache"] = cache if cache is not None else AloneRunCache()
+                with telemetry.registry().time(f"sweep.figure_seconds.{label}"):
+                    results[label] = module.run(**call_kwargs)
+        telemetry.emit("phase.end", phase="replay", run=run_id)
+        if not orchestrated:
+            stats.planned = backend.served + backend.computed
+            stats.executed = backend.computed
+            stats.reused = backend.served
+            for key, state in backend.points.items():
+                figure = backend.figures.get(key)
+                if state == "replayed":
+                    origin = (
+                        store.entry_meta(key).get("run")
+                        if hasattr(store, "entry_meta") else None
+                    )
+                    telemetry.emit("point.replay", point=key, figure=figure, run=origin)
+                else:
+                    origin = run_id
+                stats.points[key] = {"state": state, "figure": figure, "run": origin}
+        stats.elapsed = perf_counter() - sweep_start
+        telemetry.counter("sweep.runs")
+        telemetry.observe("sweep.seconds", stats.elapsed)
+        telemetry.emit(
+            "run.end", run=run_id, planned=stats.planned,
+            executed=stats.executed, reused=stats.reused, seconds=stats.elapsed,
+        )
+        return results
+    finally:
+        if had_run_context:
+            store.run_context = previous_run_context
+        if journal is not None:
+            bus.remove_sink(journal.write)
+            journal.close()
 
 
 def open_store(cache_dir) -> ResultCache:

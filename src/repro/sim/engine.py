@@ -37,14 +37,109 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from .system import System
 
 
+class EngineProfile:
+    """Opt-in phase profiling for one engine run (``--profile-engine``).
+
+    Counts where the engine's dispatch loop actually spends its
+    iterations — the attribution dataset the specialise-and-compile
+    roadmap item needs before anyone writes a code generator:
+
+    * ``serve_window_len`` / ``window_break`` — power-of-two histogram
+      of batched-serve window lengths and the distribution of which
+      bound ended each window (a waking completion, the RNG subsystem,
+      the minimum read latency, the cycle limit, a serve-side event),
+    * ``skip_len`` — histogram of full-jump lengths,
+    * ``dispatch_iterations`` / ``single_steps`` / ``mixed_step_cycles``
+      / ``serve_batches`` / ``controller_ticks`` — how often each
+      dispatch path ran (``controller_ticks`` counts real
+      :meth:`ChannelController.tick` calls, i.e. scheduler selects).
+
+    Strictly observe-only: the profile never feeds a scheduling or
+    skipping decision, and every hook is behind ``profile is not None``
+    so the default (unprofiled) hot path pays one predicted branch.
+    Exported as ``engine.profile.*`` counters through
+    :meth:`TickEngine.metrics` / :meth:`EventEngine.metrics`, folded
+    into run manifests and rendered by ``repro trace profile``.
+    """
+
+    __slots__ = (
+        "dispatch_iterations",
+        "single_steps",
+        "mixed_step_cycles",
+        "serve_batches",
+        "controller_ticks",
+        "serve_window_len",
+        "skip_len",
+        "window_break",
+    )
+
+    #: Histogram ceiling: everything at or past this lands in ``4096+``.
+    BUCKET_CAP = 4096
+
+    def __init__(self) -> None:
+        self.dispatch_iterations = 0
+        self.single_steps = 0
+        self.mixed_step_cycles = 0
+        self.serve_batches = 0
+        self.controller_ticks = 0
+        self.serve_window_len: dict = {}
+        self.skip_len: dict = {}
+        self.window_break: dict = {}
+
+    @staticmethod
+    def bucket(value: int) -> str:
+        """Power-of-two bucket label for a cycle count."""
+        if value <= 1:
+            return "1"
+        if value >= EngineProfile.BUCKET_CAP:
+            return f"{EngineProfile.BUCKET_CAP}+"
+        return str(1 << (value - 1).bit_length())
+
+    def add_window(self, length: int, cause: str) -> None:
+        label = self.bucket(length)
+        self.serve_window_len[label] = self.serve_window_len.get(label, 0) + 1
+        self.window_break[cause] = self.window_break.get(cause, 0) + 1
+
+    def add_skip(self, length: int) -> None:
+        label = self.bucket(length)
+        self.skip_len[label] = self.skip_len.get(label, 0) + 1
+
+    def metrics(self) -> dict:
+        """The profile as flat ``engine.profile.*`` counters (zeros
+        omitted, so an unprofiled-looking run stays unprofiled-looking)."""
+        out = {
+            "engine.profile.dispatch_iterations": self.dispatch_iterations,
+            "engine.profile.single_steps": self.single_steps,
+            "engine.profile.mixed_step_cycles": self.mixed_step_cycles,
+            "engine.profile.serve_batches": self.serve_batches,
+            "engine.profile.controller_ticks": self.controller_ticks,
+        }
+        for label, count in self.serve_window_len.items():
+            out[f"engine.profile.serve_window_len.{label}"] = count
+        for label, count in self.skip_len.items():
+            out[f"engine.profile.skip_len.{label}"] = count
+        for cause, count in self.window_break.items():
+            out[f"engine.profile.window_break.{cause}"] = count
+        return {name: value for name, value in out.items() if value}
+
+
 class TickEngine:
     """The reference engine: tick every component once per bus cycle."""
 
     name = "tick"
 
+    def __init__(self) -> None:
+        self.profile = None
+
+    def enable_profile(self) -> EngineProfile:
+        if self.profile is None:
+            self.profile = EngineProfile()
+        return self.profile
+
     def metrics(self) -> dict:
-        """Engine counters to export as telemetry (none for the reference)."""
-        return {}
+        """Engine counters to export as telemetry (profile only; the
+        reference loop has no fast paths to count)."""
+        return self.profile.metrics() if self.profile is not None else {}
 
     def run(self, system: "System") -> int:
         """Advance ``system`` to completion; return the final cycle count."""
@@ -64,6 +159,14 @@ class TickEngine:
             rng_subsystem.tick(cycle)
             processor.tick(cycle)
             cycle += 1
+        profile = self.profile
+        if profile is not None:
+            # Every cycle is one dispatch iteration of one single-step
+            # path that ticks every controller — closed form, so the
+            # reference loop itself stays hook-free.
+            profile.dispatch_iterations += cycle
+            profile.single_steps += cycle
+            profile.controller_ticks += cycle * len(controllers)
         return cycle
 
 
@@ -110,13 +213,24 @@ class EventEngine:
         #: mid-window events.
         self.serve_windows = 0
         self.serve_window_cycles = 0
+        #: Opt-in phase profiling; ``None`` keeps every hook to one
+        #: predicted branch (see :class:`EngineProfile`).
+        self.profile = None
+
+    def enable_profile(self) -> EngineProfile:
+        if self.profile is None:
+            self.profile = EngineProfile()
+        return self.profile
 
     def metrics(self) -> dict:
         """Engine counters to export as telemetry, keyed by metric name."""
-        return {
+        out = {
             "engine.serve_windows": self.serve_windows,
             "engine.serve_window_cycles": self.serve_window_cycles,
         }
+        if self.profile is not None:
+            out.update(self.profile.metrics())
+        return out
 
     def run(self, system: "System") -> int:
         """Advance ``system`` to completion; return the final cycle count."""
@@ -165,8 +279,11 @@ class EventEngine:
         # redundant calls; every such read mirrors a documented invariant
         # of the component's next_event_cycle / skip_cycles contract.
         unfinished = processor._unfinished
+        profile = self.profile
         cycle = 0
         while True:
+            if profile is not None:
+                profile.dispatch_iterations += 1
             while unfinished and unfinished[-1].finish_cycle is not None:
                 unfinished.pop()
             if not unfinished:
@@ -289,6 +406,8 @@ class EventEngine:
                         if core_bound_cache[index] == target and quiet_since[index] is not None:
                             core.skip_cycles(quiet_since[index], target)
                             quiet_since[index] = None
+                    if profile is not None:
+                        profile.add_skip(target - cycle)
                     cycle = target
                     continue
                 # Mixed stretch with a quiet memory side: step the active
@@ -303,6 +422,7 @@ class EventEngine:
                 # watched tail core) and falls back to the full loop.
                 deferred_len = len(rng_subsystem._deferred)
                 buffer_version = -1 if shared_buffer is None else shared_buffer.version
+                stretch_start = cycle
                 while True:
                     system.cycle = system.dram.now = rng_subsystem.now = cycle
                     for index, controller in controller_range:
@@ -365,6 +485,8 @@ class EventEngine:
                             quiet_since[index] = cycle
                     if not cores_active:
                         break
+                if profile is not None:
+                    profile.mixed_step_cycles += cycle - stretch_start
                 continue
 
             # Batched-serve fast path: with every core window-stalled and
@@ -415,6 +537,28 @@ class EventEngine:
                     rng_subsystem.now = window_end - 1
                     self.serve_windows += 1
                     self.serve_window_cycles += window_end - cycle
+                    if profile is not None:
+                        # Cause-of-break attribution, re-derived from the
+                        # bounds (first match wins on ties, in horizon
+                        # order): the cycle limit, the RNG subsystem's
+                        # next event, the minimum-read-latency ceiling, a
+                        # waking completion, else a serve-side event from
+                        # ``_serve_window_end``.
+                        if window_end == max_cycles:
+                            cause = "cycle_limit"
+                        elif rng_bound is not None and window_end == rng_bound:
+                            cause = "rng"
+                        elif window_end == cycle + min_read_completion:
+                            cause = "read_completion"
+                        else:
+                            cause = "serve_bound"
+                            for core in cores:
+                                ready = core._undone_fifo[0].ready_at
+                                if ready is not None and ready + 1 == window_end:
+                                    cause = "wake"
+                                    break
+                        profile.serve_batches += 1
+                        profile.add_window(window_end - cycle, cause)
                     # Wake pass at the window's last cycle: completions
                     # fired inside the window may have flipped stalled
                     # heads; those cores tick now, exactly as the
@@ -452,6 +596,12 @@ class EventEngine:
             # completions about to fire may change their windows, which
             # would reclassify cycles that already went by.
             system.cycle = system.dram.now = cycle
+            if profile is not None:
+                profile.single_steps += 1
+                for index, controller in controller_range:
+                    bound = controller_bounds[index]
+                    if bound is not None and bound <= cycle:
+                        profile.controller_ticks += 1
             for index, core in core_range:
                 since = quiet_since[index]
                 if since is not None:

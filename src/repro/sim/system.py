@@ -269,6 +269,8 @@ class System:
         cycle-by-cycle reference.  Both produce bit-identical results.
         """
         engine = make_engine(self.config.engine)
+        if telemetry.profiling():
+            engine.enable_profile()
         start = perf_counter()
         cycle = engine.run(self)
         elapsed = perf_counter() - start

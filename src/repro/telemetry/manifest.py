@@ -69,6 +69,23 @@ def _runs_dir(cache_dir) -> Path:
     return Path(cache_dir) / MANIFEST_DIR
 
 
+def new_run_id(experiments, kwargs: Optional[Dict] = None, started_at: Optional[float] = None) -> str:
+    """A fresh run id: UTC stamp + config digest prefix + pid.
+
+    Generated *before* the sweep starts (not at manifest-write time) so
+    the same id threads through the event journal, cache entry
+    provenance and the manifest — the causal key ``repro trace export``
+    joins on.
+    """
+    started_at = time.time() if started_at is None else started_at
+    digest = config_digest(list(experiments), kwargs)
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime(started_at))
+    # Microseconds keep back-to-back identical runs in one process (a
+    # cold run and its warm replay in the same second) distinct.
+    micros = int(round((started_at % 1.0) * 1e6)) % 1_000_000
+    return f"{stamp}.{micros:06d}-{digest[:6]}-{os.getpid()}"
+
+
 def write_manifest(
     cache_dir,
     *,
@@ -83,17 +100,23 @@ def write_manifest(
     cache: Optional[Dict] = None,
     metrics: Optional[Dict] = None,
     workers: Optional[Dict[str, Dict]] = None,
+    run_id: Optional[str] = None,
+    points: Optional[Dict[str, Dict]] = None,
 ) -> Path:
     """Persist one run's summary; returns the manifest path.
 
     ``started_at``/``finished_at`` are wall-clock epoch seconds;
-    ``metrics`` defaults to the process registry's current snapshot.
+    ``metrics`` defaults to the process registry's current snapshot;
+    ``run_id`` defaults to a fresh :func:`new_run_id` (pass the id the
+    sweep already stamped into its journal/cache entries so they join);
+    ``points`` is the per-point provenance map (``key -> {"state":
+    "simulated"|"replayed", "run": origin-run-id, "figure": ...}``).
     """
     finished_at = time.time() if finished_at is None else finished_at
     experiments = list(experiments)
     digest = config_digest(experiments, kwargs)
-    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime(started_at))
-    run_id = f"{stamp}-{digest[:6]}-{os.getpid()}"
+    if run_id is None:
+        run_id = new_run_id(experiments, kwargs, started_at)
     manifest = {
         "schema": MANIFEST_SCHEMA,
         "run_id": run_id,
@@ -112,6 +135,7 @@ def write_manifest(
         "cache": dict(cache) if cache else {},
         "metrics": metrics if metrics is not None else process_snapshot(),
         "workers": {name: snap for name, snap in (workers or {}).items()},
+        "points": {str(key): dict(value) for key, value in (points or {}).items()},
     }
     runs = _runs_dir(cache_dir)
     runs.mkdir(parents=True, exist_ok=True)

@@ -240,6 +240,66 @@ def isolated(enabled: bool = True) -> Iterator[MetricsRegistry]:
         _REGISTRY = previous
 
 
+# ------------------------------------------------------------------- figure scope
+
+#: Thread-local figure label for per-figure attribution of engine
+#: profile counters (set by executors/workers around each point).
+_FIGURE_SCOPE = threading.local()
+
+
+@contextmanager
+def figure_scope(name: Optional[str]) -> Iterator[None]:
+    """Attribute simulations in this scope to the figure ``name``.
+
+    Only the ``engine.profile.*`` counters are mirrored per figure
+    (as ``figure.<name>.engine.profile.*``): everything else already
+    has cheaper per-figure attribution paths (the cache stores figure
+    labels in entry payloads), and mirroring all counters would double
+    the registry for no reader.
+    """
+    previous = getattr(_FIGURE_SCOPE, "name", None)
+    _FIGURE_SCOPE.name = name
+    try:
+        yield
+    finally:
+        _FIGURE_SCOPE.name = previous
+
+
+def current_figure() -> Optional[str]:
+    return getattr(_FIGURE_SCOPE, "name", None)
+
+
+# ------------------------------------------------------------------- profiling
+
+#: Process-wide opt-in for engine phase profiling (``--profile-engine``).
+#: Separate from ``enabled`` because profiling adds per-window/per-skip
+#: bookkeeping inside the engines — cheap, but not free like the
+#: per-simulation counters — so it must never be on by default.
+_PROFILING = False
+
+
+def set_profiling(enabled: bool) -> bool:
+    """Turn engine phase profiling on/off; returns the previous state."""
+    global _PROFILING
+    previous = _PROFILING
+    _PROFILING = enabled
+    return previous
+
+
+def profiling() -> bool:
+    return _PROFILING
+
+
+@contextmanager
+def profiled(enabled: bool = True) -> Iterator[None]:
+    """Scope with engine profiling forced on/off (restored on exit)."""
+    previous = set_profiling(enabled)
+    try:
+        yield
+    finally:
+        set_profiling(previous)
+
+
 # ------------------------------------------------------------------- domain hooks
 
 
@@ -258,6 +318,9 @@ def record_simulation(engine_name: str, cycles: int, seconds: float, engine_metr
     reg.counter(f"sim.runs.{engine_name}")
     reg.counter("sim.cycles", cycles)
     reg.observe("sim.run_seconds", seconds)
+    figure = current_figure()
     for name, value in engine_metrics.items():
         if value:
             reg.counter(name, value)
+            if figure and name.startswith("engine.profile."):
+                reg.counter(f"figure.{figure}.{name}", value)

@@ -13,6 +13,7 @@ never interferes with lease accounting or worker heartbeats.
 
 from __future__ import annotations
 
+import math
 import socket
 import time
 from typing import Dict, List, Optional, Tuple
@@ -90,7 +91,12 @@ def validate_status(payload: Dict) -> List[str]:
 
 
 def _format_eta(seconds: Optional[float]) -> str:
-    if seconds is None:
+    # A figure whose first point lands from cache reports a 0s elapsed
+    # window, which turns the remaining/rate division into inf (or a
+    # negative value once clocks skew): render `--`, never nonsense.
+    if seconds is None or not isinstance(seconds, (int, float)):
+        return "--"
+    if not math.isfinite(seconds) or seconds < 0:
         return "--"
     seconds = int(seconds)
     if seconds >= 3600:
@@ -98,6 +104,33 @@ def _format_eta(seconds: Optional[float]) -> str:
     if seconds >= 60:
         return f"{seconds // 60}m{seconds % 60:02d}s"
     return f"{seconds}s"
+
+
+#: Event fields rendered (in this order) by :func:`format_event`.
+_EVENT_FIELDS = ("job", "state", "worker", "tenant", "figure", "phase", "run", "reason")
+
+
+def format_event(event: Dict) -> str:
+    """One `repro watch` line for a pushed event dict."""
+    ts = event.get("ts")
+    if isinstance(ts, (int, float)) and math.isfinite(ts):
+        stamp = time.strftime("%H:%M:%S", time.localtime(ts))
+    else:
+        stamp = "--:--:--"
+    kind = str(event.get("kind", "?"))
+    parts = []
+    point = event.get("point")
+    if isinstance(point, str) and point:
+        # Cache keys are long hex digests; a short prefix identifies the
+        # point just as well on one screen.
+        parts.append(f"point={point[:12]}")
+    for name in _EVENT_FIELDS:
+        value = event.get(name)
+        if value not in (None, "", [], {}):
+            parts.append(f"{name}={value}")
+    seq = event.get("seq")
+    prefix = f"{stamp} #{seq:<6}" if isinstance(seq, int) else f"{stamp}        "
+    return f"{prefix} {kind:<18} {' '.join(parts)}".rstrip()
 
 
 def format_status(payload: Dict, *, now: Optional[float] = None) -> str:

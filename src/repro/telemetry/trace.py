@@ -1,0 +1,393 @@
+"""Persisted event traces: journals, Chrome-trace export, profiles.
+
+The :mod:`.events` bus is in-process and ephemeral; this module is its
+durable half:
+
+* :class:`TraceJournal` — an append-only JSON-lines file under
+  ``<cache-dir>/traces/``, one event per line, attached to a bus as a
+  sink.  Writes are best-effort (a full disk disables the journal, it
+  never takes down the run) and flushed per event so ``tail -f`` and
+  crash-time forensics both work.
+* :func:`read_journal` — the tolerant reader (torn trailing lines from
+  a killed process are skipped, never raised).
+* :func:`export_chrome_trace` — folds a journal's events into the
+  Chrome trace-event format (the ``{"traceEvents": [...]}`` JSON that
+  Perfetto / ``chrome://tracing`` load directly): workers and figures
+  become "processes", paired start/end events become duration slices,
+  everything else becomes instants.
+* :func:`validate_chrome_trace` — the schema check CI's ``trace-smoke``
+  job runs over an exported file.
+* :func:`format_profile` — renders the ``engine.profile.*`` histogram
+  counters a ``--profile-engine`` run folds into its manifest (the
+  ``repro trace profile`` view).
+
+Everything is stdlib-only, and nothing here is on any hot path: journals
+see events at per-point/per-lease granularity, never per cycle.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: Subdirectory of the cache holding event journals.  Like ``runs/``,
+#: it lives outside the ``??/`` entry fan-out so store globs skip it.
+TRACES_DIR = "traces"
+
+#: Kinds that end a span, mapped to the kind that opened it.  A span is
+#: keyed by its causal id (see :data:`_SPAN_ID_FIELD`), so concurrent
+#: spans of the same kind pair correctly.
+_SPAN_END_TO_START = {
+    "point.done": "point.start",
+    "point.fail": "point.start",
+    "phase.end": "phase.start",
+    "point.commit": "lease.grant",
+    "point.requeue": "lease.grant",
+    "lease.expire": "lease.grant",
+}
+
+#: Which event field identifies the span for each start kind.
+_SPAN_ID_FIELD = {
+    "point.start": "point",
+    "phase.start": "phase",
+    "lease.grant": "point",
+}
+
+
+def traces_dir(cache_dir) -> Path:
+    return Path(cache_dir) / TRACES_DIR
+
+
+class TraceJournal:
+    """Append-only JSON-lines event journal (a bus sink).
+
+    Best-effort by design: the first ``OSError`` (disk full, directory
+    vanished) closes the journal and silently drops later events — a
+    broken observability layer must never fail a simulation run.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._handle = None
+        self._dead = False
+
+    def write(self, event: Dict) -> None:
+        with self._lock:
+            if self._dead:
+                return
+            try:
+                if self._handle is None:
+                    self.path.parent.mkdir(parents=True, exist_ok=True)
+                    self._handle = self.path.open("a", encoding="utf-8")
+                self._handle.write(json.dumps(event, separators=(",", ":"), default=str))
+                self._handle.write("\n")
+                self._handle.flush()
+            except OSError:
+                self._dead = True
+                try:
+                    if self._handle is not None:
+                        self._handle.close()
+                except OSError:
+                    pass
+                self._handle = None
+
+    def close(self) -> None:
+        with self._lock:
+            self._dead = True
+            if self._handle is not None:
+                try:
+                    self._handle.close()
+                except OSError:
+                    pass
+                self._handle = None
+
+
+def read_journal(path) -> List[Dict]:
+    """Every well-formed event in a journal, in file order.
+
+    Torn or garbage lines (a process killed mid-write) are skipped, so
+    replay after a crash sees everything that was durably recorded.
+    """
+    events: List[Dict] = []
+    try:
+        with Path(path).open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(event, dict) and event.get("kind"):
+                    events.append(event)
+    except OSError:
+        return []
+    return events
+
+
+def list_journals(cache_dir) -> List[Path]:
+    """Every journal file under the cache's ``traces/``, sorted by name."""
+    root = traces_dir(cache_dir)
+    if not root.is_dir():
+        return []
+    return sorted(root.glob("*.jsonl"))
+
+
+# ------------------------------------------------------------- chrome export
+
+
+def _track_name(event: Dict) -> str:
+    """The Perfetto "process" an event belongs to: worker, else tenant,
+    else figure, else the run itself."""
+    for field in ("worker", "tenant", "figure"):
+        value = event.get(field)
+        if value:
+            return f"{field}:{value}"
+    return "run"
+
+
+def _slice_name(start: Dict) -> str:
+    kind = start.get("kind")
+    if kind == "phase.start":
+        return str(start.get("phase", "phase"))
+    point = str(start.get("point", ""))
+    figure = start.get("figure")
+    short = point[:12] if point else "?"
+    if kind == "lease.grant":
+        return f"lease {short}"
+    return f"{figure} {short}" if figure else short
+
+
+def export_chrome_trace(events: List[Dict]) -> Dict:
+    """Fold journal events into a Chrome trace-event JSON document.
+
+    Start/end kind pairs (``point.start``/``point.done``,
+    ``lease.grant``/``point.commit``, ``phase.start``/``phase.end``)
+    become ``"X"`` complete slices; every other event — and any start
+    left unpaired at the end of the journal — becomes an ``"i"``
+    instant, so nothing recorded is dropped from the visualisation.
+    """
+    trace_events: List[Dict] = []
+    pids: Dict[str, int] = {}
+    lanes: Dict[int, List[bool]] = {}
+    open_spans: Dict[tuple, Dict] = {}
+
+    def _pid(track: str) -> int:
+        pid = pids.get(track)
+        if pid is None:
+            pid = len(pids) + 1
+            pids[track] = pid
+            lanes[pid] = []
+            trace_events.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "name": "process_name",
+                    "args": {"name": track},
+                }
+            )
+        return pid
+
+    def _claim_lane(pid: int) -> int:
+        busy = lanes[pid]
+        for index, taken in enumerate(busy):
+            if not taken:
+                busy[index] = True
+                return index + 1
+        busy.append(True)
+        return len(busy)
+
+    def _micros(ts) -> float:
+        try:
+            return float(ts) * 1e6
+        except (TypeError, ValueError):
+            return 0.0
+
+    for event in events:
+        kind = event.get("kind", "")
+        if kind in _SPAN_ID_FIELD:
+            span_id = event.get(_SPAN_ID_FIELD[kind])
+            pid = _pid(_track_name(event))
+            open_spans[(kind, span_id)] = {
+                "event": event,
+                "pid": pid,
+                "tid": _claim_lane(pid),
+            }
+            continue
+        start_kind = _SPAN_END_TO_START.get(kind)
+        if start_kind is not None:
+            span_id = event.get(_SPAN_ID_FIELD[start_kind])
+            span = open_spans.pop((start_kind, span_id), None)
+            if span is not None:
+                start = span["event"]
+                begin = _micros(start.get("ts"))
+                end = _micros(event.get("ts"))
+                args = {k: v for k, v in start.items() if k not in ("seq", "ts")}
+                args["end_kind"] = kind
+                trace_events.append(
+                    {
+                        "ph": "X",
+                        "pid": span["pid"],
+                        "tid": span["tid"],
+                        "ts": begin,
+                        "dur": max(0.0, end - begin),
+                        "name": _slice_name(start),
+                        "args": args,
+                    }
+                )
+                lanes[span["pid"]][span["tid"] - 1] = False
+                continue
+        # Plain instant (including ends whose start was never journaled).
+        pid = _pid(_track_name(event))
+        trace_events.append(
+            {
+                "ph": "i",
+                "s": "p",
+                "pid": pid,
+                "tid": 0,
+                "ts": _micros(event.get("ts")),
+                "name": kind or "event",
+                "args": {k: v for k, v in event.items() if k not in ("seq", "ts")},
+            }
+        )
+
+    # Unpaired starts (run still in flight / journal truncated).
+    for span in open_spans.values():
+        start = span["event"]
+        trace_events.append(
+            {
+                "ph": "i",
+                "s": "p",
+                "pid": span["pid"],
+                "tid": span["tid"],
+                "ts": _micros(start.get("ts")),
+                "name": f"{_slice_name(start)} (unfinished)",
+                "args": {k: v for k, v in start.items() if k not in ("seq", "ts")},
+            }
+        )
+        lanes[span["pid"]][span["tid"] - 1] = False
+
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+#: Phase kinds Perfetto accepts that the exporter can emit.
+_VALID_PHASES = {"X", "i", "M", "B", "E"}
+
+
+def validate_chrome_trace(payload) -> List[str]:
+    """Problems making ``payload`` unloadable as a Chrome trace; empty
+    when sound.  CI's ``trace-smoke`` job fails a run on any problem."""
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return ["payload is not an object"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is not a list"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in _VALID_PHASES:
+            problems.append(f"{where}: bad ph {phase!r}")
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            problems.append(f"{where}: missing name")
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), int):
+                problems.append(f"{where}: missing {field}")
+        if phase in ("X", "i", "B", "E"):
+            if not isinstance(event.get("ts"), (int, float)):
+                problems.append(f"{where}: missing ts")
+        if phase == "X":
+            duration = event.get("dur")
+            if not isinstance(duration, (int, float)) or duration < 0:
+                problems.append(f"{where}: bad dur {duration!r}")
+    return problems
+
+
+# ------------------------------------------------------------------ profiles
+
+#: Prefix every engine profile counter shares (see
+#: :class:`repro.sim.engine.EngineProfile`).
+PROFILE_PREFIX = "engine.profile."
+
+
+def profile_counters(counters: Dict[str, int]) -> Dict[str, int]:
+    """The ``engine.profile.*`` subset of a counters dict, unprefixed."""
+    return {
+        name[len(PROFILE_PREFIX):]: value
+        for name, value in (counters or {}).items()
+        if name.startswith(PROFILE_PREFIX) and isinstance(value, (int, float))
+    }
+
+
+def _histogram_lines(title: str, buckets: Dict[str, int], unit: str) -> List[str]:
+    total = sum(buckets.values())
+    if not total:
+        return []
+    lines = [f"{title} ({total} samples)"]
+    peak = max(buckets.values())
+
+    def _bucket_sort(item):
+        label = item[0]
+        digits = label.rstrip("+")
+        return (0, int(digits)) if digits.isdigit() else (1, label)
+
+    for label, count in sorted(buckets.items(), key=_bucket_sort):
+        bar = "#" * max(1, round(24 * count / peak))
+        share = count / total
+        lines.append(f"  {label:>8} {unit:<7} {count:>10} ({share:5.1%}) {bar}")
+    return lines
+
+
+def format_profile(counters: Dict[str, int]) -> str:
+    """Render a manifest's engine-profile counters for the terminal.
+
+    Returns an explanatory notice when the run was not profiled (the
+    counters only exist under ``--profile-engine``).
+    """
+    profile = profile_counters(counters)
+    if not profile:
+        return (
+            "no engine profile in this run "
+            "(re-run with --profile-engine to record one)"
+        )
+    histograms: Dict[str, Dict[str, int]] = {}
+    scalars: Dict[str, int] = {}
+    for name, value in profile.items():
+        head, _, bucket = name.rpartition(".")
+        if head in ("serve_window_len", "skip_len", "window_break"):
+            histograms.setdefault(head, {})[bucket] = int(value)
+        else:
+            scalars[name] = int(value)
+    lines: List[str] = []
+    lines += _histogram_lines(
+        "serve-window length", histograms.get("serve_window_len", {}), "cycles"
+    )
+    lines += _histogram_lines("skip length", histograms.get("skip_len", {}), "cycles")
+    breaks = histograms.get("window_break", {})
+    if breaks:
+        total = sum(breaks.values())
+        lines.append(f"window breaks ({total} windows)")
+        for cause, count in sorted(breaks.items(), key=lambda item: -item[1]):
+            lines.append(f"  {cause:<12} {count:>10} ({count / total:5.1%})")
+    if scalars:
+        lines.append("dispatch")
+        for name in sorted(scalars):
+            lines.append(f"  {name:<24} {scalars[name]:>12}")
+    return "\n".join(lines)
+
+
+def load_profile(manifest: Dict) -> Optional[Dict[str, int]]:
+    """A manifest's merged counters dict, or ``None`` when absent."""
+    metrics = manifest.get("metrics")
+    if not isinstance(metrics, dict):
+        return None
+    counters = metrics.get("counters")
+    return counters if isinstance(counters, dict) else None
