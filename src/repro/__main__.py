@@ -14,6 +14,8 @@ Usage::
     python -m repro submit fig5 fig6 --target HOST:PORT     # submit + wait
     python -m repro jobs --target HOST:PORT        # list the service's jobs
     python -m repro worker --target HOST:PORT      # join a fleet
+    python -m repro fig6 --checkpoint-interval 20000   # resumable simulation
+    python -m repro checkpoint list                # stored snapshots
     python -m repro cache                          # result-store statistics
     python -m repro status --target HOST:PORT      # live coordinator/service view
     python -m repro watch --target HOST:PORT       # stream structured events
@@ -189,6 +191,20 @@ def _build_parser() -> argparse.ArgumentParser:
             "`repro trace profile`; observe-only, results are identical"
         ),
     )
+    parser.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=None,
+        metavar="CYCLES",
+        help=(
+            "snapshot in-process simulations every CYCLES simulated cycles "
+            "into <cache-dir>/checkpoints, resuming interrupted or "
+            "warmup-sharing runs from the latest snapshot (results are "
+            "bit-identical either way); with a distributed executor the "
+            "self-spawned workers stream snapshots to the coordinator "
+            "instead"
+        ),
+    )
     _add_verbosity_flags(parser)
     return parser
 
@@ -275,10 +291,25 @@ def _worker_main(argv: list[str]) -> int:
             "simulates (folded into the coordinator's metrics; observe-only)"
         ),
     )
+    parser.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=None,
+        metavar="CYCLES",
+        help=(
+            "stream a snapshot of the running point to the coordinator "
+            "every CYCLES simulated cycles, so if this worker is killed "
+            "its replacement resumes from the last snapshot instead of "
+            "restarting (results are bit-identical either way)"
+        ),
+    )
     _add_verbosity_flags(parser)
     args = parser.parse_args(argv)
     telemetry_logs.configure(verbose=args.verbose, quiet=args.quiet)
     target = _resolve_service_target(args, parser)
+    if args.checkpoint_interval is not None and args.checkpoint_interval < 1:
+        print("--checkpoint-interval must be at least 1 cycle", file=sys.stderr)
+        return 2
 
     from .distributed import parse_address, run_worker
     from .sim.runner import engine_override
@@ -294,7 +325,7 @@ def _worker_main(argv: list[str]) -> int:
                 stack.enter_context(engine_override(args.engine))
             if args.profile_engine:
                 stack.enter_context(telemetry.profiled())
-            run_worker(target, worker_id=args.id)
+            run_worker(target, worker_id=args.id, checkpoint_interval=args.checkpoint_interval)
     except (OSError, ConnectionError) as exc:
         print(f"worker could not serve {target}: {exc}", file=sys.stderr)
         return 1
@@ -346,6 +377,104 @@ def _cache_main(argv: list[str]) -> int:
         if "executed" in last:
             line += f"; {last.get('planned', 0)} points planned, {last['executed']} executed"
         print(line)
+    return 0
+
+
+# ----------------------------------------------------------------- checkpoints
+
+
+def _checkpoint_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro checkpoint",
+        description=(
+            "Inspect the warmup/resume checkpoints under "
+            "<cache-dir>/checkpoints (written by --checkpoint-interval)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", metavar="COMMAND")
+
+    def _add_cache_dir(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--cache-dir",
+            default=DEFAULT_CACHE_DIR,
+            metavar="DIR",
+            help=f"result cache directory (default: {DEFAULT_CACHE_DIR!r})",
+        )
+
+    list_parser = sub.add_parser("list", help="list every stored checkpoint")
+    _add_cache_dir(list_parser)
+
+    inspect_parser = sub.add_parser(
+        "inspect", help="print one checkpoint's metadata (no kernel load)"
+    )
+    inspect_parser.add_argument(
+        "checkpoint",
+        metavar="PATH|KEY",
+        help="a .ckpt file path, or a prefix-key prefix from `repro checkpoint list`",
+    )
+    _add_cache_dir(inspect_parser)
+
+    clear_parser = sub.add_parser("clear", help="delete every stored checkpoint")
+    _add_cache_dir(clear_parser)
+
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help(sys.stderr)
+        return 2
+
+    from .orchestration.cache import CHECKPOINT_DIR, CheckpointStore
+    from .sim import checkpoint as checkpoint_format
+
+    store = CheckpointStore(os.path.join(args.cache_dir, CHECKPOINT_DIR))
+
+    if args.command == "list":
+        records = store.entries()
+        if not records:
+            print(f"no checkpoints under {store.directory}")
+            return 0
+        for record in records:
+            print(f"{record['key']}  cycle {record['cycle']:>12}  {record['bytes']:>10} bytes")
+        print(f"{len(records)} checkpoint(s), {sum(r['bytes'] for r in records)} bytes total")
+        return 0
+
+    if args.command == "clear":
+        removed = len(store.entries())
+        store.clear()
+        print(f"cleared {removed} checkpoint(s) from {store.directory}")
+        return 0
+
+    # inspect
+    path = args.checkpoint
+    if not os.path.isfile(path):
+        matches = [r for r in store.entries() if r["key"].startswith(args.checkpoint)]
+        if len(matches) != 1:
+            hint = "no checkpoint" if not matches else f"{len(matches)} checkpoints"
+            print(
+                f"{hint} matching {args.checkpoint!r} under {store.directory} "
+                "(see `repro checkpoint list`)",
+                file=sys.stderr,
+            )
+            return 1
+        path = matches[0]["path"]
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+        meta = checkpoint_format.describe(data)
+    except OSError as exc:
+        print(f"could not read {path}: {exc}", file=sys.stderr)
+        return 1
+    except checkpoint_format.CheckpointError as exc:
+        print(f"{path}: {exc}", file=sys.stderr)
+        return 1
+    print(f"checkpoint {path}")
+    print(f"  format:    v{meta.get('format')}")
+    print(f"  cycle:     {meta.get('cycle')}")
+    print(f"  engine:    {meta.get('engine')}  (resumable under either engine)")
+    print(f"  design:    {meta.get('design')}")
+    print(f"  prefix:    {meta.get('prefix')}")
+    print(f"  digest:    {meta.get('digest')}")
+    print(f"  traces:    {', '.join(meta.get('traces', [])) or '(none)'}")
+    print(f"  kernel:    {meta.get('kernel_bytes')} bytes")
     return 0
 
 
@@ -1125,7 +1254,10 @@ def _resolve_execution(args):
         host, port = parse_address(args.bind if args.bind is not None else "127.0.0.1:0")
     except ValueError as exc:
         raise _CliError(f"--bind: {exc}") from exc
-    return None, DistributedExecutor(host, port, spawn_workers=workers), args.jobs
+    executor = DistributedExecutor(
+        host, port, spawn_workers=workers, checkpoint_interval=args.checkpoint_interval
+    )
+    return None, executor, args.jobs
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -1135,6 +1267,7 @@ def main(argv: list[str] | None = None) -> int:
     verbs = {
         "worker": _worker_main,
         "cache": _cache_main,
+        "checkpoint": _checkpoint_main,
         "status": _status_main,
         "watch": _watch_main,
         "runs": _runs_main,
@@ -1179,6 +1312,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.jobs < 1:
         print("--jobs must be at least 1", file=sys.stderr)
+        return 2
+    if args.checkpoint_interval is not None and args.checkpoint_interval < 1:
+        print("--checkpoint-interval must be at least 1 cycle", file=sys.stderr)
         return 2
 
     # One request object is the whole run description from here on — the
@@ -1240,6 +1376,19 @@ def main(argv: list[str] | None = None) -> int:
             )
         if args.profile_engine:
             stack.enter_context(telemetry.profiled())
+        if args.checkpoint_interval is not None:
+            # Periodic checkpointing for every simulation this thread
+            # executes directly; resume-from-latest makes an interrupted
+            # run (or one sharing a warmup prefix) skip finished cycles.
+            from .orchestration.cache import CHECKPOINT_DIR, CheckpointStore
+            from .sim.runner import checkpointing
+
+            stack.enter_context(
+                checkpointing(
+                    CheckpointStore(os.path.join(args.cache_dir, CHECKPOINT_DIR)),
+                    args.checkpoint_interval,
+                )
+            )
         result = sweep_experiments(
             request, jobs=jobs, store=store, stats=stats, executor=executor
         )

@@ -62,6 +62,53 @@ class _PendingGeneration:
         self.start_cycle = start_cycle
 
 
+class _BufferServeCompletion:
+    """Deferred completion of a buffer-served RNG request.
+
+    A class (not a closure) so the deferred-completion heap stays
+    serialisable by :mod:`repro.sim.checkpoint`.
+    """
+
+    __slots__ = ("subsystem", "callback", "start_cycle")
+
+    def __init__(self, subsystem: "RNGSubsystem", callback: Callable[[int], None], start_cycle: int):
+        self.subsystem = subsystem
+        self.callback = callback
+        self.start_cycle = start_cycle
+
+    def __call__(self, cycle: int) -> None:
+        self.subsystem.stats.latency_sum += cycle - self.start_cycle
+        self.callback(cycle)
+
+
+class _ShareCompletion:
+    """Per-channel share callback of one in-flight demand generation.
+
+    Every share of a generation carries a callback referencing the same
+    :class:`_PendingGeneration`; identity of that shared object is what
+    completes the application request exactly once.  A class (not a
+    closure) so outstanding RNG requests stay serialisable by
+    :mod:`repro.sim.checkpoint` (pickle's memo preserves the sharing).
+    """
+
+    __slots__ = ("subsystem", "pending")
+
+    def __init__(self, subsystem: "RNGSubsystem", pending: _PendingGeneration) -> None:
+        self.subsystem = subsystem
+        self.pending = pending
+
+    def __call__(self, request: Request) -> None:
+        pending = self.pending
+        subsystem = self.subsystem
+        pending.outstanding -= 1
+        if pending.outstanding == 0:
+            completion = (
+                request.completion_cycle if request.completion_cycle is not None else subsystem.now
+            )
+            subsystem.stats.latency_sum += completion - pending.start_cycle
+            pending.callback(completion)
+
+
 class RNGSubsystem:
     """Routes application random number requests to the memory system."""
 
@@ -141,12 +188,7 @@ class RNGSubsystem:
         if self.buffer is not None and self.buffer.take(bits):
             self.stats.buffer_serves += 1
             completion = start_cycle + self.buffer_serve_latency
-
-            def _complete(cycle: int, _callback=callback, _start=start_cycle) -> None:
-                self.stats.latency_sum += cycle - _start
-                _callback(cycle)
-
-            self._defer(completion, _complete)
+            self._defer(completion, _BufferServeCompletion(self, callback, start_cycle))
             return
 
         self.stats.demand_generations += 1
@@ -168,20 +210,10 @@ class RNGSubsystem:
                 rng_bits=share,
                 arrival_cycle=self.now,
                 priority=self.registry.priority(core_id),
-                callback=self._make_share_callback(pending),
+                callback=_ShareCompletion(self, pending),
             )
             if not controller.enqueue(request):
                 self._retry_queue.append((controller, request))
-
-    def _make_share_callback(self, pending: _PendingGeneration) -> Callable[[Request], None]:
-        def _on_share_complete(request: Request) -> None:
-            pending.outstanding -= 1
-            if pending.outstanding == 0:
-                completion = request.completion_cycle if request.completion_cycle is not None else self.now
-                self.stats.latency_sum += completion - pending.start_cycle
-                pending.callback(completion)
-
-        return _on_share_complete
 
     # -- convenience -----------------------------------------------------------------
 

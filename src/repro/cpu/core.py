@@ -129,6 +129,28 @@ class _WindowSlot:
         self.seq = 0
 
 
+class _RNGCompletion:
+    """Completion callback of one in-flight RNG window slot.
+
+    A class (not a closure) so a mid-run :class:`Core` — and the RNG
+    subsystem structures holding the callback — stay serialisable by
+    :mod:`repro.sim.checkpoint`.
+    """
+
+    __slots__ = ("core", "slot", "issue_cycle")
+
+    def __init__(self, core: "Core", slot: _WindowSlot, issue_cycle: int) -> None:
+        self.core = core
+        self.slot = slot
+        self.issue_cycle = issue_cycle
+
+    def __call__(self, completion_cycle: int) -> None:
+        core = self.core
+        self.slot.done = True
+        core._undone_slots -= 1
+        core.stats.rng_latency_sum += max(0, completion_cycle - self.issue_cycle)
+
+
 class Core:
     """A single trace-driven core."""
 
@@ -324,7 +346,7 @@ class Core:
                 self._undone_slots += 1
                 stats.rng_requests += 1
                 issued += 1
-                self._send_rng(bits, self.core_id, self._make_rng_callback(slot, now))
+                self._send_rng(bits, self.core_id, _RNGCompletion(self, slot, now))
             elif self._pending_write < 0:
                 # Entry exhausted (no bubbles, read, write or RNG request
                 # left): advance to the next precompiled column position,
@@ -496,14 +518,6 @@ class Core:
             completion = issue_cycle
         if completion > issue_cycle:
             self.stats.read_latency_sum += completion - issue_cycle
-
-    def _make_rng_callback(self, slot: _WindowSlot, issue_cycle: int) -> Callable:
-        def _on_rng_complete(completion_cycle: int) -> None:
-            slot.done = True
-            self._undone_slots -= 1
-            self.stats.rng_latency_sum += max(0, completion_cycle - issue_cycle)
-
-        return _on_rng_complete
 
     # ------------------------------------------------------------------ results
 

@@ -21,6 +21,12 @@ Fault tolerance:
 * **Retries are bounded.**  Each revocation or reported error counts an
   attempt; a point that fails ``max_attempts`` times is marked failed
   and the run finishes with an error instead of looping forever.
+* **Checkpoints survive their workers.**  Workers running with a
+  checkpoint interval stream periodic snapshots of the leased point
+  (``checkpoint`` messages); the coordinator keeps the newest one per
+  point and attaches it to any re-lease, so a SIGKILLed worker costs at
+  most one checkpoint interval of simulation — the replacement resumes
+  bit-identically instead of restarting.
 * **Stragglers are re-issued.**  Once the queue is empty, an idle
   worker asking for work is handed a *duplicate* lease on the
   longest-running point older than ``straggler_timeout``.  Simulations
@@ -80,7 +86,10 @@ class _Lease:
 class _Point:
     """Queue state of one simulation point."""
 
-    __slots__ = ("unit", "figure", "attempts", "done", "failed", "committing", "leases", "_wire")
+    __slots__ = (
+        "unit", "figure", "attempts", "done", "failed", "committing", "leases", "_wire",
+        "checkpoint",
+    )
 
     def __init__(self, unit: SimulationUnit) -> None:
         self.unit = unit
@@ -94,6 +103,11 @@ class _Point:
         self.committing = False
         self.leases: Dict[int, _Lease] = {}
         self._wire: Optional[Dict] = None
+        #: Latest mid-simulation snapshot a worker streamed for this
+        #: point, kept in wire form (``{"cycle": int, "data": base64}``)
+        #: and attached to any re-lease so the next worker resumes
+        #: instead of restarting.  Dropped on completion.
+        self.checkpoint: Optional[Dict] = None
 
     def wire(self) -> Optional[Dict]:
         """Serialised unit, computed once and reused for duplicate leases.
@@ -114,10 +128,12 @@ class _Point:
         return wire
 
     def release_payload(self) -> None:
-        """Drop the unit and its wire form once the point can never be
-        leased again, so a long sweep does not hold every trace twice."""
+        """Drop the unit, its wire form and any checkpoint once the point
+        can never be leased again, so a long sweep does not hold every
+        trace twice (checkpoints are full kernel snapshots — larger)."""
         self.unit = None
         self._wire = None
+        self.checkpoint = None
 
 
 class Coordinator:
@@ -165,6 +181,13 @@ class Coordinator:
         self._connection_seq = 0
         self._workers: Dict[int, Dict] = {}
         self.results_committed = 0
+        #: Resume accounting, keyed by point: which cycle each committed
+        #: result resumed from and how many cycles the committing worker
+        #: actually simulated.  Populated from the result message's
+        #: optional ``resumed_from``/``simulated_cycles`` fields; the
+        #: distributed tests use it to prove a re-leased point continued
+        #: from its checkpoint rather than restarting.
+        self.resume_log: Dict[str, Dict] = {}
 
         # --- telemetry (observe-only; nothing here feeds back into
         # leasing decisions or the committed results) -----------------
@@ -523,6 +546,9 @@ class Coordinator:
         if kind == "heartbeat":
             self._renew(message.get("key", ""), connection_id)
             return None
+        if kind == "checkpoint":
+            self._store_checkpoint(message, connection_id)
+            return None
         if kind == "metrics":
             snapshot = message.get("snapshot")
             if isinstance(snapshot, dict):
@@ -537,6 +563,31 @@ class Coordinator:
         if kind == "goodbye":
             return _GOODBYE
         return {"type": "done", "error": f"unknown message type {kind!r}"}
+
+    def _store_checkpoint(self, message: Dict, connection_id: int) -> None:
+        """Keep the newest snapshot a worker streamed for a live point."""
+        key = str(message.get("key", ""))
+        data = message.get("data")
+        try:
+            cycle = int(message.get("cycle"))
+        except (TypeError, ValueError):
+            return
+        if not isinstance(data, str) or not data:
+            return
+        with self._lock:
+            point = self._points.get(key)
+            if point is None or point.done or point.failed is not None:
+                return
+            previous = point.checkpoint
+            if previous is not None and previous["cycle"] >= cycle:
+                return  # a straggler duplicate lagging behind the leader
+            point.checkpoint = {"cycle": cycle, "data": data}
+            worker = self._workers.get(connection_id, {}).get("worker")
+            figure = point.figure
+        self._metrics.counter("coordinator.checkpoints")
+        self.events.emit(
+            "point.checkpoint", point=key, worker=worker, figure=figure, cycle=cycle
+        )
 
     def _touch_worker(self, connection_id: int) -> None:
         """Record liveness for the worker behind ``connection_id``."""
@@ -572,6 +623,7 @@ class Coordinator:
                 )
                 if worker in self._worker_stats:
                     self._worker_stats[worker]["leases"] += 1
+                checkpoint = point.checkpoint
             self._metrics.counter("coordinator.lease_grants")
             # Serialise outside the lock: a multi-MB unit must not stall
             # the other connection threads (or heartbeat renewal).
@@ -580,7 +632,13 @@ class Coordinator:
                 self.events.emit(
                     "lease.grant", point=key, worker=worker, figure=point.figure
                 )
-                return {"type": "work", "unit": wire}
+                reply = {"type": "work", "unit": wire}
+                if checkpoint is not None:
+                    # Re-lease of a point a (possibly dead) worker already
+                    # advanced: hand over the snapshot so the new worker
+                    # resumes instead of restarting.
+                    reply["checkpoint"] = checkpoint
+                return reply
             # The point completed while we were granting it; drop the
             # speculative lease and pick something else.
             with self._lock:
@@ -646,6 +704,15 @@ class Coordinator:
             point.failed = None
             point.release_payload()
             self.results_committed += 1
+            resumed_from = message.get("resumed_from")
+            if isinstance(resumed_from, int):
+                self.resume_log[key] = {
+                    "resumed_from": resumed_from,
+                    "simulated_cycles": message.get("simulated_cycles"),
+                    "worker": self._workers.get(connection_id, {}).get("worker"),
+                }
+                if resumed_from > 0:
+                    self._metrics.counter("coordinator.points_resumed")
             bucket = self._figures.get(point.figure or "(unlabeled)")
             if bucket is not None:
                 bucket["completed"] += 1

@@ -37,7 +37,9 @@ from .coordinator import (
 )
 
 
-def spawn_local_worker(host: str, port: int, index: int = 0) -> subprocess.Popen:
+def spawn_local_worker(
+    host: str, port: int, index: int = 0, checkpoint_interval: Optional[int] = None
+) -> subprocess.Popen:
     """Start ``python -m repro worker`` as a detached localhost process.
 
     The child inherits the environment with this package's ``src`` root
@@ -62,6 +64,8 @@ def spawn_local_worker(host: str, port: int, index: int = 0) -> subprocess.Popen
         "--id",
         f"local-{index}",
     ]
+    if checkpoint_interval is not None:
+        command += ["--checkpoint-interval", str(checkpoint_interval)]
     return subprocess.Popen(command, env=env)
 
 
@@ -86,6 +90,7 @@ class DistributedExecutor(Executor):
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         straggler_timeout: float = DEFAULT_STRAGGLER_TIMEOUT,
         timeout: Optional[float] = None,
+        checkpoint_interval: Optional[int] = None,
         announce=None,
     ) -> None:
         self.host = host
@@ -95,6 +100,10 @@ class DistributedExecutor(Executor):
         self.max_attempts = max_attempts
         self.straggler_timeout = straggler_timeout
         self.timeout = timeout
+        #: Simulated-cycle interval at which self-spawned workers stream
+        #: checkpoints to the coordinator (``None`` = no checkpointing).
+        #: External workers choose their own via ``--checkpoint-interval``.
+        self.checkpoint_interval = checkpoint_interval
         self._announce = announce or logs.get_logger("distributed").info
         #: Last run's coordinator (exposed for tests and diagnostics).
         self.last_coordinator: Optional[Coordinator] = None
@@ -128,7 +137,11 @@ class DistributedExecutor(Executor):
         workers: List[subprocess.Popen] = []
         try:
             for index in range(self.spawn_workers):
-                workers.append(spawn_local_worker(connect_host, port, index))
+                workers.append(
+                    spawn_local_worker(
+                        connect_host, port, index, checkpoint_interval=self.checkpoint_interval
+                    )
+                )
             if not self.spawn_workers:
                 self._announce(
                     f"[distributed] coordinator listening on {host}:{port}; waiting for workers "

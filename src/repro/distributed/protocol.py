@@ -12,12 +12,20 @@ worker → coordinator
     ``heartbeat``  renew the lease on the point being simulated (no reply)
     ``metrics``    periodic telemetry snapshot (no reply; only sent when
                    the welcome advertised the ``"metrics"`` feature)
+    ``checkpoint`` mid-simulation snapshot of the leased point (no
+                   reply; only sent when the welcome advertised the
+                   ``"checkpoint"`` feature).  The coordinator keeps the
+                   latest one per point and attaches it to any re-lease,
+                   so a killed worker loses at most one checkpoint
+                   interval of progress.
     ``goodbye``    clean disconnect (no reply)
 
 coordinator → worker
     ``welcome``    accepts the hello (``features`` lists optional message
                    kinds this coordinator understands)
-    ``work``       one leased point: ``key`` plus the serialised unit
+    ``work``       one leased point: ``key`` plus the serialised unit,
+                   plus an optional ``checkpoint`` (cycle + base64
+                   snapshot) to resume from instead of restarting
     ``wait``       nothing leasable right now; retry after ``seconds``
     ``done``       the run is complete (or failed); the worker should exit
     ``ack``        result/error committed
@@ -86,7 +94,7 @@ PROTOCOL_VERSION = 1
 #: negotiation).  ``watch`` covers the streaming subscribe/event/unwatch
 #: family; peers that never saw it advertised fall back to one-shot
 #: ``status`` polling.
-FEATURES = ("metrics", "status", "watch")
+FEATURES = ("metrics", "status", "watch", "checkpoint")
 
 #: What the long-lived sweep *service* additionally understands: the
 #: ``jobs`` feature covers the submit/poll/cancel/jobs message family.
@@ -233,6 +241,41 @@ def hello_message(worker: str, pid: Optional[int] = None, role: Optional[str] = 
 def metrics_message(worker: str, snapshot: Dict) -> Dict:
     """A worker's periodic telemetry snapshot (fire-and-forget)."""
     return {"type": "metrics", "worker": worker, "snapshot": snapshot}
+
+
+def checkpoint_message(worker: str, key: str, cycle: int, data: bytes) -> Dict:
+    """A mid-simulation snapshot of the leased point (fire-and-forget).
+
+    The snapshot bytes (:func:`repro.sim.checkpoint.snapshot`) ride the
+    JSON-lines framing base64-encoded; only sent when the welcome
+    advertised the ``"checkpoint"`` feature.
+    """
+    import base64
+
+    return {
+        "type": "checkpoint",
+        "worker": worker,
+        "key": key,
+        "cycle": cycle,
+        "data": base64.b64encode(data).decode("ascii"),
+    }
+
+
+def checkpoint_from_wire(payload: Optional[Dict]) -> Optional[tuple[int, bytes]]:
+    """Decode the ``checkpoint`` field of a ``work`` (or the body of a
+    ``checkpoint`` message) into ``(cycle, snapshot_bytes)``; ``None``
+    or a malformed payload decodes to ``None`` (fresh start)."""
+    import base64
+    import binascii
+
+    if not isinstance(payload, dict):
+        return None
+    try:
+        cycle = int(payload["cycle"])
+        data = base64.b64decode(payload["data"], validate=True)
+    except (KeyError, TypeError, ValueError, binascii.Error):
+        return None
+    return cycle, data
 
 
 def peer_features(welcome: Dict) -> frozenset:

@@ -18,6 +18,7 @@ connection drops).
 from __future__ import annotations
 
 import os
+import signal
 import socket
 import threading
 import time
@@ -25,9 +26,12 @@ from dataclasses import dataclass
 from typing import Optional
 
 from .. import telemetry
-from ..sim.runner import simulate_traces
+from ..sim import checkpoint as ckpt
+from ..sim.runner import checkpointing, simulate_traces
 from ..telemetry import logs
 from .protocol import (
+    checkpoint_from_wire,
+    checkpoint_message,
     encode_message,
     hello_message,
     metrics_message,
@@ -81,17 +85,75 @@ class _Heartbeat:
                 return
 
 
+class _Interrupted(Exception):
+    """The worker was told to stop (SIGTERM) mid-simulation; the final
+    checkpoint has already been streamed to the coordinator."""
+
+
+class _WireCheckpointStore:
+    """Checkpoint ``resume``/``put`` interface that streams to the
+    coordinator instead of a directory.
+
+    One instance serves one leased point: ``resume`` rehydrates the
+    snapshot the coordinator attached to the ``work`` reply (falling
+    back to a fresh start if it does not match this unit), and ``put``
+    sends each periodic snapshot as a fire-and-forget ``checkpoint``
+    message.  After streaming a snapshot it raises :class:`_Interrupted`
+    if a stop was requested — the coordinator then holds everything the
+    worker knew, so exiting loses nothing.
+    """
+
+    def __init__(self, send, worker_id: str, key: str, resume_payload, stop: threading.Event) -> None:
+        self._send = send
+        self._worker = worker_id
+        self._key = key
+        self._resume_payload = resume_payload
+        self._stop = stop
+        self.resumed_from = 0
+
+    def resume(self, traces, config):
+        decoded = checkpoint_from_wire(self._resume_payload)
+        if decoded is None:
+            return None
+        _cycle, data = decoded
+        try:
+            system = ckpt.restore(data, traces=traces, config=config)
+        except ckpt.CheckpointError:
+            # A stale or mismatched snapshot (coordinator restarted with
+            # different points, version skew): restart from scratch.
+            telemetry.counter("worker.checkpoint_rejects")
+            return None
+        self.resumed_from = system.cycle
+        return system
+
+    def put(self, traces, config, system) -> None:
+        try:
+            self._send(checkpoint_message(self._worker, self._key, system.cycle, ckpt.snapshot(system)))
+        except OSError:
+            pass  # connection gone; the lease reaper will requeue the point
+        if self._stop.is_set():
+            raise _Interrupted()
+
+
 def run_worker(
     connect: str,
     worker_id: Optional[str] = None,
     *,
     heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+    checkpoint_interval: Optional[int] = None,
     log=None,
 ) -> WorkerStats:
     """Serve one coordinator until it reports the run done.
 
     ``connect`` is ``HOST:PORT``.  Returns the worker's tally; raises
     ``OSError`` if the coordinator cannot be reached at all.
+
+    With ``checkpoint_interval`` set (simulated cycles), the worker
+    streams a snapshot of the running point to the coordinator every
+    interval and resumes from any snapshot attached to its lease, so a
+    killed worker loses at most one interval of simulation.  SIGTERM is
+    honoured cooperatively: the worker finishes the current interval,
+    streams one final checkpoint, and disconnects.
     """
     host, port = parse_address(connect)
     worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
@@ -117,6 +179,17 @@ def run_worker(
         # Bounded read; raises ValueError on an oversized/garbled frame.
         return read_message(stream)
 
+    # Cooperative SIGTERM: set a flag, let the simulation reach its next
+    # checkpoint boundary, stream the final snapshot, exit.  Installing a
+    # handler only works from the main thread; in-process test workers
+    # run on daemon threads and are stopped by their caller instead.
+    stop_requested = threading.Event()
+    previous_sigterm = None
+    try:
+        previous_sigterm = signal.signal(signal.SIGTERM, lambda _signum, _frame: stop_requested.set())
+    except ValueError:
+        pass
+
     try:
         send(hello_message(worker_id, pid=os.getpid()))
         welcome = receive()
@@ -126,8 +199,12 @@ def run_worker(
         # Feature negotiation: only coordinators that advertised the
         # ``metrics`` kind receive telemetry snapshots — an old
         # coordinator answers unknown kinds with ``done``, which would
-        # shut this worker down mid-run.
-        send_metrics = "metrics" in peer_features(welcome)
+        # shut this worker down mid-run.  Checkpoint streaming is gated
+        # the same way: against an old coordinator the worker simply
+        # runs every point straight through.
+        features = peer_features(welcome)
+        send_metrics = "metrics" in features
+        send_checkpoints = checkpoint_interval is not None and "checkpoint" in features
         log(f"connected to {host}:{port} ({welcome.get('points', '?')} points in the run)")
 
         def report_metrics() -> None:
@@ -161,11 +238,26 @@ def run_worker(
 
             key = str((reply.get("unit") or {}).get("key", ""))
             started = time.perf_counter()
+            store: Optional[_WireCheckpointStore] = None
             try:
                 unit = unit_from_wire(reply["unit"])
                 with _Heartbeat(connection, send_lock, key, heartbeat_interval):
                     with telemetry.figure_scope(getattr(unit, "figure", None)):
-                        result = simulate_traces(unit.traces, unit.config)
+                        if send_checkpoints:
+                            store = _WireCheckpointStore(
+                                send, worker_id, key, reply.get("checkpoint"), stop_requested
+                            )
+                            with checkpointing(store, checkpoint_interval):
+                                result = simulate_traces(unit.traces, unit.config)
+                        else:
+                            result = simulate_traces(unit.traces, unit.config)
+            except _Interrupted:
+                # The final checkpoint is already with the coordinator;
+                # disconnect cleanly so the point is requeued promptly.
+                log("stop requested; final checkpoint streamed, exiting")
+                registry.counter("worker.interrupted")
+                send({"type": "goodbye"})
+                break
             except Exception as exc:  # bad payload or simulation bug: report, keep serving
                 stats.errors += 1
                 registry.counter("worker.errors")
@@ -174,18 +266,34 @@ def run_worker(
                 stats.simulated += 1
                 registry.counter("worker.points")
                 registry.observe("worker.point_seconds", time.perf_counter() - started)
-                send({"type": "result", "key": key, "result": result_to_wire(result)})
+                message = {"type": "result", "key": key, "result": result_to_wire(result)}
+                if store is not None:
+                    # Resume accounting: lets the coordinator (and the
+                    # resume regression tests) verify a re-leased point
+                    # continued rather than restarted.
+                    message["resumed_from"] = store.resumed_from
+                    message["simulated_cycles"] = result.total_cycles - store.resumed_from
+                send(message)
             ack = receive()
             if ack is None:
                 log("coordinator hung up before acknowledging")
                 break
             report_metrics()
+            if stop_requested.is_set():
+                log("stop requested; exiting between leases")
+                send({"type": "goodbye"})
+                break
     except ValueError as exc:
         # A garbled or oversized frame: the stream is unrecoverable, but
         # the worker should exit cleanly (the coordinator requeues the
         # leased point when the connection drops) rather than traceback.
         log(f"protocol error, disconnecting: {exc}")
     finally:
+        if previous_sigterm is not None:
+            try:
+                signal.signal(signal.SIGTERM, previous_sigterm)
+            except ValueError:
+                pass
         try:
             stream.close()
             connection.close()

@@ -28,6 +28,7 @@ from .. import telemetry
 from ..telemetry.manifest import MANIFEST_DIR
 from ..cpu.trace import Trace
 from ..energy.drampower import EnergyBreakdown
+from ..sim import checkpoint as checkpoint_format
 from ..sim.config import SimulationConfig
 from ..sim.results import ChannelResult, CoreResult, SimulationResult
 from ..sim.runner import AloneRunCache
@@ -317,6 +318,122 @@ class ResultCache:
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
             return None
         return payload if isinstance(payload, dict) else None
+
+
+# ----------------------------------------------------------------- checkpoints
+
+#: Subdirectory of a result-cache directory holding warmup checkpoints.
+CHECKPOINT_DIR = "checkpoints"
+
+
+class CheckpointStore:
+    """Content-addressed store of warmup-prefix checkpoints.
+
+    Layout mirrors :class:`ResultCache`'s fan-out, one directory per
+    prefix: ``<dir>/<key[:2]>/<key>/<cycle>.ckpt`` where the key is
+    :func:`repro.sim.checkpoint.prefix_key` — the configuration minus
+    ``engine``/``max_cycles`` plus the trace fingerprints — so sweep
+    points sharing a warmup resume from the same snapshots.  Each
+    ``put`` keeps only the latest cycle per prefix (a resumed run never
+    wants an older one, and pruning bounds disk growth).
+
+    Load failures follow :meth:`ResultCache.get`: corrupt files are
+    deleted by the format layer and the caller resimulates; version or
+    fingerprint mismatches miss non-destructively.
+    """
+
+    SUFFIX = ".ckpt"
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+
+    def _prefix_dir(self, key: str) -> Path:
+        return self.directory / key[:2] / key
+
+    def put(self, traces, config, system) -> Path:
+        """Snapshot ``system`` under its warmup prefix; prune older cycles."""
+        key = checkpoint_format.prefix_key(traces, config)
+        prefix_dir = self._prefix_dir(key)
+        path = prefix_dir / f"{system.cycle:016d}{self.SUFFIX}"
+        checkpoint_format.save(path, system)
+        telemetry.counter("checkpoint_store.puts")
+        for sibling in prefix_dir.glob(f"*{self.SUFFIX}"):
+            if sibling.name < path.name:
+                try:
+                    sibling.unlink()
+                except OSError:
+                    pass
+        return path
+
+    def resume(self, traces, config):
+        """The restored :class:`~repro.sim.system.System` closest to the
+        end of the run for this (traces, config-prefix), or ``None``.
+
+        Only checkpoints at a cycle ``<= config.max_cycles`` are eligible
+        (state at cycle ``C`` matches a straight run under any limit
+        ``>= C``; past the limit it describes a run this config would
+        never reach)."""
+        key = checkpoint_format.prefix_key(traces, config)
+        prefix_dir = self._prefix_dir(key)
+        if not prefix_dir.is_dir():
+            self.misses += 1
+            telemetry.counter("checkpoint_store.misses")
+            return None
+        for path in sorted(prefix_dir.glob(f"*{self.SUFFIX}"), reverse=True):
+            try:
+                cycle = int(path.stem)
+            except ValueError:
+                continue
+            if cycle > config.max_cycles:
+                continue
+            system = checkpoint_format.load(path, traces=traces, config=config)
+            if system is not None:
+                self.hits += 1
+                telemetry.counter("checkpoint_store.hits")
+                return system
+        self.misses += 1
+        telemetry.counter("checkpoint_store.misses")
+        return None
+
+    def entries(self) -> list[Dict]:
+        """One record per stored checkpoint (for ``repro checkpoint list``)."""
+        records: list[Dict] = []
+        if not self.directory.is_dir():
+            return records
+        for path in sorted(self.directory.glob(f"??/*/*{self.SUFFIX}")):
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            try:
+                cycle = int(path.stem)
+            except ValueError:
+                cycle = -1
+            records.append(
+                {"key": path.parent.name, "cycle": cycle, "bytes": size, "path": str(path)}
+            )
+        return records
+
+    def clear(self) -> None:
+        """Remove every stored checkpoint (leaves the directory in place)."""
+        self.hits = 0
+        self.misses = 0
+        for record in self.entries():
+            try:
+                os.unlink(record["path"])
+            except OSError:
+                pass
+
+    def stats(self) -> Dict:
+        entries = self.entries()
+        return {
+            "entries": len(entries),
+            "total_bytes": sum(record["bytes"] for record in entries),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
 
 
 # ----------------------------------------------------------------- alone runs

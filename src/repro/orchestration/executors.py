@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from .. import telemetry
 from ..cpu.trace import Trace
 from ..sim.config import SimulationConfig
+from ..sim.runner import simulate_direct
 from ..sim.system import System
 
 #: Memo of which store types accept a ``figure`` keyword on ``put``
@@ -90,7 +91,7 @@ class SerialExecutor(Executor):
             telemetry.emit("point.start", point=unit.key, figure=figure)
             start = perf_counter()
             with telemetry.figure_scope(figure):
-                result = System(unit.traces, unit.config).run()
+                result = simulate_direct(unit.traces, unit.config)
             seconds = perf_counter() - start
             telemetry.observe("executor.point_seconds", seconds)
             store_put(store, unit.key, result, figure)

@@ -41,7 +41,6 @@ from ..sim import runner as sim_runner
 from ..sim.config import SimulationConfig
 from ..sim.results import ChannelResult, CoreResult, SimulationResult
 from ..sim.runner import AloneRunCache
-from ..sim.system import System
 from ..telemetry.manifest import new_run_id
 from ..telemetry.trace import TraceJournal, traces_dir
 from .cache import PersistentAloneRunCache, ResultCache
@@ -206,7 +205,7 @@ class CacheServingBackend:
         result = self.store.get(key)
         if result is None:
             telemetry.emit("point.start", point=key, figure=self.figure)
-            result = System(traces, config).run()
+            result = sim_runner.simulate_direct(traces, config)
             store_put(self.store, key, result, self.figure)
             self.computed += 1
             self.points[key] = "simulated"

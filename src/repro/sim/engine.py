@@ -141,17 +141,25 @@ class TickEngine:
         reference loop has no fast paths to count)."""
         return self.profile.metrics() if self.profile is not None else {}
 
-    def run(self, system: "System") -> int:
-        """Advance ``system`` to completion; return the final cycle count."""
+    def run(self, system: "System", stop_at: "int | None" = None) -> int:
+        """Advance ``system`` from its current cycle; return the final cycle.
+
+        ``stop_at`` pauses the run at exactly that cycle (checkpointing);
+        the loop starts from ``system.cycle`` so a paused run resumes
+        where it left off.  Only reaching ``max_cycles`` sets
+        ``hit_cycle_limit``.
+        """
         controllers = system.controllers
         processor = system.processor
         rng_subsystem = system.rng_subsystem
         max_cycles = system.config.max_cycles
+        limit = max_cycles if stop_at is None else min(stop_at, max_cycles)
 
-        cycle = 0
+        cycle = start_cycle = system.cycle
         while not processor.all_finished:
-            if cycle >= max_cycles:
-                system.hit_cycle_limit = True
+            if cycle >= limit:
+                if cycle >= max_cycles:
+                    system.hit_cycle_limit = True
                 break
             system.cycle = cycle
             for controller in controllers:
@@ -164,9 +172,10 @@ class TickEngine:
             # Every cycle is one dispatch iteration of one single-step
             # path that ticks every controller — closed form, so the
             # reference loop itself stays hook-free.
-            profile.dispatch_iterations += cycle
-            profile.single_steps += cycle
-            profile.controller_ticks += cycle * len(controllers)
+            ticked = cycle - start_cycle
+            profile.dispatch_iterations += ticked
+            profile.single_steps += ticked
+            profile.controller_ticks += ticked * len(controllers)
         return cycle
 
 
@@ -232,13 +241,22 @@ class EventEngine:
             out.update(self.profile.metrics())
         return out
 
-    def run(self, system: "System") -> int:
-        """Advance ``system`` to completion; return the final cycle count."""
+    def run(self, system: "System", stop_at: "int | None" = None) -> int:
+        """Advance ``system`` from its current cycle; return the final cycle.
+
+        ``stop_at`` pauses the run at exactly that cycle (checkpointing).
+        The pause epilogue is the same as the completion epilogue: every
+        deferred quiet segment is materialised at the pause cycle, so the
+        paused system's state is bit-identical to the reference engine's
+        at that cycle and a resumed run continues exactly.  Only reaching
+        ``max_cycles`` sets ``hit_cycle_limit``.
+        """
         controllers = system.controllers
         processor = system.processor
         cores = processor.cores
         rng_subsystem = system.rng_subsystem
         max_cycles = system.config.max_cycles
+        limit = max_cycles if stop_at is None else min(stop_at, max_cycles)
 
         controller_range = list(enumerate(controllers))
         core_range = list(enumerate(cores))
@@ -280,7 +298,7 @@ class EventEngine:
         # of the component's next_event_cycle / skip_cycles contract.
         unfinished = processor._unfinished
         profile = self.profile
-        cycle = 0
+        cycle = system.cycle
         while True:
             if profile is not None:
                 profile.dispatch_iterations += 1
@@ -305,15 +323,16 @@ class EventEngine:
                     if finish is not None and finish >= cycle:
                         cycle = finish + 1
                 break
-            if cycle >= max_cycles:
-                system.hit_cycle_limit = True
+            if cycle >= limit:
+                if cycle >= max_cycles:
+                    system.hit_cycle_limit = True
                 break
 
             # Memory-side horizon: the earliest cycle a controller or the
             # RNG subsystem may change state.  ``None`` = unbounded-quiet.
             # The shared-buffer version is read once per iteration (every
             # controller's fill decision consults the same buffer).
-            target = max_cycles
+            target = limit
             memory_active = False
             buffer_version = None if shared_buffer is None else shared_buffer.version
             for index, controller in controller_range:
@@ -506,8 +525,8 @@ class EventEngine:
                 window_end = cycle + min_read_completion
                 if rng_bound is not None and rng_bound < window_end:
                     window_end = rng_bound
-                if max_cycles < window_end:
-                    window_end = max_cycles
+                if limit < window_end:
+                    window_end = limit
                 # A waking completion at cycle ``c`` does not end the
                 # window at ``c``: in the reference order the controllers
                 # tick *before* the cores, so every serve decision at
@@ -544,7 +563,7 @@ class EventEngine:
                         # next event, the minimum-read-latency ceiling, a
                         # waking completion, else a serve-side event from
                         # ``_serve_window_end``.
-                        if window_end == max_cycles:
+                        if window_end == limit:
                             cause = "cycle_limit"
                         elif rng_bound is not None and window_end == rng_bound:
                             cause = "rng"

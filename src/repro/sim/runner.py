@@ -56,8 +56,37 @@ class _ThreadScope(threading.local):
     #: are engine-independent, so the override never affects cache keys.
     engine: Optional[str] = None
 
+    #: Periodic-checkpoint policy (``None`` = run straight through).
+    #: Installed per thread like the backend, and only honoured on the
+    #: direct-execution path: a planning/cache-serving backend never
+    #: simulates, and process-pool workers run in their own interpreters
+    #: where callers install the policy explicitly.
+    checkpoint: Optional["CheckpointPolicy"] = None
+
 
 _SCOPE = _ThreadScope()
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """Periodic checkpointing for direct simulations.
+
+    Every ``interval`` simulated cycles the running :class:`System` is
+    snapshotted into ``store`` (any object with the
+    :class:`~repro.orchestration.cache.CheckpointStore` ``resume``/``put``
+    interface), and a fresh simulation first asks the store for the
+    latest matching checkpoint to resume from — so an interrupted
+    process loses at most one interval, and sweep points sharing a
+    warmup prefix skip it (the store is content-addressed by
+    config-prefix + traces, see :func:`repro.sim.checkpoint.prefix_key`).
+    """
+
+    store: object
+    interval: int
+
+    def __post_init__(self) -> None:
+        if self.interval < 1:
+            raise ValueError("checkpoint interval must be >= 1 cycle")
 
 
 def simulate_traces(traces: Sequence[Trace], config: SimulationConfig) -> SimulationResult:
@@ -67,8 +96,36 @@ def simulate_traces(traces: Sequence[Trace], config: SimulationConfig) -> Simula
         config = replace(config, engine=engine)
     backend = _SCOPE.backend
     if backend is None:
-        return System(list(traces), config).run()
+        return simulate_direct(traces, config)
     return backend(traces, config)
+
+
+def simulate_direct(traces: Sequence[Trace], config: SimulationConfig) -> SimulationResult:
+    """One simulation on this thread, bypassing any installed backend.
+
+    This is the execution choke point for the backends themselves (the
+    cache-serving replay backend, the serial executor): routing their
+    misses here instead of ``System(...).run()`` keeps this thread's
+    periodic-checkpoint policy in force — so a CLI sweep under
+    ``--checkpoint-interval`` checkpoints the points it computes, not
+    just bare ``simulate_traces`` calls.
+    """
+    policy = _SCOPE.checkpoint
+    if policy is not None:
+        return _simulate_with_checkpoints(list(traces), config, policy)
+    return System(list(traces), config).run()
+
+
+def _simulate_with_checkpoints(
+    traces: List[Trace], config: SimulationConfig, policy: CheckpointPolicy
+) -> SimulationResult:
+    """Direct execution under a checkpoint policy: resume, advance, snapshot."""
+    system = policy.store.resume(traces, config)
+    if system is None:
+        system = System(traces, config)
+    while not system.advance(stop_at=system.cycle + policy.interval):
+        policy.store.put(traces, config, system)
+    return system.finalize()
 
 
 def set_engine_override(engine: Optional[str]) -> Optional[str]:
@@ -127,6 +184,24 @@ def simulation_backend(backend) -> Iterator:
         yield backend
     finally:
         set_simulation_backend(previous)
+
+
+def set_checkpoint_policy(policy: Optional[CheckpointPolicy]) -> Optional[CheckpointPolicy]:
+    """Install ``policy`` for this thread's direct simulations; returns the old one."""
+    previous = _SCOPE.checkpoint
+    _SCOPE.checkpoint = policy
+    return previous
+
+
+@contextmanager
+def checkpointing(store, interval: int) -> Iterator[CheckpointPolicy]:
+    """Scope a periodic-checkpoint policy (see :func:`engine_override`)."""
+    policy = CheckpointPolicy(store=store, interval=interval)
+    previous = set_checkpoint_policy(policy)
+    try:
+        yield policy
+    finally:
+        set_checkpoint_policy(previous)
 
 
 @dataclass(frozen=True)

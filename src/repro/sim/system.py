@@ -10,7 +10,7 @@ core has retired its target instruction count.
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from .. import telemetry
 from ..controller.memory_controller import BaselineQueuePolicy, ChannelController
@@ -35,6 +35,23 @@ from .config import (
 )
 from .engine import make_engine
 from .results import ChannelResult, CoreResult, SimulationResult
+
+
+class _PredictorIdleListener:
+    """Feeds observed idle periods into a channel's idleness predictor.
+
+    A class (not a closure) so a mid-run :class:`System` stays
+    serialisable by :mod:`repro.sim.checkpoint` — listeners live on the
+    controllers for the whole run.
+    """
+
+    __slots__ = ("predictor",)
+
+    def __init__(self, predictor: IdlenessPredictor) -> None:
+        self.predictor = predictor
+
+    def __call__(self, channel_id: int, length: int, last_address: int) -> None:
+        self.predictor.observe_idle_period(length, last_address)
 
 
 class System:
@@ -87,7 +104,7 @@ class System:
             )
             predictor = self.predictors.get(channel.channel_id)
             if predictor is not None:
-                controller.add_idle_period_listener(self._make_predictor_listener(predictor))
+                controller.add_idle_period_listener(_PredictorIdleListener(predictor))
             self.controllers.append(controller)
 
         # RNG subsystem and processor.
@@ -119,6 +136,13 @@ class System:
         self._priorities = [priorities[core_id] for core_id in range(len(self.traces))]
 
         self.energy_model = DRAMEnergyModel(num_channels=self.dram.num_channels)
+
+        # Segment accounting: a run may execute as several engine
+        # segments (periodic checkpointing pauses the engine between
+        # them, possibly across processes after a restore), so wall time
+        # and engine counters accumulate here until finalize().
+        self._elapsed_seconds = 0.0
+        self._engine_metrics: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ wiring
 
@@ -161,13 +185,6 @@ class System:
                 block_size=self.config.organization.bytes_per_column,
             )
         raise ValueError(f"unknown predictor {ds.predictor!r}")
-
-    @staticmethod
-    def _make_predictor_listener(predictor: IdlenessPredictor) -> Callable[[int, int, int], None]:
-        def _on_idle_period(channel_id: int, length: int, last_address: int) -> None:
-            predictor.observe_idle_period(length, last_address)
-
-        return _on_idle_period
 
     def _make_queue_policy(self):
         if self.config.uses_rng_aware_scheduler:
@@ -268,20 +285,44 @@ class System:
         component can change state, the ``"tick"`` engine is the
         cycle-by-cycle reference.  Both produce bit-identical results.
         """
+        self.advance()
+        return self.finalize()
+
+    def advance(self, stop_at: Optional[int] = None) -> bool:
+        """Advance the simulation from its current cycle.
+
+        Runs the configured engine until every core finishes, the cycle
+        limit is hit, or — when ``stop_at`` is given — exactly cycle
+        ``stop_at``, whichever comes first.  Returns ``True`` once the
+        simulation is over (finished or cycle-limited); a ``False``
+        return means the run paused at ``stop_at`` and the system is in
+        a checkpointable state bit-identical to an uninterrupted run at
+        that cycle (see :mod:`repro.sim.checkpoint`).
+        """
         engine = make_engine(self.config.engine)
         if telemetry.profiling():
             engine.enable_profile()
         start = perf_counter()
-        cycle = engine.run(self)
-        elapsed = perf_counter() - start
+        cycle = engine.run(self, stop_at=stop_at)
+        self._elapsed_seconds += perf_counter() - start
         # Kept for instrumentation-minded callers (tests inspect the
         # engine's serve-window counters after a run).
         self.last_engine = engine
 
         self.cycle = cycle
+        metrics = self._engine_metrics
+        for name, value in engine.metrics().items():
+            metrics[name] = metrics.get(name, 0) + value
+        return self.processor.all_finished or self.hit_cycle_limit
+
+    def finalize(self) -> SimulationResult:
+        """Close trailing statistics and build the result (run once)."""
+        cycle = self.cycle
         for controller in self.controllers:
             controller.flush_idle_period()
-        telemetry.record_simulation(engine.name, cycle, elapsed, engine.metrics())
+        telemetry.record_simulation(
+            self.config.engine, cycle, self._elapsed_seconds, dict(self._engine_metrics)
+        )
         return self._build_result(cycle)
 
     # ------------------------------------------------------------------ results

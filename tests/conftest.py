@@ -55,6 +55,21 @@ def alone_cache() -> AloneRunCache:
     return AloneRunCache()
 
 
+@pytest.fixture
+def checkpoint_store(tmp_path_factory):
+    """A fresh :class:`CheckpointStore` in its own directory.
+
+    Checkpoint directories are per-test (``tmp_path_factory`` mints a new
+    basetemp subdirectory each time), so no warmup prefix written by one
+    test — or one fuzz case — can ever satisfy a resume in another.
+    """
+    from repro.orchestration.cache import CheckpointStore
+
+    store = CheckpointStore(tmp_path_factory.mktemp("checkpoints"))
+    yield store
+    store.clear()
+
+
 @pytest.fixture(scope="session")
 def session_cache() -> AloneRunCache:
     """A session-scoped alone-run cache shared by the slower integration tests."""

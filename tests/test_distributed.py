@@ -29,6 +29,8 @@ from repro.distributed import (
     unit_to_wire,
 )
 from repro.distributed.protocol import (
+    checkpoint_from_wire,
+    checkpoint_message,
     config_from_wire,
     config_to_wire,
     decode_message,
@@ -49,6 +51,7 @@ from repro.orchestration import (
     point_key,
     run_experiment,
 )
+from repro.sim import checkpoint
 from repro.sim.config import baseline_config, drstrange_config
 from repro.sim.runner import AloneRunCache
 from repro.sim.system import System
@@ -108,6 +111,18 @@ class TestProtocol:
         for bad in ("localhost", ":80", "host:"):
             with pytest.raises(ValueError):
                 parse_address(bad)
+
+    def test_checkpoint_round_trip_survives_json(self):
+        blob = bytes(range(256))
+        message = checkpoint_message("w0", "key", 1_234, blob)
+        assert checkpoint_from_wire(json.loads(json.dumps(message))) == (1_234, blob)
+
+    def test_checkpoint_from_wire_rejects_malformed_payloads(self):
+        assert checkpoint_from_wire(None) is None
+        assert checkpoint_from_wire("nope") is None
+        assert checkpoint_from_wire({"cycle": "NaN", "data": "AA=="}) is None
+        assert checkpoint_from_wire({"cycle": 5, "data": "not base64!!"}) is None
+        assert checkpoint_from_wire({"cycle": 5}) is None
 
 
 # ----------------------------------------------------------------- executors
@@ -354,6 +369,114 @@ class TestCoordinatorFaultTolerance:
             coordinator.stop()
 
 
+class TestCheckpointResume:
+    """Killed workers lose at most one checkpoint interval: the coordinator
+    re-leases their *checkpoint*, and the rescuer resumes mid-run instead
+    of restarting — with a bit-identical final result."""
+
+    def _wait_for_checkpoint(self, coordinator, key, timeout=5.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with coordinator._lock:
+                point = coordinator._points[key]
+                if point.checkpoint is not None:
+                    return dict(point.checkpoint)
+            time.sleep(0.01)
+        raise AssertionError("coordinator never recorded the streamed checkpoint")
+
+    def test_rescuer_resumes_from_dead_workers_checkpoint(self):
+        unit = make_unit(seed=7)
+        straight = System(list(unit.traces), unit.config).run()
+        store = InMemoryResultStore()
+        coordinator = Coordinator([unit], store, **FAST)
+        host, port = coordinator.start()
+        try:
+            doomed = FakeWorker((host, port), "doomed")
+            work = doomed.lease_work()
+            assert work["type"] == "work"
+            assert work.get("checkpoint") is None  # fresh point: no prefix yet
+
+            # Simulate half the point, stream the snapshot, then die holding
+            # the lease — exactly what a SIGKILLed checkpointing worker
+            # leaves behind.
+            half = straight.total_cycles // 2
+            system = System(list(unit.traces), unit.config)
+            system.advance(stop_at=half)
+            doomed.send(
+                checkpoint_message("doomed", unit.key, system.cycle, checkpoint.snapshot(system))
+            )
+            self._wait_for_checkpoint(coordinator, unit.key)
+            doomed.close()
+
+            stats = run_worker(
+                f"{host}:{port}",
+                worker_id="rescuer",
+                checkpoint_interval=200,
+                log=lambda text: None,
+            )
+            assert stats.simulated == 1
+            assert coordinator.wait(timeout=5)
+            assert not coordinator.failed_keys
+            # Resume-not-restart, proven by simulated-cycle accounting.
+            log = coordinator.resume_log[unit.key]
+            assert log["resumed_from"] == system.cycle > 0
+            assert log["simulated_cycles"] == straight.total_cycles - system.cycle
+            assert log["worker"] == "rescuer"
+            assert store.get(unit.key) == straight
+        finally:
+            coordinator.stop()
+
+    def test_coordinator_keeps_only_the_newest_checkpoint(self, unit_and_result):
+        unit, result = unit_and_result
+        coordinator = Coordinator([unit], InMemoryResultStore(), **FAST)
+        host, port = coordinator.start()
+        try:
+            worker = FakeWorker((host, port), "streamer")
+            assert worker.lease_work()["type"] == "work"
+            system = System(list(unit.traces), unit.config)
+            system.advance(stop_at=100)
+            late = checkpoint.snapshot(system)
+            worker.send(checkpoint_message("streamer", unit.key, 100, late))
+            recorded = self._wait_for_checkpoint(coordinator, unit.key)
+            assert recorded["cycle"] == 100
+            # A stale duplicate (straggler at an earlier cycle) must not
+            # overwrite the newer checkpoint.
+            worker.send(checkpoint_message("streamer", unit.key, 50, b"stale"))
+            worker.send({"type": "heartbeat", "key": unit.key})  # force ordering
+            time.sleep(0.05)
+            with coordinator._lock:
+                assert coordinator._points[unit.key].checkpoint["cycle"] == 100
+            worker.finish(unit.key, result)
+            assert coordinator.wait(timeout=5)
+        finally:
+            coordinator.stop()
+
+    def test_worker_without_checkpointing_still_interoperates(self, unit_and_result):
+        """A checkpoint attached to a re-lease is advisory: plain workers
+        (no --checkpoint-interval) ignore it and restart from cycle 0."""
+        unit, _ = unit_and_result
+        store = InMemoryResultStore()
+        coordinator = Coordinator([unit], store, **FAST)
+        host, port = coordinator.start()
+        try:
+            doomed = FakeWorker((host, port), "doomed")
+            assert doomed.lease_work()["type"] == "work"
+            system = System(list(unit.traces), unit.config)
+            system.advance(stop_at=100)
+            doomed.send(
+                checkpoint_message("doomed", unit.key, 100, checkpoint.snapshot(system))
+            )
+            self._wait_for_checkpoint(coordinator, unit.key)
+            doomed.close()
+            stats = run_worker(f"{host}:{port}", worker_id="plain", log=lambda text: None)
+            assert stats.simulated == 1
+            assert coordinator.wait(timeout=5)
+            assert store.get(unit.key) == System(unit.traces, unit.config).run()
+            assert unit.key not in coordinator.resume_log  # restarted, no accounting
+        finally:
+            coordinator.stop()
+
+
 # ----------------------------------------------------------------- end to end
 
 
@@ -403,6 +526,56 @@ class TestDistributedSweep:
 
         for unit in units:
             assert store.get(unit.key) is not None
+        replayed = run_experiment(
+            "fig6", store=store, apps=representative_subset(2), **self.KWARGS
+        )
+        assert json.dumps(replayed, sort_keys=True) == json.dumps(serial_data, sort_keys=True)
+
+    def test_sigkilled_checkpointing_worker_resumes_not_restarts(self, tmp_path, serial_data):
+        """SIGKILL a checkpoint-streaming worker mid-point: the rescuer must
+        resume from the streamed checkpoint (simulated-cycle accounting
+        proves it) and the sweep's export stays byte-identical to serial."""
+        units = plan_experiment("fig6", apps=representative_subset(2), **self.KWARGS)
+        store = ResultCache(tmp_path)
+        # Only lease expiry may re-issue the victim's point (a straggler
+        # re-issue could hand it out *before* the kill and commit a fresh,
+        # non-resumed result, muddying the accounting we assert on).
+        coordinator = Coordinator(
+            units, store, lease_timeout=2.0, straggler_timeout=600.0, retry_seconds=0.05
+        )
+        host, port = coordinator.start()
+        victim = spawn_local_worker(host, port, 0, checkpoint_interval=200)
+        rescuer = None
+        try:
+            # Kill the victim the moment one of its points has a streamed
+            # checkpoint on the coordinator — i.e. provably mid-point.
+            target = None
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline and target is None:
+                with coordinator._lock:
+                    for key, point in coordinator._points.items():
+                        if point.checkpoint is not None and not point.done:
+                            target = key
+                            break
+                if coordinator.wait(0):
+                    break
+                time.sleep(0.01)
+            victim.kill()  # SIGKILL: no goodbye, no flush
+            assert target is not None, "run finished before any checkpoint streamed"
+            rescuer = spawn_local_worker(host, port, 1, checkpoint_interval=200)
+            assert coordinator.wait(timeout=300)
+            assert not coordinator.failed_keys
+            log = coordinator.resume_log.get(target)
+            assert log is not None, "victim's point was never resumed"
+            assert log["resumed_from"] > 0  # resumed from the checkpoint, not cycle 0
+            assert log["simulated_cycles"] > 0
+        finally:
+            victim.kill()
+            if rescuer is not None:
+                rescuer.wait(timeout=30)
+                rescuer.kill()
+            coordinator.stop()
+
         replayed = run_experiment(
             "fig6", store=store, apps=representative_subset(2), **self.KWARGS
         )

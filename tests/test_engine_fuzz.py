@@ -14,12 +14,21 @@ cycle limits — and for every generated system asserts that
 * the content-addressed cache key of the simulation point is stable:
   identical across engines (the key deliberately excludes the engine) and
   across recomputation, with a periodic store round-trip proving a cached
-  result deserialises bit-identically.
+  result deserialises bit-identically, and
+* **checkpoint/restore is invisible**: pausing each engine at a
+  case-chosen random cycle, snapshotting the kernel
+  (:mod:`repro.sim.checkpoint`), restoring from the bytes and finishing
+  produces results bit-identical to the uninterrupted run — and the
+  snapshot's content digest is stable across a restore.  A slice of the
+  cases additionally round-trips the snapshot through an on-disk
+  :class:`~repro.orchestration.cache.CheckpointStore` in a per-case
+  directory (isolated so no state leaks between cases).
 
 On failure the harness *shrinks* the case: it greedily applies
 simplifying transformations (drop a core, halve the instruction count,
-fall back to the default scheduler/predictor/design/topology…) while the
-failure reproduces, and reports the minimal case as a parameter dict.
+fall back to the default scheduler/predictor/design/topology, drop the
+checkpoint axis…) while the failure reproduces, and reports the minimal
+case as a parameter dict plus the checkpoint cycle it paused at.
 Paste that dict into :func:`run_case` to replay it under a debugger.
 
 Knobs (environment variables):
@@ -46,8 +55,9 @@ from repro.cpu.core import CoreConfig
 from repro.cpu.trace import Trace, TraceEntry
 from repro.dram.address import AddressMapping
 from repro.dram.timing import DRAMOrganization
-from repro.orchestration.cache import ResultCache
+from repro.orchestration.cache import CheckpointStore, ResultCache
 from repro.orchestration.keys import point_key
+from repro.sim import checkpoint
 from repro.sim.config import ENGINE_EVENT, ENGINE_TICK, SimulationConfig
 from repro.sim.system import System
 from repro.workloads.rng_benchmark import generate_rng_trace
@@ -126,6 +136,9 @@ def build_case(rng: random.Random, index: int) -> dict:
         "clock_ratio": rng.choice((1, 3, 5)),
         "priority_mode": rng.choice(("equal", "rng-high", "non-rng-high")),
         "max_cycles": rng.choice((1_500, 40_000, 5_000_000)),
+        # Where the checkpoint axis pauses, as a fraction of the straight
+        # run's final cycle (the absolute cycle count varies per case).
+        "checkpoint_fraction": round(rng.uniform(0.05, 0.95), 3),
     }
 
 
@@ -258,8 +271,15 @@ def run_case(case: dict, engine: str):
 # ----------------------------------------------------------------- checking
 
 
-def check_case(case: dict, store: ResultCache | None = None):
-    """Return a failure description for ``case``, or ``None`` if it holds."""
+def check_case(
+    case: dict, store: ResultCache | None = None, checkpoint_dir=None
+):
+    """Return a failure description for ``case``, or ``None`` if it holds.
+
+    ``checkpoint_dir`` (a per-case directory — never shared, so no state
+    leaks between cases) additionally round-trips the mid-run snapshot
+    through an on-disk :class:`CheckpointStore` instead of raw bytes.
+    """
     traces, config = materialize(case)
     tick_config = dataclasses.replace(config, engine=ENGINE_TICK)
     event_config = dataclasses.replace(config, engine=ENGINE_EVENT)
@@ -292,6 +312,45 @@ def check_case(case: dict, store: ResultCache | None = None):
     if event != tick:
         return "engines diverge"
 
+    fraction = case.get("checkpoint_fraction")
+    if fraction is not None:
+        # Checkpoint axis: pause each engine at the case's random cycle,
+        # snapshot, restore, finish — must be bit-identical to the
+        # straight run, and the snapshot digest must survive a restore.
+        stop_at = max(1, int(tick["total_cycles"] * fraction))
+        for engine_name, engine_config in (
+            (ENGINE_TICK, tick_config),
+            (ENGINE_EVENT, event_config),
+        ):
+            paused = System(list(traces), engine_config)
+            paused.advance(stop_at=stop_at)
+            if checkpoint_dir is not None:
+                ckpt_store = CheckpointStore(checkpoint_dir)
+                ckpt_store.put(traces, engine_config, paused)
+                resumed = ckpt_store.resume(traces, engine_config)
+                if resumed is None:
+                    return (
+                        f"{engine_name}: checkpoint at cycle {stop_at} missed "
+                        "its own store on resume"
+                    )
+            else:
+                data = checkpoint.snapshot(paused)
+                resumed = checkpoint.restore(data)
+                if checkpoint.content_digest(checkpoint.snapshot(resumed)) != (
+                    checkpoint.content_digest(data)
+                ):
+                    return (
+                        f"{engine_name}: snapshot digest changes across a "
+                        f"restore at cycle {stop_at}"
+                    )
+            while not resumed.advance():
+                pass
+            if dataclasses.asdict(resumed.finalize()) != tick:
+                return (
+                    f"{engine_name}: checkpoint/restore at cycle {stop_at} "
+                    "diverges from the uninterrupted run"
+                )
+
     if store is not None:
         # Round-trip through the persistent store: a cached result must
         # deserialise bit-identically, otherwise the engine-agnostic
@@ -320,6 +379,13 @@ def _shrink_candidates(case: dict):
         yield {**case, "instructions": max(300, case["instructions"] // 2)}
     if case.get("text_roundtrip"):
         yield {**case, "text_roundtrip": False}
+    if case.get("checkpoint_fraction") is not None:
+        # Dropping the axis tells apart an engine bug (still fails) from
+        # a checkpoint bug (stops failing); then try the extremes.
+        yield {**case, "checkpoint_fraction": None}
+        for pinned in (0.05, 0.5):
+            if case["checkpoint_fraction"] != pinned:
+                yield {**case, "checkpoint_fraction": pinned}
     defaults = {
         "design": "rng-oblivious",
         "scheduler": "fr-fcfs",
@@ -373,12 +439,27 @@ def shrink(case: dict, failure: str) -> dict:
 
 
 def test_fuzz_tick_event_identity(tmp_path):
-    """Hundreds of random systems: tick ≡ event, and cache keys hold."""
+    """Hundreds of random systems: tick ≡ event, cache keys hold, and
+    checkpoint/restore at a random cycle is invisible in the results."""
+    import shutil
+
     rng = random.Random(MASTER_SEED)
     store = ResultCache(tmp_path / "fuzz-cache")
     for index in range(NUM_CASES):
         case = build_case(rng, index)
-        failure = check_case(case, store=store if index % 20 == 0 else None)
+        # Each case that exercises the on-disk checkpoint store gets its
+        # own directory, removed afterwards: a stale snapshot leaking
+        # into the next case's resume would mask (or fake) divergence.
+        checkpoint_dir = tmp_path / "ckpt" / f"case-{index}" if index % 10 == 0 else None
+        try:
+            failure = check_case(
+                case,
+                store=store if index % 20 == 0 else None,
+                checkpoint_dir=checkpoint_dir,
+            )
+        finally:
+            if checkpoint_dir is not None:
+                shutil.rmtree(checkpoint_dir, ignore_errors=True)
         if failure is not None:
             minimal = shrink(case, failure)
             minimal_failure = None
@@ -386,9 +467,15 @@ def test_fuzz_tick_event_identity(tmp_path):
                 minimal_failure = check_case(minimal)
             except Exception as error:  # pragma: no cover - diagnostics only
                 minimal_failure = f"crash: {error!r}"
+            checkpoint_cycle = (
+                "(no checkpoint)"
+                if minimal.get("checkpoint_fraction") is None
+                else f"checkpoint_fraction={minimal['checkpoint_fraction']}"
+            )
             pytest.fail(
                 f"fuzz case {index} (REPRO_FUZZ_SEED={MASTER_SEED}) failed: {failure}\n"
-                f"minimal reproducing case ({minimal_failure}):\n{minimal!r}\n"
+                f"minimal reproducing case ({minimal_failure}, {checkpoint_cycle}):\n"
+                f"{minimal!r}\n"
                 "replay with tests.test_engine_fuzz.run_case(case, 'tick'/'event')"
             )
 
