@@ -1,0 +1,635 @@
+"""Specialise-and-compile: render a config-specialised simulator.
+
+The :class:`~repro.sim.engine.CompiledEngine` asks this package for a
+``dispatch(engine, system, stop_at)`` callable specialised to one
+concrete :class:`~repro.sim.config.SimulationConfig`:
+
+1. :func:`spec_for` folds the config down to the :class:`FoldSpec` —
+   the exact slice of the configuration the generated code shape
+   depends on (channel/core counts, scheduler, design-derived booleans,
+   whether profiling hooks are live),
+2. :func:`render_module` takes the ASTs of the *shared* simulation
+   units — :func:`~repro.sim.engine.event_dispatch`,
+   :func:`~repro.sim.engine.serve_window_end`,
+   :func:`~repro.controller.memory_controller.channel_serve_batch` and
+   the ``repro.sched`` scan/bookkeeping units, i.e. the same source the
+   interpreted engines execute — and specialises them with the passes
+   in :mod:`.specialize`: constants bound and folded, component loops
+   unrolled to literal counts with per-component locals, per-component
+   bookkeeping lists scalarised, the scheduler's ``select_index`` /
+   ``notify_served`` inlined into the serve loop, dead design branches
+   dropped,
+3. :func:`specialized_dispatch` compiles and executes the rendered
+   source, content-addressed by :func:`spec_digest` (which covers
+   :data:`CODEGEN_VERSION`, the unit/template sources and the folded
+   spec) through the two cache layers in :mod:`.cache`.
+
+The generated engine is required to be **bit-identical** to both
+interpreted engines — enforced by the three-way differential fuzz
+harness — so results and checkpoints stay engine-agnostic and the
+engine stays excluded from all result-cache keys.
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+import hashlib
+import inspect
+import json
+from dataclasses import asdict, dataclass
+from typing import Callable, Optional, Tuple
+
+from . import cache
+from .cache import cache_dir, clear, set_cache_dir, source_path, stats
+from .specialize import (
+    CallInliner,
+    CallRewriter,
+    CodegenError,
+    ConstBinder,
+    HoistedCallRewriter,
+    LoopUnroller,
+    MethodCallRewriter,
+    NONNULL,
+    UnrollGroup,
+    fold_fixpoint,
+    make_prebinds,
+    replace_assignment,
+    scalarize,
+)
+
+__all__ = [
+    "CODEGEN_VERSION",
+    "CodegenError",
+    "FoldSpec",
+    "spec_for",
+    "spec_digest",
+    "render_module",
+    "render_source",
+    "specialized_dispatch",
+    "cache_dir",
+    "set_cache_dir",
+    "source_path",
+    "stats",
+    "clear",
+]
+
+#: Bump on any change to the generation recipe that is not visible in
+#: the unit or pass sources themselves (both are hashed into every
+#: digest, so most template edits re-key automatically).
+CODEGEN_VERSION = 1
+
+
+# --------------------------------------------------------------------------
+# the folded config slice
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FoldSpec:
+    """Everything the generated module's shape depends on — nothing else.
+
+    Derivations mirror the :class:`~repro.sim.system.System` factories
+    exactly (``_make_scheduler`` / ``_make_queue_policy`` /
+    ``_make_fill_policy`` and the controller's probe resolution); the
+    direct-equivalence tests and the fuzz harness keep them honest.
+    """
+
+    num_channels: int
+    num_cores: int
+    scheduler: str  # canonical: "fr-fcfs" | "fr-fcfs+cap" | "bliss"
+    scheduler_cap: Optional[int]
+    has_buffer: bool
+    has_fill: bool
+    separate_rng_queue: bool
+    fast_policy: bool
+    has_scheduler_probe: bool
+    profiled: bool
+    # Microarchitectural literals folded into the core and channel hot
+    # paths (uniform across cores/channels by construction: one
+    # CoreConfig per Processor, one DRAMTiming per System).
+    slots_per_cycle: int
+    window_size: int
+    banks_per_channel: int
+    trcd: int
+    trp: int
+    tcl: int
+    tcwl: int
+    tbl: int
+    twr: int
+
+
+def spec_for(config, num_cores: int, profiled: bool = False) -> FoldSpec:
+    """Fold ``config`` down to the :class:`FoldSpec` for ``num_cores``."""
+    from ..config import DESIGN_DRSTRANGE, DESIGN_GREEDY_IDLE
+
+    name = config.scheduler.lower()
+    if name in ("fr-fcfs", "frfcfs"):
+        scheduler, cap = "fr-fcfs", None
+    elif name in ("fr-fcfs+cap", "frfcfs+cap", "frfcfs-cap"):
+        scheduler, cap = "fr-fcfs+cap", config.scheduler_cap
+    elif name == "bliss":
+        scheduler, cap = "bliss", None
+    else:
+        raise ValueError(f"unknown scheduler {config.scheduler!r}")
+    has_buffer = config.uses_buffer
+    return FoldSpec(
+        num_channels=config.organization.channels,
+        num_cores=num_cores,
+        scheduler=scheduler,
+        scheduler_cap=cap,
+        has_buffer=has_buffer,
+        # Mirrors System._make_fill_policy: a fill policy exists only
+        # for the buffered designs (and always exposes its buffer).
+        has_fill=has_buffer
+        and config.design in (DESIGN_GREEDY_IDLE, DESIGN_DRSTRANGE),
+        separate_rng_queue=config.uses_rng_aware_scheduler,
+        # Mirrors ChannelController: the fast serve path engages only
+        # under the baseline queue policy.
+        fast_policy=not config.uses_rng_aware_scheduler,
+        # Mirrors the controller's override resolution: only BLISS
+        # overrides the scheduler tick/event hooks.
+        has_scheduler_probe=scheduler == "bliss",
+        profiled=profiled,
+        slots_per_cycle=config.core.slots_per_bus_cycle,
+        window_size=config.core.window_size,
+        banks_per_channel=config.organization.banks_per_channel,
+        trcd=config.timing.tRCD,
+        trp=config.timing.tRP,
+        tcl=config.timing.tCL,
+        tcwl=config.timing.tCWL,
+        tbl=config.timing.tBL,
+        twr=config.timing.tWR,
+    )
+
+
+# --------------------------------------------------------------------------
+# template units
+# --------------------------------------------------------------------------
+
+
+def _unit_functions() -> dict:
+    from ...controller.memory_controller import (
+        channel_schedule_regular,
+        channel_serve_batch,
+        channel_tick,
+        controller_apply_skip,
+        controller_catch_up,
+        controller_next_event_cycle,
+        controller_skip_cycles,
+    )
+    from ...cpu.core import (
+        core_issue,
+        core_next_event_cycle,
+        core_retire,
+        core_skip_cycles,
+        core_tick,
+    )
+    from ...dram.channel import channel_service_access
+    from ...sched.bliss import bliss_notify_served, bliss_select_index
+    from ...sched.frfcfs import (
+        frfcfs_cap_notify_served,
+        frfcfs_cap_select_index,
+        frfcfs_select_index,
+    )
+    from ..engine import event_dispatch, serve_window_end
+
+    return {
+        "event_dispatch": event_dispatch,
+        "serve_window_end": serve_window_end,
+        "channel_serve_batch": channel_serve_batch,
+        "channel_tick": channel_tick,
+        "channel_schedule_regular": channel_schedule_regular,
+        "controller_next_event_cycle": controller_next_event_cycle,
+        "controller_skip_cycles": controller_skip_cycles,
+        "controller_catch_up": controller_catch_up,
+        "controller_apply_skip": controller_apply_skip,
+        "core_next_event_cycle": core_next_event_cycle,
+        "core_skip_cycles": core_skip_cycles,
+        "core_tick": core_tick,
+        "core_retire": core_retire,
+        "core_issue": core_issue,
+        "channel_service_access": channel_service_access,
+        "frfcfs_select_index": frfcfs_select_index,
+        "frfcfs_cap_select_index": frfcfs_cap_select_index,
+        "frfcfs_cap_notify_served": frfcfs_cap_notify_served,
+        "bliss_select_index": bliss_select_index,
+        "bliss_notify_served": bliss_notify_served,
+    }
+
+
+_unit_asts: Optional[dict] = None
+_units_digest: Optional[str] = None
+
+
+def _load_units() -> Tuple[dict, str]:
+    """Parsed unit ASTs plus the digest of every template input.
+
+    The digest covers the unit sources *and* the specialisation passes:
+    editing either re-keys every generated module, so a stale cached
+    source can never be executed after a template change.
+    """
+    global _unit_asts, _units_digest
+    if _unit_asts is None:
+        from . import specialize
+
+        units = {}
+        hasher = hashlib.sha256()
+        for name, fn in sorted(_unit_functions().items()):
+            source = inspect.getsource(fn)
+            hasher.update(name.encode("utf-8"))
+            hasher.update(source.encode("utf-8"))
+            tree = ast.parse(source)
+            if len(tree.body) != 1 or not isinstance(tree.body[0], ast.FunctionDef):
+                raise CodegenError(f"unit {name} is not a single function")
+            units[name] = tree.body[0]
+        hasher.update(inspect.getsource(specialize).encode("utf-8"))
+        _unit_asts, _units_digest = units, hasher.hexdigest()
+    return _unit_asts, _units_digest
+
+
+def spec_digest(spec: FoldSpec) -> str:
+    """Content address of the module generated for ``spec``."""
+    _, units_digest = _load_units()
+    payload = json.dumps(
+        {"codegen_version": CODEGEN_VERSION, "units": units_digest, "spec": asdict(spec)},
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------------------
+# rendering
+# --------------------------------------------------------------------------
+
+
+def _render_swe(units: dict, spec: FoldSpec, c_names, cb_names) -> ast.FunctionDef:
+    fn = copy.deepcopy(units["serve_window_end"])
+    fn.name = "_swe"
+    # Flat signature: the per-controller locals replace the two lists.
+    fn.args = ast.arguments(
+        posonlyargs=[],
+        args=[ast.arg(arg="cycle"), ast.arg(arg="limit")]
+        + [ast.arg(arg=name) for name in c_names]
+        + [ast.arg(arg=name) for name in cb_names],
+        vararg=None,
+        kwonlyargs=[],
+        kw_defaults=[],
+        kwarg=None,
+        defaults=[],
+    )
+    group = UnrollGroup(
+        c_names,
+        attrs={
+            "rng_queue": NONNULL if spec.separate_rng_queue else None,
+            "_scheduler_event_probe": NONNULL if spec.has_scheduler_probe else None,
+            "fill_policy": NONNULL if spec.has_fill else None,
+        },
+    )
+    unroller = LoopUnroller({"controller_range": group})
+    unroller.visit(fn)
+    scalarize(fn, {"controller_bounds": ("_cb", spec.num_channels)})
+    fold_fixpoint(fn, nonnull_attrs=unroller.nonnull_attrs)
+    return fn
+
+
+def _inline_scheduler(fn: ast.FunctionDef, units: dict, spec: FoldSpec) -> None:
+    """Inline the spec's scheduler scan at the hoisted call sites of ``fn``.
+
+    ``fn`` must hoist ``select_index`` / ``notify_served`` off a local
+    named ``scheduler`` (the shape shared by ``channel_serve_batch`` and
+    ``channel_schedule_regular``); the hoists are dropped once inlined.
+    """
+    if spec.scheduler == "fr-fcfs":
+        select, notify = units["frfcfs_select_index"], None
+    elif spec.scheduler == "fr-fcfs+cap":
+        select = units["frfcfs_cap_select_index"]
+        notify = (units["frfcfs_cap_notify_served"], "scheduler")
+    else:
+        select = units["bliss_select_index"]
+        notify = (units["bliss_notify_served"], "scheduler")
+    CallInliner(
+        {"select_index": (select, "scheduler"), "notify_served": notify}
+    ).visit(fn)
+    # The hoisted bound methods are fully inlined: drop the hoists.
+    replace_assignment(fn, "select_index", [])
+    replace_assignment(fn, "notify_served", [])
+    if spec.scheduler == "fr-fcfs+cap":
+        ConstBinder(attrs={("scheduler", "cap"): spec.scheduler_cap}).visit(fn)
+    fold_fixpoint(fn)
+
+
+def _render_svc(units: dict, spec: FoldSpec) -> ast.FunctionDef:
+    fn = copy.deepcopy(units["channel_service_access"])
+    fn.name = "_svc"
+    binder = ConstBinder(
+        attrs={
+            ("timing", "tRCD"): spec.trcd,
+            ("timing", "tRP"): spec.trp,
+            ("timing", "tCL"): spec.tcl,
+            ("timing", "tCWL"): spec.tcwl,
+            ("timing", "tBL"): spec.tbl,
+            ("timing", "tWR"): spec.twr,
+        },
+        lens={"banks": spec.banks_per_channel},
+    )
+    binder.visit(fn)
+    # Every timing read is folded: drop the hoist.
+    replace_assignment(fn, "timing", [])
+    fold_fixpoint(fn)
+    return fn
+
+
+def _render_ktick(units: dict, spec: FoldSpec) -> ast.FunctionDef:
+    fn = copy.deepcopy(units["core_tick"])
+    fn.name = "_ktick"
+    CallInliner(
+        methods={
+            ("self", "_retire"): units["core_retire"],
+            ("self", "_issue"): units["core_issue"],
+        }
+    ).visit(fn)
+    ConstBinder(
+        attrs={
+            ("self", "_slots_per_cycle"): spec.slots_per_cycle,
+            ("self", "_window_size"): spec.window_size,
+        }
+    ).visit(fn)
+    fold_fixpoint(fn)
+    return fn
+
+
+def _render_serve_batch(units: dict, spec: FoldSpec) -> ast.FunctionDef:
+    fn = copy.deepcopy(units["channel_serve_batch"])
+    fn.name = "_serve_batch"
+    ConstBinder(attrs={("self", "_fast_policy"): spec.fast_policy}).visit(fn)
+    fold_fixpoint(fn)
+    if spec.fast_policy:
+        _inline_scheduler(fn, units, spec)
+    # The non-fast fallback (writes queued mid-window, or an RNG-aware
+    # policy) schedules through the specialised per-cycle decision, and
+    # the deferred-segment close through the specialised catch-up.
+    MethodCallRewriter(
+        ["self"],
+        {"_schedule_regular": "_schedule", "catch_up": "_catch", "_apply_skip": "_capply"},
+    ).visit(fn)
+    # The window loop's access path goes through the timing-folded
+    # channel unit; the hoist of the interpreted bound method is dead.
+    HoistedCallRewriter({"service_access": ("_svc", "channel")}).visit(fn)
+    replace_assignment(fn, "service_access", [])
+    return fn
+
+
+def _render_schedule(units: dict, spec: FoldSpec) -> ast.FunctionDef:
+    fn = copy.deepcopy(units["channel_schedule_regular"])
+    fn.name = "_schedule"
+    binder = ConstBinder(
+        attrs={
+            ("self", "_fast_policy"): spec.fast_policy,
+            ("self", "rng_queue"): NONNULL if spec.separate_rng_queue else None,
+        }
+    )
+    binder.visit(fn)
+    fold_fixpoint(fn, nonnull_attrs=binder.nonnull_attrs)
+    if spec.fast_policy:
+        _inline_scheduler(fn, units, spec)
+    MethodCallRewriter(["channel"], {"service_access": "_svc"}).visit(fn)
+    return fn
+
+
+def _render_capply(units: dict, spec: FoldSpec) -> ast.FunctionDef:
+    fn = copy.deepcopy(units["controller_apply_skip"])
+    fn.name = "_capply"
+    binder = ConstBinder(
+        attrs={("self", "fill_policy"): NONNULL if spec.has_fill else None}
+    )
+    binder.visit(fn)
+    fold_fixpoint(fn, nonnull_attrs=binder.nonnull_attrs)
+    return fn
+
+
+def _render_catch(units: dict, spec: FoldSpec) -> ast.FunctionDef:
+    fn = copy.deepcopy(units["controller_catch_up"])
+    fn.name = "_catch"
+    MethodCallRewriter(["self"], {"_apply_skip": "_capply"}).visit(fn)
+    return fn
+
+
+def _render_tick(units: dict, spec: FoldSpec) -> ast.FunctionDef:
+    fn = copy.deepcopy(units["channel_tick"])
+    fn.name = "_tick"
+    binder = ConstBinder(
+        attrs={
+            ("self", "_scheduler_tick"): NONNULL if spec.has_scheduler_probe else None,
+            ("self", "_scheduler_event_probe"): NONNULL
+            if spec.has_scheduler_probe
+            else None,
+            ("self", "fill_policy"): NONNULL if spec.has_fill else None,
+            ("self", "_fill_buffer"): NONNULL if spec.has_fill else None,
+        }
+    )
+    binder.visit(fn)
+    fold_fixpoint(fn, nonnull_attrs=binder.nonnull_attrs)
+    MethodCallRewriter(
+        ["self"],
+        {"_schedule_regular": "_schedule", "catch_up": "_catch", "_apply_skip": "_capply"},
+    ).visit(fn)
+    return fn
+
+
+def _render_dispatch(units: dict, spec: FoldSpec, c_names, k_names, cb_names) -> ast.FunctionDef:
+    fn = copy.deepcopy(units["event_dispatch"])
+    fn.name = "dispatch"
+    binder = ConstBinder(
+        names={
+            "profile": NONNULL if spec.profiled else None,
+            "shared_buffer": NONNULL if spec.has_buffer else None,
+        },
+        lens={"cores": spec.num_cores, "controllers": spec.num_channels},
+    )
+    binder.visit(fn)
+    fold_fixpoint(fn, nonnull_names=binder.nonnull_names)
+    controller_group = UnrollGroup(
+        c_names, attrs={"_fill_buffer": NONNULL if spec.has_fill else None}
+    )
+    core_group = UnrollGroup(k_names)
+    unroller = LoopUnroller(
+        {
+            "controller_range": controller_group,
+            "controllers": controller_group,
+            "core_range": core_group,
+            "cores": core_group,
+        }
+    )
+    unroller.visit(fn)
+    replace_assignment(fn, "controller_range", make_prebinds("controllers", c_names))
+    replace_assignment(fn, "core_range", make_prebinds("cores", k_names))
+    # Splice the per-component cycle-skipping units into the unrolled
+    # bound-scan and skip sites: 20k+ method calls per dense run become
+    # straight-line code, and the controller units' fill branches fold
+    # against the per-controller bindings below.
+    methods = {}
+    for name in k_names:
+        methods[(name, "next_event_cycle")] = units["core_next_event_cycle"]
+        methods[(name, "skip_cycles")] = units["core_skip_cycles"]
+    for name in c_names:
+        methods[(name, "next_event_cycle")] = units["controller_next_event_cycle"]
+        methods[(name, "skip_cycles")] = units["controller_skip_cycles"]
+    CallInliner(methods=methods).visit(fn)
+    inline_attrs = {
+        (name, attr): NONNULL if spec.has_fill else None
+        for name in c_names
+        for attr in ("fill_policy", "_fill_buffer")
+    }
+    for name in k_names:
+        inline_attrs[(name, "_slots_per_cycle")] = spec.slots_per_cycle
+        inline_attrs[(name, "_window_size")] = spec.window_size
+    inline_binder = ConstBinder(attrs=inline_attrs)
+    inline_binder.visit(fn)
+    CallRewriter(
+        "_swe",
+        {
+            "serve_batch": "_serve_batch",
+            "tick": "_tick",
+            "catch_up": "_catch",
+            "_apply_skip": "_capply",
+        },
+        c_names,
+        cb_names,
+    ).visit(fn)
+    # Core ticks go through the slots/window-folded rendering (the
+    # controller ticks were already rewritten above — the receivers are
+    # disjoint name sets, so the two maps cannot collide).
+    MethodCallRewriter(k_names, {"tick": "_ktick"}).visit(fn)
+    scalarize(
+        fn,
+        {
+            "controller_bounds": ("_cb", spec.num_channels),
+            "stalled_since": ("_ss", spec.num_cores),
+            "quiet_since": ("_qs", spec.num_cores),
+            "core_bound_cache": ("_kb", spec.num_cores),
+        },
+    )
+    fold_fixpoint(
+        fn,
+        nonnull_names=binder.nonnull_names,
+        nonnull_attrs=unroller.nonnull_attrs | inline_binder.nonnull_attrs,
+    )
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and node.id in ("controller_range", "core_range"):
+            raise CodegenError(f"{node.id} survived specialisation")
+    return fn
+
+
+def render_module(spec: FoldSpec) -> str:
+    """The specialised module source for ``spec`` (deterministic)."""
+    units, _ = _load_units()
+    c_names = [f"_c{i}" for i in range(spec.num_channels)]
+    k_names = [f"_k{i}" for i in range(spec.num_cores)]
+    cb_names = [f"_cb{i}" for i in range(spec.num_channels)]
+
+    doc = (
+        "Generated by repro.sim.codegen — DO NOT EDIT.\n\n"
+        f"codegen_version: {CODEGEN_VERSION}\n"
+        + "\n".join(f"{name}: {value!r}" for name, value in sorted(asdict(spec).items()))
+    )
+    module = ast.Module(
+        body=[
+            ast.Expr(value=ast.Constant(doc)),
+            ast.Import(names=[ast.alias(name="heapq", asname=None)]),
+            ast.ImportFrom(
+                module="repro.controller.memory_controller",
+                names=[ast.alias(name="ExecutionMode", asname=None)],
+                level=0,
+            ),
+            ast.ImportFrom(
+                module="repro.controller.request",
+                names=[ast.alias(name="RequestType", asname=None)],
+                level=0,
+            ),
+            ast.ImportFrom(
+                module="repro.cpu.core",
+                names=[
+                    ast.alias(name="_RNGCompletion", asname=None),
+                    ast.alias(name="_WindowSlot", asname=None),
+                ],
+                level=0,
+            ),
+            ast.ImportFrom(
+                module="repro.dram.bank",
+                names=[ast.alias(name="AccessCategory", asname=None)],
+                level=0,
+            ),
+            _render_swe(units, spec, c_names, cb_names),
+            _render_svc(units, spec),
+            _render_capply(units, spec),
+            _render_catch(units, spec),
+            _render_schedule(units, spec),
+            _render_tick(units, spec),
+            _render_serve_batch(units, spec),
+            _render_ktick(units, spec),
+            _render_dispatch(units, spec, c_names, k_names, cb_names),
+        ],
+        type_ignores=[],
+    )
+    ast.fix_missing_locations(module)
+    return ast.unparse(module) + "\n"
+
+
+def render_source(config, num_cores: int, profiled: bool = False) -> Tuple[str, str]:
+    """``(digest, source)`` for a config — the ``repro codegen dump`` path."""
+    spec = spec_for(config, num_cores, profiled)
+    return spec_digest(spec), render_module(spec)
+
+
+# --------------------------------------------------------------------------
+# compile + cache
+# --------------------------------------------------------------------------
+
+
+def _compile(source: str, digest: str) -> Callable:
+    path = cache.source_path(digest)
+    filename = str(path) if path is not None else f"<repro-codegen {digest[:12]}>"
+    code = compile(source, filename, "exec")
+    namespace = {"__name__": f"repro.sim.codegen._gen_{digest[:12]}"}
+    exec(code, namespace)
+    return namespace["dispatch"]
+
+
+def specialized_dispatch(config, num_cores: int, profiled: bool = False) -> Callable:
+    """The compiled ``dispatch(engine, system, stop_at)`` for a config.
+
+    Resolution order: in-process module cache, on-disk generated
+    source (content-hash verified; corrupt entries deleted), fresh
+    render.  The digest covers the full folded spec, so concurrent
+    callers with different configs — e.g. sweep-service tenants with
+    different engines or designs — can never share a module.
+    """
+    spec = spec_for(config, num_cores, profiled)
+    digest = spec_digest(spec)
+    dispatch = cache.get_module(digest)
+    if dispatch is not None:
+        return dispatch
+    source = cache.load_source(digest)
+    if source is not None:
+        cache.note_disk_hit()
+        try:
+            dispatch = _compile(source, digest)
+        except SyntaxError:
+            # The content hash matched but the source no longer
+            # compiles (a truncated-but-rehashed hand edit): treat as
+            # corruption, exactly like ResultCache.get.
+            cache.note_corrupt()
+            path = cache.source_path(digest)
+            if path is not None:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            source = None
+    if source is None:
+        source = render_module(spec)
+        cache.note_emit()
+        cache.store_source(digest, source)
+        dispatch = _compile(source, digest)
+    return cache.put_module(digest, dispatch)

@@ -1,0 +1,188 @@
+"""Content-addressed cache of generated specialised-simulator source.
+
+Two layers, both keyed by the :func:`~repro.sim.codegen.spec_digest` of
+the folded config slice (which already includes ``CODEGEN_VERSION`` and
+the digest of the template unit sources, so a template edit or version
+bump changes every key):
+
+* an in-process module cache (digest -> compiled ``dispatch`` callable),
+  guarded by a lock — concurrent tenants of the sweep service with
+  *different* engine or config choices resolve to different digests and
+  can never observe each other's generated module;
+* an optional on-disk source store under ``<cache-dir>/codegen/<digest>.py``
+  so later processes skip the AST specialisation work entirely.
+
+Disk-load failures follow :meth:`ResultCache.get
+<repro.orchestration.cache.ResultCache.get>`: a *corrupt* entry (header
+missing, content hash mismatch, source that no longer compiles — a
+killed writer, a torn CI cache restore, a hand edit) is deleted so it
+cannot shadow the regenerated entry; transient read errors (``OSError``)
+miss non-destructively.  Writes are atomic (temp file + ``os.replace``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+import threading
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from ... import telemetry
+
+#: Subdirectory of a result-cache directory holding generated sources.
+CODEGEN_DIR = "codegen"
+
+#: First-line marker of every cached source file.  The trailing hash is
+#: the sha256 of everything after the header line; a mismatch means the
+#: file does not contain what the generator wrote.
+_HEADER_PREFIX = "# repro-codegen sha256:"
+
+_lock = threading.Lock()
+_modules: Dict[str, Callable] = {}
+_disk_root: Optional[Path] = None
+
+#: Process-lifetime counters, reported by ``repro cache`` / ``repro status``.
+_counters = {"memory_hits": 0, "disk_hits": 0, "emits": 0, "corrupt": 0}
+
+
+def set_cache_dir(cache_dir: "str | os.PathLike | None") -> None:
+    """Point the disk layer at ``<cache_dir>/codegen`` (``None`` disables).
+
+    Unset by default so library use (tests, embedding) never writes
+    outside an explicitly chosen cache directory; the CLI calls this
+    with its ``--cache-dir``.
+    """
+    global _disk_root
+    _disk_root = None if cache_dir is None else Path(cache_dir) / CODEGEN_DIR
+
+
+def cache_dir() -> Optional[Path]:
+    """The active disk directory, or ``None`` when disk caching is off."""
+    return _disk_root
+
+
+def source_path(digest: str) -> Optional[Path]:
+    """Disk path of the source cached under ``digest`` (if disk is on)."""
+    return None if _disk_root is None else _disk_root / f"{digest}.py"
+
+
+def _content_hash(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def load_source(digest: str) -> Optional[str]:
+    """The cached source for ``digest``, or ``None`` on a miss.
+
+    Verifies the content-hash header; a stale or corrupted file is
+    deleted (a regenerate follows under the same digest), transient
+    read errors are non-destructive misses.
+    """
+    path = source_path(digest)
+    if path is None:
+        return None
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return None
+    header, newline, body = text.partition("\n")
+    if (
+        not newline
+        or not header.startswith(_HEADER_PREFIX)
+        or header[len(_HEADER_PREFIX) :].strip() != _content_hash(body)
+    ):
+        _counters["corrupt"] += 1
+        telemetry.counter("codegen.corrupt")
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+    return body
+
+
+def store_source(digest: str, source: str) -> None:
+    """Atomically persist ``source`` under ``digest`` (no-op without disk)."""
+    path = source_path(digest)
+    if path is None:
+        return
+    payload = f"{_HEADER_PREFIX}{_content_hash(source)}\n{source}"
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    except OSError:
+        return  # unwritable cache dir: run from memory only
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        os.replace(tmp_name, path)
+    except OSError:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+
+
+def get_module(digest: str) -> Optional[Callable]:
+    """The in-process compiled dispatch for ``digest``, if present."""
+    with _lock:
+        dispatch = _modules.get(digest)
+    if dispatch is not None:
+        _counters["memory_hits"] += 1
+        telemetry.counter("codegen.memory_hits")
+    return dispatch
+
+
+def put_module(digest: str, dispatch: Callable) -> Callable:
+    """Publish a compiled dispatch; first writer wins (idempotent)."""
+    with _lock:
+        return _modules.setdefault(digest, dispatch)
+
+
+def note_disk_hit() -> None:
+    _counters["disk_hits"] += 1
+    telemetry.counter("codegen.disk_hits")
+
+
+def note_emit() -> None:
+    _counters["emits"] += 1
+    telemetry.counter("codegen.emits")
+
+
+def note_corrupt() -> None:
+    _counters["corrupt"] += 1
+    telemetry.counter("codegen.corrupt")
+
+
+def stats() -> Dict:
+    """Counters plus a snapshot of the on-disk store (for ``repro cache``)."""
+    entries = 0
+    total_bytes = 0
+    if _disk_root is not None and _disk_root.is_dir():
+        for entry in sorted(_disk_root.glob("*.py")):
+            try:
+                total_bytes += entry.stat().st_size
+            except OSError:
+                continue
+            entries += 1
+    return {
+        "entries": entries,
+        "total_bytes": total_bytes,
+        "memory_entries": len(_modules),
+        **_counters,
+    }
+
+
+def clear() -> None:
+    """Drop the in-process modules and every on-disk generated source."""
+    with _lock:
+        _modules.clear()
+    for name in _counters:
+        _counters[name] = 0
+    if _disk_root is not None and _disk_root.is_dir():
+        for entry in sorted(_disk_root.glob("*.py")):
+            try:
+                entry.unlink()
+            except OSError:
+                pass

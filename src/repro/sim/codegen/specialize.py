@@ -1,0 +1,1056 @@
+"""AST specialisation passes for the compiled engine.
+
+The code generator does not invent simulator code: it takes the exact
+module-level unit functions the interpreted engines execute
+(:func:`repro.sim.engine.event_dispatch`,
+:func:`repro.sim.engine.serve_window_end`,
+:func:`repro.controller.memory_controller.channel_serve_batch`, the
+``repro.sched`` scan/bookkeeping units) and mechanically specialises
+their ASTs to one concrete ``SimulationConfig``:
+
+* :class:`ConstBinder` — pin names, attribute reads and ``len(...)``
+  calls to the config's constants (``profile``/``shared_buffer`` to
+  ``None`` when inactive, channel/core counts to literals, …),
+* :class:`StaticFolder` — evaluate the now-constant tests and drop the
+  dead branches (fill-policy hazards for designs without a fill policy,
+  scheduler probes for probe-less schedulers, profile hooks, …),
+* :class:`LoopUnroller` — replace ``for index, controller in
+  controller_range`` with the loop body repeated per component, the
+  loop variables bound to prebound locals (``_c0`` …) and literal
+  indices; sole-statement ``continue`` guards are rewritten into
+  ``if not guard`` nesting so the unrolled body is straight-line,
+* :func:`scalarize` — turn the per-component bookkeeping lists
+  (``controller_bounds[2]`` …) into flat locals (``_cb2``),
+* :func:`inline_function` — splice a callee's body into the caller
+  (the scheduler's ``select_index``/``notify_served`` into the serve
+  loop), with renamed locals and ``return`` rewritten to
+  assign-and-break.
+
+Every transform either provably preserves semantics or raises
+:class:`CodegenError`: the generator refuses to emit code for shapes it
+cannot reason about, falling back is never silent.  Bit-identity of the
+output against both interpreted engines is enforced by the three-way
+differential fuzz harness (``tests/test_engine_fuzz.py``).
+
+Truthiness note: boolean folding may replace ``a and b`` with ``b``
+(when ``a`` is statically true) or a truthiness-equivalent prefix.  The
+folded expressions all sit in test positions (``if``/``while``) or feed
+tests, where truthiness equivalence is full equivalence.
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class CodegenError(RuntimeError):
+    """A unit's shape defeated a transform; refuse to emit code."""
+
+
+class _NonNull:
+    """Marker: the binding is known non-``None`` but otherwise unknown."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<non-null>"
+
+
+#: Bind a name/attribute to this to fold only its ``is None`` tests.
+NONNULL = _NonNull()
+
+
+# --------------------------------------------------------------------------
+# constant binding
+# --------------------------------------------------------------------------
+
+
+class ConstBinder(ast.NodeTransformer):
+    """Replace loads of pinned names/attributes/lens with constants.
+
+    ``names`` maps local names to constants (or :data:`NONNULL`);
+    ``attrs`` maps ``(base_name, attr)`` pairs; ``lens`` maps names to
+    the literal value of ``len(name)``.  Store contexts are never
+    touched — a dead assignment to a pinned name is harmless, a wrong
+    read is not.
+    """
+
+    def __init__(
+        self,
+        names: Optional[Dict[str, object]] = None,
+        attrs: Optional[Dict[Tuple[str, str], object]] = None,
+        lens: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self.names = names or {}
+        self.attrs = attrs or {}
+        self.lens = lens or {}
+        #: (name,) and (name, attr) keys bound to NONNULL, for the folder.
+        self.nonnull_names = {k for k, v in self.names.items() if v is NONNULL}
+        self.nonnull_attrs = {k for k, v in self.attrs.items() if v is NONNULL}
+
+    def visit_Attribute(self, node: ast.Attribute):
+        self.generic_visit(node)
+        if isinstance(node.ctx, ast.Load) and isinstance(node.value, ast.Name):
+            key = (node.value.id, node.attr)
+            if key in self.attrs:
+                value = self.attrs[key]
+                if value is not NONNULL:
+                    return ast.copy_location(ast.Constant(value), node)
+        return node
+
+    def visit_Name(self, node: ast.Name):
+        if isinstance(node.ctx, ast.Load) and node.id in self.names:
+            value = self.names[node.id]
+            if value is not NONNULL:
+                return ast.copy_location(ast.Constant(value), node)
+        return node
+
+    def visit_Call(self, node: ast.Call):
+        self.generic_visit(node)
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id == "len"
+            and len(node.args) == 1
+            and not node.keywords
+            and isinstance(node.args[0], ast.Name)
+            and node.args[0].id in self.lens
+        ):
+            return ast.copy_location(ast.Constant(self.lens[node.args[0].id]), node)
+        return node
+
+
+# --------------------------------------------------------------------------
+# static truth + folding
+# --------------------------------------------------------------------------
+
+
+def _is_pure(expr: ast.expr) -> bool:
+    """Whether dropping ``expr`` unevaluated cannot change behaviour.
+
+    Conservative over the expression grammar the units use: attribute
+    and subscript loads on simulator objects are plain state reads, so
+    they count as pure; calls never do.
+    """
+    if isinstance(expr, (ast.Constant, ast.Name)):
+        return True
+    if isinstance(expr, ast.Attribute):
+        return _is_pure(expr.value)
+    if isinstance(expr, ast.Subscript):
+        return _is_pure(expr.value) and _is_pure(expr.slice)
+    if isinstance(expr, ast.UnaryOp):
+        return _is_pure(expr.operand)
+    if isinstance(expr, ast.BinOp):
+        return _is_pure(expr.left) and _is_pure(expr.right)
+    if isinstance(expr, ast.Compare):
+        return _is_pure(expr.left) and all(_is_pure(c) for c in expr.comparators)
+    if isinstance(expr, ast.BoolOp):
+        return all(_is_pure(v) for v in expr.values)
+    if isinstance(expr, ast.IfExp):
+        return _is_pure(expr.test) and _is_pure(expr.body) and _is_pure(expr.orelse)
+    if isinstance(expr, (ast.Tuple, ast.List)):
+        return all(_is_pure(e) for e in expr.elts)
+    return False
+
+
+def _static_truth(
+    node: ast.expr,
+    nonnull_names: Iterable[str] = (),
+    nonnull_attrs: Iterable[Tuple[str, str]] = (),
+) -> Optional[bool]:
+    """Statically decide a test's truthiness, or ``None`` if unknown."""
+    nonnull_names = set(nonnull_names)
+    nonnull_attrs = set(nonnull_attrs)
+
+    def known_nonnull(expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Name) and expr.id in nonnull_names:
+            return True
+        return (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and (expr.value.id, expr.attr) in nonnull_attrs
+        )
+
+    def truth(expr: ast.expr) -> Optional[bool]:
+        if isinstance(expr, ast.Constant):
+            return bool(expr.value)
+        if isinstance(expr, ast.UnaryOp) and isinstance(expr.op, ast.Not):
+            inner = truth(expr.operand)
+            return None if inner is None else not inner
+        if (
+            isinstance(expr, ast.Compare)
+            and len(expr.ops) == 1
+            and isinstance(expr.ops[0], (ast.Is, ast.IsNot))
+            and isinstance(expr.comparators[0], ast.Constant)
+            and expr.comparators[0].value is None
+        ):
+            left = expr.left
+            if isinstance(left, ast.Constant):
+                is_none = left.value is None
+            elif known_nonnull(left):
+                is_none = False
+            else:
+                return None
+            return is_none if isinstance(expr.ops[0], ast.Is) else not is_none
+        if isinstance(expr, ast.BoolOp):
+            is_and = isinstance(expr.op, ast.And)
+            result: Optional[bool] = is_and
+            unknown = False
+            for value in expr.values:
+                t = truth(value)
+                if t is None:
+                    # An unknown-but-pure operand can be skipped over:
+                    # whatever it evaluates to, a later decisive operand
+                    # still fixes the whole expression's truthiness.
+                    if not _is_pure(value):
+                        return None
+                    unknown = True
+                    continue
+                if is_and and not t:
+                    return False
+                if not is_and and t:
+                    return True
+                result = t
+            return None if unknown else result
+        return None
+
+    return truth(node)
+
+
+class StaticFolder(ast.NodeTransformer):
+    """Fold statically-decidable tests and prune the dead branches."""
+
+    def __init__(
+        self,
+        nonnull_names: Iterable[str] = (),
+        nonnull_attrs: Iterable[Tuple[str, str]] = (),
+    ) -> None:
+        self.nonnull_names = set(nonnull_names)
+        self.nonnull_attrs = set(nonnull_attrs)
+        self.changed = False
+
+    def _truth(self, node: ast.expr) -> Optional[bool]:
+        return _static_truth(node, self.nonnull_names, self.nonnull_attrs)
+
+    def visit_If(self, node: ast.If):
+        self.generic_visit(node)
+        t = self._truth(node.test)
+        if t is True:
+            self.changed = True
+            return node.body
+        if t is False:
+            self.changed = True
+            return node.orelse
+        return node
+
+    def visit_IfExp(self, node: ast.IfExp):
+        self.generic_visit(node)
+        t = self._truth(node.test)
+        if t is None:
+            return node
+        self.changed = True
+        return node.body if t else node.orelse
+
+    def visit_BoolOp(self, node: ast.BoolOp):
+        self.generic_visit(node)
+        is_and = isinstance(node.op, ast.And)
+        kept: List[ast.expr] = []
+        decided = False
+        for value in node.values:
+            t = self._truth(value)
+            if t is None:
+                kept.append(value)
+                continue
+            if t is (not is_and):
+                # Decisive operand (False in `and`, True in `or`): a
+                # pure unknown prefix is dropped outright; an impure
+                # one still evaluates, then the constant decides.
+                # Truthiness is preserved either way.
+                self.changed = True
+                if not kept or all(_is_pure(v) for v in kept):
+                    return ast.copy_location(ast.Constant(not is_and), node)
+                kept.append(ast.Constant(not is_and))
+                decided = True
+                break
+            # Neutral operand (True in `and`, False in `or`): drop it.
+            self.changed = True
+        if not kept:
+            return ast.copy_location(ast.Constant(is_and), node)
+        if len(kept) == 1:
+            return kept[0]
+        if decided or len(kept) != len(node.values):
+            return ast.copy_location(ast.BoolOp(op=node.op, values=kept), node)
+        return node
+
+    def visit_UnaryOp(self, node: ast.UnaryOp):
+        self.generic_visit(node)
+        if isinstance(node.op, ast.Not):
+            t = self._truth(node.operand)
+            if t is not None:
+                self.changed = True
+                return ast.copy_location(ast.Constant(not t), node)
+            # Cosmetic: `not (x is not None)` -> `x is None` (and dual).
+            operand = node.operand
+            if (
+                isinstance(operand, ast.Compare)
+                and len(operand.ops) == 1
+                and isinstance(operand.ops[0], (ast.Is, ast.IsNot))
+            ):
+                flipped = ast.IsNot() if isinstance(operand.ops[0], ast.Is) else ast.Is()
+                self.changed = True
+                return ast.copy_location(
+                    ast.Compare(
+                        left=operand.left, ops=[flipped], comparators=operand.comparators
+                    ),
+                    node,
+                )
+        return node
+
+
+# --------------------------------------------------------------------------
+# single-constant local propagation
+# --------------------------------------------------------------------------
+
+
+def propagate_single_constants(fn: ast.FunctionDef) -> bool:
+    """Propagate locals whose every assignment is one same constant.
+
+    Sound because a read that could precede the (conditional) constant
+    assignment would raise ``UnboundLocalError`` in the original code;
+    every completing execution observes the constant.  The (now dead)
+    assignments are dropped.  Returns whether anything changed.
+    """
+    banned = {arg.arg for arg in fn.args.args}
+    banned.update(arg.arg for arg in fn.args.posonlyargs)
+    banned.update(arg.arg for arg in fn.args.kwonlyargs)
+    assigns: Dict[str, List[ast.Constant]] = {}
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign):
+            if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+                name = node.targets[0].id
+                if isinstance(node.value, ast.Constant):
+                    assigns.setdefault(name, []).append(node.value)
+                else:
+                    banned.add(name)
+            else:
+                for target in node.targets:
+                    for sub in ast.walk(target):
+                        if isinstance(sub, ast.Name):
+                            banned.add(sub.id)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign, ast.NamedExpr)):
+            for sub in ast.walk(node.target):
+                if isinstance(sub, ast.Name):
+                    banned.add(sub.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for sub in ast.walk(node.target):
+                if isinstance(sub, ast.Name):
+                    banned.add(sub.id)
+        elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+            for sub in ast.walk(node.optional_vars):
+                if isinstance(sub, ast.Name):
+                    banned.add(sub.id)
+        elif isinstance(node, ast.comprehension):
+            for sub in ast.walk(node.target):
+                if isinstance(sub, ast.Name):
+                    banned.add(sub.id)
+        elif isinstance(node, (ast.Global, ast.Nonlocal)):
+            banned.update(node.names)
+
+    def key(value: ast.Constant) -> Tuple[str, str]:
+        return (type(value.value).__name__, repr(value.value))
+
+    constants = {
+        name: values[0].value
+        for name, values in assigns.items()
+        if name not in banned and len({key(v) for v in values}) == 1
+    }
+    if not constants:
+        return False
+
+    class _Propagate(ast.NodeTransformer):
+        def visit_Name(self, node: ast.Name):
+            if isinstance(node.ctx, ast.Load) and node.id in constants:
+                return ast.copy_location(ast.Constant(constants[node.id]), node)
+            return node
+
+        def visit_Assign(self, node: ast.Assign):
+            self.generic_visit(node)
+            if (
+                len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id in constants
+            ):
+                return None  # drop: value is a constant, store is dead
+            return node
+
+    _Propagate().visit(fn)
+    return True
+
+
+# --------------------------------------------------------------------------
+# continue-guard elimination + loop unrolling
+# --------------------------------------------------------------------------
+
+
+def _contains_loop_escape(stmts: Sequence[ast.stmt]) -> bool:
+    """``continue``/``break`` bound to the *enclosing* loop in ``stmts``?"""
+
+    def scan(body: Sequence[ast.stmt]) -> bool:
+        for stmt in body:
+            if isinstance(stmt, (ast.Continue, ast.Break)):
+                return True
+            if isinstance(stmt, (ast.For, ast.While, ast.AsyncFor)):
+                continue  # escapes inside bind to the inner loop
+            for field in ("body", "orelse", "finalbody"):
+                if scan(getattr(stmt, field, [])):
+                    return True
+        return False
+
+    return scan(stmts)
+
+
+def _is_guard(stmt: ast.stmt) -> bool:
+    return (
+        isinstance(stmt, ast.If)
+        and len(stmt.body) == 1
+        and isinstance(stmt.body[0], ast.Continue)
+        and not stmt.orelse
+    )
+
+
+def eliminate_continue_guards(stmts: List[ast.stmt], tail: bool = True) -> List[ast.stmt]:
+    """Rewrite sole-statement ``if guard: continue`` into ``if not guard``.
+
+    Only sound where the guard's enclosing statements (up to the loop
+    body) are all in tail position — exactly the discipline the engine
+    units follow.  Raises :class:`CodegenError` on any other
+    ``continue`` shape; ``break`` is rejected outright by the caller.
+    """
+    out: List[ast.stmt] = []
+    for position, stmt in enumerate(stmts):
+        last = position == len(stmts) - 1
+        if _is_guard(stmt):
+            if not tail:
+                raise CodegenError(
+                    "continue guard outside tail position cannot be unrolled"
+                )
+            rest = eliminate_continue_guards(list(stmts[position + 1 :]), tail)
+            if rest:
+                guarded = ast.If(
+                    test=ast.UnaryOp(op=ast.Not(), operand=stmt.test),
+                    body=rest,
+                    orelse=[],
+                )
+                out.append(ast.copy_location(guarded, stmt))
+            return out
+        if isinstance(stmt, ast.If):
+            stmt.body = eliminate_continue_guards(stmt.body, tail and last)
+            stmt.orelse = eliminate_continue_guards(stmt.orelse, tail and last)
+        out.append(stmt)
+    return out
+
+
+class UnrollGroup:
+    """One unrollable component list: its element names and attr folds."""
+
+    def __init__(
+        self,
+        element_names: Sequence[str],
+        attrs: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.element_names = list(element_names)
+        self.count = len(self.element_names)
+        #: attr name -> constant (or NONNULL) folded on the loop variable.
+        self.attrs = attrs or {}
+
+
+class _IterationSubst(ast.NodeTransformer):
+    """Per-iteration rewrite: loop vars to literals/locals, attrs folded."""
+
+    def __init__(
+        self,
+        index_var: Optional[str],
+        index: int,
+        item_var: str,
+        element: str,
+        attrs: Dict[str, object],
+    ) -> None:
+        self.index_var = index_var
+        self.index = index
+        self.item_var = item_var
+        self.element = element
+        self.attrs = attrs
+
+    def visit_Attribute(self, node: ast.Attribute):
+        if (
+            isinstance(node.ctx, ast.Load)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == self.item_var
+            and node.attr in self.attrs
+        ):
+            value = self.attrs[node.attr]
+            if value is not NONNULL:
+                return ast.copy_location(ast.Constant(value), node)
+            node.value = ast.copy_location(ast.Name(id=self.element, ctx=ast.Load()), node.value)
+            return node
+        self.generic_visit(node)
+        return node
+
+    def visit_Name(self, node: ast.Name):
+        if node.id == self.item_var:
+            return ast.copy_location(ast.Name(id=self.element, ctx=node.ctx), node)
+        if self.index_var is not None and node.id == self.index_var:
+            if not isinstance(node.ctx, ast.Load):
+                raise CodegenError("unroll index variable must be read-only")
+            return ast.copy_location(ast.Constant(self.index), node)
+        return node
+
+
+class LoopUnroller(ast.NodeTransformer):
+    """Unroll ``for`` loops over registered component iterables."""
+
+    def __init__(self, groups: Dict[str, UnrollGroup]) -> None:
+        #: iterable name -> group; ``enumerate(name)`` matches too.
+        self.groups = groups
+        self.nonnull_attrs: set = set()
+
+    def _match(self, iter_node: ast.expr) -> Optional[Tuple[UnrollGroup, bool]]:
+        if isinstance(iter_node, ast.Name) and iter_node.id in self.groups:
+            return self.groups[iter_node.id], False
+        if (
+            isinstance(iter_node, ast.Call)
+            and isinstance(iter_node.func, ast.Name)
+            and iter_node.func.id == "enumerate"
+            and len(iter_node.args) == 1
+            and not iter_node.keywords
+            and isinstance(iter_node.args[0], ast.Name)
+            and iter_node.args[0].id in self.groups
+        ):
+            return self.groups[iter_node.args[0].id], True
+        return None
+
+    def visit_For(self, node: ast.For):
+        self.generic_visit(node)
+        match = self._match(node.iter)
+        if match is None:
+            return node
+        group, enumerated = match
+        if node.orelse:
+            raise CodegenError("cannot unroll a for loop with an else clause")
+        target = node.target
+        if isinstance(target, ast.Tuple):
+            if len(target.elts) != 2 or not all(
+                isinstance(e, ast.Name) for e in target.elts
+            ):
+                raise CodegenError("unroll target must be `item` or `index, item`")
+            index_var, item_var = target.elts[0].id, target.elts[1].id
+        elif isinstance(target, ast.Name):
+            if enumerated:
+                raise CodegenError("enumerate target must unpack `index, item`")
+            index_var, item_var = None, target.id
+        else:
+            raise CodegenError("unsupported unroll target shape")
+        unrolled: List[ast.stmt] = []
+        for i, element in enumerate(group.element_names):
+            body = copy.deepcopy(node.body)
+            subst = _IterationSubst(index_var, i, item_var, element, group.attrs)
+            body = [subst.visit(stmt) for stmt in body]
+            body = eliminate_continue_guards(body)
+            if _contains_loop_escape(body):
+                raise CodegenError(
+                    "unrolled loop body still contains continue/break"
+                )
+            unrolled.extend(body)
+            for attr, value in group.attrs.items():
+                if value is NONNULL:
+                    self.nonnull_attrs.add((element, attr))
+        return unrolled or ast.Pass()
+
+
+# --------------------------------------------------------------------------
+# scalarisation
+# --------------------------------------------------------------------------
+
+_NO_LITERAL = object()
+
+
+def _literal_value(node: ast.expr):
+    """The value of a literal constant, handling ``-1`` (a UnaryOp)."""
+    if isinstance(node, ast.Constant):
+        return node.value
+    if (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, ast.USub)
+        and isinstance(node.operand, ast.Constant)
+        and isinstance(node.operand.value, (int, float))
+    ):
+        return -node.operand.value
+    return _NO_LITERAL
+
+
+def scalarize(fn: ast.FunctionDef, arrays: Dict[str, Tuple[str, int]]) -> None:
+    """Replace per-component list accesses with flat scalar locals.
+
+    ``arrays`` maps list name -> (scalar prefix, element count).  The
+    initialiser ``name = [K] * n`` becomes ``n`` scalar assignments;
+    every ``name[i]`` (constant ``i`` after unrolling) becomes
+    ``<prefix><i>``.  Any surviving reference to the list name is a
+    :class:`CodegenError` — a partial scalarisation would desynchronise
+    the two representations.
+    """
+
+    class _Scalarize(ast.NodeTransformer):
+        def visit_Subscript(self, node: ast.Subscript):
+            self.generic_visit(node)
+            if (
+                isinstance(node.value, ast.Name)
+                and node.value.id in arrays
+                and isinstance(node.slice, ast.Constant)
+                and isinstance(node.slice.value, int)
+            ):
+                prefix, count = arrays[node.value.id]
+                index = node.slice.value
+                if not 0 <= index < count:
+                    raise CodegenError(
+                        f"{node.value.id}[{index}] out of range for scalarisation"
+                    )
+                return ast.copy_location(
+                    ast.Name(id=f"{prefix}{index}", ctx=node.ctx), node
+                )
+            return node
+
+        def visit_Assign(self, node: ast.Assign):
+            self.generic_visit(node)
+            if (
+                len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id in arrays
+                and isinstance(node.value, ast.BinOp)
+                and isinstance(node.value.op, ast.Mult)
+                and isinstance(node.value.left, ast.List)
+                and len(node.value.left.elts) == 1
+                and _literal_value(node.value.left.elts[0]) is not _NO_LITERAL
+                and isinstance(node.value.right, ast.Constant)
+            ):
+                prefix, count = arrays[node.targets[0].id]
+                if node.value.right.value != count:
+                    raise CodegenError(
+                        f"initialiser length mismatch for {node.targets[0].id}"
+                    )
+                fill = _literal_value(node.value.left.elts[0])
+                return [
+                    ast.copy_location(
+                        ast.Assign(
+                            targets=[ast.Name(id=f"{prefix}{i}", ctx=ast.Store())],
+                            value=ast.Constant(fill),
+                        ),
+                        node,
+                    )
+                    for i in range(count)
+                ]
+            return node
+
+    _Scalarize().visit(fn)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and node.id in arrays:
+            raise CodegenError(
+                f"list {node.id!r} survived scalarisation (non-constant access?)"
+            )
+
+
+# --------------------------------------------------------------------------
+# call inlining
+# --------------------------------------------------------------------------
+
+
+def _collect_locals(fn: ast.FunctionDef) -> set:
+    names = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, (ast.Store, ast.Del)):
+            names.add(node.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for sub in ast.walk(node.target):
+                if isinstance(sub, ast.Name):
+                    names.add(sub.id)
+    return names
+
+
+class _InlineSubst(ast.NodeTransformer):
+    """Parameter -> argument expression, local -> prefixed local."""
+
+    def __init__(self, params: Dict[str, ast.expr], renames: Dict[str, str]) -> None:
+        self.params = params
+        self.renames = renames
+
+    def visit_Name(self, node: ast.Name):
+        if node.id in self.renames:
+            return ast.copy_location(ast.Name(id=self.renames[node.id], ctx=node.ctx), node)
+        if node.id in self.params:
+            if not isinstance(node.ctx, ast.Load):
+                raise CodegenError("inlined unit assigns to a parameter")
+            return copy.deepcopy(self.params[node.id])
+        return node
+
+
+def _rewrite_returns(
+    stmts: List[ast.stmt], target: Optional[str], done_flag: str
+) -> Tuple[List[ast.stmt], bool, bool]:
+    """Rewrite ``return`` to assign-and-break; returns (stmts, any, nested)."""
+    any_return = False
+    nested_return = False
+
+    def rewrite(body: List[ast.stmt], depth: int) -> Tuple[List[ast.stmt], bool]:
+        nonlocal any_return, nested_return
+        out: List[ast.stmt] = []
+        returned_here = False
+        for stmt in body:
+            if isinstance(stmt, ast.Return):
+                any_return = True
+                returned_here = True
+                if target is not None:
+                    value = stmt.value if stmt.value is not None else ast.Constant(None)
+                    out.append(
+                        ast.copy_location(
+                            ast.Assign(
+                                targets=[ast.Name(id=target, ctx=ast.Store())],
+                                value=value,
+                            ),
+                            stmt,
+                        )
+                    )
+                elif stmt.value is not None and not isinstance(
+                    stmt.value, (ast.Constant, ast.Name)
+                ):
+                    raise CodegenError(
+                        "discarded return value must be side-effect-free"
+                    )
+                if depth > 0:
+                    nested_return = True
+                    out.append(
+                        ast.Assign(
+                            targets=[ast.Name(id=done_flag, ctx=ast.Store())],
+                            value=ast.Constant(True),
+                        )
+                    )
+                out.append(ast.copy_location(ast.Break(), stmt))
+                continue
+            if isinstance(stmt, (ast.For, ast.While)):
+                stmt.body, inner = rewrite(stmt.body, depth + 1)
+                if stmt.orelse:
+                    raise CodegenError("cannot inline loop-else in a unit")
+                out.append(stmt)
+                if inner:
+                    returned_here = True
+                    out.append(
+                        ast.If(
+                            test=ast.Name(id=done_flag, ctx=ast.Load()),
+                            body=[ast.Break()],
+                            orelse=[],
+                        )
+                    )
+                continue
+            if isinstance(stmt, ast.If):
+                stmt.body, a = rewrite(stmt.body, depth)
+                stmt.orelse, b = rewrite(stmt.orelse, depth)
+                returned_here = returned_here or a or b
+                out.append(stmt)
+                continue
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                raise CodegenError("cannot inline nested definitions")
+            out.append(stmt)
+        return out, returned_here
+
+    new_body, _ = rewrite(stmts, 0)
+    return new_body, any_return, nested_return
+
+
+def inline_function(
+    call: ast.Call,
+    target: Optional[str],
+    unit: ast.FunctionDef,
+    receiver: Optional[str],
+    prefix: str,
+) -> List[ast.stmt]:
+    """Expand ``target = f(args...)`` (or bare ``f(args...)``) in place.
+
+    ``unit`` is the callee's FunctionDef; ``receiver`` names the local
+    the bound method's ``self`` parameter maps to (the call site calls
+    a hoisted bound method, so ``self`` is not among the call args).
+    The callee body is spliced inside a single-iteration ``while``
+    frame, locals renamed with ``prefix``, each ``return`` rewritten to
+    an assignment plus ``break`` (returns inside the unit's own loops
+    propagate through a ``<prefix>done`` flag).
+    """
+    params = [arg.arg for arg in unit.args.args]
+    if call.keywords:
+        raise CodegenError("cannot inline a call with keyword arguments")
+    args = list(call.args)
+    param_map: Dict[str, ast.expr] = {}
+    if receiver is not None:
+        param_map[params[0]] = ast.Name(id=receiver, ctx=ast.Load())
+        params = params[1:]
+    if len(args) != len(params):
+        raise CodegenError(
+            f"cannot inline {unit.name}: expected {len(params)} args, got {len(args)}"
+        )
+    for name, arg in zip(params, args):
+        # A pure argument expression may be duplicated per parameter use
+        # without changing behaviour (no calls, no side effects).
+        if not _is_pure(arg):
+            raise CodegenError("inline call arguments must be pure expressions")
+        param_map[name] = arg
+
+    renames = {
+        name: f"{prefix}{name}"
+        for name in _collect_locals(unit)
+        if name not in param_map
+    }
+    body = copy.deepcopy(unit.body)
+    if body and isinstance(body[0], ast.Expr) and isinstance(body[0].value, ast.Constant):
+        body = body[1:]  # docstring
+    subst = _InlineSubst(param_map, renames)
+    body = [subst.visit(stmt) for stmt in body]
+    done_flag = f"{prefix}done"
+    body, _, nested = _rewrite_returns(body, target, done_flag)
+    frame: List[ast.stmt] = []
+    if nested:
+        frame.append(
+            ast.Assign(
+                targets=[ast.Name(id=done_flag, ctx=ast.Store())],
+                value=ast.Constant(False),
+            )
+        )
+    frame.append(
+        ast.While(test=ast.Constant(True), body=body + [ast.Break()], orelse=[])
+    )
+    return frame
+
+
+class CallInliner(ast.NodeTransformer):
+    """Statement-level inliner for hoisted-call and method-call sites.
+
+    ``units`` maps a local callee name to ``(FunctionDef, receiver)`` —
+    or ``None`` to drop the call outright (a statically-known no-op like
+    the base scheduler's ``notify_served``).  ``methods`` maps concrete
+    ``(receiver_name, attr)`` pairs to the method's unit FunctionDef, so
+    ``_k3.next_event_cycle(cycle)`` can be expanded with ``self`` bound
+    to ``_k3``.
+    """
+
+    def __init__(
+        self,
+        units: Optional[Dict[str, Optional[Tuple[ast.FunctionDef, str]]]] = None,
+        methods: Optional[Dict[Tuple[str, str], ast.FunctionDef]] = None,
+    ) -> None:
+        self.units = units or {}
+        self.methods = methods or {}
+        self._counter = 0
+
+    def _match(self, value: ast.expr) -> Optional[Tuple[ast.FunctionDef, Optional[str]]]:
+        """``(unit, receiver)`` for an inlinable call, else ``None``.
+
+        A ``(None, None)`` return marks a droppable no-op call.
+        """
+        if not isinstance(value, ast.Call):
+            return None
+        if isinstance(value.func, ast.Name) and value.func.id in self.units:
+            entry = self.units[value.func.id]
+            return (None, None) if entry is None else entry
+        if (
+            isinstance(value.func, ast.Attribute)
+            and isinstance(value.func.value, ast.Name)
+            and (value.func.value.id, value.func.attr) in self.methods
+        ):
+            key = (value.func.value.id, value.func.attr)
+            return self.methods[key], value.func.value.id
+        return None
+
+    def visit_Assign(self, node: ast.Assign):
+        self.generic_visit(node)
+        entry = self._match(node.value)
+        if entry is None:
+            return node
+        if len(node.targets) != 1 or not isinstance(node.targets[0], ast.Name):
+            raise CodegenError("inline call must assign to a single name")
+        unit, receiver = entry
+        if unit is None:
+            raise CodegenError("no-op unit cannot produce a value")
+        self._counter += 1
+        return inline_function(
+            node.value, node.targets[0].id, unit, receiver, f"_i{self._counter}_"
+        )
+
+    def visit_Expr(self, node: ast.Expr):
+        self.generic_visit(node)
+        entry = self._match(node.value)
+        if entry is None:
+            return node
+        unit, receiver = entry
+        if unit is None:
+            return None  # statically-known no-op: drop the call
+        self._counter += 1
+        return inline_function(node.value, None, unit, receiver, f"_i{self._counter}_")
+
+
+# --------------------------------------------------------------------------
+# call rewriting (signature specialisation across generated functions)
+# --------------------------------------------------------------------------
+
+
+class MethodCallRewriter(ast.NodeTransformer):
+    """Rewrite ``<recv>.<method>(args...)`` to ``<fn>(<recv>, args...)``.
+
+    Points method calls on known receivers (the unrolled ``_cI``
+    controller locals, or a specialised unit's own ``self``) at the
+    module-level renderings of the same units, so generated functions
+    call each other instead of falling back to the interpreted methods.
+    """
+
+    def __init__(self, receivers: Sequence[str], methods: Dict[str, str]) -> None:
+        self.receivers = set(receivers)
+        self.methods = methods
+
+    def visit_Call(self, node: ast.Call):
+        self.generic_visit(node)
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in self.methods
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in self.receivers
+        ):
+            return ast.copy_location(
+                ast.Call(
+                    func=ast.Name(id=self.methods[node.func.attr], ctx=ast.Load()),
+                    args=[ast.Name(id=node.func.value.id, ctx=ast.Load()), *node.args],
+                    keywords=node.keywords,
+                ),
+                node,
+            )
+        return node
+
+
+class HoistedCallRewriter(ast.NodeTransformer):
+    """Rewrite calls through a hoisted bound method to a flat function.
+
+    ``names`` maps a hoisted local (``service_access = channel.
+    service_access``) to ``(fn, receiver)``: every ``<name>(args...)``
+    call becomes ``<fn>(<receiver>, args...)``.  The hoist assignment
+    itself is left for :func:`replace_assignment` to drop.
+    """
+
+    def __init__(self, names: Dict[str, Tuple[str, str]]) -> None:
+        self.names = names
+
+    def visit_Call(self, node: ast.Call):
+        self.generic_visit(node)
+        if isinstance(node.func, ast.Name) and node.func.id in self.names:
+            fn, receiver = self.names[node.func.id]
+            return ast.copy_location(
+                ast.Call(
+                    func=ast.Name(id=fn, ctx=ast.Load()),
+                    args=[ast.Name(id=receiver, ctx=ast.Load()), *node.args],
+                    keywords=node.keywords,
+                ),
+                node,
+            )
+        return node
+
+
+class CallRewriter(ast.NodeTransformer):
+    """Rewrite cross-unit call sites to the generated flat signatures.
+
+    * ``serve_window_end(a, b, controller_range, controller_bounds)``
+      becomes ``_swe(a, b, _c0, ..., _cb0, ...)``;
+    * ``_cI.<method>(args...)`` becomes ``<fn>(_cI, args...)`` for every
+      entry of ``methods`` (e.g. ``serve_batch`` -> ``_serve_batch``,
+      ``tick`` -> ``_tick``).
+    """
+
+    def __init__(
+        self,
+        window_fn: str,
+        methods: Dict[str, str],
+        controller_names: Sequence[str],
+        bound_names: Sequence[str],
+    ) -> None:
+        self.window_fn = window_fn
+        self.controller_names = list(controller_names)
+        self.bound_names = list(bound_names)
+        self._methods = MethodCallRewriter(controller_names, methods)
+
+    def visit_Call(self, node: ast.Call):
+        self.generic_visit(node)
+        if isinstance(node.func, ast.Name) and node.func.id == "serve_window_end":
+            if len(node.args) != 4 or node.keywords:
+                raise CodegenError("unexpected serve_window_end call shape")
+            flat = [node.args[0], node.args[1]]
+            flat.extend(ast.Name(id=n, ctx=ast.Load()) for n in self.controller_names)
+            flat.extend(ast.Name(id=n, ctx=ast.Load()) for n in self.bound_names)
+            return ast.copy_location(
+                ast.Call(
+                    func=ast.Name(id=self.window_fn, ctx=ast.Load()),
+                    args=flat,
+                    keywords=[],
+                ),
+                node,
+            )
+        return self._methods.visit_Call(node)
+
+
+# --------------------------------------------------------------------------
+# statement-level rewrites
+# --------------------------------------------------------------------------
+
+
+def replace_assignment(
+    fn: ast.FunctionDef, name: str, replacement: List[ast.stmt]
+) -> None:
+    """Replace the single ``name = ...`` statement with ``replacement``."""
+
+    found = 0
+
+    class _Replace(ast.NodeTransformer):
+        def visit_Assign(self, node: ast.Assign):
+            nonlocal found
+            self.generic_visit(node)
+            if (
+                len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id == name
+            ):
+                found += 1
+                return replacement
+            return node
+
+    _Replace().visit(fn)
+    if found != 1:
+        raise CodegenError(f"expected exactly one assignment to {name!r}, saw {found}")
+
+
+def make_prebinds(list_name: str, element_names: Sequence[str]) -> List[ast.stmt]:
+    """``_c0 = controllers[0]; ...`` statements for an unroll group."""
+    return [
+        ast.Assign(
+            targets=[ast.Name(id=element, ctx=ast.Store())],
+            value=ast.Subscript(
+                value=ast.Name(id=list_name, ctx=ast.Load()),
+                slice=ast.Constant(i),
+                ctx=ast.Load(),
+            ),
+        )
+        for i, element in enumerate(element_names)
+    ]
+
+
+def fold_fixpoint(
+    fn: ast.FunctionDef,
+    nonnull_names: Iterable[str] = (),
+    nonnull_attrs: Iterable[Tuple[str, str]] = (),
+    max_rounds: int = 8,
+) -> None:
+    """Alternate folding and constant propagation until nothing changes."""
+    for _ in range(max_rounds):
+        folder = StaticFolder(nonnull_names, nonnull_attrs)
+        folder.visit(fn)
+        propagated = propagate_single_constants(fn)
+        if not folder.changed and not propagated:
+            return

@@ -10,7 +10,7 @@ from ..core.config import DRStrangeConfig
 from ..cpu.core import CoreConfig
 from ..dram.timing import DRAMOrganization, DRAMTiming
 from ..trng import DRAMTRNGModel, make_trng
-from .engine import ENGINE_REGISTRY, EventEngine, TickEngine
+from .engine import ENGINE_REGISTRY, CompiledEngine, EventEngine, TickEngine
 
 #: System design points evaluated by the paper.
 DESIGN_RNG_OBLIVIOUS = "rng-oblivious"
@@ -26,15 +26,29 @@ PRIORITY_NON_RNG_HIGH = "non-rng-high"
 
 PRIORITY_MODES = (PRIORITY_EQUAL, PRIORITY_RNG_HIGH, PRIORITY_NON_RNG_HIGH)
 
-#: Simulation engines (see :mod:`repro.sim.engine`).  Both engines produce
-#: bit-identical :class:`~repro.sim.results.SimulationResult`s; the event
-#: engine skips over cycles in which no component can change state.  The
+#: Simulation engines (see :mod:`repro.sim.engine`).  Every engine produces
+#: bit-identical :class:`~repro.sim.results.SimulationResult`s: the event
+#: engine skips over cycles in which no component can change state, and the
+#: compiled engine runs source generated for the exact configuration.  The
 #: registry in :mod:`repro.sim.engine` is the single source of truth, so
 #: config validation can never drift from what ``make_engine`` accepts.
 ENGINE_EVENT = EventEngine.name
 ENGINE_TICK = TickEngine.name
+ENGINE_COMPILED = CompiledEngine.name
 
 ENGINES = tuple(ENGINE_REGISTRY)
+
+
+def engine_help() -> str:
+    """Registry-derived ``--engine`` help text (CLI, worker and submit paths).
+
+    Built from each engine's ``name``/``blurb`` so the help can never
+    drift from :data:`~repro.sim.engine.ENGINE_REGISTRY`.
+    """
+    choices = ", ".join(
+        f"'{name}' ({cls.blurb})" for name, cls in ENGINE_REGISTRY.items()
+    )
+    return f"simulation engine: {choices}; results are bit-identical either way"
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,313 @@
+"""The specialise-and-compile seam: rendering, caching, invalidation.
+
+Bit-identity of the compiled engine across random systems lives in the
+three-way differential fuzz harness (:mod:`tests.test_engine_fuzz`);
+this module pins everything around it:
+
+* the emitted source is deterministic and matches a checked-in golden
+  file (refresh with ``REPRO_UPDATE_GOLDEN=1``), so codegen output stays
+  reviewable in diffs;
+* the content-addressed generated-source cache re-keys on a codegen
+  version bump or a template-unit edit, deletes-and-regenerates corrupt
+  disk entries (mirroring :meth:`ResultCache.get` semantics), and treats
+  transient read errors as non-destructive misses;
+* the compiled engine matches the event engine directly for each design
+  (including under engine profiling), and concurrent distinct configs
+  resolve to distinct generated modules.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro import telemetry
+from repro.dram.address import AddressMapping
+from repro.dram.timing import DRAMOrganization
+from repro.sim import codegen
+from repro.sim.codegen import cache as codegen_cache
+from repro.sim.config import (
+    DESIGNS,
+    ENGINE_COMPILED,
+    ENGINE_EVENT,
+    SimulationConfig,
+    baseline_config,
+)
+from repro.sim.system import System
+from repro.workloads.mixes import build_traces, dual_core_mixes
+from repro.workloads.suites import representative_subset
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "compiled_baseline_c1k2.py"
+
+#: The golden configuration: the RNG-oblivious baseline on a one-channel
+#: topology with two cores — small enough to review, and it exercises
+#: the perf-critical rendering (fast serve path with the scheduler scan
+#: inlined, unrolled component loops, folded timing literals).
+GOLDEN_CONFIG = baseline_config(organization=DRAMOrganization(channels=1))
+GOLDEN_CORES = 2
+
+
+@pytest.fixture()
+def isolated_codegen(tmp_path):
+    """Scope the process-global codegen cache state to one test."""
+    saved_root = codegen_cache._disk_root
+    with codegen_cache._lock:
+        saved_modules = dict(codegen_cache._modules)
+        codegen_cache._modules.clear()
+    saved_counters = dict(codegen_cache._counters)
+    for name in codegen_cache._counters:
+        codegen_cache._counters[name] = 0
+    codegen.set_cache_dir(tmp_path)
+    try:
+        yield tmp_path
+    finally:
+        codegen_cache._disk_root = saved_root
+        with codegen_cache._lock:
+            codegen_cache._modules.clear()
+            codegen_cache._modules.update(saved_modules)
+        codegen_cache._counters.update(saved_counters)
+
+
+def _forget_module(digest: str) -> None:
+    """Drop one compiled module from the in-process layer (disk remains)."""
+    with codegen_cache._lock:
+        codegen_cache._modules.pop(digest, None)
+
+
+def _dual_core_traces(instructions: int = 6_000):
+    apps = representative_subset(4)
+    mix = dual_core_mixes(apps)[0]
+    return build_traces(mix, instructions, seed=0, mapping=AddressMapping(DRAMOrganization()))
+
+
+# ----------------------------------------------------------------- golden
+
+
+def test_emitted_source_matches_golden():
+    digest, source = codegen.render_source(GOLDEN_CONFIG, num_cores=GOLDEN_CORES)
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(source, encoding="utf-8")
+    assert GOLDEN_PATH.is_file(), (
+        "golden emitted source missing; regenerate with "
+        "REPRO_UPDATE_GOLDEN=1 pytest tests/test_codegen.py"
+    )
+    golden = GOLDEN_PATH.read_text(encoding="utf-8")
+    assert source == golden, (
+        f"emitted source (digest {digest[:12]}) no longer matches "
+        f"{GOLDEN_PATH.name}; review the diff and refresh with "
+        "REPRO_UPDATE_GOLDEN=1 pytest tests/test_codegen.py"
+    )
+
+
+def test_golden_source_compiles_and_defines_dispatch():
+    source = GOLDEN_PATH.read_text(encoding="utf-8")
+    namespace = {"__name__": "tests.golden.compiled_baseline_c1k2"}
+    exec(compile(source, str(GOLDEN_PATH), "exec"), namespace)
+    assert callable(namespace["dispatch"])
+
+
+def test_render_is_deterministic():
+    first_digest, first = codegen.render_source(GOLDEN_CONFIG, num_cores=GOLDEN_CORES)
+    second_digest, second = codegen.render_source(GOLDEN_CONFIG, num_cores=GOLDEN_CORES)
+    assert first == second
+    assert first_digest == second_digest
+    profiled_digest, profiled = codegen.render_source(
+        GOLDEN_CONFIG, num_cores=GOLDEN_CORES, profiled=True
+    )
+    # Profiling hooks change the generated shape, so they re-key.
+    assert profiled_digest != first_digest
+    assert profiled != first
+
+
+# ----------------------------------------------------------------- invalidation
+
+
+def test_version_bump_rekeys_and_reemits(isolated_codegen, monkeypatch):
+    spec = codegen.spec_for(GOLDEN_CONFIG, num_cores=GOLDEN_CORES)
+    before = codegen.spec_digest(spec)
+    codegen.specialized_dispatch(GOLDEN_CONFIG, num_cores=GOLDEN_CORES)
+    assert codegen.source_path(before).is_file()
+    assert codegen_cache._counters["emits"] == 1
+
+    monkeypatch.setattr(codegen, "CODEGEN_VERSION", codegen.CODEGEN_VERSION + 1)
+    after = codegen.spec_digest(spec)
+    assert after != before
+    codegen.specialized_dispatch(GOLDEN_CONFIG, num_cores=GOLDEN_CORES)
+    # The bumped version emitted a second module; the old entry is
+    # untouched (other processes may still be on the old version).
+    assert codegen.source_path(after).is_file()
+    assert codegen.source_path(before).is_file()
+    assert codegen_cache._counters["emits"] == 2
+
+
+def _edited_select_index(self, queue, now, open_rows):
+    """Stand-in unit with a deliberately different source body."""
+    return 0
+
+
+def test_template_edit_rekeys(monkeypatch):
+    spec = codegen.spec_for(GOLDEN_CONFIG, num_cores=GOLDEN_CORES)
+    before = codegen.spec_digest(spec)
+
+    original_units = codegen._unit_functions()
+
+    def edited_units():
+        units = dict(original_units)
+        units["frfcfs_select_index"] = _edited_select_index
+        return units
+
+    monkeypatch.setattr(codegen, "_unit_functions", edited_units)
+    monkeypatch.setattr(codegen, "_unit_asts", None)
+    monkeypatch.setattr(codegen, "_units_digest", None)
+    after = codegen.spec_digest(spec)
+    assert after != before, "editing a template unit must re-key every module"
+
+
+def test_corrupt_disk_entry_is_deleted_and_regenerated(isolated_codegen):
+    spec = codegen.spec_for(GOLDEN_CONFIG, num_cores=GOLDEN_CORES)
+    digest = codegen.spec_digest(spec)
+    codegen.specialized_dispatch(GOLDEN_CONFIG, num_cores=GOLDEN_CORES)
+    path = codegen.source_path(digest)
+    healthy = path.read_text(encoding="utf-8")
+
+    # A torn write / hand edit: the content-hash header no longer
+    # matches.  The loader deletes the entry and the caller regenerates
+    # under the same digest — exactly ResultCache.get semantics.
+    path.write_text("# repro-codegen sha256:0000\ngarbage(\n", encoding="utf-8")
+    _forget_module(digest)
+    dispatch = codegen.specialized_dispatch(GOLDEN_CONFIG, num_cores=GOLDEN_CORES)
+    assert callable(dispatch)
+    assert path.read_text(encoding="utf-8") == healthy
+    assert codegen_cache._counters["corrupt"] == 1
+
+
+def test_rehashed_noncompiling_entry_is_deleted_and_regenerated(isolated_codegen):
+    spec = codegen.spec_for(GOLDEN_CONFIG, num_cores=GOLDEN_CORES)
+    digest = codegen.spec_digest(spec)
+    codegen.specialized_dispatch(GOLDEN_CONFIG, num_cores=GOLDEN_CORES)
+    path = codegen.source_path(digest)
+    healthy = path.read_text(encoding="utf-8")
+
+    # A truncated-but-rehashed hand edit: the header verifies but the
+    # body no longer compiles.  The SyntaxError is treated as corruption.
+    body = "def dispatch(:\n"
+    header_hash = codegen_cache._content_hash(body)
+    path.write_text(f"# repro-codegen sha256:{header_hash}\n{body}", encoding="utf-8")
+    _forget_module(digest)
+    dispatch = codegen.specialized_dispatch(GOLDEN_CONFIG, num_cores=GOLDEN_CORES)
+    assert callable(dispatch)
+    assert path.read_text(encoding="utf-8") == healthy
+    assert codegen_cache._counters["corrupt"] == 1
+
+
+def test_transient_read_error_is_a_nondestructive_miss(isolated_codegen):
+    spec = codegen.spec_for(GOLDEN_CONFIG, num_cores=GOLDEN_CORES)
+    digest = codegen.spec_digest(spec)
+    path = codegen.source_path(digest)
+    # A directory where the entry should be raises OSError on read (and
+    # on the atomic replace): the loader must miss without deleting
+    # anything and the run must proceed from a fresh in-memory render.
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.mkdir()
+    dispatch = codegen.specialized_dispatch(GOLDEN_CONFIG, num_cores=GOLDEN_CORES)
+    assert callable(dispatch)
+    assert path.is_dir(), "a transient read error must not delete the entry"
+    assert codegen_cache._counters["corrupt"] == 0
+
+
+def test_disk_round_trip_skips_the_render(isolated_codegen):
+    spec = codegen.spec_for(GOLDEN_CONFIG, num_cores=GOLDEN_CORES)
+    digest = codegen.spec_digest(spec)
+    codegen.specialized_dispatch(GOLDEN_CONFIG, num_cores=GOLDEN_CORES)
+    assert codegen_cache._counters["emits"] == 1
+    # Same process, warm module layer: a second resolve is a memory hit.
+    codegen.specialized_dispatch(GOLDEN_CONFIG, num_cores=GOLDEN_CORES)
+    assert codegen_cache._counters["memory_hits"] == 1
+    # A "new process" (cold module layer) resolves from disk, no re-emit.
+    _forget_module(digest)
+    dispatch = codegen.specialized_dispatch(GOLDEN_CONFIG, num_cores=GOLDEN_CORES)
+    assert callable(dispatch)
+    assert codegen_cache._counters["disk_hits"] == 1
+    assert codegen_cache._counters["emits"] == 1
+
+
+def test_stats_and_clear_cover_the_disk_layer(isolated_codegen):
+    codegen.specialized_dispatch(GOLDEN_CONFIG, num_cores=GOLDEN_CORES)
+    stats = codegen.stats()
+    assert stats["entries"] == 1
+    assert stats["total_bytes"] > 0
+    assert stats["emits"] == 1
+    codegen.clear()
+    stats = codegen.stats()
+    assert stats["entries"] == 0
+    assert stats["memory_entries"] == 0
+
+
+# ----------------------------------------------------------------- equality
+
+
+@pytest.mark.parametrize("design", DESIGNS)
+def test_compiled_matches_event_per_design(design):
+    traces = _dual_core_traces()
+    config = SimulationConfig(design=design)
+    event = System(
+        list(traces), dataclasses.replace(config, engine=ENGINE_EVENT)
+    ).run()
+    compiled = System(
+        list(traces), dataclasses.replace(config, engine=ENGINE_COMPILED)
+    ).run()
+    assert dataclasses.asdict(compiled) == dataclasses.asdict(event)
+
+
+def test_profiled_compiled_matches_event():
+    traces = _dual_core_traces()
+    config = baseline_config()
+    event = System(
+        list(traces), dataclasses.replace(config, engine=ENGINE_EVENT)
+    ).run()
+    with telemetry.profiled():
+        system = System(list(traces), dataclasses.replace(config, engine=ENGINE_COMPILED))
+        compiled = system.run()
+    assert dataclasses.asdict(compiled) == dataclasses.asdict(event)
+    # The profiled rendering drives the same counters the interpreted
+    # engine maintains — the generated hooks are live, not folded away.
+    profile = system.last_engine.profile
+    assert profile is not None
+    assert profile.dispatch_iterations > 0
+
+
+def test_concurrent_distinct_configs_resolve_distinct_modules(isolated_codegen):
+    configs = [
+        baseline_config(organization=DRAMOrganization(channels=1)),
+        SimulationConfig(design="dr-strange"),
+    ]
+    digests = [
+        codegen.spec_digest(codegen.spec_for(config, num_cores=2)) for config in configs
+    ]
+    assert digests[0] != digests[1]
+
+    results = {}
+    errors = []
+
+    def resolve(index: int) -> None:
+        try:
+            results[index] = codegen.specialized_dispatch(configs[index], num_cores=2)
+        except Exception as exc:  # pragma: no cover - diagnostics only
+            errors.append(exc)
+
+    threads = [threading.Thread(target=resolve, args=(i,)) for i in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert callable(results[0]) and callable(results[1])
+    # Distinct digests resolved to distinct compiled modules: no tenant
+    # can ever observe another tenant's generated code.
+    assert results[0] is not results[1]
+    assert {path.stem for path in codegen.cache_dir().glob("*.py")} == set(digests)
